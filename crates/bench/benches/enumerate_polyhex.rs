@@ -1,0 +1,33 @@
+//! E7: enumeration of the initial-configuration space.
+//!
+//! The paper's "3652 patterns in total" is the n = 7 row of the fixed
+//! polyhex series (1, 3, 11, 44, 186, 814, 3652); this bench regenerates
+//! the whole series and measures the enumerator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("enumerate_polyhex");
+    for n in 1..=7usize {
+        g.bench_with_input(BenchmarkId::new("fixed", n), &n, |b, &n| {
+            b.iter(|| {
+                let count = polyhex::count_fixed(black_box(n));
+                let expected = [1u64, 3, 11, 44, 186, 814, 3652][n - 1];
+                assert_eq!(count, expected);
+                count
+            });
+        });
+    }
+    g.bench_function("free/7 (333 congruence classes)", |b| {
+        b.iter(|| {
+            let c = polyhex::count_free(black_box(7));
+            assert_eq!(c, 333);
+            c
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E3/E4 machinery: simulation under partial visibility-1 tables, the
+//! proof-replay witness searches, and a bounded slice of the DFS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use impossibility::replay;
+use impossibility::sim::{config, simulate};
+use impossibility::table::RuleTable;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let line = config(&[(0, 0), (2, 0), (4, 0), (6, 0), (8, 0), (10, 0), (12, 0)]);
+    let stay = RuleTable::empty().complete_with_stay();
+
+    c.bench_function("simulate_partial_table/line7", |b| {
+        b.iter(|| simulate(black_box(&line), black_box(&stay)));
+    });
+    c.bench_function("replay/proposition1_witness", |b| {
+        let base = replay::base_hypothesis();
+        let (_, claim) = &replay::proposition1_claims()[0];
+        b.iter(|| replay::collision_witness(base, *claim, 7).expect("witness exists"));
+    });
+    let mut g = c.benchmark_group("replay_livelocks");
+    g.sample_size(10);
+    g.bench_function("fig12_case_2_1", |b| {
+        b.iter(|| replay::livelock_witness(&replay::case_2_1_rules()).expect("oscillates"));
+    });
+    g.bench_function("fig13_case_2_2", |b| {
+        b.iter(|| replay::livelock_witness(&replay::case_2_2_rules()).expect("oscillates"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

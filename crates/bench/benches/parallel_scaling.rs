@@ -1,0 +1,45 @@
+//! E10: scaling of the exhaustive verification with worker threads, and
+//! chunked self-scheduling vs crossbeam work stealing on the same sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gathering::SevenGather;
+use robots::{engine, Configuration, Limits};
+
+fn sweep_chunked(classes: &[Vec<trigrid::Coord>], algo: &SevenGather, threads: usize) -> usize {
+    parallel::par_map(classes, threads, |cells| {
+        let initial = Configuration::new(cells.iter().copied());
+        usize::from(engine::run(&initial, algo, Limits::default()).outcome.is_gathered())
+    })
+    .into_iter()
+    .sum()
+}
+
+fn sweep_stealing(classes: &[Vec<trigrid::Coord>], algo: &SevenGather, threads: usize) -> usize {
+    parallel::stealing::par_map_stealing(classes, threads, |cells| {
+        let initial = Configuration::new(cells.iter().copied());
+        usize::from(engine::run(&initial, algo, Limits::default()).outcome.is_gathered())
+    })
+    .into_iter()
+    .sum()
+}
+
+fn bench(c: &mut Criterion) {
+    let classes = polyhex::enumerate_fixed(7);
+    let algo = SevenGather::verified();
+    assert_eq!(sweep_chunked(&classes, &algo, 0), 3652); // warm cache + sanity
+
+    let mut g = c.benchmark_group("parallel_scaling");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("chunked", threads), &threads, |b, &t| {
+            b.iter(|| assert_eq!(sweep_chunked(&classes, &algo, t), 3652));
+        });
+        g.bench_with_input(BenchmarkId::new("stealing", threads), &threads, |b, &t| {
+            b.iter(|| assert_eq!(sweep_stealing(&classes, &algo, t), 3652));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

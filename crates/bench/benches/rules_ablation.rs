@@ -1,0 +1,66 @@
+//! E2: rule-set ablation.
+//!
+//! Measures how much of the configuration space each layer of the
+//! algorithm solves (printed pseudocode, line-25 fix, connectivity
+//! guard, completion, synthesized overrides) plus the guard-free
+//! baseline. The assertions pin the expected gathered counts; the
+//! measurement is the full sweep cost per variant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gathering::rules::RuleOptions;
+use gathering::{baseline::GreedyEast, SevenGather};
+use robots::Limits;
+
+fn gathered(algo: &impl robots::Algorithm) -> usize {
+    simlab::verify_all(7, algo, Limits::default(), 0).gathered
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rules_ablation");
+    g.sample_size(10);
+
+    let variants: Vec<(&str, SevenGather, usize)> = vec![
+        ("printed-verbatim", SevenGather::paper(), 883),
+        (
+            "printed+fix25",
+            SevenGather::with_options(RuleOptions {
+                fix_line25_misprint: true,
+                ..RuleOptions::PAPER
+            }),
+            1895,
+        ),
+        (
+            "printed+fix25+conn",
+            SevenGather::with_options(RuleOptions {
+                fix_line25_misprint: true,
+                connectivity_guard: true,
+                ..RuleOptions::PAPER
+            }),
+            1896,
+        ),
+        (
+            "printed+fix25+conn+completion",
+            SevenGather::with_options(RuleOptions {
+                fix_line25_misprint: true,
+                connectivity_guard: true,
+                completion: true,
+                ..RuleOptions::PAPER
+            }),
+            1926,
+        ),
+        ("verified (with overrides)", SevenGather::verified(), 3652),
+    ];
+    for (name, algo, expected) in &variants {
+        let got = gathered(algo);
+        assert_eq!(got, *expected, "{name}: gathered count drifted");
+        g.bench_function(*name, |b| b.iter(|| gathered(algo)));
+    }
+    // The guard-free baseline demonstrates the guards are load-bearing.
+    let baseline = gathered(&GreedyEast);
+    assert!(baseline < 3652, "the baseline must fail somewhere (got {baseline})");
+    g.bench_function("baseline greedy-east", |b| b.iter(|| gathered(&GreedyEast)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

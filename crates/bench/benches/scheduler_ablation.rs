@@ -1,0 +1,56 @@
+//! E9: the verified FSYNC algorithm under weaker synchrony (the paper's
+//! §V future work), measured on a deterministic sample of classes.
+
+use bench_suite::sample_classes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use gathering::SevenGather;
+use robots::sched::{run_scheduled, FullSync, RandomSubset, RoundRobin};
+use robots::Limits;
+
+fn bench(c: &mut Criterion) {
+    let algo = SevenGather::verified();
+    let classes = sample_classes(64);
+    let limits = Limits { max_rounds: 2000, detect_livelock: false };
+
+    let mut g = c.benchmark_group("scheduler_ablation");
+    g.sample_size(10);
+    g.bench_function("fsync", |b| {
+        b.iter(|| {
+            classes
+                .iter()
+                .map(|cls| {
+                    let ex = run_scheduled(cls, &algo, &mut FullSync, limits);
+                    usize::from(ex.outcome.is_gathered())
+                })
+                .sum::<usize>()
+        });
+    });
+    g.bench_function("round_robin", |b| {
+        b.iter(|| {
+            classes
+                .iter()
+                .map(|cls| {
+                    let ex = run_scheduled(cls, &algo, &mut RoundRobin, limits);
+                    usize::from(ex.outcome.is_gathered())
+                })
+                .sum::<usize>()
+        });
+    });
+    g.bench_function("random_p0.5", |b| {
+        b.iter(|| {
+            classes
+                .iter()
+                .enumerate()
+                .map(|(i, cls)| {
+                    let mut sched = RandomSubset::new(i as u64, 0.5);
+                    let ex = run_scheduled(cls, &algo, &mut sched, limits);
+                    usize::from(ex.outcome.is_gathered())
+                })
+                .sum::<usize>()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

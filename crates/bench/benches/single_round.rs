@@ -1,0 +1,37 @@
+//! Microbenchmarks of the simulation substrate: one Compute decision,
+//! one full FSYNC round, and one complete execution of the
+//! slowest-gathering family (the 7-line).
+
+use bench_suite::line7;
+use criterion::{criterion_group, criterion_main, Criterion};
+use gathering::SevenGather;
+use robots::{engine, Algorithm, Limits, View};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let algo = SevenGather::verified();
+    let line = line7();
+    // Warm the decision cache.
+    let _ = engine::run(&line, &algo, Limits::default());
+
+    c.bench_function("compute_one_decision(cached)", |b| {
+        let v = View::observe(&line, trigrid::Coord::new(6, 0), 2);
+        b.iter(|| algo.compute(black_box(&v)));
+    });
+    c.bench_function("fsync_round/7_robots", |b| {
+        b.iter(|| engine::step(black_box(&line), &algo).expect("legal round"));
+    });
+    c.bench_function("full_execution/line7", |b| {
+        b.iter(|| {
+            let ex = engine::run(black_box(&line), &algo, Limits::default());
+            assert!(ex.outcome.is_gathered());
+            ex
+        });
+    });
+    c.bench_function("view_observe/radius2", |b| {
+        b.iter(|| View::observe(black_box(&line), trigrid::Coord::new(6, 0), 2));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

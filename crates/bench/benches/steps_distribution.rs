@@ -1,0 +1,27 @@
+//! E8: rounds-to-gather distribution over the whole configuration space
+//! (an extension; the paper reports only the boolean verdict). The
+//! assertions pin the distribution's shape: the maximum is reached by
+//! sparse, wide shapes and stays well below the class count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gathering::SevenGather;
+use robots::Limits;
+
+fn bench(c: &mut Criterion) {
+    let algo = SevenGather::verified();
+    let mut g = c.benchmark_group("steps_distribution");
+    g.sample_size(10);
+    g.bench_function("histogram_all_classes", |b| {
+        b.iter(|| {
+            let report = simlab::verify_all(7, &algo, Limits::default(), 0);
+            let stats = simlab::stats::rounds_stats(&report).expect("all gather");
+            assert_eq!(stats.count, 3652);
+            assert!(stats.max < 64, "convergence is fast: O(diameter) rounds");
+            stats
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E1: the paper's §IV-B experiment — exhaustive verification of the
+//! verified rule set over all 3652 connected initial classes, expecting
+//! 3652/3652 gathered (Theorem 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gathering::SevenGather;
+use robots::Limits;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("verify_exhaustive");
+    g.sample_size(10);
+    let algo = SevenGather::verified();
+    // Warm the decision cache and assert the headline claim once.
+    let warm = simlab::verify_all(7, &algo, Limits::default(), 0);
+    assert!(warm.all_gathered(), "Theorem 2: all 3652 classes must gather");
+
+    g.bench_function("all_3652_classes/parallel", |b| {
+        b.iter(|| {
+            let r = simlab::verify_all(7, black_box(&algo), Limits::default(), 0);
+            assert!(r.all_gathered());
+            r.gathered
+        });
+    });
+    g.bench_function("all_3652_classes/1-thread", |b| {
+        b.iter(|| {
+            let r = simlab::verify_all(7, black_box(&algo), Limits::default(), 1);
+            assert!(r.all_gathered());
+            r.gathered
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

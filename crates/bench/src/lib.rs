@@ -1,0 +1,29 @@
+//! Shared helpers for the criterion benches (the benches themselves live
+//! in `benches/`; see EXPERIMENTS.md for the experiment index).
+
+use robots::Configuration;
+use trigrid::Coord;
+
+/// The 3652 connected seven-robot classes, as configurations.
+#[must_use]
+pub fn all_classes() -> Vec<Configuration> {
+    polyhex::enumerate_fixed(7)
+        .into_iter()
+        .map(Configuration::new)
+        .collect()
+}
+
+/// A deterministic sample of `n` classes, evenly spaced through the
+/// enumeration order (covers thin and wide shapes alike).
+#[must_use]
+pub fn sample_classes(n: usize) -> Vec<Configuration> {
+    let all = all_classes();
+    let step = (all.len() / n.max(1)).max(1);
+    all.into_iter().step_by(step).take(n).collect()
+}
+
+/// The seven-robot west–east line (the slowest-gathering family).
+#[must_use]
+pub fn line7() -> Configuration {
+    Configuration::new((0..7).map(|i| Coord::new(2 * i, 0)))
+}

@@ -1,0 +1,208 @@
+//! Base-node determination (paper §IV-A, first half).
+//!
+//! "The basic idea is that each robot firstly determines the base node
+//! that is the rightmost robot node within its visibility range and then
+//! it moves toward the base node to achieve gathering."
+
+use robots::View;
+use trigrid::Coord;
+
+/// The possible x-elements of labels in a radius-2 view run from −4 to 4.
+const MAX_X_ELEMENT: i32 = 4;
+
+/// The outcome of a robot's base-node determination.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BaseDecision {
+    /// A unique robot node holds the strictly largest x-element; it is
+    /// the base. The label may be `(0,0)` (the robot itself is the base).
+    Base(Coord),
+    /// Exception 1: node `(4,0)` is empty but `(3,1)` and `(3,-1)` are
+    /// robot nodes; `(4,0)` is adopted as a *virtual* base so that the
+    /// symmetric pair does not deadlock.
+    VirtualEast,
+    /// Exception 2: robot nodes `(1,1)` and `(1,-1)` (jointly) hold the
+    /// largest x-element; the robot is expected to move east to `(2,0)`
+    /// "so that it becomes a base" (subject to the guards of Algorithm 1
+    /// lines 1–3).
+    SelfPromotion,
+    /// Several robot nodes tie for the largest x-element: the robot
+    /// "does not determine the base node at that time and waits at the
+    /// current node until the configuration changes".
+    Tie,
+}
+
+/// Determines the base node from a radius-2 view, per §IV-A.
+///
+/// The observing robot's own node `(0,0)` counts as a robot node, so the
+/// maximum x-element is always ≥ 0.
+#[must_use]
+pub fn determine(view: &View) -> BaseDecision {
+    debug_assert_eq!(view.radius(), 2);
+
+    // Exception 1 (virtual base). The paper states it as an override for
+    // the tie between (3,1) and (3,-1): "if node (4,0) is an empty node
+    // and nodes (3,1) and (3,-1) are robot nodes, ri determines node
+    // (4,0) as the base node".
+    if view.is_empty_node(Coord::new(4, 0))
+        && view.is_robot(Coord::new(3, 1))
+        && view.is_robot(Coord::new(3, -1))
+    {
+        return BaseDecision::VirtualEast;
+    }
+
+    let mut max_x = i32::MIN;
+    let mut argmax: Option<Coord> = None;
+    let mut tied = false;
+    // Own node participates with label (0,0).
+    for label in std::iter::once(trigrid::ORIGIN).chain(view.robot_labels()) {
+        match label.x_element().cmp(&max_x) {
+            std::cmp::Ordering::Greater => {
+                max_x = label.x_element();
+                argmax = Some(label);
+                tied = false;
+            }
+            std::cmp::Ordering::Equal => tied = true,
+            std::cmp::Ordering::Less => {}
+        }
+    }
+    debug_assert!((0..=MAX_X_ELEMENT).contains(&max_x));
+
+    if tied {
+        // Exception 2 (self-promotion): "(1,1) and (1,-1) have the
+        // largest x-element among all the labels of robot nodes within
+        // ri's visibility range" — i.e. the tie is exactly at x = 1.
+        if max_x == 1 && view.is_robot(Coord::new(1, 1)) && view.is_robot(Coord::new(1, -1)) {
+            return BaseDecision::SelfPromotion;
+        }
+        return BaseDecision::Tie;
+    }
+    BaseDecision::Base(argmax.expect("own node always contributes"))
+}
+
+/// Encodes a [`BaseDecision`] in one byte for the base table.
+#[must_use]
+pub fn encode(b: BaseDecision) -> u8 {
+    match b {
+        BaseDecision::Tie => 0,
+        BaseDecision::SelfPromotion => 1,
+        BaseDecision::VirtualEast => 2,
+        BaseDecision::Base(c) => {
+            let idx = BASE_LABELS.iter().position(|&l| l == (c.x, c.y)).expect("valid base label");
+            3 + idx as u8
+        }
+    }
+}
+
+/// Inverse of [`encode`].
+#[must_use]
+pub fn decode(b: u8) -> BaseDecision {
+    match b {
+        0 => BaseDecision::Tie,
+        1 => BaseDecision::SelfPromotion,
+        2 => BaseDecision::VirtualEast,
+        _ => {
+            let (x, y) = BASE_LABELS[(b - 3) as usize];
+            BaseDecision::Base(Coord::new(x, y))
+        }
+    }
+}
+
+/// The nine labels a unique base can have (x-element 0..=4).
+const BASE_LABELS: [(i32, i32); 9] =
+    [(0, 0), (1, 1), (1, -1), (2, 0), (2, 2), (2, -2), (3, 1), (3, -1), (4, 0)];
+
+/// The base decision for every possible radius-2 view, precomputed once
+/// (used by the completion rules to reason about partially visible
+/// competitors).
+#[must_use]
+pub fn base_table() -> &'static [u8] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<Vec<u8>> = OnceLock::new();
+    TABLE
+        .get_or_init(|| {
+            (0u64..(1 << 18))
+                .map(|bits| encode(determine(&View::from_bits(2, bits))))
+                .collect()
+        })
+        .as_slice()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robots::{Configuration, View};
+    use trigrid::{Coord, ORIGIN};
+
+    fn view_of(cells: &[(i32, i32)]) -> View {
+        let mut nodes = vec![ORIGIN];
+        nodes.extend(cells.iter().map(|&(x, y)| Coord::new(x, y)));
+        let cfg = Configuration::new(nodes);
+        View::observe(&cfg, ORIGIN, 2)
+    }
+
+    #[test]
+    fn unique_max_is_base() {
+        // Fig. 49 (a): a robot node strictly east of everything is the base.
+        let v = view_of(&[(2, 0), (4, 0), (-1, 1)]);
+        assert_eq!(determine(&v), BaseDecision::Base(Coord::new(4, 0)));
+    }
+
+    #[test]
+    fn self_can_be_base() {
+        let v = view_of(&[(-2, 0), (-1, 1)]);
+        assert_eq!(determine(&v), BaseDecision::Base(ORIGIN));
+    }
+
+    #[test]
+    fn tie_waits() {
+        // Fig. 49 (b): two robot nodes with equal largest x-element.
+        let v = view_of(&[(2, 0), (2, 2)]);
+        assert_eq!(determine(&v), BaseDecision::Tie);
+    }
+
+    #[test]
+    fn tie_at_zero_with_vertical_neighbours() {
+        let v = view_of(&[(0, 2)]);
+        assert_eq!(determine(&v), BaseDecision::Tie);
+    }
+
+    #[test]
+    fn virtual_east_exception() {
+        // Fig. 49 (c)-style: (3,1) and (3,-1) robots, (4,0) empty.
+        let v = view_of(&[(3, 1), (3, -1), (1, 1)]);
+        assert_eq!(determine(&v), BaseDecision::VirtualEast);
+    }
+
+    #[test]
+    fn no_virtual_east_when_4_0_is_occupied() {
+        let v = view_of(&[(3, 1), (3, -1), (4, 0)]);
+        assert_eq!(determine(&v), BaseDecision::Base(Coord::new(4, 0)));
+    }
+
+    #[test]
+    fn self_promotion_exception() {
+        // (1,1) and (1,-1) are the rightmost robots in view.
+        let v = view_of(&[(1, 1), (1, -1), (-2, 0)]);
+        assert_eq!(determine(&v), BaseDecision::SelfPromotion);
+    }
+
+    #[test]
+    fn no_self_promotion_when_x1_not_the_max() {
+        let v = view_of(&[(1, 1), (1, -1), (2, 0)]);
+        assert_eq!(determine(&v), BaseDecision::Base(Coord::new(2, 0)));
+    }
+
+    #[test]
+    fn tie_at_one_without_both_wing_robots_is_plain_tie() {
+        // x-element 1 tie can only be {(1,1),(1,-1)}; sanity: a tie at
+        // x = 2 is not self-promotion.
+        let v = view_of(&[(2, 2), (2, -2)]);
+        assert_eq!(determine(&v), BaseDecision::Tie);
+    }
+
+    #[test]
+    fn lone_robot_is_its_own_base() {
+        let v = view_of(&[]);
+        assert_eq!(determine(&v), BaseDecision::Base(ORIGIN));
+    }
+}

@@ -1,0 +1,307 @@
+//! Completion rules: the paper's omitted behaviours.
+//!
+//! §IV-A ends with: *"Although there still exist several robot behaviors
+//! that avoid a collision or an unconnected configuration, we omit the
+//! detail."* The printed pseudocode alone strands roughly half of the
+//! 3652 initial classes in non-gathered fixpoints. This module supplies
+//! the missing progress moves; together with the [`crate::safety`] veto
+//! they complete Algorithm 1 so that the exhaustive §IV-B verification
+//! passes.
+//!
+//! Design, following the paper's own mechanism (Figs. 50–52):
+//!
+//! * a robot whose base is still far (labels `(4,0)`, `(3,±1)`,
+//!   `(2,±2)`) tries the movement candidates of Fig. 50 in preference
+//!   order;
+//! * a candidate is taken only if the target is empty, the move is
+//!   locally connectivity-safe, and the robot *wins the target*: among
+//!   all robots adjacent to the target (all of which are within
+//!   visibility range 2 — the key property that makes local conflict
+//!   resolution possible), it has the highest static priority. Priority
+//!   follows the eastward-compaction order of Fig. 50(b): a mover coming
+//!   from the west of the target outranks one coming from the northwest,
+//!   and so on. No rule ever moves west, so a robot due east of the
+//!   target is never a competitor.
+
+use crate::base::{determine, BaseDecision};
+use crate::safety::connectivity_safe;
+use robots::View;
+use trigrid::{Coord, Dir, ORIGIN};
+
+/// Priority of a mover entering a target node by moving in direction
+/// `d`; higher wins, strictly.
+///
+/// The ranking follows the paper's Fig. 52 tie-break — "the robot with
+/// the smaller x-element of the node label moves to the node and the
+/// other robot stays" — read as the x-element of the *entry position*
+/// relative to the contested node: an E-mover enters from label
+/// `(-2,0)`, SE/NE movers from `(∓1,±1)` (x = −1), NW/SW movers from
+/// x = +1. The x-element ties are broken north-first (SE-mover over
+/// NE-mover), matching the paper's north/south guard asymmetries.
+#[must_use]
+pub fn entry_priority(d: Dir) -> u8 {
+    match d {
+        Dir::E => 5,  // enters from (-2,0)
+        Dir::SE => 4, // enters from (-1,1)
+        Dir::NE => 3, // enters from (-1,-1)
+        Dir::NW => 2, // enters from (1,-1)
+        Dir::SW => 1, // enters from (1,1)
+        Dir::W => 0,  // no rule moves west; lowest for completeness
+    }
+}
+
+/// Whether the observer, moving along `d` into the (empty) target, has
+/// strictly the highest entry priority among **all** robots adjacent to
+/// the target. Every such robot is within view (distance ≤ 2), so all
+/// potential same-target competitors are visible, and each of them
+/// evaluates the same predicate symmetrically: for any node, at most one
+/// robot in the whole system can win it.
+///
+/// When *every* movement rule (printed and completion) is filtered
+/// through this predicate — the `priority_guard` rule option — two
+/// robots can never enter the same node, and since every rule targets an
+/// empty node, edge swaps are impossible too: the algorithm becomes
+/// collision-free **by construction**, which is exactly the property the
+/// paper's Fig. 51/52 ordinal/x-element tie-breaks are after.
+#[must_use]
+pub fn wins_target(v: &View, d: Dir) -> bool {
+    let target = d.delta();
+    let my_priority = entry_priority(d);
+    for u in target.neighbors() {
+        if u == ORIGIN || !v.is_robot(u) {
+            continue;
+        }
+        let entry = Dir::from_delta(target - u).expect("neighbours are one step away");
+        if entry_priority(entry) >= my_priority {
+            return false;
+        }
+    }
+    true
+}
+
+/// The movement candidates for each far-base label, in preference order
+/// (Fig. 50(a): compact eastward, wrapping around the forming hexagon).
+///
+/// Robots with base `(4,0)` (or the virtual base) are deliberately
+/// *excluded*: they occupy the west-pole region of the forming hexagon
+/// and the printed lines 7–9 already describe their movements
+/// exhaustively — adding fallback moves for them creates
+/// advance-and-retreat livelocks against the printed line-15/25
+/// standstill breakers.
+#[must_use]
+pub fn candidates(base: BaseDecision) -> &'static [Dir] {
+    match base {
+        BaseDecision::Base(b) => match (b.x, b.y) {
+            (3, -1) => &[Dir::SE, Dir::E],
+            (3, 1) => &[Dir::NE, Dir::E],
+            (2, -2) => &[Dir::SW, Dir::SE],
+            (2, 2) => &[Dir::NW, Dir::NE],
+            _ => &[],
+        },
+        BaseDecision::VirtualEast
+        | BaseDecision::SelfPromotion
+        | BaseDecision::Tie => &[],
+    }
+}
+
+/// Whether the visible robot at label `u` might, under **some**
+/// occupancy of the cells outside the observer's visibility disk, fire a
+/// *completion* move into `target`: i.e. some consistent view gives `u`
+/// a base whose candidate set contains the step onto `target`. Guards
+/// (`connectivity`, `hug`, conflicts) are ignored — a sound
+/// over-approximation of `u`'s willingness.
+#[must_use]
+pub fn may_complete_enter(v: &View, u: Coord, target: Coord) -> bool {
+    let Some(needed) = Dir::from_delta(target - u) else {
+        return false;
+    };
+    let table = crate::base::base_table();
+    for_each_consistent_view(v, u, |bits| {
+        candidates(crate::base::decode(table[bits as usize])).contains(&needed)
+    })
+}
+
+/// Enumerates the bitmasks of every radius-2 view of the robot at label
+/// `u` that is consistent with what the observer sees, calling `hit` on
+/// each; returns `true` as soon as one callback does. The observer
+/// itself appears as a robot in all of them.
+fn for_each_consistent_view(v: &View, u: Coord, hit: impl Fn(u64) -> bool) -> bool {
+    debug_assert!(v.is_robot(u) && u != ORIGIN);
+    let mut base_bits = 0u64;
+    let mut unknown: Vec<usize> = Vec::new();
+    for (i, &l) in robots::view::labels(2).iter().enumerate() {
+        let abs = u + l; // the cell, in the observer's frame
+        if abs == ORIGIN {
+            base_bits |= 1 << i; // the observer itself: a robot
+        } else if robots::view::label_index(2, abs).is_some() {
+            if v.is_robot(abs) {
+                base_bits |= 1 << i;
+            }
+        } else {
+            unknown.push(i);
+        }
+    }
+    for assign in 0u64..(1 << unknown.len()) {
+        let mut bits = base_bits;
+        for (j, &pos) in unknown.iter().enumerate() {
+            if assign & (1 << j) != 0 {
+                bits |= 1 << pos;
+            }
+        }
+        if hit(bits) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether the visible robot at label `u` might, under **some**
+/// occupancy of the cells outside the observer's visibility disk, be
+/// moved by the *printed* rules onto the node at label `target`.
+///
+/// The observer sees only part of `u`'s view (`u` is within distance 2,
+/// its view reaches distance 4). The check enumerates every assignment
+/// of the invisible cells and consults the precomputed printed-rule
+/// table; if any assignment sends `u` into `target`, the completion must
+/// yield (the true assignment is among those enumerated, so this is a
+/// sound over-approximation).
+#[must_use]
+pub fn may_printed_enter(v: &View, u: Coord, target: Coord, opts: crate::rules::RuleOptions) -> bool {
+    let Some(needed) = Dir::from_delta(target - u) else {
+        return false; // target is not adjacent to u: it cannot enter
+    };
+    let table = crate::rules::level0_table(opts);
+    let needed_code = crate::rules::encode_decision(Some(needed));
+    for_each_consistent_view(v, u, |bits| table[bits as usize] == needed_code)
+}
+
+/// Whether every robot currently adjacent to the observer is *directly*
+/// adjacent to the move's target as well.
+///
+/// This is stronger than [`connectivity_safe`]: the latter allows a
+/// dependent to stay connected through a chain of other robots, but
+/// under FSYNC those other robots may move in the same round, so a
+/// chain-based argument is unsound. Direct adjacency to the target is
+/// robust: a dependent either stays put (still adjacent to the mover's
+/// new node) or itself satisfies this same condition toward its own
+/// target, keeping the old-neighbourhood relation intact hop by hop.
+#[must_use]
+pub fn dependents_hug_target(v: &View, d: Dir) -> bool {
+    let target = d.delta();
+    Dir::ALL
+        .iter()
+        .map(|d| d.delta())
+        .filter(|&n| n != target && v.is_robot(n))
+        .all(|n| n.is_adjacent(target))
+}
+
+/// Whether the move along `d` is free of same-target conflicts: no
+/// visible robot adjacent to the target may enter it by a printed rule
+/// (under any occupancy of its hidden cells), and every robot that may
+/// enter it by a *completion* rule has strictly lower entry priority.
+/// Completion-vs-completion conflicts are serialised by the strict
+/// priority; completion-vs-printed conflicts are excluded outright.
+#[must_use]
+pub fn conflict_free(v: &View, d: Dir, opts: crate::rules::RuleOptions) -> bool {
+    let target = d.delta();
+    let my_priority = entry_priority(d);
+    for u in target.neighbors() {
+        if u == ORIGIN || !v.is_robot(u) {
+            continue;
+        }
+        if may_printed_enter(v, u, target, opts) {
+            return false;
+        }
+        if may_complete_enter(v, u, target) {
+            let entry = Dir::from_delta(target - u).expect("neighbours are one step away");
+            if entry_priority(entry) >= my_priority {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The completion fallback: first candidate toward the base that is
+/// locally safe on all three axes — empty target, dependents directly
+/// hugging the target, and conflict-freedom against both possible
+/// level-0 movers and other completion movers. Returns `None` when the
+/// level-0 "stay" verdict stands.
+#[must_use]
+pub fn compute(v: &View, opts: crate::rules::RuleOptions) -> Option<Dir> {
+    let base = determine(v);
+    candidates(base).iter().copied().find(|&d| {
+        let target = d.delta();
+        v.is_empty_node(target)
+            && connectivity_safe(v, d)
+            && dependents_hug_target(v, d)
+            && conflict_free(v, d, opts)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robots::Configuration;
+
+    fn view_of(cells: &[(i32, i32)]) -> View {
+        let mut nodes = vec![ORIGIN];
+        nodes.extend(cells.iter().map(|&(x, y)| Coord::new(x, y)));
+        View::observe(&Configuration::new(nodes), ORIGIN, 2)
+    }
+
+    #[test]
+    fn priorities_are_distinct() {
+        let mut ps: Vec<u8> = Dir::ALL.iter().map(|&d| entry_priority(d)).collect();
+        ps.sort_unstable();
+        ps.dedup();
+        assert_eq!(ps.len(), 6);
+    }
+
+    #[test]
+    fn wins_target_unique_winner() {
+        // Observer and a robot at (1,1) both flank the empty node (2,0):
+        // the observer enters moving E (priority 5), the other would
+        // enter moving SE (priority 3): observer wins, and by symmetry
+        // the other robot loses.
+        let v = view_of(&[(1, 1)]);
+        assert!(wins_target(&v, Dir::E));
+        // Mirrored view from the other robot's perspective: it sees the
+        // observer at (-1,-1) and the target at (1,-1); it enters SE.
+        let other = view_of(&[(-1, -1)]);
+        assert!(!wins_target(&other, Dir::SE));
+    }
+
+    #[test]
+    fn east_of_target_never_competes() {
+        // A robot at (4,0) is due east of the target (2,0): it cannot
+        // move west, so the observer still wins.
+        let v = view_of(&[(4, 0), (3, 1)]);
+        assert!(wins_target(&v, Dir::E));
+    }
+
+    #[test]
+    fn descending_into_the_petal_slot() {
+        // A stuck-cluster pattern: base (2,-2), SW slot free — the
+        // printed line 19 refuses when any western support exists; the
+        // completion descends when it is safe and unconteste.
+        let v = view_of(&[(2, -2), (1, -1)]);
+        assert_eq!(determine(&v), BaseDecision::Base(Coord::new(2, -2)));
+        assert_eq!(compute(&v, crate::rules::RuleOptions::VERIFIED), Some(Dir::SW));
+    }
+
+    #[test]
+    fn yields_to_a_higher_priority_competitor() {
+        // With a robot at (-2,0), that robot could enter my SW target by
+        // moving SE (priority 3 beats my SW priority 2): I yield.
+        let v = view_of(&[(2, -2), (-2, 0), (1, -1)]);
+        assert_eq!(compute(&v, crate::rules::RuleOptions::VERIFIED), None);
+    }
+
+    #[test]
+    fn no_candidates_near_base() {
+        for cells in [&[(2, 0)][..], &[(1, 1)][..], &[(-2, 0)][..]] {
+            assert_eq!(compute(&view_of(cells), crate::rules::RuleOptions::VERIFIED), None);
+        }
+    }
+}

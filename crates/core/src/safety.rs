@@ -1,0 +1,130 @@
+//! View-local safety checks used by the completed rule set.
+//!
+//! The paper's Algorithm 1 encodes collision- and
+//! connectivity-avoidance as per-line occupancy guards, and admits that
+//! "there still exist several robot behaviors that avoid a collision or
+//! an unconnected configuration" which the text omits. The completed
+//! rule set factors the *connectivity* half of those omitted guards into
+//! one generic, view-local check: a move is vetoed unless every robot
+//! currently adjacent to the mover remains connected — within the
+//! mover's visibility disk, assuming the others stand still — to the
+//! mover's new node.
+//!
+//! The check is deliberately conservative (paths through nodes outside
+//! the visibility disk are ignored) and, like the paper's own guards,
+//! heuristic under simultaneity (a supporting robot may itself move).
+//! The exhaustive §IV-B verification is the final referee.
+
+use robots::View;
+use std::collections::{HashSet, VecDeque};
+use trigrid::{Coord, Dir, ORIGIN};
+
+/// Whether moving one step in direction `d` is locally
+/// connectivity-safe (see module docs). Also requires the target node to
+/// be empty (all of Algorithm 1's moves target empty nodes, which is
+/// what makes edge swaps impossible).
+#[must_use]
+pub fn connectivity_safe(v: &View, d: Dir) -> bool {
+    let target = d.delta();
+    if v.is_robot(target) {
+        return false;
+    }
+
+    // Robot nodes after my move, as seen from my (old) position.
+    let mut nodes: HashSet<Coord> = v.robot_labels().collect();
+    nodes.insert(target);
+
+    // My current robot neighbours — the ones my departure could orphan.
+    let dependents: Vec<Coord> =
+        Dir::ALL.iter().map(|d| d.delta()).filter(|&n| n != target && nodes.contains(&n)).collect();
+    if dependents.is_empty() {
+        // A robot with no neighbour is already disconnected; moving
+        // cannot make connectivity worse.
+        return true;
+    }
+
+    // BFS from the target over the post-move robot nodes (old node
+    // vacated). Every dependent must be reachable.
+    let mut seen: HashSet<Coord> = HashSet::with_capacity(nodes.len());
+    let mut queue = VecDeque::from([target]);
+    seen.insert(target);
+    while let Some(c) = queue.pop_front() {
+        for n in c.neighbors() {
+            if nodes.contains(&n) && n != ORIGIN && seen.insert(n) {
+                queue.push_back(n);
+            }
+        }
+    }
+    dependents.iter().all(|d| seen.contains(d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robots::{Configuration, View};
+
+    fn view_of(cells: &[(i32, i32)]) -> View {
+        let mut nodes = vec![ORIGIN];
+        nodes.extend(cells.iter().map(|&(x, y)| Coord::new(x, y)));
+        View::observe(&Configuration::new(nodes), ORIGIN, 2)
+    }
+
+    #[test]
+    fn occupied_target_is_unsafe() {
+        let v = view_of(&[(2, 0)]);
+        assert!(!connectivity_safe(&v, Dir::E));
+    }
+
+    #[test]
+    fn abandoning_a_pendant_neighbour_is_unsafe() {
+        // The Fig.-58-style hole: observer at (0,0) with a lone dependent
+        // at SE (1,-1); moving NW to (-1,1) would orphan it.
+        let v = view_of(&[(1, -1), (1, 1)]);
+        assert!(!connectivity_safe(&v, Dir::NW));
+        // Moving E keeps both neighbours adjacent to the new node.
+        assert!(connectivity_safe(&v, Dir::E));
+    }
+
+    #[test]
+    fn dependent_with_own_support_is_fine() {
+        // The SE dependent also touches (3,-1): leaving NW is safe only
+        // if (3,-1) connects it back to the rest — within my view the
+        // component {(1,-1),(3,-1)} does NOT reach (-1,1), so the
+        // conservative check still vetoes.
+        let v = view_of(&[(1, -1), (3, -1), (1, 1)]);
+        assert!(!connectivity_safe(&v, Dir::NW));
+        // But if the chain wraps back up to (2,0),(1,1) it is safe.
+        let v = view_of(&[(1, -1), (2, 0), (1, 1)]);
+        assert!(connectivity_safe(&v, Dir::NW));
+    }
+
+    #[test]
+    fn lonely_robot_moves_freely() {
+        let v = view_of(&[]);
+        for d in Dir::ALL {
+            assert!(connectivity_safe(&v, d));
+        }
+    }
+
+    #[test]
+    fn train_like_follow_is_safe() {
+        // Neighbour to the west, empty east: stepping east is vetoed
+        // because the west dependent cannot reach the new node within
+        // view... unless it is within distance 2 of the target via other
+        // robots. Pure two-robot case: unsafe (the pair would stretch).
+        let v = view_of(&[(-2, 0)]);
+        assert!(!connectivity_safe(&v, Dir::E));
+        // With a robot bridging at (-1,1)/(1,1) the move keeps contact.
+        let v = view_of(&[(-2, 0), (-1, 1), (1, 1)]);
+        assert!(connectivity_safe(&v, Dir::E));
+    }
+
+    #[test]
+    fn all_six_directions_safe_inside_dense_cluster() {
+        // Observer inside a ring of robots: any move to an empty node
+        // keeps everyone connected. Fill the whole distance-1 ring except
+        // east, and the ring stays mutually adjacent.
+        let v = view_of(&[(1, 1), (-1, 1), (-2, 0), (-1, -1), (1, -1), (3, 1)]);
+        assert!(connectivity_safe(&v, Dir::E));
+    }
+}

@@ -1,0 +1,125 @@
+//! Table form of the decision function, plus the synthesized overrides.
+//!
+//! A radius-2 view is 18 bits, so the whole algorithm is a function
+//! `[u8; 2^18]` (encoded with [`crate::rules::encode_decision`]). The
+//! table form serves two purposes:
+//!
+//! * **speed** — the exhaustive §IV-B verification and the benches do a
+//!   table lookup per robot per round instead of re-evaluating guards;
+//! * **completion synthesis** — the paper omits "several robot
+//!   behaviors"; we recover them the same way the authors validated
+//!   their algorithm, by exhaustive simulation: a synthesizer
+//!   (`simlab`'s `synthesize` binary) proposes per-view move overrides
+//!   for robots stranded in stuck fixpoints and keeps an override only
+//!   if full re-verification strictly increases the number of gathering
+//!   classes while keeping zero collisions, disconnections and
+//!   livelocks. The accepted overrides are checked in as
+//!   [`crate::overrides::OVERRIDES`] and are part of the verified
+//!   algorithm.
+
+use crate::rules::{self, RuleOptions};
+use robots::View;
+
+/// Number of distinct radius-2 views.
+pub const VIEWS: usize = 1 << 18;
+
+/// Builds the full decision table for the given rule options (printed
+/// rules, vetoes and completion — everything except the synthesized
+/// overrides).
+#[must_use]
+pub fn full_table(opts: RuleOptions) -> Vec<u8> {
+    let mut table = vec![0u8; VIEWS];
+    // Force the level-0 table to be materialised first so the
+    // completion's adversarial lookups hit a warm cache.
+    let _ = rules::level0_table(opts);
+    let chunks: Vec<usize> = (0..VIEWS).step_by(VIEWS / 64).collect();
+    let parts = parallel_build(&chunks, opts);
+    for (start, part) in chunks.into_iter().zip(parts) {
+        table[start..start + part.len()].copy_from_slice(&part);
+    }
+    table
+}
+
+fn parallel_build(starts: &[usize], opts: RuleOptions) -> Vec<Vec<u8>> {
+    let step = VIEWS / 64;
+    let compute_chunk = |&start: &usize| -> Vec<u8> {
+        (start..(start + step).min(VIEWS))
+            .map(|bits| {
+                rules::encode_decision(rules::compute(&View::from_bits(2, bits as u64), opts))
+            })
+            .collect()
+    };
+    // Plain sequential fallback keeps this crate free of the parallel
+    // dependency; the build is ~seconds and runs once per process.
+    starts.iter().map(compute_chunk).collect()
+}
+
+/// Applies the synthesized overrides to a decision table in place.
+pub fn apply_overrides(table: &mut [u8]) {
+    for &(view, decision) in crate::overrides::OVERRIDES {
+        table[view as usize] = decision;
+    }
+}
+
+/// The decision table of the *verified* algorithm: `full_table` of
+/// [`RuleOptions::VERIFIED`] plus the synthesized overrides. Cached for
+/// the process lifetime.
+#[must_use]
+pub fn verified_table() -> &'static [u8] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<Vec<u8>> = OnceLock::new();
+    TABLE
+        .get_or_init(|| {
+            let mut t = full_table(RuleOptions::VERIFIED);
+            apply_overrides(&mut t);
+            t
+        })
+        .as_slice()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trigrid::{Coord, Dir};
+
+    #[test]
+    fn table_matches_direct_evaluation_on_samples() {
+        let opts = RuleOptions::PAPER;
+        let table = full_table(opts);
+        // Spot-check a spread of views.
+        for bits in (0..VIEWS as u64).step_by(4097) {
+            let v = View::from_bits(2, bits);
+            assert_eq!(
+                rules::decode_decision(table[bits as usize]),
+                rules::compute(&v, opts),
+                "view {bits:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn verified_table_is_stable_and_has_movement() {
+        let t = verified_table();
+        assert_eq!(t.len(), VIEWS);
+        // The all-west-line view must produce the line-8 NE move: robots
+        // at (2,0) and (4,0) (the westmost robot of a 3+-line).
+        let v = View::from_labels(2, &[Coord::new(2, 0), Coord::new(4, 0)]);
+        assert_eq!(
+            rules::decode_decision(t[v.bits() as usize]),
+            Some(Dir::NE),
+            "west tail climbs NE (line 8)"
+        );
+    }
+
+    #[test]
+    fn overrides_are_sorted_and_unique() {
+        let o = crate::overrides::OVERRIDES;
+        for w in o.windows(2) {
+            assert!(w[0].0 < w[1].0, "overrides must be strictly sorted by view bits");
+        }
+        for &(view, decision) in o {
+            assert!((view as usize) < VIEWS);
+            assert!(decision <= 6, "decision must encode stay or one of six directions");
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! FSYNC simulation under a partial visibility-1 rule table.
+
+use crate::table::{decode, view_bits, RuleTable, STAY};
+use robots::{engine, Configuration, View};
+use std::collections::HashSet;
+use trigrid::{Coord, Dir};
+
+/// Result of simulating one initial class under a partial table.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimResult {
+    /// The execution gathered and stopped: this class is satisfied.
+    Gathers,
+    /// The execution failed (collision, non-gathered fixpoint, livelock
+    /// or disconnection): no completion of the current partial table can
+    /// change this prefix, so the table is refuted.
+    Fails(FailKind),
+    /// A robot's view has no assigned action yet: the search must branch
+    /// on this view.
+    NeedsBranch(u8),
+}
+
+/// Why an execution failed.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FailKind {
+    /// Two robots collided (swap or shared target).
+    Collision,
+    /// A fixpoint that is not the gathered hexagon.
+    StuckFixpoint,
+    /// A translation class repeated: deterministic FSYNC livelock.
+    Livelock,
+    /// The configuration became disconnected (terminal per the paper's
+    /// §II-A/§III reading).
+    Disconnected,
+}
+
+/// Simulates the deterministic FSYNC execution from `initial` under the
+/// partial `table`.
+///
+/// The execution is uniquely determined by the table entries for the
+/// views actually encountered; the first unassigned view aborts the
+/// simulation with [`SimResult::NeedsBranch`]. Because failures are
+/// detected on the deterministic prefix, a `Fails` verdict refutes every
+/// completion of the partial table — the key soundness property of the
+/// search.
+#[must_use]
+pub fn simulate(initial: &Configuration, table: &RuleTable) -> SimResult {
+    simulate_tracked(initial, table).0
+}
+
+/// Like [`simulate`], additionally returning the set of views whose
+/// table entries were read, as a 64-bit mask.
+///
+/// The verdict is a function of exactly those entries: any other partial
+/// table agreeing on the read views produces the same verdict. The
+/// search uses this as the *conflict set* for backjumping.
+#[must_use]
+pub fn simulate_tracked(initial: &Configuration, table: &RuleTable) -> (SimResult, u64) {
+    let mut cfg = initial.clone();
+    let mut visited: HashSet<Configuration> = HashSet::new();
+    let mut reads: u64 = 0;
+
+    // Any legal collision-free, connected execution stays within the
+    // connected 7-node translation classes, of which there are 3652: a
+    // longer run must revisit one.
+    for _ in 0..4000 {
+        // Look & Compute under the partial table.
+        let mut moves: Vec<Option<Dir>> = Vec::with_capacity(cfg.len());
+        for &p in cfg.positions() {
+            let bits = view_bits(&View::observe(&cfg, p, 1));
+            match table.get(bits) {
+                None => return (SimResult::NeedsBranch(bits), reads),
+                Some(code) => {
+                    reads |= 1u64 << bits;
+                    moves.push(if code == STAY { None } else { decode(code) });
+                }
+            }
+        }
+        if moves.iter().all(Option::is_none) {
+            return if cfg.is_gathered() {
+                (SimResult::Gathers, reads)
+            } else {
+                (SimResult::Fails(FailKind::StuckFixpoint), reads)
+            };
+        }
+        if !visited.insert(cfg.canonical()) {
+            return (SimResult::Fails(FailKind::Livelock), reads);
+        }
+        if engine::check_moves(&cfg, &moves).is_err() {
+            return (SimResult::Fails(FailKind::Collision), reads);
+        }
+        cfg = cfg
+            .positions()
+            .iter()
+            .zip(&moves)
+            .map(|(&p, m)| m.map_or(p, |d| p.step(d)))
+            .collect();
+        if !cfg.is_connected() {
+            return (SimResult::Fails(FailKind::Disconnected), reads);
+        }
+    }
+    // Unreachable for legal executions; classify as livelock.
+    (SimResult::Fails(FailKind::Livelock), reads)
+}
+
+/// Convenience: a connected configuration from `(x, y)` pairs.
+#[must_use]
+pub fn config(cells: &[(i32, i32)]) -> Configuration {
+    Configuration::new(cells.iter().map(|&(x, y)| Coord::new(x, y)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{encode, RuleTable};
+    use trigrid::ORIGIN;
+
+    #[test]
+    fn stay_everywhere_gathers_only_the_hexagon() {
+        let t = RuleTable::empty().complete_with_stay();
+        let hexagon = robots::hexagon(ORIGIN);
+        assert_eq!(simulate(&hexagon, &t), SimResult::Gathers);
+        let line = config(&[(0, 0), (2, 0), (4, 0), (6, 0), (8, 0), (10, 0), (12, 0)]);
+        assert_eq!(simulate(&line, &t), SimResult::Fails(FailKind::StuckFixpoint));
+    }
+
+    #[test]
+    fn partial_table_requests_branching() {
+        let t = RuleTable::with_forced_stays();
+        let line = config(&[(0, 0), (2, 0), (4, 0), (6, 0), (8, 0), (10, 0), (12, 0)]);
+        // The line's views (E-only, W-only, E+W) are all unassigned; the
+        // simulation must ask for one of them.
+        match simulate(&line, &t) {
+            SimResult::NeedsBranch(bits) => {
+                let e_only = 0b000001u8;
+                let w_only = 0b001000u8;
+                let ew = 0b001001u8;
+                assert!([e_only, w_only, ew].contains(&bits), "unexpected branch view {bits:#b}");
+            }
+            other => panic!("expected NeedsBranch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn marching_east_livelocks() {
+        // Assign *every* view the action E: the whole line marches east
+        // forever, a translation-class livelock.
+        let mut t = RuleTable::empty();
+        for v in 0..64u8 {
+            t.assign(v, encode(Some(Dir::E)));
+        }
+        let line = config(&[(0, 0), (2, 0), (4, 0), (6, 0), (8, 0), (10, 0), (12, 0)]);
+        assert_eq!(simulate(&line, &t), SimResult::Fails(FailKind::Livelock));
+    }
+
+    #[test]
+    fn head_on_swap_collides() {
+        // E-only view moves W, W-only view moves E: the two ends of a
+        // 2-robot... use 7 robots: a pair at the ends of a line pointing
+        // inward, middles stay.
+        let mut t = RuleTable::empty().complete_with_stay();
+        let e_only = 0b000001u8; // sees only its east neighbour
+        t.assign(e_only, encode(Some(Dir::E))); // move onto the neighbour
+        let line = config(&[(0, 0), (2, 0), (4, 0), (6, 0), (8, 0), (10, 0), (12, 0)]);
+        assert_eq!(simulate(&line, &t), SimResult::Fails(FailKind::Collision));
+    }
+
+    #[test]
+    fn fleeing_disconnects() {
+        // W-only view moves E (away from its neighbour): the east end of
+        // the line runs away.
+        let mut t = RuleTable::empty().complete_with_stay();
+        let w_only = 0b001000u8;
+        t.assign(w_only, encode(Some(Dir::E)));
+        let line = config(&[(0, 0), (2, 0), (4, 0), (6, 0), (8, 0), (10, 0), (12, 0)]);
+        assert_eq!(simulate(&line, &t), SimResult::Fails(FailKind::Disconnected));
+    }
+}

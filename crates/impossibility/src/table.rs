@@ -1,0 +1,243 @@
+//! Partial visibility-1 rule tables.
+
+use robots::View;
+use serde::{Deserialize, Serialize};
+use trigrid::Dir;
+
+/// Number of distinct radius-1 views (occupancy of the six neighbours).
+pub const VIEWS: usize = 64;
+
+/// Encoding of an action: `STAY`, or `1 + dir.index()`.
+pub const STAY: u8 = 0;
+/// Sentinel: view not yet assigned.
+pub const UNASSIGNED: u8 = 0xFF;
+
+/// Encodes an action.
+#[must_use]
+pub fn encode(a: Option<Dir>) -> u8 {
+    a.map_or(STAY, |d| 1 + d.index() as u8)
+}
+
+/// Decodes an action (must not be [`UNASSIGNED`]).
+#[must_use]
+pub fn decode(code: u8) -> Option<Dir> {
+    assert_ne!(code, UNASSIGNED, "cannot decode an unassigned action");
+    (code != STAY).then(|| Dir::from_index((code - 1) as usize))
+}
+
+/// All seven action codes, stay first.
+pub const ACTIONS: [u8; 7] = [0, 1, 2, 3, 4, 5, 6];
+
+/// A (partial) deterministic visibility-1 algorithm: one action per
+/// view, some possibly still unassigned. The view index is the radius-1
+/// occupancy bitmask in `Dir::ALL` order (E, NE, NW, W, SW, SE).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct RuleTable {
+    #[serde(with = "serde_actions")]
+    actions: [u8; VIEWS],
+}
+
+mod serde_actions {
+    use super::VIEWS;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(a: &[u8; VIEWS], s: S) -> Result<S::Ok, S::Error> {
+        a.as_slice().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<[u8; VIEWS], D::Error> {
+        let v = Vec::<u8>::deserialize(d)?;
+        v.try_into().map_err(|_| serde::de::Error::custom("expected 64 actions"))
+    }
+}
+
+impl Default for RuleTable {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl RuleTable {
+    /// The fully unassigned table.
+    #[must_use]
+    pub fn empty() -> Self {
+        RuleTable { actions: [UNASSIGNED; VIEWS] }
+    }
+
+    /// The table with the seven gathered-hexagon views pre-forced to
+    /// *stay* — a requirement of Definition 1 ("no robot moves
+    /// thereafter"), hence sound for any candidate algorithm.
+    #[must_use]
+    pub fn with_forced_stays() -> Self {
+        let mut t = Self::empty();
+        for bits in gathered_views() {
+            t.assign(bits, STAY);
+        }
+        t
+    }
+
+    /// The action for a view, or `None` if unassigned.
+    #[must_use]
+    pub fn get(&self, view_bits: u8) -> Option<u8> {
+        let a = self.actions[view_bits as usize];
+        (a != UNASSIGNED).then_some(a)
+    }
+
+    /// Assigns an action to a view.
+    pub fn assign(&mut self, view_bits: u8, action: u8) {
+        debug_assert!(action < 7);
+        self.actions[view_bits as usize] = action;
+    }
+
+    /// Clears a view's assignment.
+    pub fn unassign(&mut self, view_bits: u8) {
+        self.actions[view_bits as usize] = UNASSIGNED;
+    }
+
+    /// Number of assigned views.
+    #[must_use]
+    pub fn assigned(&self) -> usize {
+        self.actions.iter().filter(|&&a| a != UNASSIGNED).count()
+    }
+
+    /// A total algorithm: unassigned views act as *stay*. Used by the
+    /// CEGIS loop to extract a concrete candidate for counterexample
+    /// hunting.
+    #[must_use]
+    pub fn complete_with_stay(&self) -> RuleTable {
+        let mut t = self.clone();
+        for a in &mut t.actions {
+            if *a == UNASSIGNED {
+                *a = STAY;
+            }
+        }
+        t
+    }
+
+    /// Views this table assigns a *move* to (for reporting).
+    #[must_use]
+    pub fn moving_views(&self) -> Vec<(u8, Dir)> {
+        (0..VIEWS as u8)
+            .filter_map(|v| match self.actions[v as usize] {
+                UNASSIGNED | STAY => None,
+                code => Some((v, decode(code).unwrap())),
+            })
+            .collect()
+    }
+}
+
+/// The radius-1 view of one robot in a configuration, as a 6-bit mask.
+#[must_use]
+pub fn view_bits(view: &View) -> u8 {
+    debug_assert_eq!(view.radius(), 1);
+    view.bits() as u8
+}
+
+/// The seven views occurring in the gathered hexagon: the centre sees
+/// all six neighbours; each petal sees the centre and its two adjacent
+/// petals.
+#[must_use]
+pub fn gathered_views() -> Vec<u8> {
+    let hexagon = robots::hexagon(trigrid::ORIGIN);
+    hexagon
+        .positions()
+        .iter()
+        .map(|&p| view_bits(&View::observe(&hexagon, p, 1)))
+        .collect()
+}
+
+/// A [`robots::Algorithm`] adapter for a **total** rule table.
+pub struct TableAlgorithm<'a> {
+    table: &'a RuleTable,
+}
+
+impl<'a> TableAlgorithm<'a> {
+    /// Wraps a table; all views must be assigned.
+    #[must_use]
+    pub fn new(table: &'a RuleTable) -> Self {
+        assert_eq!(table.assigned(), VIEWS, "TableAlgorithm requires a total table");
+        TableAlgorithm { table }
+    }
+}
+
+impl robots::Algorithm for TableAlgorithm<'_> {
+    fn radius(&self) -> u32 {
+        1
+    }
+    fn compute(&self, view: &View) -> Option<Dir> {
+        decode(self.table.get(view_bits(view)).expect("total table"))
+    }
+    fn name(&self) -> &str {
+        "visibility-1 rule table"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        assert_eq!(decode(encode(None)), None);
+        for d in Dir::ALL {
+            assert_eq!(decode(encode(Some(d))), Some(d));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unassigned")]
+    fn decode_rejects_unassigned() {
+        let _ = decode(UNASSIGNED);
+    }
+
+    #[test]
+    fn gathered_views_are_seven_with_centre_full() {
+        let views = gathered_views();
+        assert_eq!(views.len(), 7);
+        assert!(views.contains(&0b111111), "centre sees all six neighbours");
+        // Each petal sees exactly three robots.
+        assert_eq!(views.iter().filter(|&&v| v.count_ones() == 3).count(), 6);
+        // All six petal views are distinct (orientation agreement makes
+        // them distinguishable).
+        let mut sorted = views.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 7);
+    }
+
+    #[test]
+    fn forced_stays_preassign_exactly_the_gathered_views() {
+        let t = RuleTable::with_forced_stays();
+        assert_eq!(t.assigned(), 7);
+        for bits in gathered_views() {
+            assert_eq!(t.get(bits), Some(STAY));
+        }
+    }
+
+    #[test]
+    fn assign_unassign() {
+        let mut t = RuleTable::empty();
+        assert_eq!(t.get(5), None);
+        t.assign(5, encode(Some(Dir::W)));
+        assert_eq!(decode(t.get(5).unwrap()), Some(Dir::W));
+        t.unassign(5);
+        assert_eq!(t.get(5), None);
+        assert_eq!(t.assigned(), 0);
+    }
+
+    #[test]
+    fn complete_with_stay_fills_everything() {
+        let t = RuleTable::with_forced_stays().complete_with_stay();
+        assert_eq!(t.assigned(), VIEWS);
+        assert!(t.moving_views().is_empty());
+    }
+
+    #[test]
+    fn table_algorithm_runs_stay_table() {
+        let t = RuleTable::empty().complete_with_stay();
+        let algo = TableAlgorithm::new(&t);
+        let h = robots::hexagon(trigrid::ORIGIN);
+        let ex = robots::run(&h, &algo, robots::Limits::default());
+        assert!(ex.outcome.is_gathered());
+    }
+}

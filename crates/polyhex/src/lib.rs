@@ -1,0 +1,295 @@
+//! # polyhex — connected node sets on the triangular lattice
+//!
+//! The initial configurations of the paper are exactly the **connected
+//! sets of seven nodes** of the triangular grid, counted *up to
+//! translation* (robots agree on the x-axis and chirality, so rotated or
+//! mirrored configurations are genuinely different inputs). These objects
+//! are known as *fixed polyhexes*; their counts are OEIS A001207:
+//!
+//! | n | 1 | 2 | 3 | 4 | 5 | 6 | 7 |
+//! |---|---|---|---|---|---|---|---|
+//! | fixed polyhexes | 1 | 3 | 11 | 44 | 186 | 814 | **3652** |
+//!
+//! The paper's exhaustive correctness check runs over the 3652 classes
+//! for n = 7 (§IV-B). This crate enumerates them with Redelmeier's
+//! algorithm, provides canonical forms under translation and under the
+//! full symmetry group, and a random generator for larger sizes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashSet;
+use trigrid::transform::PointSymmetry;
+use trigrid::{Coord, ORIGIN};
+
+mod random;
+pub use random::random_connected;
+
+/// Row-major ordering key used by the enumerator and canonical forms:
+/// compare by `y`, then by `x`.
+#[inline]
+#[must_use]
+pub fn key(c: Coord) -> (i32, i32) {
+    (c.y, c.x)
+}
+
+/// Whether `c` comes strictly after the origin in [`key`] order.
+#[inline]
+fn after_origin(c: Coord) -> bool {
+    c.y > 0 || (c.y == 0 && c.x > 0)
+}
+
+/// Translates the set so its [`key`]-minimal node is the origin and
+/// sorts it by [`key`]. Two sets are translates of each other iff their
+/// canonical translations are equal.
+#[must_use]
+pub fn canonical_translation(cells: &[Coord]) -> Vec<Coord> {
+    let Some(&min) = cells.iter().min_by_key(|c| key(**c)) else {
+        return Vec::new();
+    };
+    let mut out: Vec<Coord> = cells.iter().map(|&c| c - min).collect();
+    out.sort_by_key(|c| key(*c));
+    out.dedup();
+    out
+}
+
+/// Canonical form under the full lattice symmetry group (translations,
+/// rotations and reflections): the [`key`]-lexicographically smallest
+/// canonical translation over all twelve point symmetries. Two sets are
+/// congruent iff their free canonical forms are equal.
+#[must_use]
+pub fn canonical_free(cells: &[Coord]) -> Vec<Coord> {
+    PointSymmetry::ALL
+        .iter()
+        .map(|s| {
+            let mapped: Vec<Coord> = cells.iter().map(|&c| s.apply(c)).collect();
+            canonical_translation(&mapped)
+        })
+        .min_by(|a, b| {
+            let ka: Vec<(i32, i32)> = a.iter().map(|c| key(*c)).collect();
+            let kb: Vec<(i32, i32)> = b.iter().map(|c| key(*c)).collect();
+            ka.cmp(&kb)
+        })
+        .unwrap_or_default()
+}
+
+/// Calls `f` once for every fixed polyhex of size `n` (connected set of
+/// `n` nodes up to translation). The slice passed to `f` is sorted by
+/// [`key`] with its minimal node at the origin.
+///
+/// Uses Redelmeier's algorithm: grow from the origin into the half-plane
+/// of nodes strictly after the origin in row-major order; every
+/// translation class is produced exactly once.
+pub fn for_each_fixed<F: FnMut(&[Coord])>(n: usize, f: F) {
+    for_each_fixed_radius(n, 1, f);
+}
+
+/// Generalisation of [`for_each_fixed`] to *visibility connectivity*:
+/// two nodes are adjacent when their grid distance is at most `radius`.
+/// For `radius = 1` this is ordinary polyhex connectivity; `radius = 2`
+/// enumerates the relaxed initial configurations of the paper's §V
+/// future-work item ("the visibility relationship among robots
+/// constitutes one connected graph").
+pub fn for_each_fixed_radius<F: FnMut(&[Coord])>(n: usize, radius: u32, mut f: F) {
+    if n == 0 {
+        return;
+    }
+    let mut current = vec![ORIGIN];
+    if n == 1 {
+        f(&current);
+        return;
+    }
+    let hood: Vec<Coord> = trigrid::region::disk(ORIGIN, radius).into_iter().skip(1).collect();
+    let mut seen: HashSet<Coord> = HashSet::from([ORIGIN]);
+    let initial: Vec<Coord> =
+        hood.iter().map(|&d| ORIGIN + d).filter(|&c| after_origin(c)).collect();
+    seen.extend(initial.iter().copied());
+    let mut scratch = Vec::new();
+    redelmeier(&mut current, initial, &mut seen, n, &hood, &mut scratch, &mut f);
+}
+
+fn redelmeier<F: FnMut(&[Coord])>(
+    current: &mut Vec<Coord>,
+    mut untried: Vec<Coord>,
+    seen: &mut HashSet<Coord>,
+    n: usize,
+    hood: &[Coord],
+    emit_buf: &mut Vec<Coord>,
+    f: &mut F,
+) {
+    while let Some(c) = untried.pop() {
+        current.push(c);
+        if current.len() == n {
+            emit_buf.clear();
+            emit_buf.extend_from_slice(current);
+            emit_buf.sort_by_key(|c| key(*c));
+            f(emit_buf);
+        } else {
+            let mut added: Vec<Coord> = Vec::with_capacity(hood.len());
+            let mut next_untried = untried.clone();
+            for &d in hood {
+                let nb = c + d;
+                if after_origin(nb) && seen.insert(nb) {
+                    next_untried.push(nb);
+                    added.push(nb);
+                }
+            }
+            redelmeier(current, next_untried, seen, n, hood, emit_buf, f);
+            for nb in added {
+                seen.remove(&nb);
+            }
+        }
+        current.pop();
+        // `c` stays in `seen`: it is "tried" for the remainder of this
+        // level and all deeper ones; the level that discovered it will
+        // remove it when unwinding.
+    }
+}
+
+/// Number of translation classes of `n`-node sets connected under
+/// distance-`radius` visibility (see [`for_each_fixed_radius`]).
+#[must_use]
+pub fn count_fixed_radius(n: usize, radius: u32) -> u64 {
+    let mut count = 0;
+    for_each_fixed_radius(n, radius, |_| count += 1);
+    count
+}
+
+/// Number of fixed polyhexes of size `n` (OEIS A001207).
+#[must_use]
+pub fn count_fixed(n: usize) -> u64 {
+    let mut count = 0;
+    for_each_fixed(n, |_| count += 1);
+    count
+}
+
+/// All fixed polyhexes of size `n`, each sorted by [`key`] with the
+/// minimal node at the origin, in enumeration order.
+#[must_use]
+pub fn enumerate_fixed(n: usize) -> Vec<Vec<Coord>> {
+    let mut out = Vec::new();
+    for_each_fixed(n, |cells| out.push(cells.to_vec()));
+    out
+}
+
+/// All *free* polyhexes of size `n`: representatives of the classes of
+/// connected `n`-node sets up to translation, rotation and reflection
+/// (OEIS A000228: 1, 1, 3, 7, 22, 82, 333, …).
+#[must_use]
+pub fn enumerate_free(n: usize) -> Vec<Vec<Coord>> {
+    let mut reps: HashSet<Vec<Coord>> = HashSet::new();
+    for_each_fixed(n, |cells| {
+        reps.insert(canonical_free(cells));
+    });
+    let mut out: Vec<Vec<Coord>> = reps.into_iter().collect();
+    out.sort();
+    out
+}
+
+/// Number of free polyhexes of size `n` (OEIS A000228).
+#[must_use]
+pub fn count_free(n: usize) -> u64 {
+    enumerate_free(n).len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trigrid::path::is_connected;
+
+    #[test]
+    fn counts_match_oeis_a001207() {
+        // The paper's "3652 patterns in total" (§IV-B) is the n = 7 entry.
+        let expected = [1u64, 3, 11, 44, 186, 814, 3652];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(count_fixed(i + 1), e, "fixed polyhexes of size {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn count_zero_is_zero() {
+        assert_eq!(count_fixed(0), 0);
+    }
+
+    #[test]
+    fn free_counts_match_oeis_a000228() {
+        let expected = [1u64, 1, 3, 7, 22, 82];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(count_free(i + 1), e, "free polyhexes of size {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn free_count_n7_is_333() {
+        assert_eq!(count_free(7), 333);
+    }
+
+    #[test]
+    fn all_enumerated_sets_are_connected_canonical_and_distinct() {
+        for n in 1..=7 {
+            let all = enumerate_fixed(n);
+            let mut set = HashSet::new();
+            for cells in &all {
+                assert_eq!(cells.len(), n);
+                assert!(is_connected(cells), "disconnected output for n={n}: {cells:?}");
+                assert_eq!(&canonical_translation(cells), cells, "not canonical: {cells:?}");
+                assert!(set.insert(cells.clone()), "duplicate: {cells:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_translation_identifies_translates() {
+        let a = vec![Coord::new(0, 0), Coord::new(2, 0), Coord::new(1, 1)];
+        let shift = Coord::new(5, 3);
+        let b: Vec<Coord> = a.iter().map(|&c| c + shift).collect();
+        assert_eq!(canonical_translation(&a), canonical_translation(&b));
+    }
+
+    #[test]
+    fn canonical_translation_min_is_origin() {
+        let a = vec![Coord::new(4, 2), Coord::new(6, 2), Coord::new(5, 3)];
+        let c = canonical_translation(&a);
+        assert_eq!(*c.iter().min_by_key(|c| key(**c)).unwrap(), ORIGIN);
+    }
+
+    #[test]
+    fn canonical_free_identifies_congruent_sets() {
+        use trigrid::transform::{mirror_x, rotate_ccw};
+        let a = vec![Coord::new(0, 0), Coord::new(2, 0), Coord::new(3, 1), Coord::new(5, 1)];
+        let rotated: Vec<Coord> = a.iter().map(|&c| rotate_ccw(c, 2) + Coord::new(4, 2)).collect();
+        let mirrored: Vec<Coord> = a.iter().map(|&c| mirror_x(c) - Coord::new(2, 2)).collect();
+        assert_eq!(canonical_free(&a), canonical_free(&rotated));
+        assert_eq!(canonical_free(&a), canonical_free(&mirrored));
+    }
+
+    #[test]
+    fn canonical_free_distinguishes_incongruent_sets() {
+        let line = vec![Coord::new(0, 0), Coord::new(2, 0), Coord::new(4, 0)];
+        let bent = vec![Coord::new(0, 0), Coord::new(2, 0), Coord::new(3, 1)];
+        assert_ne!(canonical_free(&line), canonical_free(&bent));
+    }
+
+    #[test]
+    fn hexagon_is_among_the_3652() {
+        let hexagon = canonical_translation(&trigrid::region::disk(ORIGIN, 1));
+        let mut found = false;
+        for_each_fixed(7, |cells| {
+            if cells == hexagon.as_slice() {
+                found = true;
+            }
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn enumeration_is_deterministic() {
+        assert_eq!(enumerate_fixed(5), enumerate_fixed(5));
+    }
+
+    #[test]
+    fn canonical_of_empty_is_empty() {
+        assert!(canonical_translation(&[]).is_empty());
+        assert!(canonical_free(&[]).is_empty());
+    }
+}

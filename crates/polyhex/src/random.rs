@@ -1,0 +1,76 @@
+//! Random connected-set generation for sampling experiments at sizes
+//! where exhaustive enumeration is infeasible.
+
+use rand::seq::IndexedRandom;
+use rand::Rng;
+use std::collections::HashSet;
+use trigrid::{Coord, ORIGIN};
+
+/// Generates a random connected set of `n` nodes containing the origin,
+/// by repeatedly attaching a uniformly random unoccupied neighbour of a
+/// uniformly random occupied node ("Eden growth").
+///
+/// The distribution over shapes is **not** uniform; it is intended for
+/// stress tests and scaling experiments, not statistics over the class
+/// space. Returned sorted in [`crate::key`] order with its key-minimal
+/// node at the origin (i.e. already canonical under translation).
+#[must_use]
+pub fn random_connected<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<Coord> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut cells: Vec<Coord> = vec![ORIGIN];
+    let mut occupied: HashSet<Coord> = HashSet::from([ORIGIN]);
+    while cells.len() < n {
+        let &anchor = cells.choose(rng).expect("cells is non-empty");
+        let free: Vec<Coord> =
+            anchor.neighbors().into_iter().filter(|c| !occupied.contains(c)).collect();
+        if let Some(&next) = free.choose(rng) {
+            occupied.insert(next);
+            cells.push(next);
+        }
+        // If the anchor was fully surrounded we simply retry; for the
+        // sizes used here this terminates quickly with probability 1.
+    }
+    crate::canonical_translation(&cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trigrid::path::is_connected;
+
+    #[test]
+    fn generates_connected_sets_of_requested_size() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1usize, 2, 7, 20, 50] {
+            let cells = random_connected(n, &mut rng);
+            assert_eq!(cells.len(), n);
+            assert!(is_connected(&cells));
+        }
+    }
+
+    #[test]
+    fn output_is_canonical() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let cells = random_connected(9, &mut rng);
+            assert_eq!(crate::canonical_translation(&cells), cells);
+        }
+    }
+
+    #[test]
+    fn zero_size_is_empty() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(random_connected(0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn seeded_generation_is_reproducible() {
+        let a = random_connected(15, &mut StdRng::seed_from_u64(42));
+        let b = random_connected(15, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

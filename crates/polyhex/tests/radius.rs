@@ -1,0 +1,84 @@
+//! Tests for the visibility-radius generalisation of the enumerator
+//! (the paper's §V relaxed-connectivity future-work item).
+
+use polyhex::{count_fixed, count_fixed_radius, for_each_fixed_radius};
+use trigrid::{path, Coord};
+
+#[test]
+fn radius_1_matches_the_classic_enumeration() {
+    for n in 1..=6 {
+        assert_eq!(count_fixed_radius(n, 1), count_fixed(n), "n={n}");
+    }
+}
+
+#[test]
+fn radius_2_counts_are_pinned() {
+    // Measured ground truth for this repository (no OEIS series known to
+    // us for distance-2 connectivity on the triangular lattice).
+    let expected = [1u64, 9, 99, 1194, 15198];
+    for (i, &e) in expected.iter().enumerate() {
+        assert_eq!(count_fixed_radius(i + 1, 2), e, "n={}", i + 1);
+    }
+}
+
+#[test]
+fn radius_2_pairs_are_exactly_the_disk() {
+    // n = 2: one robot at the origin plus one at any of the 18 nodes of
+    // the distance-2 disk, up to translation: 9 classes (half of 18,
+    // because translation identifies (0,0)+d with (0,0)+(-d)).
+    let mut pairs = Vec::new();
+    for_each_fixed_radius(2, 2, |cells| pairs.push(cells.to_vec()));
+    assert_eq!(pairs.len(), 9);
+    for p in &pairs {
+        assert_eq!(p.len(), 2);
+        assert!(p[0].distance(p[1]) <= 2);
+    }
+}
+
+#[test]
+fn radius_2_classes_are_visibility_connected_and_distinct() {
+    let mut seen = std::collections::HashSet::new();
+    for_each_fixed_radius(4, 2, |cells| {
+        // Visibility connectivity: BFS over the distance-≤2 graph.
+        let mut reached = vec![cells[0]];
+        let mut frontier = vec![cells[0]];
+        while let Some(c) = frontier.pop() {
+            for &other in cells {
+                if !reached.contains(&other) && c.distance(other) <= 2 {
+                    reached.push(other);
+                    frontier.push(other);
+                }
+            }
+        }
+        assert_eq!(reached.len(), cells.len(), "not visibility-connected: {cells:?}");
+        assert!(seen.insert(cells.to_vec()), "duplicate class: {cells:?}");
+    });
+    assert_eq!(seen.len(), 1194);
+}
+
+#[test]
+fn adjacency_connected_classes_are_a_subset_of_radius_2() {
+    // Every radius-1 class appears among the radius-2 classes.
+    let mut radius2: std::collections::HashSet<Vec<Coord>> = std::collections::HashSet::new();
+    for_each_fixed_radius(5, 2, |cells| {
+        radius2.insert(cells.to_vec());
+    });
+    let mut missing = 0;
+    polyhex::for_each_fixed(5, |cells| {
+        if !radius2.contains(cells) {
+            missing += 1;
+        }
+    });
+    assert_eq!(missing, 0);
+}
+
+#[test]
+fn strictly_relaxed_classes_exist_and_are_adjacency_disconnected() {
+    let mut strictly_relaxed = 0;
+    for_each_fixed_radius(3, 2, |cells| {
+        if !path::is_connected(cells) {
+            strictly_relaxed += 1;
+        }
+    });
+    assert_eq!(99 - count_fixed(3), strictly_relaxed as u64);
+}

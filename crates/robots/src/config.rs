@@ -1,0 +1,240 @@
+//! Robot configurations: anonymous sets of occupied nodes.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+use trigrid::{path, Coord, Dir};
+
+/// A configuration of anonymous robots: the set of *robot nodes*
+/// (paper §II-A). Stored sorted in [`polyhex::key`] (row-major) order,
+/// with no duplicates — several robots on one node would already be a
+/// collision, so the type forbids it.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Configuration {
+    nodes: Vec<Coord>,
+}
+
+impl Configuration {
+    /// Builds a configuration from arbitrary positions.
+    ///
+    /// # Panics
+    /// Panics if two positions coincide (a multiplicity would be a
+    /// collision by Definition 1).
+    #[must_use]
+    pub fn new<I: IntoIterator<Item = Coord>>(positions: I) -> Self {
+        let mut nodes: Vec<Coord> = positions.into_iter().collect();
+        nodes.sort_by_key(|c| polyhex::key(*c));
+        let before = nodes.len();
+        nodes.dedup();
+        assert_eq!(before, nodes.len(), "duplicate robot positions are a collision");
+        Self { nodes }
+    }
+
+    /// The occupied nodes, sorted in row-major order.
+    #[must_use]
+    pub fn positions(&self) -> &[Coord] {
+        &self.nodes
+    }
+
+    /// Number of robots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether there are no robots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `c` is a robot node.
+    #[must_use]
+    pub fn contains(&self, c: Coord) -> bool {
+        self.nodes.binary_search_by_key(&polyhex::key(c), |n| polyhex::key(*n)).is_ok()
+    }
+
+    /// The occupied nodes as a hash set.
+    #[must_use]
+    pub fn to_set(&self) -> HashSet<Coord> {
+        self.nodes.iter().copied().collect()
+    }
+
+    /// Whether the subgraph induced by the robot nodes is connected
+    /// (the paper's standing assumption on initial configurations).
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        path::is_connected(&self.nodes)
+    }
+
+    /// The number of robot neighbours of `c`.
+    #[must_use]
+    pub fn occupied_neighbors(&self, c: Coord) -> usize {
+        c.neighbors().into_iter().filter(|n| self.contains(*n)).count()
+    }
+
+    /// For seven robots, gathering is achieved when one robot has six
+    /// adjacent robot nodes (paper Fig. 1); this returns that centre if
+    /// it exists.
+    #[must_use]
+    pub fn gathered_center(&self) -> Option<Coord> {
+        self.nodes.iter().copied().find(|&c| self.occupied_neighbors(c) == 6)
+    }
+
+    /// Whether this is a gathering-achieved configuration for seven
+    /// robots: exactly seven robots forming a filled hexagon.
+    #[must_use]
+    pub fn is_gathered(&self) -> bool {
+        self.len() == 7 && self.gathered_center().is_some()
+    }
+
+    /// Maximum pairwise distance between robot nodes.
+    #[must_use]
+    pub fn diameter(&self) -> u32 {
+        trigrid::region::diameter(&self.nodes)
+    }
+
+    /// The canonical representative of this configuration's translation
+    /// class (robots agree on axes, so executions are invariant exactly
+    /// under translation).
+    #[must_use]
+    pub fn canonical(&self) -> Configuration {
+        Configuration { nodes: polyhex::canonical_translation(&self.nodes) }
+    }
+
+    /// Translates every robot by `delta`.
+    #[must_use]
+    pub fn translate(&self, delta: Coord) -> Configuration {
+        Configuration::new(self.nodes.iter().map(|&c| c + delta))
+    }
+
+    /// Applies per-robot moves (aligned with [`Self::positions`]) without
+    /// any collision checking; used by the engine after validation.
+    #[must_use]
+    pub(crate) fn apply_unchecked(&self, moves: &[Option<Dir>]) -> Configuration {
+        debug_assert_eq!(moves.len(), self.nodes.len());
+        Configuration::new(
+            self.nodes
+                .iter()
+                .zip(moves)
+                .map(|(&c, m)| m.map_or(c, |d| c.step(d))),
+        )
+    }
+}
+
+impl fmt::Debug for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Configuration{:?}", self.nodes)
+    }
+}
+
+impl FromIterator<Coord> for Configuration {
+    fn from_iter<I: IntoIterator<Item = Coord>>(iter: I) -> Self {
+        Configuration::new(iter)
+    }
+}
+
+/// The gathering-achieved configuration for seven robots centred at `c`.
+#[must_use]
+pub fn hexagon(center: Coord) -> Configuration {
+    Configuration::new(trigrid::region::disk(center, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trigrid::ORIGIN;
+
+    fn line(n: i32) -> Configuration {
+        Configuration::new((0..n).map(|i| Coord::new(2 * i, 0)))
+    }
+
+    #[test]
+    fn construction_sorts_rowmajor() {
+        let c = Configuration::new([Coord::new(2, 0), Coord::new(0, 0), Coord::new(1, 1)]);
+        assert_eq!(
+            c.positions(),
+            &[Coord::new(0, 0), Coord::new(2, 0), Coord::new(1, 1)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate robot positions")]
+    fn duplicates_rejected() {
+        let _ = Configuration::new([ORIGIN, ORIGIN]);
+    }
+
+    #[test]
+    fn contains_and_len() {
+        let c = line(7);
+        assert_eq!(c.len(), 7);
+        assert!(c.contains(Coord::new(6, 0)));
+        assert!(!c.contains(Coord::new(1, 1)));
+        assert!(!c.is_empty());
+        assert!(Configuration::new([]).is_empty());
+    }
+
+    #[test]
+    fn hexagon_is_gathered() {
+        let h = hexagon(Coord::new(4, 2));
+        assert!(h.is_gathered());
+        assert_eq!(h.gathered_center(), Some(Coord::new(4, 2)));
+        assert_eq!(h.diameter(), 2);
+    }
+
+    #[test]
+    fn line_is_connected_but_not_gathered() {
+        let c = line(7);
+        assert!(c.is_connected());
+        assert!(!c.is_gathered());
+        assert_eq!(c.gathered_center(), None);
+        assert_eq!(c.diameter(), 6);
+    }
+
+    #[test]
+    fn six_robot_hexagon_ring_is_not_gathered() {
+        // A hollow hexagon (no centre robot) must not count as gathered:
+        // no robot has six robot neighbours, and there are only 6 robots.
+        let ring = Configuration::new(trigrid::region::ring(ORIGIN, 1));
+        assert!(!ring.is_gathered());
+    }
+
+    #[test]
+    fn eight_robots_never_gathered_by_this_predicate() {
+        let mut nodes = trigrid::region::disk(ORIGIN, 1);
+        nodes.push(Coord::new(4, 0));
+        let c = Configuration::new(nodes);
+        assert_eq!(c.len(), 8);
+        assert!(!c.is_gathered(), "is_gathered is specific to seven robots");
+        assert!(c.gathered_center().is_some());
+    }
+
+    #[test]
+    fn canonical_identifies_translates() {
+        let a = line(7);
+        let b = a.translate(Coord::new(5, 3));
+        assert_ne!(a, b);
+        assert_eq!(a.canonical(), b.canonical());
+    }
+
+    #[test]
+    fn occupied_neighbors_counts() {
+        let h = hexagon(ORIGIN);
+        assert_eq!(h.occupied_neighbors(ORIGIN), 6);
+        assert_eq!(h.occupied_neighbors(Coord::new(2, 0)), 3);
+        assert_eq!(h.occupied_neighbors(Coord::new(4, 0)), 1);
+    }
+
+    #[test]
+    fn apply_unchecked_moves() {
+        let c = line(2);
+        let moved = c.apply_unchecked(&[None, Some(Dir::E)]);
+        assert_eq!(moved, Configuration::new([ORIGIN, Coord::new(4, 0)]));
+    }
+
+    #[test]
+    fn disconnected_detection() {
+        let c = Configuration::new([ORIGIN, Coord::new(10, 0)]);
+        assert!(!c.is_connected());
+    }
+}

@@ -1,0 +1,457 @@
+//! The FSYNC execution engine with the paper's collision semantics.
+//!
+//! A *round* (one synchronous Look-Compute-Move cycle of all robots,
+//! §II-A) computes every robot's move from its view, validates the
+//! simultaneous moves against the three prohibited behaviours of the
+//! paper:
+//!
+//! * **(a)** two robots traverse the same edge in opposite directions
+//!   (an edge *swap*),
+//! * **(b)** a robot moves onto a node where another robot stays,
+//! * **(c)** several robots move onto the same empty node,
+//!
+//! and then applies them. (b) and (c) are both "two robots end on the
+//! same node"; moving into a node vacated in the same round (a "train")
+//! is legal.
+//!
+//! The [`run`] loop additionally detects:
+//!
+//! * **gathered fixpoint** — no robot moves and the configuration is the
+//!   seven-robot hexagon (success per Definition 1),
+//! * **stuck fixpoint** — no robot moves but gathering is not achieved,
+//! * **livelock** — the translation class of the configuration repeats;
+//!   since algorithms are deterministic and translation-invariant, a
+//!   repeat implies an infinite loop (this is how the Fig. 12/13
+//!   oscillations of the impossibility proof manifest),
+//! * **disconnection** — the configuration splits; the paper argues an
+//!   oblivious robot with an empty view can never deterministically
+//!   rejoin, so this is terminal.
+
+use crate::{Algorithm, Configuration, View};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use trigrid::{Coord, Dir};
+
+/// A single robot's move in a round.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Move {
+    /// The node the robot left.
+    pub from: Coord,
+    /// The direction it moved.
+    pub dir: Dir,
+}
+
+impl Move {
+    /// The node the robot arrived at.
+    #[must_use]
+    pub fn to(&self) -> Coord {
+        self.from.step(self.dir)
+    }
+}
+
+/// A collision as defined in §II-A of the paper.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum RoundCollision {
+    /// Prohibited behaviour (a): two robots traversed the same edge in
+    /// opposite directions.
+    Swap {
+        /// One endpoint of the contested edge.
+        a: Coord,
+        /// The other endpoint.
+        b: Coord,
+    },
+    /// Prohibited behaviours (b)/(c): at least two robots ended the
+    /// round on the same node.
+    SharedTarget {
+        /// The contested node.
+        target: Coord,
+        /// Previous positions of all robots that ended there.
+        sources: Vec<Coord>,
+    },
+}
+
+/// Computes every robot's move decision for the current configuration,
+/// aligned with `config.positions()`.
+#[must_use]
+pub fn compute_moves<A: Algorithm + ?Sized>(config: &Configuration, algo: &A) -> Vec<Option<Dir>> {
+    let radius = algo.radius();
+    config
+        .positions()
+        .iter()
+        .map(|&p| algo.compute(&View::observe(config, p, radius)))
+        .collect()
+}
+
+/// Validates simultaneous moves against the paper's collision rules.
+///
+/// # Errors
+/// Returns the first detected [`RoundCollision`] (swaps are reported
+/// before shared targets).
+pub fn check_moves(config: &Configuration, moves: &[Option<Dir>]) -> Result<(), RoundCollision> {
+    let positions = config.positions();
+    debug_assert_eq!(positions.len(), moves.len());
+
+    // (a) edge swaps: a mover whose destination is an occupied node whose
+    // occupant moves to the mover's origin.
+    let index_of = |c: Coord| positions.iter().position(|&p| p == c);
+    for (i, (&p, m)) in positions.iter().zip(moves).enumerate() {
+        let Some(d) = m else { continue };
+        let dest = p.step(*d);
+        if let Some(j) = index_of(dest) {
+            if j != i {
+                if let Some(dj) = moves[j] {
+                    if dest.step(dj) == p {
+                        return Err(RoundCollision::Swap { a: p, b: dest });
+                    }
+                }
+            }
+        }
+    }
+
+    // (b)/(c) shared destinations.
+    let mut dests: Vec<(Coord, Coord)> = positions
+        .iter()
+        .zip(moves)
+        .map(|(&p, m)| (m.map_or(p, |d| p.step(d)), p))
+        .collect();
+    dests.sort_by_key(|(dest, _)| polyhex::key(*dest));
+    for window in dests.windows(2) {
+        if window[0].0 == window[1].0 {
+            let target = window[0].0;
+            let sources = dests.iter().filter(|(d, _)| *d == target).map(|(_, s)| *s).collect();
+            return Err(RoundCollision::SharedTarget { target, sources });
+        }
+    }
+    Ok(())
+}
+
+/// Executes one FSYNC round: compute, validate, apply.
+///
+/// # Errors
+/// Returns the collision if the simultaneous moves are illegal.
+pub fn step<A: Algorithm + ?Sized>(
+    config: &Configuration,
+    algo: &A,
+) -> Result<(Configuration, Vec<Move>), RoundCollision> {
+    let moves = compute_moves(config, algo);
+    check_moves(config, &moves)?;
+    let applied: Vec<Move> = config
+        .positions()
+        .iter()
+        .zip(&moves)
+        .filter_map(|(&p, m)| m.map(|dir| Move { from: p, dir }))
+        .collect();
+    Ok((config.apply_unchecked(&moves), applied))
+}
+
+/// Stopping parameters for [`run`].
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Limits {
+    /// Hard cap on the number of rounds.
+    pub max_rounds: usize,
+    /// Whether to detect livelocks by canonical-class repetition (sound
+    /// for deterministic FSYNC; must be disabled for randomised
+    /// schedulers).
+    pub detect_livelock: bool,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        // Any legal 7-robot FSYNC execution visits each of the 3652
+        // connected classes at most once, so 20_000 is far beyond any
+        // non-livelocked run.
+        Limits { max_rounds: 20_000, detect_livelock: true }
+    }
+}
+
+/// How an execution ended.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Reached the gathering-achieved configuration and stopped
+    /// (Definition 1 satisfied).
+    Gathered {
+        /// Rounds until the fixpoint was reached.
+        rounds: usize,
+    },
+    /// Reached a fixpoint that is not a gathered configuration.
+    StuckFixpoint {
+        /// Rounds until the fixpoint.
+        rounds: usize,
+    },
+    /// The translation class of the configuration repeated: the
+    /// deterministic execution loops forever.
+    Livelock {
+        /// Round at which the repeated class was first seen.
+        entry: usize,
+        /// Cycle length.
+        period: usize,
+    },
+    /// A prohibited simultaneous move occurred.
+    Collision {
+        /// Round in which it happened (0-based).
+        round: usize,
+        /// The violation.
+        collision: RoundCollision,
+    },
+    /// The configuration became disconnected.
+    Disconnected {
+        /// First round after which the configuration was disconnected.
+        round: usize,
+    },
+    /// `max_rounds` elapsed without any other outcome.
+    StepLimit {
+        /// The configured limit.
+        rounds: usize,
+    },
+}
+
+impl Outcome {
+    /// Whether this outcome is a successful gathering.
+    #[must_use]
+    pub fn is_gathered(&self) -> bool {
+        matches!(self, Outcome::Gathered { .. })
+    }
+}
+
+/// The result of running an algorithm from an initial configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Execution {
+    /// The initial configuration.
+    pub initial: Configuration,
+    /// The final configuration when the run stopped.
+    pub final_config: Configuration,
+    /// Why the run stopped.
+    pub outcome: Outcome,
+    /// The visited configurations (including the initial one); only
+    /// populated by [`run_traced`].
+    pub trace: Option<Vec<Configuration>>,
+}
+
+fn run_inner<A: Algorithm + ?Sized>(
+    initial: &Configuration,
+    algo: &A,
+    limits: Limits,
+    mut on_config: impl FnMut(&Configuration),
+) -> (Configuration, Outcome) {
+    let mut seen: HashMap<Configuration, usize> = HashMap::new();
+    let mut cfg = initial.clone();
+    on_config(&cfg);
+    for round in 0..limits.max_rounds {
+        let moves = compute_moves(&cfg, algo);
+        if moves.iter().all(Option::is_none) {
+            let outcome = if cfg.is_gathered() {
+                Outcome::Gathered { rounds: round }
+            } else {
+                Outcome::StuckFixpoint { rounds: round }
+            };
+            return (cfg, outcome);
+        }
+        if limits.detect_livelock {
+            if let Some(&entry) = seen.get(&cfg.canonical()) {
+                return (cfg, Outcome::Livelock { entry, period: round - entry });
+            }
+            seen.insert(cfg.canonical(), round);
+        }
+        if let Err(collision) = check_moves(&cfg, &moves) {
+            return (cfg, Outcome::Collision { round, collision });
+        }
+        cfg = cfg.apply_unchecked(&moves);
+        on_config(&cfg);
+        if !cfg.is_connected() {
+            return (cfg, Outcome::Disconnected { round: round + 1 });
+        }
+    }
+    (cfg, Outcome::StepLimit { rounds: limits.max_rounds })
+}
+
+/// Runs the algorithm from `initial` under FSYNC until a terminal
+/// outcome, without recording the trace.
+#[must_use]
+pub fn run<A: Algorithm + ?Sized>(initial: &Configuration, algo: &A, limits: Limits) -> Execution {
+    let (final_config, outcome) = run_inner(initial, algo, limits, |_| ());
+    Execution { initial: initial.clone(), final_config, outcome, trace: None }
+}
+
+/// Like [`run`], additionally recording every visited configuration.
+#[must_use]
+pub fn run_traced<A: Algorithm + ?Sized>(
+    initial: &Configuration,
+    algo: &A,
+    limits: Limits,
+) -> Execution {
+    let mut trace = Vec::new();
+    let (final_config, outcome) = run_inner(initial, algo, limits, |c| trace.push(c.clone()));
+    Execution { initial: initial.clone(), final_config, outcome, trace: Some(trace) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FnAlgorithm, StayAlgorithm};
+    use trigrid::ORIGIN;
+
+    fn cfg(cells: &[(i32, i32)]) -> Configuration {
+        Configuration::new(cells.iter().map(|&(x, y)| Coord::new(x, y)))
+    }
+
+    /// Every robot marches east forever.
+    fn march_east() -> impl Algorithm {
+        FnAlgorithm::new(1, "march-east", |_| Some(Dir::E))
+    }
+
+    #[test]
+    fn stay_on_hexagon_is_gathered() {
+        let h = crate::config::hexagon(ORIGIN);
+        let ex = run(&h, &StayAlgorithm, Limits::default());
+        assert_eq!(ex.outcome, Outcome::Gathered { rounds: 0 });
+    }
+
+    #[test]
+    fn stay_on_line_is_stuck() {
+        let line = cfg(&[(0, 0), (2, 0), (4, 0)]);
+        let ex = run(&line, &StayAlgorithm, Limits::default());
+        assert_eq!(ex.outcome, Outcome::StuckFixpoint { rounds: 0 });
+    }
+
+    #[test]
+    fn marching_east_is_a_livelock_up_to_translation() {
+        // Everyone moves east forever: the translation class repeats
+        // immediately after one round.
+        let line = cfg(&[(0, 0), (2, 0)]);
+        let ex = run(&line, &march_east(), Limits::default());
+        assert_eq!(ex.outcome, Outcome::Livelock { entry: 0, period: 1 });
+    }
+
+    #[test]
+    fn swap_collision_detected() {
+        // Two adjacent robots each move onto the other's node: behaviour (a).
+        let a = FnAlgorithm::new(1, "swap", |v: &View| {
+            if v.neighbor(Dir::E) {
+                Some(Dir::E)
+            } else if v.neighbor(Dir::W) {
+                Some(Dir::W)
+            } else {
+                None
+            }
+        });
+        let two = cfg(&[(0, 0), (2, 0)]);
+        let ex = run(&two, &a, Limits::default());
+        match ex.outcome {
+            Outcome::Collision { round: 0, collision: RoundCollision::Swap { a, b } } => {
+                assert_eq!((a, b), (ORIGIN, Coord::new(2, 0)));
+            }
+            other => panic!("expected swap collision, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn moving_onto_stationary_robot_is_collision() {
+        // Behaviour (b): west robot moves east onto a robot that stays.
+        let a = FnAlgorithm::new(1, "pushy", |v: &View| v.neighbor(Dir::E).then_some(Dir::E));
+        // Three in a line: the leftmost moves onto the middle (which also
+        // tries to move east onto the right one, which stays...). Use two:
+        // right robot has no east neighbour -> stays; left moves onto it.
+        let two = cfg(&[(0, 0), (2, 0)]);
+        let ex = run(&two, &a, Limits::default());
+        match ex.outcome {
+            Outcome::Collision {
+                round: 0,
+                collision: RoundCollision::SharedTarget { target, sources },
+            } => {
+                assert_eq!(target, Coord::new(2, 0));
+                assert_eq!(sources.len(), 2);
+            }
+            other => panic!("expected shared-target collision, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_movers_to_same_empty_node_is_collision() {
+        // Behaviour (c): the robots at (1,1) and (1,-1) both move into the
+        // empty node (2,0) — (1,1) steps SE because it has a SW neighbour,
+        // (1,-1) steps NE because it has a NW neighbour; the anchor (0,0)
+        // sees no SW/NW neighbour and stays.
+        let c = FnAlgorithm::new(1, "merge", |v: &View| {
+            if v.neighbor(Dir::SW) {
+                Some(Dir::SE)
+            } else if v.neighbor(Dir::NW) {
+                Some(Dir::NE)
+            } else {
+                None
+            }
+        });
+        let three = cfg(&[(0, 0), (1, 1), (1, -1)]);
+        let ex = run(&three, &c, Limits::default());
+        match ex.outcome {
+            Outcome::Collision {
+                round: 0,
+                collision: RoundCollision::SharedTarget { target, sources },
+            } => {
+                assert_eq!(target, Coord::new(2, 0));
+                assert_eq!(sources, vec![Coord::new(1, -1), Coord::new(1, 1)]);
+            }
+            other => panic!("expected shared-target collision, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trains_are_legal() {
+        // A column of two robots both moving east: the follower enters the
+        // node the leader vacates. Legal per §II-A.
+        let two = cfg(&[(0, 0), (2, 0)]);
+        let moves = vec![Some(Dir::E), Some(Dir::E)];
+        assert_eq!(check_moves(&two, &moves), Ok(()));
+    }
+
+    #[test]
+    fn disconnection_detected() {
+        // The east robot runs away east; the other has no east neighbour
+        // and stays... make only robots with a W neighbour move east.
+        let a = FnAlgorithm::new(1, "flee", |v: &View| {
+            (v.neighbor(Dir::W) && !v.neighbor(Dir::E)).then_some(Dir::E)
+        });
+        let two = cfg(&[(0, 0), (2, 0)]);
+        let ex = run(&two, &a, Limits::default());
+        assert_eq!(ex.outcome, Outcome::Disconnected { round: 1 });
+        assert_eq!(ex.final_config, cfg(&[(0, 0), (4, 0)]));
+    }
+
+    #[test]
+    fn step_reports_applied_moves() {
+        let two = cfg(&[(0, 0), (2, 0)]);
+        let (next, moves) = step(&two, &march_east()).unwrap();
+        assert_eq!(next, cfg(&[(2, 0), (4, 0)]));
+        assert_eq!(moves.len(), 2);
+        assert!(moves.iter().all(|m| m.dir == Dir::E));
+        assert_eq!(moves[0].to(), moves[0].from.step(Dir::E));
+    }
+
+    #[test]
+    fn run_traced_records_every_configuration() {
+        let a = FnAlgorithm::new(1, "flee", |v: &View| {
+            (v.neighbor(Dir::W) && !v.neighbor(Dir::E)).then_some(Dir::E)
+        });
+        let two = cfg(&[(0, 0), (2, 0)]);
+        let ex = run_traced(&two, &a, Limits::default());
+        let trace = ex.trace.unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0], two);
+        assert_eq!(trace[1], cfg(&[(0, 0), (4, 0)]));
+    }
+
+    #[test]
+    fn step_limit_respected() {
+        // march-east with livelock detection disabled must hit the cap.
+        let two = cfg(&[(0, 0), (2, 0)]);
+        let limits = Limits { max_rounds: 17, detect_livelock: false };
+        let ex = run(&two, &march_east(), limits);
+        assert_eq!(ex.outcome, Outcome::StepLimit { rounds: 17 });
+        assert_eq!(ex.final_config, cfg(&[(34, 0), (36, 0)]));
+    }
+
+    #[test]
+    fn outcome_is_gathered_helper() {
+        assert!(Outcome::Gathered { rounds: 3 }.is_gathered());
+        assert!(!Outcome::StuckFixpoint { rounds: 3 }.is_gathered());
+    }
+}

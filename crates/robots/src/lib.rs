@@ -1,0 +1,37 @@
+//! # robots — oblivious mobile-robot simulation core
+//!
+//! The Look-Compute-Move (LCM) substrate of the paper (§II-A):
+//!
+//! * [`Configuration`] — the set of robot positions on the triangular
+//!   grid (robots are anonymous; a configuration is just the set of
+//!   robot nodes).
+//! * [`View`] — what a single robot observes: the occupancy of the nodes
+//!   within its visibility range, **and nothing else**. Algorithms
+//!   receive only a `View`, so the type system enforces the visibility
+//!   model.
+//! * [`Algorithm`] — a deterministic, memoryless rule `View → Option<Dir>`
+//!   (`None` = stay). Obliviousness is enforced by the `&self` signature
+//!   over an immutable rule set.
+//! * [`engine`] — the FSYNC round function with the paper's exact
+//!   collision semantics (edge swaps and node sharing are fatal;
+//!   "trains" into vacated nodes are legal), plus a full execution
+//!   runner with fixpoint, livelock, disconnection and gathering
+//!   detection.
+//! * [`sched`] — activation schedulers beyond FSYNC (round-robin,
+//!   random subsets) for the paper's future-work question of weaker
+//!   synchrony.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod async_model;
+mod algorithm;
+mod config;
+pub mod engine;
+pub mod sched;
+pub mod view;
+
+pub use algorithm::{Algorithm, FnAlgorithm, StayAlgorithm};
+pub use config::{hexagon, Configuration};
+pub use engine::{run, run_traced, Execution, Limits, Move, Outcome, RoundCollision};
+pub use view::View;

@@ -1,0 +1,159 @@
+//! Property-based tests of the Look-Compute-Move engine: collision
+//! detection, move application and view extraction under random
+//! configurations and random (rule-table) algorithms.
+
+use proptest::prelude::*;
+use robots::{engine, Algorithm, Configuration, FnAlgorithm, Limits, Outcome, View};
+use trigrid::{Coord, Dir};
+
+/// Strategy: a connected configuration of `n` robots grown from the
+/// origin (deterministic given the choice list).
+fn connected_config(n: usize) -> impl Strategy<Value = Configuration> {
+    proptest::collection::vec((0usize..64, 0usize..6), n - 1).prop_map(move |choices| {
+        let mut cells = vec![trigrid::ORIGIN];
+        for (anchor_raw, dir_raw) in choices {
+            // Attach a new cell adjacent to an existing one.
+            for probe in 0..cells.len() {
+                let anchor = cells[(anchor_raw + probe) % cells.len()];
+                let mut done = false;
+                for k in 0..6 {
+                    let cand = anchor.step(Dir::from_index(dir_raw + k));
+                    if !cells.contains(&cand) {
+                        cells.push(cand);
+                        done = true;
+                        break;
+                    }
+                }
+                if done {
+                    break;
+                }
+            }
+        }
+        Configuration::new(cells)
+    })
+}
+
+/// Strategy: a random total visibility-1 algorithm as a 64-entry table.
+fn random_rule_table() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..7, 64)
+}
+
+struct VecTable(Vec<u8>);
+
+impl Algorithm for VecTable {
+    fn radius(&self) -> u32 {
+        1
+    }
+    fn compute(&self, view: &View) -> Option<Dir> {
+        let code = self.0[view.bits() as usize];
+        (code != 0).then(|| Dir::from_index((code - 1) as usize))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_configs_are_connected(cfg in connected_config(7)) {
+        prop_assert_eq!(cfg.len(), 7);
+        prop_assert!(cfg.is_connected());
+    }
+
+    #[test]
+    fn robot_count_is_conserved_by_any_legal_round(
+        cfg in connected_config(7),
+        table in random_rule_table(),
+    ) {
+        let algo = VecTable(table);
+        // Collisions are legal outcomes of random rules; only legal
+        // rounds carry obligations.
+        if let Ok((next, moves)) = engine::step(&cfg, &algo) {
+            prop_assert_eq!(next.len(), cfg.len());
+            prop_assert!(moves.len() <= cfg.len());
+            // Every reported move starts at an old position and ends
+            // one step away.
+            for m in &moves {
+                prop_assert!(cfg.contains(m.from));
+                prop_assert_eq!(m.from.distance(m.to()), 1);
+                prop_assert!(next.contains(m.to()));
+            }
+        }
+    }
+
+    #[test]
+    fn check_moves_catches_every_duplicate_destination(
+        cfg in connected_config(6),
+        table in random_rule_table(),
+    ) {
+        let algo = VecTable(table);
+        let moves = engine::compute_moves(&cfg, &algo);
+        let mut dests: Vec<Coord> = cfg
+            .positions()
+            .iter()
+            .zip(&moves)
+            .map(|(&p, m)| m.map_or(p, |d| p.step(d)))
+            .collect();
+        dests.sort();
+        let has_duplicate = dests.windows(2).any(|w| w[0] == w[1]);
+        let verdict = engine::check_moves(&cfg, &moves);
+        if has_duplicate {
+            prop_assert!(verdict.is_err(), "duplicate destination must be a collision");
+        } else {
+            // No duplicates: the only remaining illegal pattern is a swap.
+            if let Err(e) = verdict {
+                let is_swap = matches!(e, robots::RoundCollision::Swap { .. });
+                prop_assert!(is_swap, "without duplicates only swaps may be reported, got {e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn executions_terminate_with_a_definite_outcome(
+        cfg in connected_config(7),
+        table in random_rule_table(),
+    ) {
+        let algo = VecTable(table);
+        let limits = Limits { max_rounds: 5000, detect_livelock: true };
+        let ex = engine::run(&cfg, &algo, limits);
+        // With livelock detection on, random deterministic rules must
+        // resolve well before the cap (the connected class space is 3652
+        // and any disconnection/collision terminates immediately).
+        let hit_cap = matches!(ex.outcome, Outcome::StepLimit { .. });
+        prop_assert!(
+            !hit_cap,
+            "deterministic FSYNC must fixpoint, cycle, collide or disconnect, got {:?}",
+            ex.outcome
+        );
+    }
+
+    #[test]
+    fn views_are_consistent_with_configurations(cfg in connected_config(7)) {
+        for &p in cfg.positions() {
+            for radius in 1..=2u32 {
+                let v = View::observe(&cfg, p, radius);
+                for &label in robots::view::labels(radius) {
+                    prop_assert_eq!(v.is_robot(label), cfg.contains(p + label));
+                }
+                prop_assert_eq!(
+                    v.robot_count() as usize,
+                    robots::view::labels(radius)
+                        .iter()
+                        .filter(|&&l| cfg.contains(p + l))
+                        .count()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stationary_algorithms_fixpoint_immediately(cfg in connected_config(7)) {
+        let stay = FnAlgorithm::new(1, "stay", |_: &View| None);
+        let ex = engine::run(&cfg, &stay, Limits::default());
+        let fixpointed = matches!(
+            ex.outcome,
+            Outcome::StuckFixpoint { rounds: 0 } | Outcome::Gathered { rounds: 0 }
+        );
+        prop_assert!(fixpointed);
+        prop_assert_eq!(ex.final_config, cfg);
+    }
+}

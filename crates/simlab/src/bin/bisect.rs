@@ -1,0 +1,21 @@
+use gathering::rules::RuleOptions;
+use gathering::SevenGather;
+use robots::Limits;
+
+fn main() {
+    let combos = [
+        ("paper-verbatim", RuleOptions::PAPER),
+        ("fix25", RuleOptions { fix_line25_misprint: true, ..RuleOptions::PAPER }),
+        ("fix25+conn", RuleOptions { fix_line25_misprint: true, connectivity_guard: true, ..RuleOptions::PAPER }),
+        ("fix25+conn+mirror", RuleOptions { fix_line25_misprint: true, connectivity_guard: true, mirror_line23_guard: true, ..RuleOptions::PAPER }),
+        ("fix25+conn+compl", RuleOptions { fix_line25_misprint: true, connectivity_guard: true, completion: true, ..RuleOptions::PAPER }),
+        ("level0(VERIFIED)+compl (no overrides)", RuleOptions::VERIFIED),
+    ];
+    for (name, opts) in combos {
+        let algo = SevenGather::with_options(opts);
+        let r = simlab::verify_all(7, &algo, Limits::default(), 0);
+        println!("{name}: {}", r.summary());
+    }
+    let r = simlab::verify_all(7, &SevenGather::verified(), Limits::default(), 0);
+    println!("verified (with overrides): {}", r.summary());
+}

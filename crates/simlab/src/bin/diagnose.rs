@@ -1,0 +1,89 @@
+//! Failure-cluster diagnosis for rule-set completion.
+//!
+//! Runs the exhaustive verification, groups the failing executions by
+//! the canonical *final* configuration (for stuck fixpoints) or by
+//! outcome type, and prints the most frequent clusters with per-robot
+//! base decisions — the raw material for designing the missing guards.
+//!
+//! ```text
+//! cargo run --release -p simlab --bin diagnose [-- paper|verified] [--top N]
+//! ```
+
+use gathering::base::{determine, BaseDecision};
+use gathering::SevenGather;
+use robots::{engine, Algorithm, Configuration, Limits, Outcome, View};
+use simlab::render;
+use std::collections::HashMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("verified");
+    let top: usize = args
+        .iter()
+        .position(|a| a == "--top")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let algo = match which {
+        "paper" => SevenGather::paper(),
+        _ => SevenGather::verified(),
+    };
+    let limits = Limits::default();
+    let classes = polyhex::enumerate_fixed(7);
+
+    let results = parallel::par_map(&classes, 0, |cells| {
+        let initial = Configuration::new(cells.iter().copied());
+        engine::run(&initial, &algo, limits)
+    });
+
+    let mut outcome_kinds: HashMap<&'static str, usize> = HashMap::new();
+    // stuck fixpoints and livelocks clustered by canonical final config
+    let mut clusters: HashMap<Configuration, (usize, Configuration, &'static str)> =
+        HashMap::new();
+    let mut gathered = 0usize;
+    for ex in &results {
+        let kind = match ex.outcome {
+            Outcome::Gathered { .. } => {
+                gathered += 1;
+                continue;
+            }
+            Outcome::StuckFixpoint { .. } => "stuck",
+            Outcome::Livelock { .. } => "livelock",
+            Outcome::Collision { .. } => "collision",
+            Outcome::Disconnected { .. } => "disconnected",
+            Outcome::StepLimit { .. } => "step-limit",
+        };
+        *outcome_kinds.entry(kind).or_default() += 1;
+        let key = ex.final_config.canonical();
+        let entry = clusters.entry(key).or_insert((0, ex.initial.clone(), kind));
+        entry.0 += 1;
+    }
+
+    println!("gathered {gathered}/{} ; failure kinds: {outcome_kinds:?}", results.len());
+    println!("{} distinct failure clusters\n", clusters.len());
+
+    let mut ordered: Vec<(&Configuration, &(usize, Configuration, &'static str))> =
+        clusters.iter().collect();
+    ordered.sort_by_key(|e| std::cmp::Reverse(e.1 .0));
+
+    for (final_cfg, (count, sample_initial, kind)) in ordered.into_iter().take(top) {
+        println!("=== cluster ({kind}) x{count} — final configuration:");
+        print!("{}", render::render_with_margin(final_cfg, 0));
+        println!("per-robot analysis of the final configuration:");
+        for &p in final_cfg.positions() {
+            let v = View::observe(final_cfg, p, 2);
+            let b = determine(&v);
+            let mv = algo.compute(&v);
+            let btxt = match b {
+                BaseDecision::Base(c) => format!("base {c}"),
+                BaseDecision::VirtualEast => "base virtual(4,0)".to_string(),
+                BaseDecision::SelfPromotion => "self-promotion".to_string(),
+                BaseDecision::Tie => "tie".to_string(),
+            };
+            println!("  robot {p}: {btxt}, move {mv:?}");
+        }
+        println!("sample initial configuration:");
+        print!("{}", render::render_with_margin(sample_initial, 0));
+        println!();
+    }
+}

@@ -1,0 +1,64 @@
+//! Diagnose disconnection failures: show the configuration just before
+//! the split and every robot's decision in that round.
+//!
+//! ```text
+//! cargo run --release -p simlab --bin diagnose_disconnect [-- --top N]
+//! ```
+
+use gathering::base::{determine, BaseDecision};
+use gathering::SevenGather;
+use robots::{engine, Algorithm, Configuration, Limits, Outcome, View};
+use simlab::render;
+use std::collections::HashMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let top: usize = args
+        .iter()
+        .position(|a| a == "--top")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let algo = SevenGather::verified();
+    let limits = Limits::default();
+    let classes = polyhex::enumerate_fixed(7);
+
+    let runs = parallel::par_map(&classes, 0, |cells| {
+        let initial = Configuration::new(cells.iter().copied());
+        engine::run_traced(&initial, &algo, limits)
+    });
+
+    // Cluster by the canonical configuration one round before the split.
+    let mut clusters: HashMap<Configuration, usize> = HashMap::new();
+    let mut samples: HashMap<Configuration, Configuration> = HashMap::new();
+    for ex in &runs {
+        if let Outcome::Disconnected { round } = ex.outcome {
+            let trace = ex.trace.as_ref().unwrap();
+            let before = trace[round - 1].canonical();
+            *clusters.entry(before.clone()).or_default() += 1;
+            samples.entry(before).or_insert_with(|| ex.initial.clone());
+        }
+    }
+    let total: usize = clusters.values().sum();
+    println!("{total} disconnections in {} clusters\n", clusters.len());
+
+    let mut ordered: Vec<(&Configuration, &usize)> = clusters.iter().collect();
+    ordered.sort_by(|a, b| b.1.cmp(a.1));
+    for (before, count) in ordered.into_iter().take(top) {
+        println!("=== pre-split configuration x{count}:");
+        print!("{}", render::render_with_margin(before, 0));
+        for &p in before.positions() {
+            let v = View::observe(before, p, 2);
+            let b = determine(&v);
+            let mv = algo.compute(&v);
+            let btxt = match b {
+                BaseDecision::Base(c) => format!("base {c}"),
+                BaseDecision::VirtualEast => "virtual(4,0)".into(),
+                BaseDecision::SelfPromotion => "self-promo".into(),
+                BaseDecision::Tie => "tie".into(),
+            };
+            println!("  robot {p}: {btxt}, move {mv:?}");
+        }
+        println!();
+    }
+}

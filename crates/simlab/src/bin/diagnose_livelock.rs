@@ -1,0 +1,55 @@
+//! Show the repeating cycles behind livelock failures.
+//!
+//! ```text
+//! cargo run --release -p simlab --bin diagnose_livelock [-- --top N]
+//! ```
+
+use gathering::SevenGather;
+use robots::{engine, Configuration, Limits, Outcome};
+use simlab::render;
+use std::collections::HashMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let top: usize = args
+        .iter()
+        .position(|a| a == "--top")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let algo = SevenGather::verified();
+    let limits = Limits::default();
+    let classes = polyhex::enumerate_fixed(7);
+
+    let runs = parallel::par_map(&classes, 0, |cells| {
+        let initial = Configuration::new(cells.iter().copied());
+        engine::run_traced(&initial, &algo, limits)
+    });
+
+    // Cluster livelocks by the canonical cycle-entry configuration.
+    let mut clusters: HashMap<Configuration, (usize, usize, Vec<Configuration>)> = HashMap::new();
+    let mut total = 0usize;
+    for ex in &runs {
+        if let Outcome::Livelock { entry, period } = ex.outcome {
+            total += 1;
+            let trace = ex.trace.as_ref().unwrap();
+            let key = trace[entry].canonical();
+            clusters
+                .entry(key)
+                .or_insert_with(|| (0, period, trace[entry..=entry + period].to_vec()))
+                .0 += 1;
+        }
+    }
+    println!("{total} livelocks in {} clusters\n", clusters.len());
+
+    let mut ordered: Vec<_> = clusters.iter().collect();
+    ordered.sort_by_key(|e| std::cmp::Reverse(e.1 .0));
+    for (_, (count, period, cycle)) in ordered.into_iter().take(top) {
+        println!("=== livelock x{count}, period {period}:");
+        for (i, cfg) in cycle.iter().enumerate() {
+            println!("cycle step {i}:");
+            print!("{}", render::render_with_margin(cfg, 0));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,61 @@
+//! Exhaustive verification CLI (experiment E1/E2).
+//!
+//! ```text
+//! cargo run --release -p simlab --bin verify [-- paper|verified|baseline] [--failures N]
+//! ```
+
+use robots::{engine, Limits};
+use simlab::{render, stats, verify_all};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("verified");
+    let show: usize = args
+        .iter()
+        .position(|a| a == "--failures")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+
+    let limits = Limits::default();
+    let report = match which {
+        "paper" => verify_all(7, &gathering::SevenGather::paper(), limits, 0),
+        "verified" => verify_all(7, &gathering::SevenGather::verified(), limits, 0),
+        "baseline" => verify_all(7, &gathering::baseline::GreedyEast, limits, 0),
+        other => {
+            eprintln!("unknown algorithm {other:?}; use paper|verified|baseline");
+            std::process::exit(2);
+        }
+    };
+
+    println!("{}", report.summary());
+    if let Some(s) = stats::rounds_stats(&report) {
+        println!(
+            "rounds: min={} median={} p95={} max={} mean={:.2}",
+            s.min, s.median, s.p95, s.max, s.mean
+        );
+    }
+
+    if !report.failures.is_empty() {
+        println!("\nfirst {show} failures:");
+        let algo: Box<dyn robots::Algorithm + Sync> = match which {
+            "paper" => Box::new(gathering::SevenGather::paper()),
+            "baseline" => Box::new(gathering::baseline::GreedyEast),
+            _ => Box::new(gathering::SevenGather::verified()),
+        };
+        for f in report.failures.iter().take(show) {
+            println!("--- class #{} -> {:?}", f.index, f.outcome);
+            let ex = engine::run_traced(&f.initial, algo.as_ref(), limits);
+            let trace = ex.trace.unwrap();
+            let tail = trace.len().saturating_sub(6);
+            for (i, cfg) in trace.iter().enumerate() {
+                if i > 2 && i < tail {
+                    continue;
+                }
+                println!("round {i}:");
+                println!("{}", render::render(cfg));
+            }
+        }
+        std::process::exit(1);
+    }
+}

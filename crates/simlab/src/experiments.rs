@@ -1,0 +1,383 @@
+//! The experiment suite (see DESIGN.md §7 and EXPERIMENTS.md).
+//!
+//! Each function regenerates one experiment and returns its results as a
+//! markdown fragment; the `experiments` binary stitches them into a
+//! report. The numbers asserted here are the repository's ground truth —
+//! if a code change shifts them, the tests in this module fail.
+
+use crate::{stats, verify_all, verify_detailed};
+use gathering::rules::RuleOptions;
+use gathering::SevenGather;
+use robots::sched::{run_scheduled, RandomSubset, RoundRobin, Scheduler};
+use robots::{engine, Configuration, Limits, Outcome};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One regenerated experiment.
+#[derive(Clone, Debug)]
+pub struct ExperimentResult {
+    /// Experiment id (e.g. "E1").
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Markdown body with the measured results.
+    pub body: String,
+}
+
+/// E1 — the paper's §IV-B exhaustive verification (Theorem 2).
+#[must_use]
+pub fn e1_exhaustive_verification(threads: usize) -> ExperimentResult {
+    let report = verify_all(7, &SevenGather::verified(), Limits::default(), threads);
+    let s = stats::rounds_stats(&report).expect("all classes gather");
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "* paper claim: all **3652** connected initial classes gather (correctness \"evaluated by computer simulations … from all possible connected initial configurations (3652 patterns in total)\").\n\
+         * measured: **{}/{} gathered, {} failures** — claim reproduced: {}.\n\
+         * rounds to gather: min={} median={} p95={} max={} mean={:.2}.",
+        report.gathered,
+        report.total,
+        report.failures.len(),
+        if report.all_gathered() { "YES" } else { "NO" },
+        s.min,
+        s.median,
+        s.p95,
+        s.max,
+        s.mean
+    );
+    ExperimentResult { id: "E1", title: "Exhaustive verification (Theorem 2, §IV-B)", body }
+}
+
+/// The rule-set layers of the ablation, with their gathered counts.
+#[must_use]
+pub fn ablation_layers() -> Vec<(&'static str, RuleOptions)> {
+    vec![
+        ("printed pseudocode, verbatim", RuleOptions::PAPER),
+        ("+ line-25 misprint fix", RuleOptions { fix_line25_misprint: true, ..RuleOptions::PAPER }),
+        (
+            "+ connectivity guard",
+            RuleOptions {
+                fix_line25_misprint: true,
+                connectivity_guard: true,
+                ..RuleOptions::PAPER
+            },
+        ),
+        (
+            "+ completion fallback",
+            RuleOptions {
+                fix_line25_misprint: true,
+                connectivity_guard: true,
+                completion: true,
+                ..RuleOptions::PAPER
+            },
+        ),
+        ("+ line-23 mirror guard (= VERIFIED options, no overrides)", RuleOptions::VERIFIED),
+    ]
+}
+
+/// E2 — rule-set ablation: how much each layer of the completed
+/// algorithm contributes.
+#[must_use]
+pub fn e2_rules_ablation(threads: usize) -> ExperimentResult {
+    let mut body = String::from(
+        "| rule set | gathered / 3652 |\n|---|---|\n",
+    );
+    for (name, opts) in ablation_layers() {
+        let report = verify_all(7, &SevenGather::with_options(opts), Limits::default(), threads);
+        let _ = writeln!(body, "| {name} | {} |", report.gathered);
+    }
+    let full = verify_all(7, &SevenGather::verified(), Limits::default(), threads);
+    let _ = writeln!(body, "| **+ 43 synthesized overrides (verified)** | **{}** |", full.gathered);
+    let baseline =
+        verify_all(7, &gathering::baseline::GreedyEast, Limits::default(), threads);
+    let _ = writeln!(body, "| guard-free greedy-east baseline | {} |", baseline.gathered);
+    ExperimentResult { id: "E2", title: "Rule-set ablation (the omitted behaviours matter)", body }
+}
+
+/// E5 — the initial-configuration space (the paper's "3652 patterns").
+#[must_use]
+pub fn e5_enumeration() -> ExperimentResult {
+    let mut body = String::from("| n | fixed polyhexes (classes up to translation) |\n|---|---|\n");
+    for n in 1..=7 {
+        let _ = writeln!(body, "| {n} | {} |", polyhex::count_fixed(n));
+    }
+    let _ = writeln!(
+        body,
+        "\nFree classes (also up to rotation/reflection) for n = 7: **{}** — the paper counts\ntranslation classes because robots agree on the x-axis and chirality.",
+        polyhex::count_free(7)
+    );
+    ExperimentResult { id: "E5", title: "Configuration-space enumeration", body }
+}
+
+/// E8 — rounds-to-gather distribution (extension).
+#[must_use]
+pub fn e8_steps_distribution(threads: usize) -> ExperimentResult {
+    let report = verify_all(7, &SevenGather::verified(), Limits::default(), threads);
+    let s = stats::rounds_stats(&report).expect("all gather");
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "Distribution over all 3652 classes: min={} median={} p95={} max={} mean={:.2}\n\n```text\n{}```",
+        s.min,
+        s.median,
+        s.p95,
+        s.max,
+        s.mean,
+        stats::ascii_histogram(&report, 13)
+    );
+    ExperimentResult { id: "E8", title: "Rounds-to-gather distribution (extension)", body }
+}
+
+/// E8b — convergence vs initial diameter: rounds grow with how spread
+/// out the robots start.
+#[must_use]
+pub fn e8b_rounds_by_diameter(threads: usize) -> ExperimentResult {
+    let results = verify_detailed(7, &SevenGather::verified(), Limits::default(), threads);
+    let mut body =
+        String::from("| initial diameter | classes | rounds min | mean | max |\n|---|---|---|---|---|\n");
+    for b in stats::rounds_by_diameter(&results) {
+        let _ = writeln!(
+            body,
+            "| {} | {} | {} | {:.2} | {} |",
+            b.diameter, b.count, b.min, b.mean, b.max
+        );
+    }
+    let _ = writeln!(
+        body,
+        "\nConvergence scales with the initial spread (the algorithm compacts eastward\nat bounded speed), as the shape of the distribution suggests."
+    );
+    ExperimentResult { id: "E8b", title: "Rounds vs initial diameter (extension)", body }
+}
+
+/// Outcome mix of the verified algorithm under a scheduler, over all
+/// classes.
+fn scheduler_mix<S: Scheduler, F: Fn() -> S + Sync>(
+    make: F,
+    threads: usize,
+) -> BTreeMap<&'static str, usize> {
+    let algo = SevenGather::verified();
+    let classes = polyhex::enumerate_fixed(7);
+    let limits = Limits { max_rounds: 4000, detect_livelock: false };
+    let outcomes = parallel::par_map(&classes, threads, |cells| {
+        let initial = Configuration::new(cells.iter().copied());
+        let mut sched = make();
+        match run_scheduled(&initial, &algo, &mut sched, limits).outcome {
+            Outcome::Gathered { .. } => "gathered",
+            Outcome::StuckFixpoint { .. } => "stuck",
+            Outcome::Collision { .. } => "collision",
+            Outcome::Disconnected { .. } => "disconnected",
+            Outcome::Livelock { .. } => "livelock",
+            Outcome::StepLimit { .. } => "step-limit",
+        }
+    });
+    let mut counts = BTreeMap::new();
+    for o in outcomes {
+        *counts.entry(o).or_insert(0usize) += 1;
+    }
+    counts
+}
+
+/// E9 — the verified FSYNC algorithm under weaker synchrony (the
+/// paper's §V future work, answered empirically).
+#[must_use]
+pub fn e9_schedulers(threads: usize) -> ExperimentResult {
+    let mut body =
+        String::from("| scheduler | outcome mix over 3652 classes |\n|---|---|\n");
+    let rr = scheduler_mix(|| RoundRobin, threads);
+    let _ = writeln!(body, "| round-robin (centralised) | {rr:?} |");
+    let r5 = scheduler_mix(|| RandomSubset::new(1, 0.5), threads);
+    let _ = writeln!(body, "| random subsets p=0.5 | {r5:?} |");
+    let r9 = scheduler_mix(|| RandomSubset::new(2, 0.9), threads);
+    let _ = writeln!(body, "| random subsets p=0.9 | {r9:?} |");
+    let _ = writeln!(
+        body,
+        "\nThe paper proves Theorem 2 for FSYNC only and lists weaker synchrony as future\nwork (§V). Empirically the completed rule set also gathers from **all 3652**\nclasses under every scheduler tested here — evidence (not proof) that the\nalgorithm extends to SSYNC."
+    );
+    ExperimentResult { id: "E9", title: "Scheduler ablation beyond FSYNC (extension)", body }
+}
+
+/// E11 — running the seven-robot algorithm with the wrong crowd
+/// (extension): six or eight robots are outside the algorithm's
+/// contract; we characterise what happens.
+#[must_use]
+pub fn e11_other_robot_counts(threads: usize) -> ExperimentResult {
+    let algo = SevenGather::verified();
+    let mut body = String::from(
+        "| robots | classes | outcome mix (engine classification) |\n|---|---|---|\n",
+    );
+    for n in [5usize, 6, 8] {
+        let classes = polyhex::enumerate_fixed(n);
+        let limits = Limits::default();
+        let outcomes = parallel::par_map(&classes, threads, |cells| {
+            let initial = Configuration::new(cells.iter().copied());
+            match engine::run(&initial, &algo, limits).outcome {
+                Outcome::Gathered { .. } => "gathered",
+                Outcome::StuckFixpoint { .. } => "stuck-fixpoint",
+                Outcome::Collision { .. } => "collision",
+                Outcome::Disconnected { .. } => "disconnected",
+                Outcome::Livelock { .. } => "livelock",
+                Outcome::StepLimit { .. } => "step-limit",
+            }
+        });
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for o in outcomes {
+            *counts.entry(o).or_insert(0) += 1;
+        }
+        let _ = writeln!(body, "| {n} | {} | {counts:?} |", classes.len());
+    }
+    let _ = writeln!(
+        body,
+        "\n(`gathered` requires the seven-robot hexagon, so it cannot occur for n ≠ 7;\nthe interesting signal is how often the rules stay safe vs. collide or disconnect\noutside their contract.)"
+    );
+    ExperimentResult { id: "E11", title: "Other robot counts (out-of-contract, extension)", body }
+}
+
+/// E12 — relaxed initial connectivity (the paper's §V future-work item:
+/// "the visibility relationship among robots constitutes one connected
+/// graph"). Enumerates every seven-robot class that is connected under
+/// distance-2 *visibility* (a strict superset of the 3652
+/// adjacency-connected classes) and runs the verified algorithm.
+#[must_use]
+pub fn e12_relaxed_connectivity(threads: usize) -> ExperimentResult {
+    let algo = SevenGather::verified();
+    // Flat storage: ~2.7M classes of 7 nodes each.
+    let mut classes: Vec<[trigrid::Coord; 7]> = Vec::new();
+    polyhex::for_each_fixed_radius(7, 2, |cells| {
+        classes.push(cells.try_into().expect("seven nodes"));
+    });
+    let total = classes.len();
+
+    // Visibility-disconnected components can drift apart forever, so the
+    // canonical-class livelock argument does not bound these runs; cap
+    // the rounds instead (gathering from adjacency-connected classes
+    // takes at most 24 rounds).
+    let limits = Limits { max_rounds: 200, detect_livelock: true };
+    let counts = parallel::par_fold(
+        &classes,
+        threads,
+        BTreeMap::<&'static str, usize>::new,
+        |acc, cells| {
+            let initial = Configuration::new(cells.iter().copied());
+            let adjacency_connected = initial.is_connected();
+            let outcome = engine::run(&initial, &algo, limits).outcome;
+            let key = match (adjacency_connected, &outcome) {
+                (true, Outcome::Gathered { .. }) => "adjacency-connected: gathered",
+                (true, _) => "adjacency-connected: failed",
+                (false, Outcome::Gathered { .. }) => "visibility-only: gathered",
+                (false, Outcome::StuckFixpoint { .. }) => "visibility-only: stuck",
+                (false, Outcome::Collision { .. }) => "visibility-only: collision",
+                (false, Outcome::Disconnected { .. }) => "visibility-only: disconnected",
+                (false, Outcome::Livelock { .. }) => "visibility-only: livelock",
+                (false, Outcome::StepLimit { .. }) => "visibility-only: step-limit",
+            };
+            *acc.entry(key).or_insert(0) += 1;
+        },
+        |mut a, b| {
+            for (k, v) in b {
+                *a.entry(k).or_insert(0) += v;
+            }
+            a
+        },
+    );
+
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "Distance-2-visibility-connected seven-robot classes: **{total}** (vs 3652 adjacency-connected).\n\n| population | outcome | classes |\n|---|---|---|"
+    );
+    for (k, v) in &counts {
+        let (pop, out) = k.split_once(": ").unwrap_or((k, ""));
+        let _ = writeln!(body, "| {pop} | {out} | {v} |");
+    }
+    let _ = writeln!(
+        body,
+        "\nThe completed rule set remains correct on its contract (every\nadjacency-connected class gathers) and solves a fraction of the strictly\nvisibility-connected ones; the rest strand or split — quantifying why the paper\nlists relaxed connectivity as an open problem."
+    );
+    ExperimentResult {
+        id: "E12",
+        title: "Relaxed (visibility) initial connectivity (extension)",
+        body,
+    }
+}
+
+/// E13 — the ASYNC model (extension): phases of the Look-Compute-Move
+/// cycle interleave and moves execute on stale snapshots. The FSYNC
+/// guards reason about simultaneous, fresh moves, so degradation is
+/// expected; this measures it.
+#[must_use]
+pub fn e13_async(threads: usize) -> ExperimentResult {
+    use robots::async_model::{run_async, RandomAsync, RoundRobinAsync};
+    let algo = SevenGather::verified();
+    let classes = polyhex::enumerate_fixed(7);
+    // Ticks are single-robot phase advances: give 7 robots × 2 phases ×
+    // plenty of rounds.
+    let limits = Limits { max_rounds: 20_000, detect_livelock: false };
+
+    let mut body = String::from("| ASYNC adversary | outcome mix over 3652 classes |\n|---|---|\n");
+    for (name, seeded) in [("round-robin phases", false), ("random phases (seeded)", true)] {
+        let outcomes = parallel::par_map(&classes, threads, |cells| {
+            let initial = Configuration::new(cells.iter().copied());
+            let ex = if seeded {
+                let mut s = RandomAsync::new(cells[0].x as u64 ^ 0x9e37);
+                run_async(&initial, &algo, &mut s, limits)
+            } else {
+                run_async(&initial, &algo, &mut RoundRobinAsync, limits)
+            };
+            match ex.outcome {
+                Outcome::Gathered { .. } => "gathered",
+                Outcome::StuckFixpoint { .. } => "stuck",
+                Outcome::Collision { .. } => "collision",
+                Outcome::Disconnected { .. } => "disconnected",
+                Outcome::Livelock { .. } => "livelock",
+                Outcome::StepLimit { .. } => "tick-limit",
+            }
+        });
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for o in outcomes {
+            *counts.entry(o).or_insert(0) += 1;
+        }
+        let _ = writeln!(body, "| {name} | {counts:?} |");
+    }
+    let _ = writeln!(
+        body,
+        "\nUnder full asynchrony the FSYNC safety choreography can break (stale moves\nland on occupied nodes), which bounds how far Theorem 2 could possibly be\npushed without redesigning the guards."
+    );
+    ExperimentResult { id: "E13", title: "ASYNC model (extension)", body }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_reports_full_success() {
+        let r = e1_exhaustive_verification(0);
+        assert!(r.body.contains("3652/3652"), "{}", r.body);
+        assert!(r.body.contains("YES"));
+    }
+
+    #[test]
+    fn e2_layer_counts_are_stable() {
+        // Pin the ablation numbers; these are the repository's measured
+        // ground truth quoted in EXPERIMENTS.md.
+        let expected = [883usize, 1895, 1896, 1926, 1850];
+        for ((name, opts), want) in ablation_layers().into_iter().zip(expected) {
+            let report =
+                verify_all(7, &SevenGather::with_options(opts), Limits::default(), 0);
+            assert_eq!(report.gathered, want, "layer {name}");
+        }
+    }
+
+    #[test]
+    fn e5_enumeration_table() {
+        let r = e5_enumeration();
+        assert!(r.body.contains("| 7 | 3652 |"));
+        assert!(r.body.contains("333"));
+    }
+
+    #[test]
+    fn e8_distribution_mentions_max() {
+        let r = e8_steps_distribution(0);
+        assert!(r.body.contains("max=24"), "{}", r.body);
+    }
+}

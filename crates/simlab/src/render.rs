@@ -1,0 +1,122 @@
+//! ASCII rendering of triangular-grid configurations and traces.
+//!
+//! Rows are printed from north (largest `y`) to south; each doubled-x
+//! unit is one character column, so east-west neighbours are two columns
+//! apart and the odd rows sit between them — the usual "brick" picture
+//! of the triangular lattice:
+//!
+//! ```text
+//!  · ● ·
+//! · ● ● ·
+//!  · ● ·
+//! ```
+
+use robots::Configuration;
+use trigrid::region::BoundingBox;
+use trigrid::Coord;
+
+/// Character used for a robot node.
+pub const ROBOT: char = '●';
+/// Character used for an empty lattice node.
+pub const EMPTY: char = '·';
+
+/// Renders the configuration with a one-node margin of empty lattice
+/// nodes around its bounding box.
+#[must_use]
+pub fn render(cfg: &Configuration) -> String {
+    render_with_margin(cfg, 1)
+}
+
+/// Renders the configuration with the given margin of empty nodes.
+#[must_use]
+pub fn render_with_margin(cfg: &Configuration, margin: i32) -> String {
+    let Some(bb) = BoundingBox::of(cfg.positions().iter().copied()) else {
+        return String::new();
+    };
+    let (min_x, max_x) = (bb.min_x - 2 * margin, bb.max_x + 2 * margin);
+    let (min_y, max_y) = (bb.min_y - margin, bb.max_y + margin);
+    let mut out = String::new();
+    for y in (min_y..=max_y).rev() {
+        let mut line = String::new();
+        for x in min_x..=max_x {
+            if (x + y) % 2 != 0 {
+                line.push(' ');
+                continue;
+            }
+            // (x+y) even but x,y may individually be "between" lattice
+            // nodes of this row: every even-sum (x,y) is a lattice node.
+            let c = Coord::new(x, y);
+            line.push(if cfg.contains(c) { ROBOT } else { EMPTY });
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an execution trace as numbered frames.
+#[must_use]
+pub fn render_trace(trace: &[Configuration]) -> String {
+    let mut out = String::new();
+    for (i, cfg) in trace.iter().enumerate() {
+        out.push_str(&format!("round {i}:\n"));
+        out.push_str(&render(cfg));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trigrid::ORIGIN;
+
+    #[test]
+    fn hexagon_renders_as_filled_hexagon() {
+        let h = robots::hexagon(ORIGIN);
+        let s = render_with_margin(&h, 0);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].trim(), "● ●");
+        assert_eq!(lines[1].trim(), "● ● ●");
+        assert_eq!(lines[2].trim(), "● ●");
+    }
+
+    #[test]
+    fn robot_count_matches() {
+        let h = robots::hexagon(ORIGIN);
+        let s = render(&h);
+        assert_eq!(s.chars().filter(|&c| c == ROBOT).count(), 7);
+    }
+
+    #[test]
+    fn empty_configuration_renders_empty() {
+        let c = Configuration::new([]);
+        assert_eq!(render(&c), "");
+    }
+
+    #[test]
+    fn line_configuration() {
+        let line = Configuration::new((0..3).map(|i| Coord::new(2 * i, 0)));
+        let s = render_with_margin(&line, 0);
+        assert_eq!(s.trim_end(), "● ● ●");
+    }
+
+    #[test]
+    fn trace_renders_each_round() {
+        let a = Configuration::new([ORIGIN]);
+        let b = Configuration::new([Coord::new(2, 0)]);
+        let s = render_trace(&[a, b]);
+        assert!(s.contains("round 0:"));
+        assert!(s.contains("round 1:"));
+    }
+
+    #[test]
+    fn margins_add_empty_nodes() {
+        let c = Configuration::new([ORIGIN]);
+        let s0 = render_with_margin(&c, 0);
+        let s1 = render_with_margin(&c, 1);
+        assert_eq!(s0.trim(), "●");
+        assert!(s1.chars().filter(|&c| c == EMPTY).count() >= 6);
+    }
+}

@@ -1,0 +1,207 @@
+//! Statistics over verification runs (extension E8: the paper reports
+//! only the boolean verdict; we also characterise convergence speed).
+
+use crate::VerificationReport;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of the rounds-to-gather distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RoundsStats {
+    /// Number of gathered classes.
+    pub count: usize,
+    /// Minimum rounds.
+    pub min: usize,
+    /// Maximum rounds.
+    pub max: usize,
+    /// Mean rounds.
+    pub mean: f64,
+    /// Median rounds.
+    pub median: usize,
+    /// 95th-percentile rounds.
+    pub p95: usize,
+}
+
+/// Computes distribution statistics from a report's histogram.
+#[must_use]
+pub fn rounds_stats(report: &VerificationReport) -> Option<RoundsStats> {
+    let hist = &report.rounds_histogram;
+    let count: usize = hist.iter().sum();
+    if count == 0 {
+        return None;
+    }
+    let min = hist.iter().position(|&n| n > 0).unwrap_or(0);
+    let max = hist.iter().rposition(|&n| n > 0).unwrap_or(0);
+    let total: usize = hist.iter().enumerate().map(|(r, &n)| r * n).sum();
+    let quantile = |q: f64| -> usize {
+        let target = ((count as f64) * q).ceil() as usize;
+        let mut seen = 0;
+        for (r, &n) in hist.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return r;
+            }
+        }
+        max
+    };
+    Some(RoundsStats {
+        count,
+        min,
+        max,
+        mean: total as f64 / count as f64,
+        median: quantile(0.5),
+        p95: quantile(0.95),
+    })
+}
+
+/// Renders the histogram as an ASCII bar chart with at most `rows`
+/// buckets (wider buckets are aggregated as needed).
+#[must_use]
+pub fn ascii_histogram(report: &VerificationReport, rows: usize) -> String {
+    let hist = &report.rounds_histogram;
+    if hist.is_empty() || rows == 0 {
+        return String::new();
+    }
+    let bucket = hist.len().div_ceil(rows);
+    let buckets: Vec<usize> = hist.chunks(bucket).map(|c| c.iter().sum()).collect();
+    let peak = buckets.iter().copied().max().unwrap_or(1).max(1);
+    const WIDTH: usize = 50;
+    let mut out = String::new();
+    for (i, &n) in buckets.iter().enumerate() {
+        let lo = i * bucket;
+        let hi = (lo + bucket - 1).min(hist.len() - 1);
+        let bar = "#".repeat(n * WIDTH / peak);
+        let label =
+            if lo == hi { format!("{lo:>4}") } else { format!("{lo:>4}-{hi:<4}") };
+        out.push_str(&format!("{label:>9} | {bar} {n}\n"));
+    }
+    out
+}
+
+/// Rounds-to-gather grouped by the initial configuration's diameter
+/// (maximum pairwise robot distance): for each diameter, the number of
+/// classes and the min/mean/max rounds. The paper's algorithm compacts
+/// eastward, so rounds should grow roughly linearly with the diameter.
+#[must_use]
+pub fn rounds_by_diameter(results: &[crate::ClassResult]) -> Vec<DiameterBucket> {
+    use std::collections::BTreeMap;
+    let mut buckets: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for r in results {
+        if let Some(rounds) = r.rounds() {
+            buckets.entry(r.initial.diameter()).or_default().push(rounds);
+        }
+    }
+    buckets
+        .into_iter()
+        .map(|(diameter, rounds)| {
+            let count = rounds.len();
+            let min = rounds.iter().copied().min().unwrap_or(0);
+            let max = rounds.iter().copied().max().unwrap_or(0);
+            let mean = rounds.iter().sum::<usize>() as f64 / count.max(1) as f64;
+            DiameterBucket { diameter, count, min, mean, max }
+        })
+        .collect()
+}
+
+/// One row of [`rounds_by_diameter`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DiameterBucket {
+    /// Initial diameter (2..=6 for connected seven-robot classes).
+    pub diameter: u32,
+    /// Number of gathered classes with that diameter.
+    pub count: usize,
+    /// Fastest gathering.
+    pub min: usize,
+    /// Mean rounds.
+    pub mean: f64,
+    /// Slowest gathering.
+    pub max: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with_hist(hist: Vec<usize>) -> VerificationReport {
+        let gathered = hist.iter().sum();
+        let total_rounds = hist.iter().enumerate().map(|(r, &n)| r * n).sum();
+        let max_rounds = hist.iter().rposition(|&n| n > 0).unwrap_or(0);
+        VerificationReport {
+            algorithm: "test".into(),
+            robots: 7,
+            total: gathered,
+            gathered,
+            failures: vec![],
+            max_rounds,
+            total_rounds,
+            rounds_histogram: hist,
+        }
+    }
+
+    #[test]
+    fn stats_of_simple_distribution() {
+        // 1 class at 0 rounds, 2 at 1, 1 at 3.
+        let r = report_with_hist(vec![1, 2, 0, 1]);
+        let s = rounds_stats(&r).unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 3);
+        assert!((s.mean - 1.25).abs() < 1e-12);
+        assert_eq!(s.median, 1);
+        assert_eq!(s.p95, 3);
+    }
+
+    #[test]
+    fn stats_empty_histogram_is_none() {
+        let r = report_with_hist(vec![]);
+        assert!(rounds_stats(&r).is_none());
+    }
+
+    #[test]
+    fn single_bucket_distribution() {
+        let r = report_with_hist(vec![0, 0, 5]);
+        let s = rounds_stats(&r).unwrap();
+        assert_eq!((s.min, s.max, s.median, s.p95), (2, 2, 2, 2));
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rounds_by_diameter_buckets_are_ordered_and_complete() {
+        use robots::{Configuration, Outcome};
+        use trigrid::Coord;
+        let mk = |cells: &[(i32, i32)], rounds: usize| crate::ClassResult {
+            index: 0,
+            initial: Configuration::new(cells.iter().map(|&(x, y)| Coord::new(x, y))),
+            outcome: Outcome::Gathered { rounds },
+        };
+        let results = vec![
+            mk(&[(0, 0), (2, 0)], 3),           // diameter 1
+            mk(&[(0, 0), (4, 0)], 5),           // diameter 2
+            mk(&[(0, 0), (2, 0), (4, 0)], 7),   // diameter 2
+            crate::ClassResult {
+                index: 0,
+                initial: Configuration::new([Coord::new(0, 0)]),
+                outcome: Outcome::StuckFixpoint { rounds: 0 }, // not gathered: excluded
+            },
+        ];
+        let buckets = rounds_by_diameter(&results);
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].diameter, 1);
+        assert_eq!(buckets[0].count, 1);
+        assert_eq!(buckets[1].diameter, 2);
+        assert_eq!(buckets[1].count, 2);
+        assert_eq!(buckets[1].min, 5);
+        assert_eq!(buckets[1].max, 7);
+        assert!((buckets[1].mean - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_renders_buckets() {
+        let r = report_with_hist(vec![4, 0, 2, 1]);
+        let h = ascii_histogram(&r, 4);
+        assert_eq!(h.lines().count(), 4);
+        assert!(h.contains('#'));
+        let aggregated = ascii_histogram(&r, 2);
+        assert_eq!(aggregated.lines().count(), 2);
+        assert!(aggregated.contains("4"));
+    }
+}

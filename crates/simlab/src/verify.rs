@@ -1,0 +1,210 @@
+//! The paper's §IV-B experiment: exhaustive verification over all
+//! connected initial configurations.
+
+use parallel::par_map;
+use robots::{engine, Algorithm, Configuration, Limits, Outcome};
+use serde::{Deserialize, Serialize};
+use trigrid::Coord;
+
+/// The verdict for one initial configuration class.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClassResult {
+    /// Index of the class in enumeration order.
+    pub index: usize,
+    /// The canonical initial configuration.
+    pub initial: Configuration,
+    /// How the execution ended.
+    pub outcome: Outcome,
+}
+
+impl ClassResult {
+    /// Rounds to gather, if the class gathered.
+    #[must_use]
+    pub fn rounds(&self) -> Option<usize> {
+        match self.outcome {
+            Outcome::Gathered { rounds } => Some(rounds),
+            _ => None,
+        }
+    }
+}
+
+/// Aggregate result of an exhaustive verification run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct VerificationReport {
+    /// Name of the algorithm under test.
+    pub algorithm: String,
+    /// Number of robots (7 for the paper's experiment).
+    pub robots: usize,
+    /// Total number of initial classes tested (3652 for n = 7).
+    pub total: usize,
+    /// Classes that gathered (the paper's claim: all of them).
+    pub gathered: usize,
+    /// Non-gathering classes, with their outcomes.
+    pub failures: Vec<ClassResult>,
+    /// Maximum rounds-to-gather over the gathered classes.
+    pub max_rounds: usize,
+    /// Sum of rounds-to-gather (for the mean).
+    pub total_rounds: usize,
+    /// Histogram of rounds-to-gather: `rounds_histogram[r]` = number of
+    /// classes that gathered in exactly `r` rounds.
+    pub rounds_histogram: Vec<usize>,
+}
+
+impl VerificationReport {
+    /// Whether every class gathered — the paper's Theorem 2 claim.
+    #[must_use]
+    pub fn all_gathered(&self) -> bool {
+        self.gathered == self.total && self.failures.is_empty()
+    }
+
+    /// Mean rounds-to-gather over gathered classes.
+    #[must_use]
+    pub fn mean_rounds(&self) -> f64 {
+        if self.gathered == 0 {
+            return 0.0;
+        }
+        self.total_rounds as f64 / self.gathered as f64
+    }
+
+    /// One-line human summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {}/{} gathered ({} failures), rounds max={} mean={:.2}",
+            self.algorithm,
+            self.gathered,
+            self.total,
+            self.failures.len(),
+            self.max_rounds,
+            self.mean_rounds()
+        )
+    }
+}
+
+/// Runs `algo` from every class in `classes` (each a canonical node set)
+/// and aggregates the outcomes. `threads == 0` uses all cores.
+#[must_use]
+pub fn verify_classes<A: Algorithm + Sync + ?Sized>(
+    classes: &[Vec<Coord>],
+    algo: &A,
+    limits: Limits,
+    threads: usize,
+) -> VerificationReport {
+    let results: Vec<ClassResult> = par_map(classes, threads, |cells| {
+        let initial = Configuration::new(cells.iter().copied());
+        let ex = engine::run(&initial, algo, limits);
+        ClassResult { index: 0, initial, outcome: ex.outcome }
+    })
+    .into_iter()
+    .enumerate()
+    .map(|(i, mut r)| {
+        r.index = i;
+        r
+    })
+    .collect();
+
+    let robots = classes.first().map_or(0, Vec::len);
+    let mut report = VerificationReport {
+        algorithm: algo.name().to_string(),
+        robots,
+        total: results.len(),
+        gathered: 0,
+        failures: Vec::new(),
+        max_rounds: 0,
+        total_rounds: 0,
+        rounds_histogram: Vec::new(),
+    };
+    for r in results {
+        match r.rounds() {
+            Some(rounds) => {
+                report.gathered += 1;
+                report.max_rounds = report.max_rounds.max(rounds);
+                report.total_rounds += rounds;
+                if report.rounds_histogram.len() <= rounds {
+                    report.rounds_histogram.resize(rounds + 1, 0);
+                }
+                report.rounds_histogram[rounds] += 1;
+            }
+            None => report.failures.push(r),
+        }
+    }
+    report
+}
+
+/// The full §IV-B experiment: verify `algo` on **all** connected
+/// `n`-robot initial configurations (all 3652 classes for `n = 7`).
+#[must_use]
+pub fn verify_all<A: Algorithm + Sync + ?Sized>(
+    n: usize,
+    algo: &A,
+    limits: Limits,
+    threads: usize,
+) -> VerificationReport {
+    let classes = polyhex::enumerate_fixed(n);
+    verify_classes(&classes, algo, limits, threads)
+}
+
+/// Per-class results for **all** connected `n`-robot classes, including
+/// the gathered ones (unlike [`verify_all`], which aggregates). Used by
+/// the convergence-shape analyses.
+#[must_use]
+pub fn verify_detailed<A: Algorithm + Sync + ?Sized>(
+    n: usize,
+    algo: &A,
+    limits: Limits,
+    threads: usize,
+) -> Vec<ClassResult> {
+    let classes = polyhex::enumerate_fixed(n);
+    par_map(&classes, threads, |cells| {
+        let initial = Configuration::new(cells.iter().copied());
+        let ex = engine::run(&initial, algo, limits);
+        ClassResult { index: 0, initial, outcome: ex.outcome }
+    })
+    .into_iter()
+    .enumerate()
+    .map(|(i, mut r)| {
+        r.index = i;
+        r
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robots::StayAlgorithm;
+
+    #[test]
+    fn stay_gathers_exactly_the_hexagon_class() {
+        // Of the 3652 classes exactly one is the gathered hexagon; the
+        // stay algorithm "solves" that one and is stuck on the rest.
+        let report = verify_all(7, &StayAlgorithm, Limits::default(), 0);
+        assert_eq!(report.total, 3652);
+        assert_eq!(report.gathered, 1);
+        assert_eq!(report.failures.len(), 3651);
+        assert!(report
+            .failures
+            .iter()
+            .all(|f| matches!(f.outcome, Outcome::StuckFixpoint { rounds: 0 })));
+        assert_eq!(report.max_rounds, 0);
+        assert!(!report.all_gathered());
+    }
+
+    #[test]
+    fn report_summary_contains_counts() {
+        let report = verify_all(4, &StayAlgorithm, Limits::default(), 1);
+        assert_eq!(report.total, 44);
+        let s = report.summary();
+        assert!(s.contains("/44"), "{s}");
+    }
+
+    #[test]
+    fn failure_indices_align_with_enumeration() {
+        let classes = polyhex::enumerate_fixed(7);
+        let report = verify_classes(&classes, &StayAlgorithm, Limits::default(), 2);
+        for f in report.failures.iter().take(5) {
+            let expected = Configuration::new(classes[f.index].iter().copied());
+            assert_eq!(f.initial, expected);
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Lattice nodes in doubled coordinates.
+
+use crate::Dir;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+/// A node of the infinite triangular grid, in doubled coordinates.
+///
+/// Invariant: `x + y` is even. [`Coord::new`] panics on violation;
+/// [`Coord::try_new`] returns `None` instead.
+///
+/// The ordering (derived) is lexicographic on `(x, y)`; it is used for
+/// canonical forms of configurations, where any fixed total order works.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Coord {
+    /// Doubled x component (parallel to the paper's x-axis).
+    pub x: i32,
+    /// y component (number of rows above the x-axis).
+    pub y: i32,
+}
+
+impl Coord {
+    /// Creates a coordinate, checking the parity invariant.
+    ///
+    /// # Panics
+    /// Panics if `x + y` is odd (not a lattice node).
+    #[inline]
+    #[must_use]
+    pub fn new(x: i32, y: i32) -> Self {
+        assert!(
+            (x + y) % 2 == 0,
+            "({x},{y}) is not a triangular-lattice node: x+y must be even"
+        );
+        Self { x, y }
+    }
+
+    /// Creates a coordinate, returning `None` if `x + y` is odd.
+    #[inline]
+    #[must_use]
+    pub fn try_new(x: i32, y: i32) -> Option<Self> {
+        ((x + y) % 2 == 0).then_some(Self { x, y })
+    }
+
+    /// The six adjacent nodes, in the fixed order
+    /// `[E, NE, NW, W, SW, SE]` (counter-clockwise from east).
+    #[inline]
+    #[must_use]
+    pub fn neighbors(self) -> [Coord; 6] {
+        Dir::ALL.map(|d| self + d.delta())
+    }
+
+    /// The neighbour in direction `d`.
+    #[inline]
+    #[must_use]
+    pub fn step(self, d: Dir) -> Coord {
+        self + d.delta()
+    }
+
+    /// Grid distance (length of a shortest path) to `other`.
+    ///
+    /// In doubled coordinates: `max(|dy|, (|dx| + |dy|) / 2)`.
+    #[inline]
+    #[must_use]
+    pub fn distance(self, other: Coord) -> u32 {
+        let dx = (self.x - other.x).unsigned_abs();
+        let dy = (self.y - other.y).unsigned_abs();
+        dy.max((dx + dy) / 2)
+    }
+
+    /// Whether `other` is one of the six neighbours.
+    #[inline]
+    #[must_use]
+    pub fn is_adjacent(self, other: Coord) -> bool {
+        self.distance(other) == 1
+    }
+
+    /// Returns the direction from `self` to an **adjacent** node, or
+    /// `None` if `other` is not adjacent.
+    #[must_use]
+    pub fn direction_to(self, other: Coord) -> Option<Dir> {
+        Dir::from_delta(other - self)
+    }
+
+    /// The *x-element* of this node when interpreted as a label relative
+    /// to an observing robot at the origin (paper, Fig. 48). This is just
+    /// the doubled x coordinate; the paper breaks base-node ties on it.
+    #[inline]
+    #[must_use]
+    pub fn x_element(self) -> i32 {
+        self.x
+    }
+
+    /// The *y-element* of the label (paper, Fig. 48).
+    #[inline]
+    #[must_use]
+    pub fn y_element(self) -> i32 {
+        self.y
+    }
+}
+
+impl Add for Coord {
+    type Output = Coord;
+    #[inline]
+    fn add(self, rhs: Coord) -> Coord {
+        Coord { x: self.x + rhs.x, y: self.y + rhs.y }
+    }
+}
+
+impl AddAssign for Coord {
+    #[inline]
+    fn add_assign(&mut self, rhs: Coord) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Coord {
+    type Output = Coord;
+    #[inline]
+    fn sub(self, rhs: Coord) -> Coord {
+        Coord { x: self.x - rhs.x, y: self.y - rhs.y }
+    }
+}
+
+impl SubAssign for Coord {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Coord) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Neg for Coord {
+    type Output = Coord;
+    #[inline]
+    fn neg(self) -> Coord {
+        Coord { x: -self.x, y: -self.y }
+    }
+}
+
+impl fmt::Debug for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+impl From<(i32, i32)> for Coord {
+    /// Convenience conversion; panics on parity violation like [`Coord::new`].
+    fn from((x, y): (i32, i32)) -> Self {
+        Coord::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_enforced() {
+        assert!(Coord::try_new(1, 0).is_none());
+        assert!(Coord::try_new(0, 1).is_none());
+        assert!(Coord::try_new(1, 1).is_some());
+        assert!(Coord::try_new(-3, 1).is_some());
+        assert!(Coord::try_new(0, 0).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a triangular-lattice node")]
+    fn new_panics_on_odd_parity() {
+        let _ = Coord::new(2, 1);
+    }
+
+    #[test]
+    fn neighbors_match_paper_fig48_inner_ring() {
+        // Fig. 48: E=(2,0), NE=(1,1), NW=(-1,1), W=(-2,0), SW=(-1,-1), SE=(1,-1).
+        let n = crate::ORIGIN.neighbors();
+        assert_eq!(
+            n.to_vec(),
+            vec![
+                Coord::new(2, 0),
+                Coord::new(1, 1),
+                Coord::new(-1, 1),
+                Coord::new(-2, 0),
+                Coord::new(-1, -1),
+                Coord::new(1, -1),
+            ]
+        );
+    }
+
+    #[test]
+    fn distance_matches_paper_fig48_outer_ring() {
+        // All twelve distance-2 labels from Fig. 48.
+        let ring2 = [
+            (4, 0),
+            (3, 1),
+            (2, 2),
+            (0, 2),
+            (-2, 2),
+            (-3, 1),
+            (-4, 0),
+            (-3, -1),
+            (-2, -2),
+            (0, -2),
+            (2, -2),
+            (3, -1),
+        ];
+        for (x, y) in ring2 {
+            assert_eq!(
+                crate::ORIGIN.distance(Coord::new(x, y)),
+                2,
+                "({x},{y}) should be at distance 2"
+            );
+        }
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Coord::new(5, 3);
+        let b = Coord::new(-2, -4);
+        assert_eq!(a.distance(b), b.distance(a));
+        assert_eq!(a.distance(a), 0);
+    }
+
+    #[test]
+    fn distance_triangle_small_cases() {
+        // One E step then one NE step = (3,1): distance 2.
+        assert_eq!(crate::ORIGIN.distance(Coord::new(3, 1)), 2);
+        // NE then NW = (0,2): distance 2 (cannot be reached in one step).
+        assert_eq!(crate::ORIGIN.distance(Coord::new(0, 2)), 2);
+        // Pure vertical-ish: (0,4) needs 4 steps (alternate NE/NW).
+        assert_eq!(crate::ORIGIN.distance(Coord::new(0, 4)), 4);
+        // Pure horizontal: (8,0) needs 4 E steps.
+        assert_eq!(crate::ORIGIN.distance(Coord::new(8, 0)), 4);
+    }
+
+    #[test]
+    fn adjacency() {
+        let c = Coord::new(3, 1);
+        for n in c.neighbors() {
+            assert!(c.is_adjacent(n));
+            assert_eq!(c.direction_to(n).map(|d| c.step(d)), Some(n));
+        }
+        assert!(!c.is_adjacent(c));
+        assert!(!c.is_adjacent(Coord::new(3, 3)));
+        assert_eq!(c.direction_to(Coord::new(3, 3)), None);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Coord::new(2, 0);
+        let b = Coord::new(1, 1);
+        assert_eq!(a + b, Coord::new(3, 1));
+        assert_eq!(a - b, Coord::new(1, -1));
+        assert_eq!(-b, Coord::new(-1, -1));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Coord::new(3, 1));
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = vec![Coord::new(2, 0), Coord::new(0, 2), Coord::new(0, 0), Coord::new(2, -2)];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![Coord::new(0, 0), Coord::new(0, 2), Coord::new(2, -2), Coord::new(2, 0)]
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! The six axial directions of the triangular grid.
+
+use crate::Coord;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the six directions of the triangular grid, named as in the
+/// paper (§II-A): east, northeast, northwest, west, southwest, southeast.
+///
+/// The discriminant order is counter-clockwise starting from east, so
+/// rotating by 60° counter-clockwise is `(index + 1) mod 6`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Dir {
+    /// East: delta `(2, 0)`.
+    E = 0,
+    /// Northeast: delta `(1, 1)`.
+    NE = 1,
+    /// Northwest: delta `(-1, 1)`.
+    NW = 2,
+    /// West: delta `(-2, 0)`.
+    W = 3,
+    /// Southwest: delta `(-1, -1)`.
+    SW = 4,
+    /// Southeast: delta `(1, -1)`.
+    SE = 5,
+}
+
+impl Dir {
+    /// All six directions, counter-clockwise from east.
+    pub const ALL: [Dir; 6] = [Dir::E, Dir::NE, Dir::NW, Dir::W, Dir::SW, Dir::SE];
+
+    /// The displacement of one step in this direction, in doubled
+    /// coordinates (paper Fig. 48 labels of the inner ring).
+    #[inline]
+    #[must_use]
+    pub const fn delta(self) -> Coord {
+        match self {
+            Dir::E => Coord { x: 2, y: 0 },
+            Dir::NE => Coord { x: 1, y: 1 },
+            Dir::NW => Coord { x: -1, y: 1 },
+            Dir::W => Coord { x: -2, y: 0 },
+            Dir::SW => Coord { x: -1, y: -1 },
+            Dir::SE => Coord { x: 1, y: -1 },
+        }
+    }
+
+    /// Recovers a direction from a unit displacement, if it is one.
+    #[must_use]
+    pub fn from_delta(delta: Coord) -> Option<Dir> {
+        Dir::ALL.into_iter().find(|d| d.delta() == delta)
+    }
+
+    /// The direction index `0..6` (counter-clockwise from east).
+    #[inline]
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Direction with the given index modulo 6.
+    #[inline]
+    #[must_use]
+    pub fn from_index(i: usize) -> Dir {
+        Dir::ALL[i % 6]
+    }
+
+    /// The opposite direction (rotation by 180°).
+    #[inline]
+    #[must_use]
+    pub fn opposite(self) -> Dir {
+        Dir::from_index(self.index() + 3)
+    }
+
+    /// Rotation by `k * 60°` counter-clockwise.
+    #[inline]
+    #[must_use]
+    pub fn rotate_ccw(self, k: usize) -> Dir {
+        Dir::from_index(self.index() + k)
+    }
+
+    /// Rotation by `k * 60°` clockwise.
+    #[inline]
+    #[must_use]
+    pub fn rotate_cw(self, k: usize) -> Dir {
+        Dir::from_index(self.index() + 6 - (k % 6))
+    }
+
+    /// Reflection across the x-axis (E↔E, NE↔SE, NW↔SW, W↔W).
+    ///
+    /// This is the "mirror" used by the paper's without-loss-of-generality
+    /// arguments in §III. Note it flips chirality, so it maps an algorithm
+    /// to a *different* (mirrored) algorithm.
+    #[inline]
+    #[must_use]
+    pub fn mirror_x(self) -> Dir {
+        match self {
+            Dir::E => Dir::E,
+            Dir::NE => Dir::SE,
+            Dir::NW => Dir::SW,
+            Dir::W => Dir::W,
+            Dir::SW => Dir::NW,
+            Dir::SE => Dir::NE,
+        }
+    }
+
+    /// Reflection across the y-axis (the axis through the origin and its
+    /// NE neighbour is *not* this one; this mirrors east↔west).
+    #[inline]
+    #[must_use]
+    pub fn mirror_y(self) -> Dir {
+        self.mirror_x().opposite()
+    }
+}
+
+impl fmt::Debug for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Dir::E => "E",
+            Dir::NE => "NE",
+            Dir::NW => "NW",
+            Dir::W => "W",
+            Dir::SW => "SW",
+            Dir::SE => "SE",
+        })
+    }
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_have_unit_distance_and_even_parity() {
+        for d in Dir::ALL {
+            assert_eq!(crate::ORIGIN.distance(crate::ORIGIN + d.delta()), 1);
+            assert_eq!((d.delta().x + d.delta().y) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn opposite_is_involution_and_negates_delta() {
+        for d in Dir::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_eq!(d.opposite().delta(), -d.delta());
+        }
+    }
+
+    #[test]
+    fn rotation_algebra() {
+        for d in Dir::ALL {
+            assert_eq!(d.rotate_ccw(6), d);
+            assert_eq!(d.rotate_cw(6), d);
+            assert_eq!(d.rotate_ccw(3), d.opposite());
+            for k in 0..12 {
+                assert_eq!(d.rotate_ccw(k).rotate_cw(k), d);
+            }
+        }
+        assert_eq!(Dir::E.rotate_ccw(1), Dir::NE);
+        assert_eq!(Dir::E.rotate_cw(1), Dir::SE);
+    }
+
+    #[test]
+    fn mirrors() {
+        assert_eq!(Dir::NE.mirror_x(), Dir::SE);
+        assert_eq!(Dir::W.mirror_x(), Dir::W);
+        assert_eq!(Dir::E.mirror_y(), Dir::W);
+        assert_eq!(Dir::NE.mirror_y(), Dir::NW);
+        for d in Dir::ALL {
+            assert_eq!(d.mirror_x().mirror_x(), d);
+            assert_eq!(d.mirror_y().mirror_y(), d);
+            // mirror_x negates the y component of the delta.
+            assert_eq!(d.mirror_x().delta(), Coord { x: d.delta().x, y: -d.delta().y });
+        }
+    }
+
+    #[test]
+    fn from_delta_roundtrip() {
+        for d in Dir::ALL {
+            assert_eq!(Dir::from_delta(d.delta()), Some(d));
+        }
+        assert_eq!(Dir::from_delta(Coord { x: 4, y: 0 }), None);
+        assert_eq!(Dir::from_delta(Coord { x: 0, y: 0 }), None);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, d) in Dir::ALL.into_iter().enumerate() {
+            assert_eq!(d.index(), i);
+            assert_eq!(Dir::from_index(i), d);
+        }
+    }
+}

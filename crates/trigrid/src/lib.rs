@@ -1,0 +1,51 @@
+//! # trigrid — infinite triangular-grid geometry
+//!
+//! Geometry substrate for the reproduction of *"Gathering of seven
+//! autonomous mobile robots on triangular grids"* (Shibata et al., 2021).
+//!
+//! The paper's triangular grid is the infinite 6-regular lattice: every
+//! node has six neighbours, named **E, NE, NW, W, SW, SE**. Robots agree
+//! on the direction and orientation of the x-axis and on chirality, so
+//! the six direction names are globally consistent.
+//!
+//! ## Coordinate system
+//!
+//! We use *doubled* coordinates, which are exactly the label system of
+//! the paper's Fig. 48:
+//!
+//! * moving **E** adds `(2, 0)`,
+//! * moving **NE** adds `(1, 1)`,
+//! * moving **NW** adds `(-1, 1)`,
+//! * and W, SW, SE are the negations.
+//!
+//! Every reachable node satisfies `x + y ≡ 0 (mod 2)`; the constructor
+//! [`Coord::new`] enforces this invariant. The node two steps east of the
+//! origin is `(4, 0)`, the node NE-NE is `(2, 2)` — matching the labels
+//! used throughout Algorithm 1 of the paper, so the pseudocode
+//! transcribes into code with no coordinate translation.
+//!
+//! ## Contents
+//!
+//! * [`Coord`] — a lattice node in doubled coordinates.
+//! * [`Dir`] — the six axial directions with rotation/reflection algebra.
+//! * [`transform`] — the symmetry group of the lattice (translations,
+//!   rotations by 60°, reflections).
+//! * [`region`] — disks, rings and bounding boxes.
+//! * [`path`] — grid distance, shortest paths, and BFS/connectivity over
+//!   finite node sets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coord;
+mod dir;
+pub mod path;
+pub mod region;
+pub mod transform;
+
+pub use coord::Coord;
+pub use dir::Dir;
+
+/// The origin node `(0, 0)` (the paper's distinguished node `v_o`,
+/// which robots themselves cannot observe).
+pub const ORIGIN: Coord = Coord { x: 0, y: 0 };

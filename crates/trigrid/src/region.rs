@@ -1,0 +1,185 @@
+//! Disks, rings and bounding boxes on the triangular lattice.
+
+use crate::Coord;
+
+/// All nodes at grid distance exactly `r` from `center`, in a fixed
+/// deterministic order (counter-clockwise starting from due east).
+///
+/// `ring(c, 0)` is `[c]`; `ring(c, r)` has `6r` nodes for `r ≥ 1`.
+#[must_use]
+pub fn ring(center: Coord, r: u32) -> Vec<Coord> {
+    if r == 0 {
+        return vec![center];
+    }
+    let r = r as i32;
+    let mut out = Vec::with_capacity(6 * r as usize);
+    // Start at the due-east node (2r, 0) and walk CCW: r steps in each of
+    // NW, W, SW, SE, E, NE.
+    let mut cur = center + Coord::new(2 * r, 0);
+    for d in [crate::Dir::NW, crate::Dir::W, crate::Dir::SW, crate::Dir::SE, crate::Dir::E, crate::Dir::NE]
+    {
+        for _ in 0..r {
+            out.push(cur);
+            cur = cur.step(d);
+        }
+    }
+    debug_assert_eq!(cur, center + Coord::new(2 * r, 0));
+    out
+}
+
+/// All nodes at grid distance at most `r` from `center`
+/// (`1 + 3r(r+1)` nodes), ring by ring, centre first.
+#[must_use]
+pub fn disk(center: Coord, r: u32) -> Vec<Coord> {
+    let mut out = Vec::with_capacity(1 + 3 * (r as usize) * (r as usize + 1));
+    for k in 0..=r {
+        out.extend(ring(center, k));
+    }
+    out
+}
+
+/// Axis-aligned bounding box of a set of nodes in doubled coordinates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BoundingBox {
+    /// Minimum doubled-x.
+    pub min_x: i32,
+    /// Maximum doubled-x.
+    pub max_x: i32,
+    /// Minimum y.
+    pub min_y: i32,
+    /// Maximum y.
+    pub max_y: i32,
+}
+
+impl BoundingBox {
+    /// Bounding box of a non-empty iterator of coordinates; `None` when
+    /// empty.
+    #[must_use]
+    pub fn of<I: IntoIterator<Item = Coord>>(nodes: I) -> Option<BoundingBox> {
+        let mut it = nodes.into_iter();
+        let first = it.next()?;
+        let mut bb = BoundingBox {
+            min_x: first.x,
+            max_x: first.x,
+            min_y: first.y,
+            max_y: first.y,
+        };
+        for c in it {
+            bb.min_x = bb.min_x.min(c.x);
+            bb.max_x = bb.max_x.max(c.x);
+            bb.min_y = bb.min_y.min(c.y);
+            bb.max_y = bb.max_y.max(c.y);
+        }
+        Some(bb)
+    }
+
+    /// Width in doubled-x units.
+    #[must_use]
+    pub fn width(&self) -> i32 {
+        self.max_x - self.min_x
+    }
+
+    /// Height in rows.
+    #[must_use]
+    pub fn height(&self) -> i32 {
+        self.max_y - self.min_y
+    }
+
+    /// Whether `c` lies inside the box (inclusive).
+    #[must_use]
+    pub fn contains(&self, c: Coord) -> bool {
+        (self.min_x..=self.max_x).contains(&c.x) && (self.min_y..=self.max_y).contains(&c.y)
+    }
+}
+
+/// Maximum pairwise grid distance of a finite node set (its diameter);
+/// 0 for empty or singleton sets. Quadratic, intended for small sets.
+#[must_use]
+pub fn diameter(nodes: &[Coord]) -> u32 {
+    let mut best = 0;
+    for (i, &a) in nodes.iter().enumerate() {
+        for &b in &nodes[i + 1..] {
+            best = best.max(a.distance(b));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ORIGIN;
+
+    #[test]
+    fn ring_sizes() {
+        assert_eq!(ring(ORIGIN, 0).len(), 1);
+        assert_eq!(ring(ORIGIN, 1).len(), 6);
+        assert_eq!(ring(ORIGIN, 2).len(), 12);
+        assert_eq!(ring(ORIGIN, 5).len(), 30);
+    }
+
+    #[test]
+    fn ring_nodes_have_exact_distance() {
+        for r in 0..5 {
+            for c in ring(Coord::new(3, 1), r) {
+                assert_eq!(Coord::new(3, 1).distance(c), r);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_has_no_duplicates() {
+        for r in 1..5 {
+            let mut v = ring(ORIGIN, r);
+            v.sort();
+            v.dedup();
+            assert_eq!(v.len(), 6 * r as usize);
+        }
+    }
+
+    #[test]
+    fn disk_sizes_match_formula() {
+        for r in 0..6u32 {
+            assert_eq!(disk(ORIGIN, r).len(), (1 + 3 * r * (r + 1)) as usize);
+        }
+        // Visibility range 2 sees 18 nodes besides itself (paper §II-A).
+        assert_eq!(disk(ORIGIN, 2).len() - 1, 18);
+    }
+
+    #[test]
+    fn disk_is_monotone_and_complete() {
+        // Every node within distance r is in the disk.
+        let d2: Vec<Coord> = disk(ORIGIN, 2);
+        for x in -6..=6 {
+            for y in -6..=6 {
+                if let Some(c) = Coord::try_new(x, y) {
+                    assert_eq!(d2.contains(&c), ORIGIN.distance(c) <= 2, "{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounding_box() {
+        let bb = BoundingBox::of([Coord::new(0, 0), Coord::new(4, 2), Coord::new(-2, 0)]).unwrap();
+        assert_eq!(bb.min_x, -2);
+        assert_eq!(bb.max_x, 4);
+        assert_eq!(bb.min_y, 0);
+        assert_eq!(bb.max_y, 2);
+        assert_eq!(bb.width(), 6);
+        assert_eq!(bb.height(), 2);
+        assert!(bb.contains(Coord::new(0, 2)));
+        assert!(!bb.contains(Coord::new(0, 4)));
+        assert_eq!(BoundingBox::of(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn diameter_small_sets() {
+        assert_eq!(diameter(&[]), 0);
+        assert_eq!(diameter(&[ORIGIN]), 0);
+        let hexagon: Vec<Coord> = disk(ORIGIN, 1);
+        assert_eq!(diameter(&hexagon), 2);
+        let line: Vec<Coord> = (0..7).map(|i| Coord::new(2 * i, 0)).collect();
+        assert_eq!(diameter(&line), 6);
+    }
+}

@@ -1,0 +1,212 @@
+//! The symmetry group of the triangular lattice.
+//!
+//! A lattice symmetry is a composition of a point-group element (one of
+//! the twelve elements of the dihedral group D6: six rotations by
+//! multiples of 60° and six reflections) with a translation. The robots
+//! of the paper agree on the x-axis *and* chirality, so algorithms are
+//! invariant only under **translations**; the full group is still needed
+//! for analysis (e.g. classifying configurations up to symmetry, and for
+//! the mirror argument in the Theorem 1 proof).
+
+use crate::{Coord, Dir};
+use serde::{Deserialize, Serialize};
+
+/// Rotation by `k * 60°` counter-clockwise about the origin.
+///
+/// In doubled coordinates a 60° CCW rotation maps `(x, y)` to
+/// `((x - 3y) / 2, (x + y) / 2)`; both divisions are exact on lattice
+/// nodes.
+#[must_use]
+pub fn rotate_ccw(c: Coord, k: usize) -> Coord {
+    let mut r = c;
+    for _ in 0..(k % 6) {
+        r = Coord::new((r.x - 3 * r.y) / 2, (r.x + r.y) / 2);
+    }
+    r
+}
+
+/// Rotation by `k * 60°` clockwise about the origin.
+#[must_use]
+pub fn rotate_cw(c: Coord, k: usize) -> Coord {
+    rotate_ccw(c, 6 - (k % 6))
+}
+
+/// Reflection across the x-axis: `(x, y) → (x, -y)`.
+#[must_use]
+pub fn mirror_x(c: Coord) -> Coord {
+    Coord::new(c.x, -c.y)
+}
+
+/// Reflection across the y-axis of the *plane* (east↔west):
+/// `(x, y) → (-x, y)`.
+///
+/// Note: the paper's "y-axis" is the lattice axis through the origin and
+/// its NE neighbour; this function is the ordinary planar mirror, which
+/// together with the rotations generates all six reflections of D6.
+#[must_use]
+pub fn mirror_y(c: Coord) -> Coord {
+    Coord::new(-c.x, c.y)
+}
+
+/// An element of the point group D6 (order 12): `Rot(k)` is rotation by
+/// `k * 60°` CCW; `Ref(k)` is `Rot(k)` composed with [`mirror_x`]
+/// (mirror first, then rotate).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum PointSymmetry {
+    /// Rotation by `k * 60°` counter-clockwise (`k` in `0..6`).
+    Rot(u8),
+    /// Reflection: mirror across the x-axis, then rotate `k * 60°` CCW.
+    Ref(u8),
+}
+
+impl PointSymmetry {
+    /// All twelve elements of D6.
+    pub const ALL: [PointSymmetry; 12] = [
+        PointSymmetry::Rot(0),
+        PointSymmetry::Rot(1),
+        PointSymmetry::Rot(2),
+        PointSymmetry::Rot(3),
+        PointSymmetry::Rot(4),
+        PointSymmetry::Rot(5),
+        PointSymmetry::Ref(0),
+        PointSymmetry::Ref(1),
+        PointSymmetry::Ref(2),
+        PointSymmetry::Ref(3),
+        PointSymmetry::Ref(4),
+        PointSymmetry::Ref(5),
+    ];
+
+    /// The six rotations only (the chirality-preserving subgroup C6).
+    pub const ROTATIONS: [PointSymmetry; 6] = [
+        PointSymmetry::Rot(0),
+        PointSymmetry::Rot(1),
+        PointSymmetry::Rot(2),
+        PointSymmetry::Rot(3),
+        PointSymmetry::Rot(4),
+        PointSymmetry::Rot(5),
+    ];
+
+    /// Applies this symmetry to a coordinate (fixing the origin).
+    #[must_use]
+    pub fn apply(self, c: Coord) -> Coord {
+        match self {
+            PointSymmetry::Rot(k) => rotate_ccw(c, k as usize),
+            PointSymmetry::Ref(k) => rotate_ccw(mirror_x(c), k as usize),
+        }
+    }
+
+    /// Applies this symmetry to a direction.
+    #[must_use]
+    pub fn apply_dir(self, d: Dir) -> Dir {
+        Dir::from_delta(self.apply(d.delta())).expect("point symmetries permute unit steps")
+    }
+
+    /// Whether this symmetry preserves chirality (is a pure rotation).
+    #[must_use]
+    pub fn preserves_chirality(self) -> bool {
+        matches!(self, PointSymmetry::Rot(_))
+    }
+
+    /// Group composition: `self ∘ other` (apply `other` first).
+    #[must_use]
+    pub fn compose(self, other: PointSymmetry) -> PointSymmetry {
+        use PointSymmetry::{Ref, Rot};
+        match (self, other) {
+            (Rot(a), Rot(b)) => Rot((a + b) % 6),
+            (Rot(a), Ref(b)) => Ref((a + b) % 6),
+            // Ref(a)∘Rot(b): mirror∘rot(b) = rot(-b)∘mirror, so
+            // rot(a)∘mirror∘rot(b) = rot(a - b)∘mirror = Ref(a - b).
+            (Ref(a), Rot(b)) => Ref((a + 6 - b) % 6),
+            // Ref(a)∘Ref(b) = rot(a)∘mirror∘rot(b)∘mirror = rot(a - b).
+            (Ref(a), Ref(b)) => Rot((a + 6 - b) % 6),
+        }
+    }
+
+    /// The inverse element.
+    #[must_use]
+    pub fn inverse(self) -> PointSymmetry {
+        match self {
+            PointSymmetry::Rot(k) => PointSymmetry::Rot((6 - k) % 6),
+            r @ PointSymmetry::Ref(_) => r, // reflections are involutions
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_permutes_neighbors() {
+        // 60° CCW must map E to NE, NE to NW, etc.
+        for d in Dir::ALL {
+            assert_eq!(rotate_ccw(d.delta(), 1), d.rotate_ccw(1).delta());
+        }
+    }
+
+    #[test]
+    fn rotation_has_order_six() {
+        let c = Coord::new(5, 3);
+        assert_eq!(rotate_ccw(c, 6), c);
+        assert_eq!(rotate_ccw(rotate_ccw(c, 2), 4), c);
+        assert_eq!(rotate_cw(rotate_ccw(c, 2), 2), c);
+    }
+
+    #[test]
+    fn rotation_preserves_distance() {
+        let a = Coord::new(7, 1);
+        let b = Coord::new(-2, -4);
+        for k in 0..6 {
+            assert_eq!(rotate_ccw(a, k).distance(rotate_ccw(b, k)), a.distance(b));
+        }
+    }
+
+    #[test]
+    fn mirrors_preserve_distance_and_are_involutions() {
+        let a = Coord::new(7, 1);
+        let b = Coord::new(-2, -4);
+        assert_eq!(mirror_x(a).distance(mirror_x(b)), a.distance(b));
+        assert_eq!(mirror_y(a).distance(mirror_y(b)), a.distance(b));
+        assert_eq!(mirror_x(mirror_x(a)), a);
+        assert_eq!(mirror_y(mirror_y(a)), a);
+    }
+
+    #[test]
+    fn point_group_closure_and_inverses() {
+        let probe = [Coord::new(2, 0), Coord::new(1, 1), Coord::new(5, 3)];
+        for s in PointSymmetry::ALL {
+            for t in PointSymmetry::ALL {
+                let st = s.compose(t);
+                for c in probe {
+                    assert_eq!(st.apply(c), s.apply(t.apply(c)), "compose({s:?},{t:?})");
+                }
+            }
+            let inv = s.inverse();
+            for c in probe {
+                assert_eq!(inv.apply(s.apply(c)), c, "inverse of {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn chirality_flag() {
+        let a = Dir::E;
+        for s in PointSymmetry::ALL {
+            // A symmetry preserves chirality iff it maps (E, NE) to a pair
+            // that is still one CCW step apart.
+            let e = s.apply_dir(a);
+            let ne = s.apply_dir(a.rotate_ccw(1));
+            let preserved = ne == e.rotate_ccw(1);
+            assert_eq!(preserved, s.preserves_chirality(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn apply_dir_matches_apply_on_deltas() {
+        for s in PointSymmetry::ALL {
+            for d in Dir::ALL {
+                assert_eq!(s.apply_dir(d).delta(), s.apply(d.delta()));
+            }
+        }
+    }
+}

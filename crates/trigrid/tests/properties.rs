@@ -1,0 +1,116 @@
+//! Property-based tests for the triangular-grid geometry.
+
+use proptest::prelude::*;
+use trigrid::transform::{mirror_x, mirror_y, rotate_ccw, PointSymmetry};
+use trigrid::{path, region, Coord, Dir, ORIGIN};
+
+/// Strategy producing arbitrary lattice nodes in a bounded window.
+fn coord() -> impl Strategy<Value = Coord> {
+    (-50i32..50, -50i32..50).prop_map(|(x, y)| {
+        // Snap to the lattice by fixing parity via x.
+        if (x + y) % 2 == 0 {
+            Coord::new(x, y)
+        } else {
+            Coord::new(x + 1, y)
+        }
+    })
+}
+
+fn dir() -> impl Strategy<Value = Dir> {
+    (0usize..6).prop_map(Dir::from_index)
+}
+
+proptest! {
+    #[test]
+    fn distance_is_a_metric(a in coord(), b in coord(), c in coord()) {
+        // symmetry
+        prop_assert_eq!(a.distance(b), b.distance(a));
+        // identity
+        prop_assert_eq!(a.distance(a), 0);
+        prop_assert!(a == b || a.distance(b) > 0);
+        // triangle inequality
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c));
+    }
+
+    #[test]
+    fn distance_is_translation_invariant(a in coord(), b in coord(), t in coord()) {
+        prop_assert_eq!((a + t).distance(b + t), a.distance(b));
+    }
+
+    #[test]
+    fn one_step_changes_distance_by_at_most_one(a in coord(), b in coord(), d in dir()) {
+        let before = a.distance(b);
+        let after = a.step(d).distance(b);
+        prop_assert!(before.abs_diff(after) <= 1);
+    }
+
+    #[test]
+    fn shortest_path_realises_distance(a in coord(), b in coord()) {
+        let p = path::shortest_path(a, b);
+        prop_assert_eq!(p.len() as u32, a.distance(b));
+        let mut cur = a;
+        for d in p { cur = cur.step(d); }
+        prop_assert_eq!(cur, b);
+    }
+
+    #[test]
+    fn rotations_preserve_distance(a in coord(), b in coord(), k in 0usize..6) {
+        prop_assert_eq!(rotate_ccw(a, k).distance(rotate_ccw(b, k)), a.distance(b));
+    }
+
+    #[test]
+    fn mirrors_preserve_distance(a in coord(), b in coord()) {
+        prop_assert_eq!(mirror_x(a).distance(mirror_x(b)), a.distance(b));
+        prop_assert_eq!(mirror_y(a).distance(mirror_y(b)), a.distance(b));
+    }
+
+    #[test]
+    fn point_symmetries_are_lattice_automorphisms(a in coord(), d in dir()) {
+        for s in PointSymmetry::ALL {
+            // adjacency is preserved edge-by-edge
+            let mapped_edge = s.apply(a.step(d)) - s.apply(a);
+            prop_assert_eq!(Dir::from_delta(mapped_edge), Some(s.apply_dir(d)));
+        }
+    }
+
+    #[test]
+    fn ring_membership_is_exact(r in 0u32..5, c in coord()) {
+        for n in region::ring(c, r) {
+            prop_assert_eq!(c.distance(n), r);
+        }
+    }
+
+    #[test]
+    fn disk_count_formula(r in 0u32..6) {
+        prop_assert_eq!(region::disk(ORIGIN, r).len() as u32, 1 + 3 * r * (r + 1));
+    }
+
+    #[test]
+    fn neighbors_are_mutual(a in coord()) {
+        for n in a.neighbors() {
+            prop_assert!(n.neighbors().contains(&a));
+        }
+    }
+
+    #[test]
+    fn connectivity_of_path_sets(a in coord(), b in coord()) {
+        // The trace of a shortest path is connected.
+        let mut trace = vec![a];
+        let mut cur = a;
+        for d in path::shortest_path(a, b) {
+            cur = cur.step(d);
+            trace.push(cur);
+        }
+        prop_assert!(path::is_connected(&trace));
+    }
+
+    #[test]
+    fn diameter_bounds(a in coord(), b in coord(), c in coord()) {
+        let set = [a, b, c];
+        let d = region::diameter(&set);
+        prop_assert!(d >= a.distance(b));
+        prop_assert!(d >= a.distance(c));
+        prop_assert!(d >= b.distance(c));
+        prop_assert!(d == a.distance(b) || d == a.distance(c) || d == b.distance(c));
+    }
+}

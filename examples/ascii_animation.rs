@@ -1,0 +1,41 @@
+//! Renders a gathering execution frame by frame (paper Fig. 54 style)
+//! for a handful of characteristic initial shapes.
+//!
+//! ```text
+//! cargo run --release --example ascii_animation [-- line|zigzag|lshape|random]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trigather::prelude::*;
+
+fn shape(name: &str) -> Configuration {
+    match name {
+        "zigzag" => Configuration::new(
+            [(0, 0), (1, 1), (2, 0), (3, 1), (4, 0), (5, 1), (6, 0)]
+                .map(|(x, y)| Coord::new(x, y)),
+        ),
+        "lshape" => Configuration::new(
+            [(0, 0), (2, 0), (4, 0), (6, 0), (8, 0), (7, 1), (6, 2)].map(|(x, y)| Coord::new(x, y)),
+        ),
+        "random" => {
+            let mut rng = StdRng::seed_from_u64(2021);
+            Configuration::new(trigather::polyhex::random_connected(7, &mut rng))
+        }
+        _ => Configuration::new((0..7).map(|i| Coord::new(2 * i, 0))),
+    }
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "zigzag".into());
+    let initial = shape(&which);
+    let algo = SevenGather::verified();
+    let ex = trigather::robots::engine::run_traced(&initial, &algo, Limits::default());
+
+    for (round, cfg) in ex.trace.as_ref().unwrap().iter().enumerate() {
+        println!("round {round}  (diameter {}):", cfg.diameter());
+        print!("{}", trigather::simlab::render::render(cfg));
+        println!();
+    }
+    println!("outcome: {:?}", ex.outcome);
+}

@@ -1,0 +1,35 @@
+//! Quickstart: watch seven robots gather (paper Fig. 54 style).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use trigather::prelude::*;
+
+fn main() {
+    // Seven robots in a west-east line — the classic hard case: every
+    // robot sees at most two neighbours and must still agree, through
+    // positions alone, where the hexagon forms.
+    let initial = Configuration::new((0..7).map(|i| Coord::new(2 * i, 0)));
+    let algo = SevenGather::verified();
+
+    let ex = trigather::robots::engine::run_traced(&initial, &algo, Limits::default());
+    let trace = ex.trace.as_ref().expect("traced run");
+
+    println!("algorithm: {}", trigather::robots::Algorithm::name(&algo));
+    println!("initial configuration ({} robots):\n", initial.len());
+    for (round, cfg) in trace.iter().enumerate() {
+        println!("--- round {round} ---");
+        print!("{}", trigather::simlab::render::render(cfg));
+    }
+    match ex.outcome {
+        Outcome::Gathered { rounds } => {
+            println!("gathered in {rounds} rounds ✓");
+            println!(
+                "centre of the hexagon: {}",
+                ex.final_config.gathered_center().expect("gathered")
+            );
+        }
+        other => println!("did not gather: {other:?}"),
+    }
+}

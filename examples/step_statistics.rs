@@ -1,0 +1,28 @@
+//! Experiment E8: convergence-speed statistics (an extension — the
+//! paper reports only the boolean all-3652 verdict).
+//!
+//! ```text
+//! cargo run --release --example step_statistics [-- out.json]
+//! ```
+
+use gathering::SevenGather;
+use robots::Limits;
+use simlab::{export, stats, verify_all};
+
+fn main() {
+    let report = verify_all(7, &SevenGather::verified(), Limits::default(), 0);
+    println!("{}", report.summary());
+
+    let s = stats::rounds_stats(&report).expect("all classes gather");
+    println!(
+        "rounds to gather over {} classes: min={} median={} p95={} max={} mean={:.2}\n",
+        s.count, s.min, s.median, s.p95, s.max, s.mean
+    );
+    println!("{}", stats::ascii_histogram(&report, 25));
+    println!("histogram CSV:\n{}", export::histogram_to_csv(&report));
+
+    if let Some(path) = std::env::args().nth(1) {
+        std::fs::write(&path, export::report_to_json(&report)).expect("write report");
+        println!("full JSON report written to {path}");
+    }
+}

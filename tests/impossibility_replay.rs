@@ -1,0 +1,101 @@
+//! Integration checks for the Theorem 1 machinery: the paper-witness
+//! replay and small, bounded slices of the impossibility search.
+
+use impossibility::replay::{self, Hypothesis};
+use impossibility::sim::{config, simulate, FailKind, SimResult};
+use impossibility::table::{encode, gathered_views, RuleTable, TableAlgorithm};
+use trigrid::Dir;
+
+#[test]
+fn proposition1_has_collision_witnesses() {
+    let base = replay::base_hypothesis();
+    for (name, claim) in replay::proposition1_claims() {
+        assert!(
+            replay::collision_witness(base, claim, 7).is_some(),
+            "Proposition 1 {name} must have a witness"
+        );
+    }
+}
+
+#[test]
+fn corollary1_direction_constraints_have_witnesses() {
+    // Corollary 1: a robot with one adjacent robot node E can move only
+    // to NE or SE. Check that the two *other* non-trivial moves collide
+    // with the symmetric partner (mirror of the same rule applied to the
+    // W-neighbour robot): moving E (onto the neighbour that stays)…
+    // the simplest mechanical rendering: E-only moving E collides with
+    // the stay of its neighbour in a 2-robot configuration.
+    let a = Hypothesis::new(&[Dir::E], Dir::E);
+    // The neighbour (whose view contains W) stays; a collision of kind
+    // (b) needs only the mover, which collision_witness models by
+    // pairing with a rule that stays? Use simulate instead:
+    let mut t = RuleTable::empty().complete_with_stay();
+    t.assign(0b000001, encode(Some(Dir::E))); // E-only -> E
+    let two_plus_line = config(&[(0, 0), (2, 0), (4, 0), (6, 0), (8, 0), (10, 0), (12, 0)]);
+    assert_eq!(simulate(&two_plus_line, &t), SimResult::Fails(FailKind::Collision));
+    let _ = a;
+}
+
+#[test]
+fn livelock_witnesses_for_both_case2_subcases() {
+    let (c1, p1) = replay::livelock_witness(&replay::case_2_1_rules()).expect("Fig. 12");
+    let (c2, p2) = replay::livelock_witness(&replay::case_2_2_rules()).expect("Fig. 13");
+    assert!(c1.is_connected() && c2.is_connected());
+    assert!(p1 >= 1 && p2 >= 1);
+}
+
+#[test]
+fn forced_stays_are_necessary_for_any_solver() {
+    // Any table that moves a robot in a gathered-hexagon view cannot
+    // satisfy Definition 1 on the hexagon class itself.
+    for bits in gathered_views() {
+        for dir in Dir::ALL {
+            let mut t = RuleTable::empty().complete_with_stay();
+            t.assign(bits, encode(Some(dir)));
+            let algo = TableAlgorithm::new(&t);
+            let h = robots::hexagon(trigrid::ORIGIN);
+            let ex = robots::engine::run(&h, &algo, robots::Limits::default());
+            assert!(
+                !ex.outcome.is_gathered(),
+                "moving view {bits:#08b} toward {dir:?} must break the hexagon fixpoint"
+            );
+        }
+    }
+}
+
+#[test]
+fn stay_only_algorithm_fails_definition1() {
+    let t = RuleTable::empty().complete_with_stay();
+    let line = config(&[(0, 0), (2, 0), (4, 0), (6, 0), (8, 0), (10, 0), (12, 0)]);
+    assert_eq!(simulate(&line, &t), SimResult::Fails(FailKind::StuckFixpoint));
+}
+
+#[test]
+fn simulate_agrees_with_engine_for_total_tables() {
+    // The partial-table simulator and the generic engine must agree on
+    // total tables, on a batch of classes.
+    let mut t = RuleTable::empty().complete_with_stay();
+    t.assign(0b000001, encode(Some(Dir::NE))); // E-only climbs NE
+    let algo = TableAlgorithm::new(&t);
+    let classes: Vec<_> = polyhex::enumerate_fixed(7).into_iter().step_by(97).collect();
+    for cells in classes {
+        let initial: robots::Configuration = cells.iter().copied().collect();
+        let sim = simulate(&initial, &t);
+        let ex = robots::engine::run(&initial, &algo, robots::Limits::default());
+        let agree = matches!(
+            (&sim, &ex.outcome),
+            (SimResult::Gathers, robots::Outcome::Gathered { .. })
+                | (SimResult::Fails(FailKind::Collision), robots::Outcome::Collision { .. })
+                | (
+                    SimResult::Fails(FailKind::StuckFixpoint),
+                    robots::Outcome::StuckFixpoint { .. }
+                )
+                | (SimResult::Fails(FailKind::Livelock), robots::Outcome::Livelock { .. })
+                | (
+                    SimResult::Fails(FailKind::Disconnected),
+                    robots::Outcome::Disconnected { .. }
+                )
+        );
+        assert!(agree, "sim {sim:?} vs engine {:?} on {initial:?}", ex.outcome);
+    }
+}

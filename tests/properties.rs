@@ -1,0 +1,75 @@
+//! Property-based integration tests (proptest): random connected
+//! configurations and random schedules keep the core invariants.
+
+use gathering::SevenGather;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use robots::sched::{run_scheduled, RandomSubset};
+use robots::{engine, Configuration, Limits, Outcome};
+
+fn random_class(seed: u64) -> Configuration {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Configuration::new(polyhex::random_connected(7, &mut rng))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(debug_assertions) { 16 } else { 64 }))]
+
+    #[test]
+    fn random_connected_classes_gather_under_fsync(seed in 0u64..10_000) {
+        let algo = SevenGather::verified();
+        let initial = random_class(seed);
+        let ex = engine::run(&initial, &algo, Limits::default());
+        prop_assert!(ex.outcome.is_gathered(), "{:?} -> {:?}", initial, ex.outcome);
+        prop_assert_eq!(ex.final_config.diameter(), 2);
+    }
+
+    #[test]
+    fn random_translations_do_not_change_outcomes(seed in 0u64..10_000, dx in -20i32..20, dy in -20i32..20) {
+        let delta = trigrid::Coord::new(if (dx + dy) % 2 == 0 { dx } else { dx + 1 }, dy);
+        let algo = SevenGather::verified();
+        let initial = random_class(seed);
+        let a = engine::run(&initial, &algo, Limits::default());
+        let b = engine::run(&initial.translate(delta), &algo, Limits::default());
+        prop_assert_eq!(&a.outcome, &b.outcome);
+        prop_assert_eq!(a.final_config.translate(delta), b.final_config);
+    }
+
+    #[test]
+    fn random_schedulers_never_disconnect_silently(seed in 0u64..2_000) {
+        // Under arbitrary random activation the algorithm loses its FSYNC
+        // correctness claim, but the engine must always classify the run
+        // into a definite outcome within the cap.
+        let algo = SevenGather::verified();
+        let initial = random_class(seed);
+        let mut sched = RandomSubset::new(seed, 0.5);
+        let limits = Limits { max_rounds: 500, detect_livelock: false };
+        let ex = run_scheduled(&initial, &algo, &mut sched, limits);
+        match ex.outcome {
+            Outcome::Gathered { .. }
+            | Outcome::StuckFixpoint { .. }
+            | Outcome::Collision { .. }
+            | Outcome::Disconnected { .. }
+            | Outcome::StepLimit { .. }
+            | Outcome::Livelock { .. } => {}
+        }
+        // Robot count is conserved no matter what.
+        prop_assert_eq!(ex.final_config.len(), 7);
+    }
+
+    #[test]
+    fn enumerated_and_random_classes_share_canonical_space(seed in 0u64..10_000) {
+        // Every random connected 7-set's canonical form appears in the
+        // fixed enumeration (spot check of enumeration completeness).
+        let cls = random_class(seed);
+        let canon = cls.canonical();
+        let mut found = false;
+        polyhex::for_each_fixed(7, |cells| {
+            if !found && cells == canon.positions() {
+                found = true;
+            }
+        });
+        prop_assert!(found, "{:?} missing from the enumeration", canon);
+    }
+}

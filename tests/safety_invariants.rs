@@ -1,0 +1,81 @@
+//! Safety invariants of the verified algorithm, checked round by round
+//! on a deterministic sample of executions: connectivity never breaks,
+//! robot count is conserved, no configuration class repeats, and every
+//! execution ends in the hexagon with diameter 2.
+
+use gathering::SevenGather;
+use robots::{engine, Configuration, Limits};
+use std::collections::HashSet;
+
+fn sample(step: usize) -> Vec<Configuration> {
+    polyhex::enumerate_fixed(7).into_iter().step_by(step).map(Configuration::new).collect()
+}
+
+#[test]
+fn traced_executions_keep_all_invariants() {
+    let algo = SevenGather::verified();
+    let step = if cfg!(debug_assertions) { 53 } else { 7 };
+    for initial in sample(step) {
+        let ex = engine::run_traced(&initial, &algo, Limits::default());
+        assert!(ex.outcome.is_gathered(), "{initial:?} -> {:?}", ex.outcome);
+        let trace = ex.trace.expect("traced");
+        let mut seen: HashSet<Configuration> = HashSet::new();
+        for (round, cfg) in trace.iter().enumerate() {
+            assert_eq!(cfg.len(), 7, "robots conserved at round {round} from {initial:?}");
+            assert!(cfg.is_connected(), "disconnected at round {round} from {initial:?}");
+            assert!(
+                seen.insert(cfg.canonical()),
+                "class repeated at round {round} from {initial:?} (livelock)"
+            );
+        }
+        let last = trace.last().unwrap();
+        assert!(last.is_gathered());
+        assert_eq!(last.diameter(), 2, "the hexagon minimises the max distance");
+    }
+}
+
+#[test]
+fn each_round_is_a_legal_fsync_round() {
+    // Re-validate every consecutive pair of the trace against the
+    // engine's collision checker: every robot moved at most one step and
+    // no prohibited behaviour occurred.
+    let algo = SevenGather::verified();
+    for initial in sample(101) {
+        let ex = engine::run_traced(&initial, &algo, Limits::default());
+        let trace = ex.trace.expect("traced");
+        for w in trace.windows(2) {
+            let moves = engine::compute_moves(&w[0], &algo);
+            engine::check_moves(&w[0], &moves).expect("round must be collision-free");
+            let stepped = w[0]
+                .positions()
+                .iter()
+                .zip(&moves)
+                .map(|(&p, m)| m.map_or(p, |d| p.step(d)))
+                .collect::<Configuration>();
+            assert_eq!(stepped, w[1], "trace must follow the engine semantics");
+        }
+    }
+}
+
+#[test]
+fn executions_are_translation_equivariant() {
+    let algo = SevenGather::verified();
+    let delta = trigrid::Coord::new(13, 5);
+    for initial in sample(211) {
+        let a = engine::run(&initial, &algo, Limits::default());
+        let b = engine::run(&initial.translate(delta), &algo, Limits::default());
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.final_config.translate(delta), b.final_config);
+    }
+}
+
+#[test]
+fn executions_are_deterministic() {
+    let algo = SevenGather::verified();
+    let algo2 = SevenGather::verified();
+    for initial in sample(301) {
+        let a = engine::run_traced(&initial, &algo, Limits::default());
+        let b = engine::run_traced(&initial, &algo2, Limits::default());
+        assert_eq!(a.trace, b.trace, "independent instances must agree");
+    }
+}

@@ -1,0 +1,62 @@
+//! The headline result (Theorem 2 / §IV-B): the verified algorithm
+//! gathers from **every** connected seven-robot initial configuration.
+//!
+//! The full 3652-class sweep runs in release (`cargo test --release` or
+//! the `exhaustive_verification` example); debug builds check a
+//! deterministic sample so `cargo test --workspace` stays fast.
+
+use gathering::SevenGather;
+use robots::{Configuration, Limits, Outcome};
+
+fn classes(step: usize) -> Vec<Configuration> {
+    polyhex::enumerate_fixed(7)
+        .into_iter()
+        .step_by(step)
+        .map(Configuration::new)
+        .collect()
+}
+
+#[test]
+fn sampled_classes_gather() {
+    let algo = SevenGather::verified();
+    let sample = classes(if cfg!(debug_assertions) { 37 } else { 1 });
+    let failures: usize = parallel::par_map(&sample, 0, |cls| {
+        let ex = robots::engine::run(cls, &algo, Limits::default());
+        usize::from(!ex.outcome.is_gathered())
+    })
+    .into_iter()
+    .sum();
+    assert_eq!(failures, 0, "every sampled class must gather");
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "full sweep is release-only; run cargo test --release")]
+fn all_3652_classes_gather_without_any_failure() {
+    let report = simlab::verify_all(7, &SevenGather::verified(), Limits::default(), 0);
+    assert_eq!(report.total, 3652);
+    assert!(report.all_gathered(), "Theorem 2: {}", report.summary());
+}
+
+#[test]
+fn printed_rules_alone_do_not_solve_the_problem() {
+    // The paper's own text admits omitting "several robot behaviors";
+    // the verbatim pseudocode strands most classes. Check on a sample.
+    let algo = SevenGather::paper();
+    let sample = classes(37);
+    let failures: usize = parallel::par_map(&sample, 0, |cls| {
+        let ex = robots::engine::run(cls, &algo, Limits::default());
+        usize::from(!ex.outcome.is_gathered())
+    })
+    .into_iter()
+    .sum();
+    assert!(failures > 0, "verbatim pseudocode should not pass (it omits behaviours)");
+}
+
+#[test]
+fn gathered_configuration_is_terminal_and_stable() {
+    let algo = SevenGather::verified();
+    let h = robots::hexagon(trigrid::Coord::new(10, 4));
+    let ex = robots::engine::run(&h, &algo, Limits::default());
+    assert_eq!(ex.outcome, Outcome::Gathered { rounds: 0 });
+    assert_eq!(ex.final_config, h);
+}
