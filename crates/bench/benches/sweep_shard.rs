@@ -1,0 +1,39 @@
+//! Throughput of one sweep-pipeline shard: chunked vs work-stealing
+//! executors on the skewed round-robin cell and the uniform FSYNC
+//! cell. Complements `parallel_scaling` (which benches the raw
+//! executors) by measuring the full shard path including record
+//! assembly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simlab::sweep::{run_shard, shard_ranges, AlgoSpec, SchedSpec, SweepConfig};
+
+fn bench(c: &mut Criterion) {
+    let classes = polyhex::enumerate_fixed(7);
+    let (start, end) = shard_ranges(classes.len(), 8)[0];
+
+    let mut g = c.benchmark_group("sweep_shard");
+    g.sample_size(10);
+    for sched in [SchedSpec::Fsync, SchedSpec::RoundRobin] {
+        for stealing in [false, true] {
+            let cfg = SweepConfig {
+                algo: AlgoSpec::Verified,
+                sched,
+                stealing: Some(stealing),
+                ..SweepConfig::default()
+            };
+            let label =
+                format!("{}/{}", cfg.sched.name(), if stealing { "stealing" } else { "chunked" });
+            g.bench_with_input(BenchmarkId::new("shard0", label), &cfg, |b, cfg| {
+                b.iter(|| {
+                    let record = run_shard(&classes, cfg, 0, start, end);
+                    assert_eq!(record.results.len(), end - start);
+                    record
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

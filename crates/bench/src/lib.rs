@@ -7,10 +7,7 @@ use trigrid::Coord;
 /// The 3652 connected seven-robot classes, as configurations.
 #[must_use]
 pub fn all_classes() -> Vec<Configuration> {
-    polyhex::enumerate_fixed(7)
-        .into_iter()
-        .map(Configuration::new)
-        .collect()
+    polyhex::enumerate_fixed(7).into_iter().map(Configuration::new).collect()
 }
 
 /// A deterministic sample of `n` classes, evenly spaced through the

@@ -120,9 +120,7 @@ pub fn base_table() -> &'static [u8] {
     static TABLE: OnceLock<Vec<u8>> = OnceLock::new();
     TABLE
         .get_or_init(|| {
-            (0u64..(1 << 18))
-                .map(|bits| encode(determine(&View::from_bits(2, bits))))
-                .collect()
+            (0u64..(1 << 18)).map(|bits| encode(determine(&View::from_bits(2, bits)))).collect()
         })
         .as_slice()
 }

@@ -98,9 +98,7 @@ pub fn candidates(base: BaseDecision) -> &'static [Dir] {
             (2, 2) => &[Dir::NW, Dir::NE],
             _ => &[],
         },
-        BaseDecision::VirtualEast
-        | BaseDecision::SelfPromotion
-        | BaseDecision::Tie => &[],
+        BaseDecision::VirtualEast | BaseDecision::SelfPromotion | BaseDecision::Tie => &[],
     }
 }
 
@@ -166,7 +164,12 @@ fn for_each_consistent_view(v: &View, u: Coord, hit: impl Fn(u64) -> bool) -> bo
 /// yield (the true assignment is among those enumerated, so this is a
 /// sound over-approximation).
 #[must_use]
-pub fn may_printed_enter(v: &View, u: Coord, target: Coord, opts: crate::rules::RuleOptions) -> bool {
+pub fn may_printed_enter(
+    v: &View,
+    u: Coord,
+    target: Coord,
+    opts: crate::rules::RuleOptions,
+) -> bool {
     let Some(needed) = Dir::from_delta(target - u) else {
         return false; // target is not adjacent to u: it cannot enter
     };

@@ -110,8 +110,7 @@ pub fn level0(v: &View, opts: RuleOptions) -> Option<Dir> {
 pub fn level0_table(opts: RuleOptions) -> &'static [u8] {
     use std::sync::OnceLock;
     const N: usize = 16;
-    static TABLES: [OnceLock<Vec<u8>>; N] =
-        [const { OnceLock::new() }; N];
+    static TABLES: [OnceLock<Vec<u8>>; N] = [const { OnceLock::new() }; N];
     let key = usize::from(opts.fix_line25_misprint)
         | (usize::from(opts.priority_guard) << 1)
         | (usize::from(opts.connectivity_guard) << 2)
@@ -278,8 +277,7 @@ pub fn printed(v: &View, opts: RuleOptions) -> Option<Dir> {
             return Some(Dir::NE);
         }
         // Line 24: move east to (2,0).
-        if r(1, 1) && e(2, 0) && ((e(-2, 0) && e(-1, -1)) || (e(-1, -1) && r(-2, 0) && r(-1, 1)))
-        {
+        if r(1, 1) && e(2, 0) && ((e(-2, 0) && e(-1, -1)) || (e(-1, -1) && r(-2, 0) && r(-1, 1))) {
             return Some(Dir::E);
         }
         // Line 25: the retreat move northwest to (-1,1) (Fig. 53's
@@ -446,11 +444,11 @@ mod tests {
     #[test]
     fn line31_stay_cases() {
         for cells in [
-            &[(2, 0)][..],           // base east neighbour
-            &[(1, 1)][..],           // base NE neighbour
-            &[(1, -1)][..],          // base SE neighbour
-            &[(-2, 0)][..],          // base is self
-            &[(2, 0), (2, 2)][..],   // tie -> no base
+            &[(2, 0)][..],         // base east neighbour
+            &[(1, 1)][..],         // base NE neighbour
+            &[(1, -1)][..],        // base SE neighbour
+            &[(-2, 0)][..],        // base is self
+            &[(2, 0), (2, 2)][..], // tie -> no base
         ] {
             let v = view_of(cells);
             assert_eq!(compute(&v, V), None, "must stay with robots {cells:?}");

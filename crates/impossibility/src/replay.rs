@@ -57,11 +57,8 @@ pub fn collision_witness(a: Hypothesis, b: Hypothesis, n: usize) -> Option<Confi
                 return;
             }
             let cfg: Configuration = cells.iter().copied().collect();
-            let views: Vec<u8> = cfg
-                .positions()
-                .iter()
-                .map(|&p| View::observe(&cfg, p, 1).bits() as u8)
-                .collect();
+            let views: Vec<u8> =
+                cfg.positions().iter().map(|&p| View::observe(&cfg, p, 1).bits() as u8).collect();
             for (i, &pi) in cfg.positions().iter().enumerate() {
                 if views[i] != a.view_bits {
                     continue;

@@ -78,7 +78,11 @@ fn affected(entry: &(SimResult, u64), v: u8) -> bool {
 }
 
 /// Simulates every class from scratch.
-fn fresh_cache(table: &RuleTable, classes: &[Configuration], stats: &mut SearchStats) -> ClassCache {
+fn fresh_cache(
+    table: &RuleTable,
+    classes: &[Configuration],
+    stats: &mut SearchStats,
+) -> ClassCache {
     classes
         .iter()
         .map(|c| {
@@ -219,8 +223,7 @@ fn dfs_parallel(
     let mut frontier = Vec::new();
     // Depth 4 gives up to 7^4 = 2401 subtrees; with single-item claiming
     // below, that smooths out the (massively skewed) subtree costs.
-    if let Err(solution) =
-        collect_frontier(&mut table, classes, 4, &mut path, &mut frontier, stats)
+    if let Err(solution) = collect_frontier(&mut table, classes, 4, &mut path, &mut frontier, stats)
     {
         return Some(solution);
     }

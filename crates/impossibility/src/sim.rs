@@ -88,12 +88,8 @@ pub fn simulate_tracked(initial: &Configuration, table: &RuleTable) -> (SimResul
         if engine::check_moves(&cfg, &moves).is_err() {
             return (SimResult::Fails(FailKind::Collision), reads);
         }
-        cfg = cfg
-            .positions()
-            .iter()
-            .zip(&moves)
-            .map(|(&p, m)| m.map_or(p, |d| p.step(d)))
-            .collect();
+        cfg =
+            cfg.positions().iter().zip(&moves).map(|(&p, m)| m.map_or(p, |d| p.step(d))).collect();
         if !cfg.is_connected() {
             return (SimResult::Fails(FailKind::Disconnected), reads);
         }

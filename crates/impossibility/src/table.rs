@@ -139,11 +139,7 @@ pub fn view_bits(view: &View) -> u8 {
 #[must_use]
 pub fn gathered_views() -> Vec<u8> {
     let hexagon = robots::hexagon(trigrid::ORIGIN);
-    hexagon
-        .positions()
-        .iter()
-        .map(|&p| view_bits(&View::observe(&hexagon, p, 1)))
-        .collect()
+    hexagon.positions().iter().map(|&p| view_bits(&View::observe(&hexagon, p, 1))).collect()
 }
 
 /// A [`robots::Algorithm`] adapter for a **total** rule table.

@@ -157,9 +157,8 @@ mod tests {
         // computes first, then the west robot computes+moves twice…
         // simplest deterministic check: under round-robin the semantics
         // still serialise, so use a custom scheduler that interleaves.
-        let follow = FnAlgorithm::new(1, "march", |v: &View| {
-            (!v.neighbor(Dir::E)).then_some(Dir::E)
-        });
+        let follow =
+            FnAlgorithm::new(1, "march", |v: &View| (!v.neighbor(Dir::E)).then_some(Dir::E));
         struct Interleave;
         impl AsyncScheduler for Interleave {
             fn pick(&mut self, tick: usize, _n: usize) -> usize {

@@ -113,12 +113,7 @@ impl Configuration {
     #[must_use]
     pub(crate) fn apply_unchecked(&self, moves: &[Option<Dir>]) -> Configuration {
         debug_assert_eq!(moves.len(), self.nodes.len());
-        Configuration::new(
-            self.nodes
-                .iter()
-                .zip(moves)
-                .map(|(&c, m)| m.map_or(c, |d| c.step(d))),
-        )
+        Configuration::new(self.nodes.iter().zip(moves).map(|(&c, m)| m.map_or(c, |d| c.step(d))))
     }
 }
 
@@ -152,10 +147,7 @@ mod tests {
     #[test]
     fn construction_sorts_rowmajor() {
         let c = Configuration::new([Coord::new(2, 0), Coord::new(0, 0), Coord::new(1, 1)]);
-        assert_eq!(
-            c.positions(),
-            &[Coord::new(0, 0), Coord::new(2, 0), Coord::new(1, 1)]
-        );
+        assert_eq!(c.positions(), &[Coord::new(0, 0), Coord::new(2, 0), Coord::new(1, 1)]);
     }
 
     #[test]

@@ -75,11 +75,7 @@ pub enum RoundCollision {
 #[must_use]
 pub fn compute_moves<A: Algorithm + ?Sized>(config: &Configuration, algo: &A) -> Vec<Option<Dir>> {
     let radius = algo.radius();
-    config
-        .positions()
-        .iter()
-        .map(|&p| algo.compute(&View::observe(config, p, radius)))
-        .collect()
+    config.positions().iter().map(|&p| algo.compute(&View::observe(config, p, radius))).collect()
 }
 
 /// Validates simultaneous moves against the paper's collision rules.
@@ -109,11 +105,8 @@ pub fn check_moves(config: &Configuration, moves: &[Option<Dir>]) -> Result<(), 
     }
 
     // (b)/(c) shared destinations.
-    let mut dests: Vec<(Coord, Coord)> = positions
-        .iter()
-        .zip(moves)
-        .map(|(&p, m)| (m.map_or(p, |d| p.step(d)), p))
-        .collect();
+    let mut dests: Vec<(Coord, Coord)> =
+        positions.iter().zip(moves).map(|(&p, m)| (m.map_or(p, |d| p.step(d)), p)).collect();
     dests.sort_by_key(|(dest, _)| polyhex::key(*dest));
     for window in dests.windows(2) {
         if window[0].0 == window[1].0 {

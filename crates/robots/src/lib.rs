@@ -24,8 +24,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod async_model;
 mod algorithm;
+pub mod async_model;
 mod config;
 pub mod engine;
 pub mod sched;

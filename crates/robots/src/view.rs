@@ -19,9 +19,7 @@ pub const MAX_RADIUS: u32 = 4;
 pub fn labels(radius: u32) -> &'static [Coord] {
     static CACHE: OnceLock<Vec<Vec<Coord>>> = OnceLock::new();
     let all = CACHE.get_or_init(|| {
-        (0..=MAX_RADIUS)
-            .map(|r| region::disk(ORIGIN, r).into_iter().skip(1).collect())
-            .collect()
+        (0..=MAX_RADIUS).map(|r| region::disk(ORIGIN, r).into_iter().skip(1).collect()).collect()
     });
     &all[radius as usize]
 }
@@ -156,8 +154,7 @@ impl View {
     /// arguments of the Theorem 1 proof and for symmetry tests).
     #[must_use]
     pub fn mirror_x(&self) -> View {
-        let occupied: Vec<Coord> =
-            self.robot_labels().map(trigrid::transform::mirror_x).collect();
+        let occupied: Vec<Coord> = self.robot_labels().map(trigrid::transform::mirror_x).collect();
         View::from_labels(self.radius, &occupied)
     }
 

@@ -6,9 +6,32 @@ fn main() {
     let combos = [
         ("paper-verbatim", RuleOptions::PAPER),
         ("fix25", RuleOptions { fix_line25_misprint: true, ..RuleOptions::PAPER }),
-        ("fix25+conn", RuleOptions { fix_line25_misprint: true, connectivity_guard: true, ..RuleOptions::PAPER }),
-        ("fix25+conn+mirror", RuleOptions { fix_line25_misprint: true, connectivity_guard: true, mirror_line23_guard: true, ..RuleOptions::PAPER }),
-        ("fix25+conn+compl", RuleOptions { fix_line25_misprint: true, connectivity_guard: true, completion: true, ..RuleOptions::PAPER }),
+        (
+            "fix25+conn",
+            RuleOptions {
+                fix_line25_misprint: true,
+                connectivity_guard: true,
+                ..RuleOptions::PAPER
+            },
+        ),
+        (
+            "fix25+conn+mirror",
+            RuleOptions {
+                fix_line25_misprint: true,
+                connectivity_guard: true,
+                mirror_line23_guard: true,
+                ..RuleOptions::PAPER
+            },
+        ),
+        (
+            "fix25+conn+compl",
+            RuleOptions {
+                fix_line25_misprint: true,
+                connectivity_guard: true,
+                completion: true,
+                ..RuleOptions::PAPER
+            },
+        ),
         ("level0(VERIFIED)+compl (no overrides)", RuleOptions::VERIFIED),
     ];
     for (name, opts) in combos {

@@ -38,8 +38,7 @@ fn main() {
 
     let mut outcome_kinds: HashMap<&'static str, usize> = HashMap::new();
     // stuck fixpoints and livelocks clustered by canonical final config
-    let mut clusters: HashMap<Configuration, (usize, Configuration, &'static str)> =
-        HashMap::new();
+    let mut clusters: HashMap<Configuration, (usize, Configuration, &'static str)> = HashMap::new();
     let mut gathered = 0usize;
     for ex in &results {
         let kind = match ex.outcome {

@@ -34,9 +34,7 @@ fn main() {
              gathers all connected classes (symmetric rules confine the x-axis line to its row)"
         );
     } else {
-        println!(
-            "THEOREM 1 VERIFIED: no visibility-1 algorithm gathers all connected classes"
-        );
+        println!("THEOREM 1 VERIFIED: no visibility-1 algorithm gathers all connected classes");
     }
     println!(
         "core classes: {} | CEGIS rounds: {} | DFS nodes: {} | simulations: {} | max depth: {} | {:.2?}",

@@ -3,31 +3,38 @@ use robots::{Algorithm, Configuration, View};
 use trigrid::{Coord, Dir};
 
 fn main() {
-    let cells = [(0,0),(-3,1),(-1,1),(1,1),(0,2),(-3,3),(-1,3)];
-    let cfg = Configuration::new(cells.iter().map(|&(x,y)| Coord::new(x,y)));
+    let cells = [(0, 0), (-3, 1), (-1, 1), (1, 1), (0, 2), (-3, 3), (-1, 3)];
+    let cfg = Configuration::new(cells.iter().map(|&(x, y)| Coord::new(x, y)));
     let algo = SevenGather::verified();
     for &p in cfg.positions() {
         let v = View::observe(&cfg, p, 2);
         let b = base::determine(&v);
         let printed = rules::printed(&v, rules::RuleOptions::VERIFIED);
         let compl = completion::compute(&v, rules::RuleOptions::VERIFIED);
-        println!("robot {p}: base {b:?} printed {printed:?} completion {compl:?} final {:?}", algo.compute(&v));
+        println!(
+            "robot {p}: base {b:?} printed {printed:?} completion {compl:?} final {:?}",
+            algo.compute(&v)
+        );
         if p == Coord::new(-3, 3) {
             let cands = completion::candidates(b);
             println!("  candidates: {cands:?}");
             for &d in cands {
                 let t = d.delta();
-                println!("  {d:?}: empty={} conn={} hug={} conflict_free={}",
+                println!(
+                    "  {d:?}: empty={} conn={} hug={} conflict_free={}",
                     v.is_empty_node(t),
                     gathering::safety::connectivity_safe(&v, d),
                     completion::dependents_hug_target(&v, d),
-                    completion::conflict_free(&v, d, rules::RuleOptions::VERIFIED));
+                    completion::conflict_free(&v, d, rules::RuleOptions::VERIFIED)
+                );
                 for u in t.neighbors() {
                     if u != trigrid::ORIGIN && v.is_robot(u) {
-                        println!("    competitor {u}: may_printed={} may_complete={} entry={:?}",
+                        println!(
+                            "    competitor {u}: may_printed={} may_complete={} entry={:?}",
                             completion::may_printed_enter(&v, u, t, rules::RuleOptions::VERIFIED),
                             completion::may_complete_enter(&v, u, t),
-                            Dir::from_delta(t - u));
+                            Dir::from_delta(t - u)
+                        );
                     }
                 }
             }

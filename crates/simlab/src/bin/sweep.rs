@@ -1,0 +1,210 @@
+//! Sharded, resumable scheduler-matrix verification sweeps.
+//!
+//! ```text
+//! cargo run --release -p simlab --bin sweep -- \
+//!     [--algo paper|verified|FLAGS] [--sched fsync|round-robin|random[:SEED:P]] \
+//!     [--n 7] [--shards 8] [--threads 0] [--stealing auto|on|off] \
+//!     [--max-rounds N] [--out-dir target/sweep] [--resume] \
+//!     [--fail-fast] [--matrix]
+//! ```
+//!
+//! One invocation runs one cell of the {algorithm} × {scheduler}
+//! matrix, writing per-shard JSON records plus a merged summary into
+//! the output directory. `--resume` reuses any shard record already on
+//! disk that matches the cell, so interrupted sweeps continue where
+//! they stopped. `--fail-fast` skips the pipeline and instead hunts for
+//! a single counterexample with the early-exit executor. `--matrix`
+//! runs the full default matrix ({paper, verified, fix25+conn+compl} ×
+//! {fsync, round-robin, random}) and prints a verdict table.
+
+use robots::Limits;
+use simlab::sweep::{run_sweep, AlgoSpec, SchedSpec, ShardStatus, SweepConfig, SweepSummary};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    cfg: SweepConfig,
+    out_dir: PathBuf,
+    resume: bool,
+    fail_fast: bool,
+    matrix: bool,
+    /// Whether --algo / --sched were given explicitly (conflicts with
+    /// --matrix, which supplies both axes itself).
+    cell_chosen: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sweep [--algo paper|verified|FLAGS] [--sched fsync|round-robin|random[:SEED:P]]\n\
+         \x20            [--n N] [--shards S] [--threads T] [--stealing auto|on|off]\n\
+         \x20            [--max-rounds R] [--out-dir DIR] [--resume] [--fail-fast] [--matrix]\n\
+         \n\
+         FLAGS is a '+'-separated ablation list from fix25, conn, prio, compl, mirror (or 'none')."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        cfg: SweepConfig::default(),
+        out_dir: PathBuf::from("target/sweep"),
+        resume: false,
+        fail_fast: false,
+        matrix: false,
+        cell_chosen: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--algo" => {
+                let v = value("--algo");
+                args.cfg.algo = AlgoSpec::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown algorithm spec {v:?}");
+                    usage();
+                });
+                args.cell_chosen = true;
+            }
+            "--sched" => {
+                let v = value("--sched");
+                args.cfg.sched = SchedSpec::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scheduler spec {v:?}");
+                    usage();
+                });
+                args.cell_chosen = true;
+            }
+            "--n" => args.cfg.n = value("--n").parse().unwrap_or_else(|_| usage()),
+            "--shards" => {
+                args.cfg.shards = value("--shards").parse().unwrap_or_else(|_| usage());
+                if args.cfg.shards == 0 {
+                    eprintln!("--shards must be at least 1");
+                    usage();
+                }
+            }
+            "--threads" => {
+                args.cfg.threads = value("--threads").parse().unwrap_or_else(|_| usage())
+            }
+            "--stealing" => {
+                args.cfg.stealing = match value("--stealing").as_str() {
+                    "auto" => None,
+                    "on" => Some(true),
+                    "off" => Some(false),
+                    _ => usage(),
+                }
+            }
+            "--max-rounds" => {
+                args.cfg.limits = Limits {
+                    max_rounds: value("--max-rounds").parse().unwrap_or_else(|_| usage()),
+                    ..args.cfg.limits
+                }
+            }
+            "--out-dir" => args.out_dir = PathBuf::from(value("--out-dir")),
+            "--resume" => args.resume = true,
+            "--fail-fast" => args.fail_fast = true,
+            "--matrix" => args.matrix = true,
+            _ => {
+                eprintln!("unknown argument {arg:?}");
+                usage();
+            }
+        }
+    }
+    if args.matrix && args.fail_fast {
+        eprintln!("--matrix and --fail-fast are mutually exclusive");
+        usage();
+    }
+    if args.matrix && args.cell_chosen {
+        eprintln!("--matrix supplies both axes itself; drop --algo/--sched");
+        usage();
+    }
+    args
+}
+
+fn run_cell(cfg: &SweepConfig, out_dir: &std::path::Path, resume: bool) -> SweepSummary {
+    let started = Instant::now();
+    eprintln!(
+        "sweep {} · n={} shards={} threads={} executor={} resume={}",
+        cfg.slug(),
+        cfg.n,
+        cfg.shards,
+        cfg.threads,
+        if cfg.use_stealing() { "stealing" } else { "chunked" },
+        resume,
+    );
+    let outcome = run_sweep(cfg, out_dir, resume, |shard, status, record| {
+        let verb = match status {
+            ShardStatus::Computed => "computed",
+            ShardStatus::Reused => "reused",
+        };
+        eprintln!(
+            "  shard {shard:>3}: {verb} classes {}..{} ({} results)",
+            record.start,
+            record.end,
+            record.results.len()
+        );
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("sweep failed: {e}");
+        std::process::exit(1);
+    });
+    let reused = outcome.shard_status.iter().filter(|s| **s == ShardStatus::Reused).count();
+    eprintln!(
+        "  merged {} shards ({reused} reused) in {:.2?} -> {}",
+        outcome.shard_status.len(),
+        started.elapsed(),
+        cfg.summary_path(out_dir).display(),
+    );
+    println!("{}", outcome.summary.line());
+    outcome.summary
+}
+
+fn main() {
+    let args = parse_args();
+
+    if args.fail_fast {
+        match simlab::sweep::find_failure(&args.cfg) {
+            None => println!("{}: no counterexample — every class gathers", args.cfg.slug()),
+            Some((index, outcome)) => {
+                println!("{}: class #{index} fails with {outcome:?}", args.cfg.slug());
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if args.matrix {
+        let algos = [
+            AlgoSpec::Paper,
+            AlgoSpec::Verified,
+            AlgoSpec::parse("fix25+conn+compl").expect("known ablation"),
+        ];
+        let scheds =
+            [SchedSpec::Fsync, SchedSpec::RoundRobin, SchedSpec::RandomSubset { seed: 1, p: 0.5 }];
+        let mut lines = Vec::new();
+        for algo in algos {
+            for sched in scheds {
+                let cfg = SweepConfig { algo, sched, ..args.cfg.clone() };
+                let summary = run_cell(&cfg, &args.out_dir, args.resume);
+                lines.push(summary.line());
+            }
+        }
+        println!("\n=== matrix verdicts ===");
+        for line in lines {
+            println!("{line}");
+        }
+        return;
+    }
+
+    let summary = run_cell(&args.cfg, &args.out_dir, args.resume);
+    if args.cfg.sched == SchedSpec::Fsync
+        && args.cfg.algo == AlgoSpec::Verified
+        && !summary.all_gathered()
+    {
+        // The Theorem 2 cell regressed; make pipelines notice.
+        std::process::exit(1);
+    }
+}

@@ -79,17 +79,14 @@ pub fn ablation_layers() -> Vec<(&'static str, RuleOptions)> {
 /// algorithm contributes.
 #[must_use]
 pub fn e2_rules_ablation(threads: usize) -> ExperimentResult {
-    let mut body = String::from(
-        "| rule set | gathered / 3652 |\n|---|---|\n",
-    );
+    let mut body = String::from("| rule set | gathered / 3652 |\n|---|---|\n");
     for (name, opts) in ablation_layers() {
         let report = verify_all(7, &SevenGather::with_options(opts), Limits::default(), threads);
         let _ = writeln!(body, "| {name} | {} |", report.gathered);
     }
     let full = verify_all(7, &SevenGather::verified(), Limits::default(), threads);
     let _ = writeln!(body, "| **+ 43 synthesized overrides (verified)** | **{}** |", full.gathered);
-    let baseline =
-        verify_all(7, &gathering::baseline::GreedyEast, Limits::default(), threads);
+    let baseline = verify_all(7, &gathering::baseline::GreedyEast, Limits::default(), threads);
     let _ = writeln!(body, "| guard-free greedy-east baseline | {} |", baseline.gathered);
     ExperimentResult { id: "E2", title: "Rule-set ablation (the omitted behaviours matter)", body }
 }
@@ -133,8 +130,9 @@ pub fn e8_steps_distribution(threads: usize) -> ExperimentResult {
 #[must_use]
 pub fn e8b_rounds_by_diameter(threads: usize) -> ExperimentResult {
     let results = verify_detailed(7, &SevenGather::verified(), Limits::default(), threads);
-    let mut body =
-        String::from("| initial diameter | classes | rounds min | mean | max |\n|---|---|---|---|---|\n");
+    let mut body = String::from(
+        "| initial diameter | classes | rounds min | mean | max |\n|---|---|---|---|---|\n",
+    );
     for b in stats::rounds_by_diameter(&results) {
         let _ = writeln!(
             body,
@@ -181,8 +179,7 @@ fn scheduler_mix<S: Scheduler, F: Fn() -> S + Sync>(
 /// paper's §V future work, answered empirically).
 #[must_use]
 pub fn e9_schedulers(threads: usize) -> ExperimentResult {
-    let mut body =
-        String::from("| scheduler | outcome mix over 3652 classes |\n|---|---|\n");
+    let mut body = String::from("| scheduler | outcome mix over 3652 classes |\n|---|---|\n");
     let rr = scheduler_mix(|| RoundRobin, threads);
     let _ = writeln!(body, "| round-robin (centralised) | {rr:?} |");
     let r5 = scheduler_mix(|| RandomSubset::new(1, 0.5), threads);
@@ -202,9 +199,8 @@ pub fn e9_schedulers(threads: usize) -> ExperimentResult {
 #[must_use]
 pub fn e11_other_robot_counts(threads: usize) -> ExperimentResult {
     let algo = SevenGather::verified();
-    let mut body = String::from(
-        "| robots | classes | outcome mix (engine classification) |\n|---|---|---|\n",
-    );
+    let mut body =
+        String::from("| robots | classes | outcome mix (engine classification) |\n|---|---|---|\n");
     for n in [5usize, 6, 8] {
         let classes = polyhex::enumerate_fixed(n);
         let limits = Limits::default();
@@ -362,8 +358,7 @@ mod tests {
         // ground truth quoted in EXPERIMENTS.md.
         let expected = [883usize, 1895, 1896, 1926, 1850];
         for ((name, opts), want) in ablation_layers().into_iter().zip(expected) {
-            let report =
-                verify_all(7, &SevenGather::with_options(opts), Limits::default(), 0);
+            let report = verify_all(7, &SevenGather::with_options(opts), Limits::default(), 0);
             assert_eq!(report.gathered, want, "layer {name}");
         }
     }

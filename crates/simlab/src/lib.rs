@@ -11,6 +11,8 @@
 //! * [`render`] — ASCII rendering of triangular-grid configurations and
 //!   traces (used to reproduce the paper's figures in the terminal).
 //! * [`export`] — JSON/CSV export of reports for EXPERIMENTS.md.
+//! * [`sweep`] — the sharded, resumable verification pipeline over the
+//!   {algorithm} × {scheduler} matrix, behind the `sweep` binary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,6 +21,7 @@ pub mod experiments;
 pub mod export;
 pub mod render;
 pub mod stats;
+pub mod sweep;
 pub mod verify;
 
 pub use verify::{verify_all, verify_classes, verify_detailed, ClassResult, VerificationReport};

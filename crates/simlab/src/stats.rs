@@ -70,8 +70,7 @@ pub fn ascii_histogram(report: &VerificationReport, rows: usize) -> String {
         let lo = i * bucket;
         let hi = (lo + bucket - 1).min(hist.len() - 1);
         let bar = "#".repeat(n * WIDTH / peak);
-        let label =
-            if lo == hi { format!("{lo:>4}") } else { format!("{lo:>4}-{hi:<4}") };
+        let label = if lo == hi { format!("{lo:>4}") } else { format!("{lo:>4}-{hi:<4}") };
         out.push_str(&format!("{label:>9} | {bar} {n}\n"));
     }
     out
@@ -174,9 +173,9 @@ mod tests {
             outcome: Outcome::Gathered { rounds },
         };
         let results = vec![
-            mk(&[(0, 0), (2, 0)], 3),           // diameter 1
-            mk(&[(0, 0), (4, 0)], 5),           // diameter 2
-            mk(&[(0, 0), (2, 0), (4, 0)], 7),   // diameter 2
+            mk(&[(0, 0), (2, 0)], 3),         // diameter 1
+            mk(&[(0, 0), (4, 0)], 5),         // diameter 2
+            mk(&[(0, 0), (2, 0), (4, 0)], 7), // diameter 2
             crate::ClassResult {
                 index: 0,
                 initial: Configuration::new([Coord::new(0, 0)]),

@@ -1,0 +1,801 @@
+//! Sharded, resumable verification sweeps — the §IV-B experiment as a
+//! production pipeline.
+//!
+//! [`verify_all`](crate::verify_all) answers the paper's question in one
+//! shot; this module turns it into a reusable pipeline over the
+//! **scheduler matrix** the paper leaves as future work (§V):
+//!
+//! * a sweep **cell** is a pair of [`AlgoSpec`] (the paper rules, the
+//!   verified rules, or a named ablation of [`RuleOptions`]) and
+//!   [`SchedSpec`] (FSYNC, round-robin, or seeded random subsets);
+//! * the 3652-class space is split into contiguous **shards**, each run
+//!   on one of the `parallel` executors (work stealing by default for
+//!   non-FSYNC cells, whose livelock-bound items make costs heavily
+//!   skewed) and persisted as a serde-serialised [`ShardRecord`];
+//! * a **merge** step loads the shard records, checks they tile the
+//!   class space exactly, and folds them into a [`SweepSummary`];
+//! * reruns with `resume` skip shards whose record on disk already
+//!   matches the cell, so an interrupted sweep continues where it
+//!   stopped and a finished sweep is free to re-query.
+//!
+//! The `sweep` binary exposes the pipeline on the command line; the
+//! golden-file regression test pins the merged summary for the
+//! verified-rules FSYNC cell at 3652/3652 gathered.
+
+use gathering::rules::RuleOptions;
+use gathering::SevenGather;
+use robots::sched::{RandomSubset, RoundRobin};
+use robots::{engine, sched, Algorithm, Configuration, Limits, Outcome};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use trigrid::Coord;
+
+/// Which algorithm variant a sweep cell runs.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AlgoSpec {
+    /// Algorithm 1 exactly as printed ([`SevenGather::paper`]).
+    Paper,
+    /// The completed rule set ([`SevenGather::verified`]).
+    Verified,
+    /// A custom [`RuleOptions`] combination without the synthesized
+    /// overrides ([`SevenGather::with_options`]) — the ablation axis.
+    Ablation(RuleOptions),
+}
+
+impl AlgoSpec {
+    /// Parses an algorithm spec: `paper`, `verified`, or a
+    /// `+`-separated ablation flag list out of `fix25`, `conn`, `prio`,
+    /// `compl`, `mirror` (e.g. `fix25+conn+compl`). `none` names the
+    /// empty ablation (printed rules via the ablation path).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<AlgoSpec> {
+        match s {
+            "paper" => return Some(AlgoSpec::Paper),
+            "verified" => return Some(AlgoSpec::Verified),
+            _ => {}
+        }
+        let mut opts = RuleOptions::PAPER;
+        if s != "none" {
+            for flag in s.split('+') {
+                match flag {
+                    "fix25" => opts.fix_line25_misprint = true,
+                    "conn" => opts.connectivity_guard = true,
+                    "prio" => opts.priority_guard = true,
+                    "compl" => opts.completion = true,
+                    "mirror" => opts.mirror_line23_guard = true,
+                    _ => return None,
+                }
+            }
+        }
+        Some(AlgoSpec::Ablation(opts))
+    }
+
+    /// Canonical name used in filenames and records.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            AlgoSpec::Paper => "paper".to_string(),
+            AlgoSpec::Verified => "verified".to_string(),
+            AlgoSpec::Ablation(opts) => {
+                let mut flags = Vec::new();
+                if opts.fix_line25_misprint {
+                    flags.push("fix25");
+                }
+                if opts.connectivity_guard {
+                    flags.push("conn");
+                }
+                if opts.priority_guard {
+                    flags.push("prio");
+                }
+                if opts.completion {
+                    flags.push("compl");
+                }
+                if opts.mirror_line23_guard {
+                    flags.push("mirror");
+                }
+                if flags.is_empty() {
+                    "none".to_string()
+                } else {
+                    flags.join("+")
+                }
+            }
+        }
+    }
+
+    /// Instantiates the algorithm.
+    #[must_use]
+    pub fn build(&self) -> SevenGather {
+        match self {
+            AlgoSpec::Paper => SevenGather::paper(),
+            AlgoSpec::Verified => SevenGather::verified(),
+            AlgoSpec::Ablation(opts) => SevenGather::with_options(*opts),
+        }
+    }
+}
+
+/// Which activation scheduler a sweep cell runs under.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SchedSpec {
+    /// Everyone, every round — the paper's model; livelock detection by
+    /// class repetition is sound here and stays on.
+    Fsync,
+    /// Exactly one robot per round (maximally sequential adversary).
+    RoundRobin,
+    /// Each robot independently active with probability `p`; the
+    /// per-class generator is derived from `seed` and the class index,
+    /// so every cell is reproducible run-to-run and shard-to-shard.
+    RandomSubset {
+        /// Base seed for the sweep cell.
+        seed: u64,
+        /// Activation probability in `(0, 1]`.
+        p: f64,
+    },
+}
+
+impl SchedSpec {
+    /// Parses a scheduler spec: `fsync`, `round-robin` (or `rr`), or
+    /// `random` (optionally `random:SEED:P`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<SchedSpec> {
+        match s {
+            "fsync" => return Some(SchedSpec::Fsync),
+            "round-robin" | "rr" => return Some(SchedSpec::RoundRobin),
+            "random" => return Some(SchedSpec::RandomSubset { seed: 1, p: 0.5 }),
+            _ => {}
+        }
+        let mut parts = s.split(':');
+        if parts.next() != Some("random") {
+            return None;
+        }
+        let seed = parts.next()?.parse().ok()?;
+        let p: f64 = parts.next()?.parse().ok()?;
+        (parts.next().is_none() && p > 0.0 && p <= 1.0)
+            .then_some(SchedSpec::RandomSubset { seed, p })
+    }
+
+    /// Canonical name used in filenames and records.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            SchedSpec::Fsync => "fsync".to_string(),
+            SchedSpec::RoundRobin => "round-robin".to_string(),
+            SchedSpec::RandomSubset { seed, p } => format!("random-s{seed}-p{p}"),
+        }
+    }
+}
+
+/// Full description of one sweep cell plus its execution knobs.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// The algorithm axis.
+    pub algo: AlgoSpec,
+    /// The scheduler axis.
+    pub sched: SchedSpec,
+    /// Number of robots (7 for the paper's experiment).
+    pub n: usize,
+    /// Number of contiguous shards the class space is split into.
+    pub shards: usize,
+    /// Worker threads per shard (`0` = all cores).
+    pub threads: usize,
+    /// Force the work-stealing executor on (`Some(true)`), off
+    /// (`Some(false)`), or pick by scheduler (`None`: stealing for
+    /// non-FSYNC cells, whose runtimes are skewed by step-limit items).
+    pub stealing: Option<bool>,
+    /// Per-execution limits. Livelock detection is automatically
+    /// disabled for non-deterministic schedulers.
+    pub limits: Limits,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            algo: AlgoSpec::Verified,
+            sched: SchedSpec::Fsync,
+            n: 7,
+            shards: 8,
+            threads: 0,
+            stealing: None,
+            limits: Limits::default(),
+        }
+    }
+}
+
+impl SweepConfig {
+    /// Whether this cell uses the work-stealing executor.
+    #[must_use]
+    pub fn use_stealing(&self) -> bool {
+        self.stealing.unwrap_or(self.sched != SchedSpec::Fsync)
+    }
+
+    /// The limits actually applied per execution (livelock detection
+    /// off for schedulers where repetition is not proof of livelock).
+    #[must_use]
+    pub fn effective_limits(&self) -> Limits {
+        match self.sched {
+            SchedSpec::Fsync => self.limits,
+            _ => Limits { detect_livelock: false, ..self.limits },
+        }
+    }
+
+    /// `algo-sched` slug for filenames.
+    #[must_use]
+    pub fn slug(&self) -> String {
+        format!("{}-{}", self.algo.name(), self.sched.name())
+    }
+
+    /// Path of the record file for `shard`.
+    #[must_use]
+    pub fn shard_path(&self, out_dir: &Path, shard: usize) -> PathBuf {
+        out_dir.join(format!("sweep-{}-shard{:04}of{:04}.json", self.slug(), shard, self.shards))
+    }
+
+    /// Path of the merged summary file.
+    #[must_use]
+    pub fn summary_path(&self, out_dir: &Path) -> PathBuf {
+        out_dir.join(format!("sweep-{}-summary.json", self.slug()))
+    }
+}
+
+/// The verdict for one class, tagged with its global enumeration index
+/// so shards can be merged and validated.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClassOutcome {
+    /// Index of the class in enumeration order (global, not per-shard).
+    pub index: usize,
+    /// How the execution ended.
+    pub outcome: Outcome,
+}
+
+/// The persisted result of one shard of a sweep cell.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ShardRecord {
+    /// Algorithm name ([`AlgoSpec::name`]).
+    pub algo: String,
+    /// Scheduler name ([`SchedSpec::name`]).
+    pub sched: String,
+    /// Number of robots.
+    pub robots: usize,
+    /// Round cap the executions ran under. A record computed with a
+    /// different cap is not reusable: step-limit outcomes depend on it.
+    pub max_rounds: usize,
+    /// This shard's index in `0..shards`.
+    pub shard: usize,
+    /// Total number of shards in the sweep.
+    pub shards: usize,
+    /// First class index covered (inclusive).
+    pub start: usize,
+    /// One past the last class index covered.
+    pub end: usize,
+    /// Per-class outcomes, in enumeration order.
+    pub results: Vec<ClassOutcome>,
+}
+
+impl ShardRecord {
+    /// Whether this record is a complete, consistent result for
+    /// `shard` of the given sweep cell (used by resume).
+    #[must_use]
+    pub fn matches(&self, cfg: &SweepConfig, shard: usize, start: usize, end: usize) -> bool {
+        self.algo == cfg.algo.name()
+            && self.sched == cfg.sched.name()
+            && self.robots == cfg.n
+            && self.max_rounds == cfg.limits.max_rounds
+            && self.shard == shard
+            && self.shards == cfg.shards
+            && self.start == start
+            && self.end == end
+            && self.results.len() == end - start
+            && self.results.iter().zip(start..end).all(|(r, i)| r.index == i)
+    }
+}
+
+/// The merged verdict of a sweep cell.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepSummary {
+    /// Algorithm name.
+    pub algo: String,
+    /// Scheduler name.
+    pub sched: String,
+    /// Number of robots.
+    pub robots: usize,
+    /// Number of shards merged.
+    pub shards: usize,
+    /// Total classes covered.
+    pub total: usize,
+    /// Classes that gathered.
+    pub gathered: usize,
+    /// Classes stuck in a non-gathered fixpoint.
+    pub stuck: usize,
+    /// Classes that livelocked (FSYNC class-repetition detection).
+    pub livelock: usize,
+    /// Classes that collided.
+    pub collision: usize,
+    /// Classes that disconnected.
+    pub disconnected: usize,
+    /// Classes that hit the round cap.
+    pub step_limit: usize,
+    /// Maximum rounds-to-gather over gathered classes.
+    pub max_rounds: usize,
+    /// Mean rounds-to-gather over gathered classes.
+    pub mean_rounds: f64,
+    /// Indices of the first non-gathering classes (capped, for triage).
+    pub failure_indices: Vec<usize>,
+}
+
+impl SweepSummary {
+    /// Whether every class gathered — Theorem 2 for the FSYNC cell.
+    #[must_use]
+    pub fn all_gathered(&self) -> bool {
+        self.gathered == self.total
+    }
+
+    /// One-line human summary.
+    #[must_use]
+    pub fn line(&self) -> String {
+        format!(
+            "{}/{}: {}/{} gathered (stuck {}, livelock {}, collision {}, disconnected {}, cap {}), rounds max={} mean={:.2}",
+            self.algo,
+            self.sched,
+            self.gathered,
+            self.total,
+            self.stuck,
+            self.livelock,
+            self.collision,
+            self.disconnected,
+            self.step_limit,
+            self.max_rounds,
+            self.mean_rounds,
+        )
+    }
+}
+
+/// How many failure indices a summary retains.
+const FAILURE_INDEX_CAP: usize = 64;
+
+/// What [`run_sweep`] did for each shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardStatus {
+    /// The shard was executed in this run.
+    Computed,
+    /// A matching record existed on disk and was reused.
+    Reused,
+}
+
+/// Progress report of a completed [`run_sweep`] call.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// The merged summary (also written next to the shard files).
+    pub summary: SweepSummary,
+    /// Per-shard status, in shard order.
+    pub shard_status: Vec<ShardStatus>,
+}
+
+/// Splits `total` items into `shards` near-equal contiguous ranges.
+/// Every item is covered exactly once; empty ranges only occur when
+/// `shards > total`.
+#[must_use]
+pub fn shard_ranges(total: usize, shards: usize) -> Vec<(usize, usize)> {
+    let shards = shards.max(1);
+    let base = total / shards;
+    let extra = total % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        ranges.push((start, start + len));
+        start += len;
+    }
+    ranges
+}
+
+/// Runs one class under the cell's scheduler and returns its outcome.
+/// `index` is the global class index (it seeds the per-class random
+/// scheduler, keeping outcomes independent of sharding and threading).
+#[must_use]
+pub fn run_class<A: Algorithm + ?Sized>(
+    initial: &Configuration,
+    algo: &A,
+    spec: SchedSpec,
+    index: usize,
+    limits: Limits,
+) -> Outcome {
+    match spec {
+        SchedSpec::Fsync => engine::run(initial, algo, limits).outcome,
+        SchedSpec::RoundRobin => {
+            sched::run_scheduled(initial, algo, &mut RoundRobin, limits).outcome
+        }
+        SchedSpec::RandomSubset { seed, p } => {
+            let class_seed = seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut s = RandomSubset::new(class_seed, p);
+            sched::run_scheduled(initial, algo, &mut s, limits).outcome
+        }
+    }
+}
+
+/// Runs one shard of a sweep cell over the given full class list.
+#[must_use]
+pub fn run_shard(
+    classes: &[Vec<Coord>],
+    cfg: &SweepConfig,
+    shard: usize,
+    start: usize,
+    end: usize,
+) -> ShardRecord {
+    let algo = cfg.algo.build();
+    let limits = cfg.effective_limits();
+    let slice = &classes[start..end];
+    let run_one = |offset: usize, cells: &Vec<Coord>| {
+        let index = start + offset;
+        let initial = Configuration::new(cells.iter().copied());
+        ClassOutcome { index, outcome: run_class(&initial, &algo, cfg.sched, index, limits) }
+    };
+    // Work items carry their offset so both executors yield identical,
+    // order-preserved records.
+    let indexed: Vec<(usize, &Vec<Coord>)> = slice.iter().enumerate().collect();
+    let results = if cfg.use_stealing() {
+        parallel::stealing::par_map_stealing(&indexed, cfg.threads, |&(o, c)| run_one(o, c))
+    } else {
+        parallel::par_map(&indexed, cfg.threads, |&(o, c)| run_one(o, c))
+    };
+    ShardRecord {
+        algo: cfg.algo.name(),
+        sched: cfg.sched.name(),
+        robots: cfg.n,
+        max_rounds: cfg.limits.max_rounds,
+        shard,
+        shards: cfg.shards,
+        start,
+        end,
+        results,
+    }
+}
+
+/// Merges shard records into a [`SweepSummary`], validating that they
+/// tile the class space `0..total` exactly.
+///
+/// # Errors
+/// Returns a description of the first inconsistency (wrong cell, gaps,
+/// overlaps, or misaligned indices).
+pub fn merge_shards(cfg: &SweepConfig, records: &[ShardRecord]) -> Result<SweepSummary, String> {
+    let expected_shards = cfg.shards.max(1); // shard_ranges clamps the same way
+    if records.len() != expected_shards {
+        return Err(format!(
+            "expected {expected_shards} shard records, found {} (incomplete sweep?)",
+            records.len()
+        ));
+    }
+    let mut sorted: Vec<&ShardRecord> = records.iter().collect();
+    sorted.sort_by_key(|r| r.start);
+    let mut expected_start = 0;
+    for r in &sorted {
+        if r.algo != cfg.algo.name() || r.sched != cfg.sched.name() || r.robots != cfg.n {
+            return Err(format!(
+                "shard {} belongs to cell {}/{} (robots {}), expected {}/{} (robots {})",
+                r.shard,
+                r.algo,
+                r.sched,
+                r.robots,
+                cfg.algo.name(),
+                cfg.sched.name(),
+                cfg.n
+            ));
+        }
+        if r.start != expected_start {
+            return Err(format!(
+                "shard {} starts at {} but {} classes are covered so far",
+                r.shard, r.start, expected_start
+            ));
+        }
+        if r.results.len() != r.end - r.start {
+            return Err(format!(
+                "shard {} holds {} results for range {}..{}",
+                r.shard,
+                r.results.len(),
+                r.start,
+                r.end
+            ));
+        }
+        for (res, expected) in r.results.iter().zip(r.start..r.end) {
+            if res.index != expected {
+                return Err(format!(
+                    "shard {} result index {} where {} was expected",
+                    r.shard, res.index, expected
+                ));
+            }
+        }
+        expected_start = r.end;
+    }
+    let total = expected_start;
+
+    // Counting is memory-bound and the records are already in order —
+    // a sequential pass keeps `failure_indices` deterministically the
+    // first (lowest-index) failures.
+    #[derive(Default)]
+    struct Acc {
+        gathered: usize,
+        stuck: usize,
+        livelock: usize,
+        collision: usize,
+        disconnected: usize,
+        step_limit: usize,
+        max_rounds: usize,
+        total_rounds: usize,
+        failures: Vec<usize>,
+    }
+    let mut acc = Acc::default();
+    for res in sorted.iter().flat_map(|r| r.results.iter()) {
+        match res.outcome {
+            Outcome::Gathered { rounds } => {
+                acc.gathered += 1;
+                acc.max_rounds = acc.max_rounds.max(rounds);
+                acc.total_rounds += rounds;
+            }
+            Outcome::StuckFixpoint { .. } => acc.stuck += 1,
+            Outcome::Livelock { .. } => acc.livelock += 1,
+            Outcome::Collision { .. } => acc.collision += 1,
+            Outcome::Disconnected { .. } => acc.disconnected += 1,
+            Outcome::StepLimit { .. } => acc.step_limit += 1,
+        }
+        if !res.outcome.is_gathered() && acc.failures.len() < FAILURE_INDEX_CAP {
+            acc.failures.push(res.index);
+        }
+    }
+
+    Ok(SweepSummary {
+        algo: cfg.algo.name(),
+        sched: cfg.sched.name(),
+        robots: cfg.n,
+        shards: records.len(),
+        total,
+        gathered: acc.gathered,
+        stuck: acc.stuck,
+        livelock: acc.livelock,
+        collision: acc.collision,
+        disconnected: acc.disconnected,
+        step_limit: acc.step_limit,
+        max_rounds: acc.max_rounds,
+        mean_rounds: if acc.gathered == 0 {
+            0.0
+        } else {
+            acc.total_rounds as f64 / acc.gathered as f64
+        },
+        failure_indices: acc.failures,
+    })
+}
+
+fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> io::Result<()> {
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| io::Error::other(format!("serialise {}: {e}", path.display())))?;
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, json)?;
+    std::fs::rename(&tmp, path)
+}
+
+fn read_shard(path: &Path) -> Option<ShardRecord> {
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+/// Runs (or resumes) a full sweep cell: executes every shard whose
+/// record is missing or stale, writes each record as it completes,
+/// merges, writes the summary, and returns both.
+///
+/// With `resume`, shards whose on-disk record already matches the cell
+/// are loaded instead of re-run; without it every shard is recomputed.
+///
+/// # Errors
+/// I/O errors from the output directory, or a corrupt/foreign record
+/// set that fails [`merge_shards`] validation.
+pub fn run_sweep(
+    cfg: &SweepConfig,
+    out_dir: &Path,
+    resume: bool,
+    mut progress: impl FnMut(usize, ShardStatus, &ShardRecord),
+) -> io::Result<SweepOutcome> {
+    // Normalise `shards: 0` once so file names, records and the merge
+    // validation all agree with shard_ranges' clamp.
+    let cfg = &SweepConfig { shards: cfg.shards.max(1), ..cfg.clone() };
+    std::fs::create_dir_all(out_dir)?;
+    let classes = polyhex::enumerate_fixed(cfg.n);
+    let ranges = shard_ranges(classes.len(), cfg.shards);
+
+    let mut records = Vec::with_capacity(ranges.len());
+    let mut shard_status = Vec::with_capacity(ranges.len());
+    for (shard, &(start, end)) in ranges.iter().enumerate() {
+        let path = cfg.shard_path(out_dir, shard);
+        let reused = if resume {
+            read_shard(&path).filter(|r| r.matches(cfg, shard, start, end))
+        } else {
+            None
+        };
+        let (record, status) = match reused {
+            Some(r) => (r, ShardStatus::Reused),
+            None => {
+                let r = run_shard(&classes, cfg, shard, start, end);
+                write_json_atomic(&path, &r)?;
+                (r, ShardStatus::Computed)
+            }
+        };
+        progress(shard, status, &record);
+        shard_status.push(status);
+        records.push(record);
+    }
+
+    let summary = merge_shards(cfg, &records).map_err(io::Error::other)?;
+    write_json_atomic(&cfg.summary_path(out_dir), &summary)?;
+    Ok(SweepOutcome { summary, shard_status })
+}
+
+/// Early-exit search for **any** non-gathering class of a sweep cell,
+/// via the parallel find executor (chunk size 1: per-item costs are
+/// wildly skewed under non-FSYNC schedulers). Returns the lowest-index
+/// counterexample found before shutdown, or `None` when the cell's
+/// claim holds. Orders of magnitude faster than a full sweep when a
+/// regression makes many classes fail.
+#[must_use]
+pub fn find_failure(cfg: &SweepConfig) -> Option<(usize, Outcome)> {
+    let classes = polyhex::enumerate_fixed(cfg.n);
+    let algo = cfg.algo.build();
+    let limits = cfg.effective_limits();
+    let indexed: Vec<(usize, &Vec<Coord>)> = classes.iter().enumerate().collect();
+    parallel::par_find_any_chunked(&indexed, cfg.threads, 1, |&(index, cells)| {
+        let initial = Configuration::new(cells.iter().copied());
+        let outcome = run_class(&initial, &algo, cfg.sched, index, limits);
+        (!outcome.is_gathered()).then_some(outcome)
+    })
+    .map(|(i, outcome)| (indexed[i].0, outcome))
+}
+
+impl fmt::Display for SweepSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.line())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_tile_exactly() {
+        for total in [0, 1, 7, 44, 3652] {
+            for shards in [1, 2, 3, 8, 50] {
+                let ranges = shard_ranges(total, shards);
+                assert_eq!(ranges.len(), shards);
+                let mut next = 0;
+                for (start, end) in ranges {
+                    assert_eq!(start, next);
+                    assert!(end >= start);
+                    next = end;
+                }
+                assert_eq!(next, total, "total={total} shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn algo_spec_parse_roundtrip() {
+        for name in ["paper", "verified", "none", "fix25", "fix25+conn+compl", "prio+mirror"] {
+            let spec = AlgoSpec::parse(name).expect(name);
+            assert_eq!(spec.name(), name);
+        }
+        assert_eq!(AlgoSpec::parse("bogus"), None);
+        assert_eq!(AlgoSpec::parse("fix25+bogus"), None);
+    }
+
+    #[test]
+    fn sched_spec_parse() {
+        assert_eq!(SchedSpec::parse("fsync"), Some(SchedSpec::Fsync));
+        assert_eq!(SchedSpec::parse("rr"), Some(SchedSpec::RoundRobin));
+        assert_eq!(
+            SchedSpec::parse("random:9:0.25"),
+            Some(SchedSpec::RandomSubset { seed: 9, p: 0.25 })
+        );
+        assert_eq!(SchedSpec::parse("random:9:1.5"), None);
+        assert_eq!(SchedSpec::parse("sometimes"), None);
+    }
+
+    #[test]
+    fn fsync_cell_matches_verify_all_counts() {
+        // The sharded pipeline must agree with the one-shot verifier.
+        let cfg = SweepConfig { n: 5, shards: 3, ..SweepConfig::default() };
+        let classes = polyhex::enumerate_fixed(5);
+        let records: Vec<ShardRecord> = shard_ranges(classes.len(), cfg.shards)
+            .into_iter()
+            .enumerate()
+            .map(|(s, (start, end))| run_shard(&classes, &cfg, s, start, end))
+            .collect();
+        let summary = merge_shards(&cfg, &records).expect("consistent shards");
+        let report = crate::verify_all(5, &SevenGather::verified(), Limits::default(), 0);
+        assert_eq!(summary.total, report.total);
+        assert_eq!(summary.gathered, report.gathered);
+        assert_eq!(summary.max_rounds, report.max_rounds);
+    }
+
+    #[test]
+    fn merge_rejects_gaps_and_foreign_cells() {
+        let cfg = SweepConfig { n: 4, shards: 2, ..SweepConfig::default() };
+        let classes = polyhex::enumerate_fixed(4);
+        let ranges = shard_ranges(classes.len(), 2);
+        let a = run_shard(&classes, &cfg, 0, ranges[0].0, ranges[0].1);
+        let b = run_shard(&classes, &cfg, 1, ranges[1].0, ranges[1].1);
+        assert!(merge_shards(&cfg, &[a.clone(), b.clone()]).is_ok());
+        // Incomplete: second shard missing.
+        assert!(merge_shards(&cfg, std::slice::from_ref(&a)).is_err());
+        // Foreign cell: wrong scheduler name.
+        let mut foreign = b;
+        foreign.sched = "round-robin".to_string();
+        assert!(merge_shards(&cfg, &[a, foreign]).is_err());
+    }
+
+    #[test]
+    fn random_subset_outcomes_are_sharding_invariant() {
+        // The per-class seed derivation must make outcomes identical no
+        // matter how the space is sharded or which executor ran it.
+        let sched = SchedSpec::RandomSubset { seed: 3, p: 0.6 };
+        let one = SweepConfig { n: 4, shards: 1, sched, ..SweepConfig::default() };
+        let many =
+            SweepConfig { n: 4, shards: 5, sched, stealing: Some(true), ..SweepConfig::default() };
+        let classes = polyhex::enumerate_fixed(4);
+        let whole = run_shard(&classes, &one, 0, 0, classes.len());
+        let pieces: Vec<ClassOutcome> = shard_ranges(classes.len(), 5)
+            .into_iter()
+            .enumerate()
+            .flat_map(|(s, (start, end))| run_shard(&classes, &many, s, start, end).results)
+            .collect();
+        assert_eq!(whole.results.len(), pieces.len());
+        for (a, b) in whole.results.iter().zip(&pieces) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.outcome, b.outcome, "class {}", a.index);
+        }
+    }
+
+    #[test]
+    fn resume_skips_completed_shards() {
+        let dir = std::env::temp_dir().join(format!("trigather-sweep-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = SweepConfig { n: 4, shards: 3, ..SweepConfig::default() };
+        let first = run_sweep(&cfg, &dir, true, |_, _, _| {}).expect("first run");
+        assert!(first.shard_status.iter().all(|s| *s == ShardStatus::Computed));
+        let second = run_sweep(&cfg, &dir, true, |_, _, _| {}).expect("resumed run");
+        assert!(second.shard_status.iter().all(|s| *s == ShardStatus::Reused));
+        assert_eq!(first.summary, second.summary);
+        // Without resume everything recomputes.
+        let third = run_sweep(&cfg, &dir, false, |_, _, _| {}).expect("fresh run");
+        assert!(third.shard_status.iter().all(|s| *s == ShardStatus::Computed));
+        // A different round cap invalidates the records: step-limit
+        // outcomes depend on it, so resume must not reuse them.
+        let recapped =
+            SweepConfig { limits: Limits { max_rounds: 123, ..Limits::default() }, ..cfg.clone() };
+        let fourth = run_sweep(&recapped, &dir, true, |_, _, _| {}).expect("recapped run");
+        assert!(fourth.shard_status.iter().all(|s| *s == ShardStatus::Computed));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn find_failure_agrees_with_the_full_sweep() {
+        // The algorithm targets exactly seven robots, so n=4 cells may
+        // legitimately fail; the contract is that the early-exit search
+        // reports a counterexample iff the exhaustive shard run holds
+        // one, and never a gathered class.
+        for algo in [AlgoSpec::Paper, AlgoSpec::Verified] {
+            let cfg = SweepConfig { n: 4, algo, shards: 1, ..SweepConfig::default() };
+            let classes = polyhex::enumerate_fixed(4);
+            let full = run_shard(&classes, &cfg, 0, 0, classes.len());
+            let any_fails = full.results.iter().any(|r| !r.outcome.is_gathered());
+            match find_failure(&cfg) {
+                None => assert!(!any_fails, "{}: search missed a failing class", cfg.slug()),
+                Some((index, outcome)) => {
+                    assert!(!outcome.is_gathered());
+                    assert_eq!(
+                        full.results[index].outcome,
+                        outcome,
+                        "{}: class {index} outcome mismatch",
+                        cfg.slug()
+                    );
+                }
+            }
+        }
+    }
+}

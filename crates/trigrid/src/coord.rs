@@ -28,10 +28,7 @@ impl Coord {
     #[inline]
     #[must_use]
     pub fn new(x: i32, y: i32) -> Self {
-        assert!(
-            (x + y) % 2 == 0,
-            "({x},{y}) is not a triangular-lattice node: x+y must be even"
-        );
+        assert!((x + y) % 2 == 0, "({x},{y}) is not a triangular-lattice node: x+y must be even");
         Self { x, y }
     }
 

@@ -16,8 +16,14 @@ pub fn ring(center: Coord, r: u32) -> Vec<Coord> {
     // Start at the due-east node (2r, 0) and walk CCW: r steps in each of
     // NW, W, SW, SE, E, NE.
     let mut cur = center + Coord::new(2 * r, 0);
-    for d in [crate::Dir::NW, crate::Dir::W, crate::Dir::SW, crate::Dir::SE, crate::Dir::E, crate::Dir::NE]
-    {
+    for d in [
+        crate::Dir::NW,
+        crate::Dir::W,
+        crate::Dir::SW,
+        crate::Dir::SE,
+        crate::Dir::E,
+        crate::Dir::NE,
+    ] {
         for _ in 0..r {
             out.push(cur);
             cur = cur.step(d);
@@ -58,12 +64,7 @@ impl BoundingBox {
     pub fn of<I: IntoIterator<Item = Coord>>(nodes: I) -> Option<BoundingBox> {
         let mut it = nodes.into_iter();
         let first = it.next()?;
-        let mut bb = BoundingBox {
-            min_x: first.x,
-            max_x: first.x,
-            min_y: first.y,
-            max_y: first.y,
-        };
+        let mut bb = BoundingBox { min_x: first.x, max_x: first.x, min_y: first.y, max_y: first.y };
         for c in it {
             bb.min_x = bb.min_x.min(c.x);
             bb.max_x = bb.max_x.max(c.x);

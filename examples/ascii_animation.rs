@@ -12,8 +12,7 @@ use trigather::prelude::*;
 fn shape(name: &str) -> Configuration {
     match name {
         "zigzag" => Configuration::new(
-            [(0, 0), (1, 1), (2, 0), (3, 1), (4, 0), (5, 1), (6, 0)]
-                .map(|(x, y)| Coord::new(x, y)),
+            [(0, 0), (1, 1), (2, 0), (3, 1), (4, 0), (5, 1), (6, 0)].map(|(x, y)| Coord::new(x, y)),
         ),
         "lshape" => Configuration::new(
             [(0, 0), (2, 0), (4, 0), (6, 0), (8, 0), (7, 1), (6, 2)].map(|(x, y)| Coord::new(x, y)),

@@ -27,9 +27,10 @@ fn main() {
         }
     }
 
-    for (fig, rules) in
-        [("Fig. 12 (Case 2-1)", replay::case_2_1_rules()), ("Fig. 13 (Case 2-2)", replay::case_2_2_rules())]
-    {
+    for (fig, rules) in [
+        ("Fig. 12 (Case 2-1)", replay::case_2_1_rules()),
+        ("Fig. 13 (Case 2-2)", replay::case_2_2_rules()),
+    ] {
         match replay::livelock_witness(&rules) {
             Some((cfg, period)) => {
                 println!("{fig}: livelock with period {period} from:");

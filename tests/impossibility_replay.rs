@@ -91,10 +91,7 @@ fn simulate_agrees_with_engine_for_total_tables() {
                     robots::Outcome::StuckFixpoint { .. }
                 )
                 | (SimResult::Fails(FailKind::Livelock), robots::Outcome::Livelock { .. })
-                | (
-                    SimResult::Fails(FailKind::Disconnected),
-                    robots::Outcome::Disconnected { .. }
-                )
+                | (SimResult::Fails(FailKind::Disconnected), robots::Outcome::Disconnected { .. })
         );
         assert!(agree, "sim {sim:?} vs engine {:?} on {initial:?}", ex.outcome);
     }

@@ -1,0 +1,68 @@
+//! Golden-file regression for the sweep pipeline: the merged summary of
+//! the verified-rules FSYNC cell must keep reporting 3652/3652 classes
+//! gathered (Theorem 2), with the outcome breakdown and round maximum
+//! pinned by `tests/golden/sweep-verified-fsync.json`.
+//!
+//! The comparison is structural: every key present in the fixture must
+//! match the generated summary exactly (the fixture deliberately omits
+//! volatile presentation fields like `mean_rounds` and the shard
+//! count, so re-sharding does not dirty the golden file).
+
+use simlab::sweep::{run_sweep, ShardStatus, SweepConfig};
+
+const GOLDEN: &str = include_str!("golden/sweep-verified-fsync.json");
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("trigather-golden-{tag}-{}", std::process::id()))
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full 3652-class sweep is release-only; run cargo test --release"
+)]
+fn merged_sweep_summary_matches_golden_file() {
+    let dir = temp_dir("fsync");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = SweepConfig::default(); // verified / fsync / n = 7
+    let outcome = run_sweep(&cfg, &dir, false, |_, _, _| {}).expect("sweep runs");
+
+    // Both sides through the same JSON path, compared structurally.
+    let golden: serde_json::Value = serde_json::from_str(GOLDEN).expect("fixture parses");
+    let produced: serde_json::Value = {
+        let text = std::fs::read_to_string(cfg.summary_path(&dir)).expect("summary written");
+        serde_json::from_str(&text).expect("summary parses")
+    };
+    let golden_map = golden.as_map().expect("fixture is an object");
+    for (key, expected) in golden_map {
+        let actual = produced.get(key).unwrap_or_else(|| panic!("summary lacks key {key:?}"));
+        assert_eq!(actual, expected, "summary key {key:?} diverged from the golden file");
+    }
+
+    // And the pipeline invariants the fixture cannot express: shard
+    // records exist on disk and a resumed run reuses all of them.
+    for shard in 0..cfg.shards {
+        assert!(cfg.shard_path(&dir, shard).exists(), "shard {shard} record missing");
+    }
+    let resumed = run_sweep(&cfg, &dir, true, |_, _, _| {}).expect("resume runs");
+    assert!(resumed.shard_status.iter().all(|s| *s == ShardStatus::Reused));
+    assert_eq!(resumed.summary, outcome.summary);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_pipeline_smoke_on_small_n() {
+    // Debug-friendly end-to-end pass over the 186-class n=5 space so
+    // plain `cargo test` still exercises shard/write/merge/resume.
+    let dir = temp_dir("smoke");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = SweepConfig { n: 5, shards: 4, ..SweepConfig::default() };
+    let first = run_sweep(&cfg, &dir, true, |_, _, _| {}).expect("sweep runs");
+    assert_eq!(first.summary.total, 186);
+    assert!(first.shard_status.iter().all(|s| *s == ShardStatus::Computed));
+    let second = run_sweep(&cfg, &dir, true, |_, _, _| {}).expect("resume runs");
+    assert!(second.shard_status.iter().all(|s| *s == ShardStatus::Reused));
+    assert_eq!(first.summary, second.summary);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -9,11 +9,7 @@ use gathering::SevenGather;
 use robots::{Configuration, Limits, Outcome};
 
 fn classes(step: usize) -> Vec<Configuration> {
-    polyhex::enumerate_fixed(7)
-        .into_iter()
-        .step_by(step)
-        .map(Configuration::new)
-        .collect()
+    polyhex::enumerate_fixed(7).into_iter().step_by(step).map(Configuration::new).collect()
 }
 
 #[test]

@@ -1,0 +1,87 @@
+//! Offline stand-in for the `crossbeam` crate: just the
+//! [`deque`] Worker/Stealer/Steal API used by the work-stealing
+//! executor, implemented over a mutex-protected `VecDeque`. Semantics
+//! (LIFO owner pops, batch steals move about half the victim's items)
+//! match the real crate; the lock-free performance of course does not,
+//! which is acceptable for the coarse-grained simulation workloads here.
+
+pub mod deque {
+    //! Work-stealing double-ended queues.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    fn locked<T>(q: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        q.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The result of a steal attempt.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The victim queue was empty.
+        Empty,
+        /// Items were stolen.
+        Success(T),
+        /// The operation should be retried.
+        Retry,
+    }
+
+    /// A queue owned by a single worker thread (LIFO flavour).
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// A handle that can steal batches from a [`Worker`]'s queue.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a LIFO worker queue.
+        #[must_use]
+        pub fn new_lifo() -> Self {
+            Worker { queue: Arc::new(Mutex::new(VecDeque::new())) }
+        }
+
+        /// Pushes an item onto the owner's end.
+        pub fn push(&self, item: T) {
+            locked(&self.queue).push_back(item);
+        }
+
+        /// Pops from the owner's end (LIFO).
+        pub fn pop(&self) -> Option<T> {
+            locked(&self.queue).pop_back()
+        }
+
+        /// Creates a stealer handle for this queue.
+        #[must_use]
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { queue: Arc::clone(&self.queue) }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals up to half of the victim's items into `dest`.
+        pub fn steal_batch(&self, dest: &Worker<T>) -> Steal<()> {
+            let batch: Vec<T> = {
+                let mut victim = locked(&self.queue);
+                if victim.is_empty() {
+                    return Steal::Empty;
+                }
+                let take = victim.len().div_ceil(2);
+                victim.drain(..take).collect()
+            };
+            let mut dest_q = locked(&dest.queue);
+            for item in batch {
+                dest_q.push_back(item);
+            }
+            Steal::Success(())
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer { queue: Arc::clone(&self.queue) }
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset used by this workspace: the [`proptest!`] macro
+//! (with an optional `#![proptest_config(..)]` header), range
+//! strategies, tuple strategies, [`Strategy::prop_map`],
+//! [`collection::vec`], and the `prop_assert!`/`prop_assert_eq!`
+//! macros. Cases are sampled from a generator seeded deterministically
+//! per test (by test path), so runs are reproducible; there is no
+//! shrinking — a failing case reports its inputs via the assertion
+//! message instead.
+
+use std::fmt;
+
+/// Deterministic SplitMix64 generator used for case sampling.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from an arbitrary byte string (test path).
+    #[must_use]
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name for a stable, well-spread seed.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A failed property case.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Wraps a failure message.
+    #[must_use]
+    pub fn fail(msg: String) -> Self {
+        TestCaseError(msg)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A value generator. Unlike real proptest there is no shrinking, so a
+/// strategy is just a sampling function.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strategy: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.strategy.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// A strategy that always yields clones of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    /// Generates `Vec`s of exactly `len` elements of `element`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (0..self.len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The imports property tests actually use.
+    pub use crate::{
+        prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not
+/// panicking directly) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { .. }`
+/// becomes a `#[test]` running `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as Default>::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$attr:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    let result: ::std::result::Result<(), $crate::TestCaseError> = {
+                        let ($($pat,)+) = ( $( $crate::Strategy::sample(&($strat), &mut rng), )+ );
+                        #[allow(clippy::redundant_closure_call)]
+                        (|| { $body Ok(()) })()
+                    };
+                    if let Err(e) = result {
+                        panic!("property `{}` failed at case {case}: {e}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+}

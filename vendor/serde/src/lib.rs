@@ -1,0 +1,273 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this workspace has no access to a crates
+//! registry, so the external dependencies are vendored as small shims
+//! exposing exactly the API surface the workspace uses (see
+//! `vendor/README.md`). This crate mirrors `serde`'s user-facing names —
+//! the `Serialize`/`Deserialize` traits, the derive macros behind the
+//! `derive` feature, and the `ser`/`de` modules — over a simplified
+//! self-describing [`Value`] data model instead of serde's visitor
+//! machinery. Swapping back to the real `serde` is a one-line change in
+//! the workspace manifest.
+
+mod value;
+
+pub use value::Value;
+
+pub mod ser {
+    //! Serialization half of the facade.
+
+    use crate::Value;
+
+    /// A type that can be represented as a [`Value`].
+    ///
+    /// Mirrors `serde::Serialize`: the entry point used by generic code
+    /// is [`Serialize::serialize`], which feeds a [`Serializer`].
+    pub trait Serialize {
+        /// Converts `self` into the data-model [`Value`].
+        fn to_value(&self) -> Value;
+
+        /// Serializes `self` into the given serializer.
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_value(self.to_value())
+        }
+    }
+
+    /// A sink for [`Value`]s. Mirrors `serde::Serializer` (collapsed to
+    /// a single method thanks to the self-describing data model).
+    pub trait Serializer: Sized {
+        /// Successful output of this serializer.
+        type Ok;
+        /// Error type of this serializer.
+        type Error: std::fmt::Display + std::fmt::Debug;
+        /// Consumes a data-model value.
+        fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// The identity serializer: returns the [`Value`] itself.
+    pub struct ValueSerializer;
+
+    impl Serializer for ValueSerializer {
+        type Ok = Value;
+        type Error = std::convert::Infallible;
+        fn serialize_value(self, value: Value) -> Result<Value, Self::Error> {
+            Ok(value)
+        }
+    }
+
+    impl Serialize for bool {
+        fn to_value(&self) -> Value {
+            Value::Bool(*self)
+        }
+    }
+
+    impl Serialize for f64 {
+        fn to_value(&self) -> Value {
+            Value::Float(*self)
+        }
+    }
+
+    impl Serialize for f32 {
+        fn to_value(&self) -> Value {
+            Value::Float(f64::from(*self))
+        }
+    }
+
+    impl Serialize for String {
+        fn to_value(&self) -> Value {
+            Value::Str(self.clone())
+        }
+    }
+
+    impl Serialize for str {
+        fn to_value(&self) -> Value {
+            Value::Str(self.to_string())
+        }
+    }
+
+    macro_rules! int_serialize {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn to_value(&self) -> Value {
+                    // `as` is lossless here: every primitive integer fits i128.
+                    Value::int(*self as i128)
+                }
+            }
+        )*};
+    }
+    int_serialize!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl<T: Serialize> Serialize for Vec<T> {
+        fn to_value(&self) -> Value {
+            Value::Seq(self.iter().map(Serialize::to_value).collect())
+        }
+    }
+
+    impl<T: Serialize> Serialize for [T] {
+        fn to_value(&self) -> Value {
+            Value::Seq(self.iter().map(Serialize::to_value).collect())
+        }
+    }
+
+    impl<T: Serialize, const N: usize> Serialize for [T; N] {
+        fn to_value(&self) -> Value {
+            Value::Seq(self.iter().map(Serialize::to_value).collect())
+        }
+    }
+
+    impl<T: Serialize> Serialize for Option<T> {
+        fn to_value(&self) -> Value {
+            match self {
+                None => Value::Null,
+                Some(v) => v.to_value(),
+            }
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for &T {
+        fn to_value(&self) -> Value {
+            (**self).to_value()
+        }
+    }
+
+    impl Serialize for Value {
+        fn to_value(&self) -> Value {
+            self.clone()
+        }
+    }
+}
+
+pub mod de {
+    //! Deserialization half of the facade.
+
+    use crate::Value;
+
+    /// Error trait mirroring `serde::de::Error`.
+    pub trait Error: Sized + std::fmt::Display + std::fmt::Debug {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// The concrete error produced by [`Deserialize::from_value`].
+    #[derive(Debug, Clone)]
+    pub struct DeError(pub String);
+
+    impl std::fmt::Display for DeError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for DeError {}
+
+    impl Error for DeError {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            DeError(msg.to_string())
+        }
+    }
+
+    /// A source of [`Value`]s. Mirrors `serde::Deserializer`.
+    pub trait Deserializer<'de>: Sized {
+        /// Error type of this deserializer.
+        type Error: Error;
+        /// Produces the data-model value to decode from.
+        fn take_value(self) -> Result<Value, Self::Error>;
+    }
+
+    /// The identity deserializer over an owned [`Value`].
+    pub struct ValueDeserializer(pub Value);
+
+    impl<'de> Deserializer<'de> for ValueDeserializer {
+        type Error = DeError;
+        fn take_value(self) -> Result<Value, DeError> {
+            Ok(self.0)
+        }
+    }
+
+    /// A type that can be reconstructed from a [`Value`].
+    pub trait Deserialize<'de>: Sized {
+        /// Decodes `Self` from a data-model value.
+        fn from_value(value: &Value) -> Result<Self, DeError>;
+
+        /// Decodes `Self` from the given deserializer.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            let value = deserializer.take_value()?;
+            Self::from_value(&value).map_err(D::Error::custom)
+        }
+    }
+
+    impl<'de> Deserialize<'de> for bool {
+        fn from_value(value: &Value) -> Result<Self, DeError> {
+            match value {
+                Value::Bool(b) => Ok(*b),
+                other => Err(DeError(format!("expected bool, got {other:?}"))),
+            }
+        }
+    }
+
+    impl<'de> Deserialize<'de> for f64 {
+        fn from_value(value: &Value) -> Result<Self, DeError> {
+            value.as_f64().ok_or_else(|| DeError(format!("expected number, got {value:?}")))
+        }
+    }
+
+    impl<'de> Deserialize<'de> for f32 {
+        fn from_value(value: &Value) -> Result<Self, DeError> {
+            f64::from_value(value).map(|v| v as f32)
+        }
+    }
+
+    impl<'de> Deserialize<'de> for String {
+        fn from_value(value: &Value) -> Result<Self, DeError> {
+            match value {
+                Value::Str(s) => Ok(s.clone()),
+                other => Err(DeError(format!("expected string, got {other:?}"))),
+            }
+        }
+    }
+
+    macro_rules! int_deserialize {
+        ($($t:ty),*) => {$(
+            impl<'de> Deserialize<'de> for $t {
+                fn from_value(value: &Value) -> Result<Self, DeError> {
+                    let i = value
+                        .as_i128()
+                        .ok_or_else(|| DeError(format!("expected integer, got {value:?}")))?;
+                    <$t>::try_from(i)
+                        .map_err(|_| DeError(format!("integer {i} out of range for {}", stringify!($t))))
+                }
+            }
+        )*};
+    }
+    int_deserialize!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+        fn from_value(value: &Value) -> Result<Self, DeError> {
+            match value {
+                Value::Seq(items) => items.iter().map(T::from_value).collect(),
+                other => Err(DeError(format!("expected sequence, got {other:?}"))),
+            }
+        }
+    }
+
+    impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+        fn from_value(value: &Value) -> Result<Self, DeError> {
+            match value {
+                Value::Null => Ok(None),
+                other => T::from_value(other).map(Some),
+            }
+        }
+    }
+
+    impl<'de> Deserialize<'de> for Value {
+        fn from_value(value: &Value) -> Result<Self, DeError> {
+            Ok(value.clone())
+        }
+    }
+}
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,98 @@
+//! The self-describing data model shared by the serialization facade
+//! and the JSON front end.
+
+/// A JSON-shaped data-model value.
+///
+/// Non-negative integers always normalise to [`Value::UInt`] so that
+/// serialising and re-parsing a document yields structurally equal
+/// values regardless of the Rust integer type that produced them.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// Strictly negative integers.
+    Int(i64),
+    /// Non-negative integers.
+    UInt(u64),
+    /// Non-integral numbers.
+    Float(f64),
+    /// Strings.
+    Str(String),
+    /// Arrays.
+    Seq(Vec<Value>),
+    /// Objects, with insertion order preserved.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds an integer value with the non-negative-as-`UInt`
+    /// normalisation.
+    ///
+    /// # Panics
+    /// Panics if `i` exceeds the 64-bit ranges (cannot happen for values
+    /// produced from primitive integer types).
+    #[must_use]
+    pub fn int(i: i128) -> Value {
+        if i >= 0 {
+            Value::UInt(u64::try_from(i).expect("non-negative integer fits u64"))
+        } else {
+            Value::Int(i64::try_from(i).expect("negative integer fits i64"))
+        }
+    }
+
+    /// The value as a signed 128-bit integer, if it is integral.
+    #[must_use]
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            Value::Int(i) => Some(i128::from(*i)),
+            Value::UInt(u) => Some(i128::from(*u)),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers convert losslessly enough).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a sequence.
+    #[must_use]
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as a map (object).
+    #[must_use]
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in a map value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}

@@ -1,0 +1,417 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! the shapes used in this workspace, without `syn`/`quote` (hand-rolled
+//! token parsing, code generation via strings):
+//!
+//! * structs with named fields (including `#[serde(with = "module")]`
+//!   field attributes);
+//! * enums with unit variants (optionally with explicit discriminants),
+//!   tuple variants, and struct variants.
+//!
+//! The generated JSON shapes match real serde's externally-tagged
+//! defaults: structs become objects, unit variants become strings,
+//! newtype variants become `{"Name": value}`, tuple variants
+//! `{"Name": [..]}`, and struct variants `{"Name": {..}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+struct Field {
+    name: String,
+    /// Module path from `#[serde(with = "path")]`, if present.
+    with: Option<String>,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+/// Extracts the `with = "path"` argument from a `#[serde(...)]`
+/// attribute group, if this bracket group is one.
+fn serde_with_of(group: &proc_macro::Group) -> Option<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            match inner.as_slice() {
+                [TokenTree::Ident(key), TokenTree::Punct(eq), TokenTree::Literal(lit)]
+                    if key.to_string() == "with" && eq.as_char() == '=' =>
+                {
+                    Some(lit.to_string().trim_matches('"').to_string())
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Skips `#[...]` attributes starting at `i`, returning the new index
+/// and any `#[serde(with = "...")]` value found.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, Option<String>) {
+    let mut with = None;
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                if let Some(w) = serde_with_of(g) {
+                    with = Some(w);
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    (i, with)
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, …) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde facade derive does not support generic types (on `{name}`)");
+    }
+    let group = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("expected a braced body for `{name}`"));
+    let body_tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_named_fields(&body_tokens)),
+        "enum" => Body::Enum(parse_variants(&body_tokens)),
+        other => panic!("cannot derive serde impls for `{other} {name}`"),
+    };
+    Item { name, body }
+}
+
+/// Parses `name: Type, …` (with optional per-field attributes and
+/// visibility) from the tokens of a brace group.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (j, with) = skip_attrs(tokens, i);
+        i = skip_vis(tokens, j);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, got {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, got {other}"),
+        }
+        // Consume the type: everything until a comma at angle-depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or the end)
+        fields.push(Field { name, with });
+    }
+    fields
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (j, _) = skip_attrs(tokens, i);
+        i = j;
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, got {other}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantKind::Struct(parse_named_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut depth = 0i32;
+                let mut count = if inner.is_empty() { 0 } else { 1 };
+                for t in &inner {
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+                        _ => {}
+                    }
+                }
+                i += 1;
+                VariantKind::Tuple(count)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn field_to_value(field: &Field) -> String {
+    match &field.with {
+        None => format!("serde::ser::Serialize::to_value(&self.{})", field.name),
+        Some(path) => format!(
+            "match {path}::serialize(&self.{}, serde::ser::ValueSerializer) {{ \
+               Ok(v) => v, Err(e) => match e {{ }} }}",
+            field.name
+        ),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(String::from(\"{}\"), {})", f.name, field_to_value(f)))
+                .collect();
+            format!("serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match &v.kind {
+                    VariantKind::Unit => format!(
+                        "{name}::{v} => serde::Value::Str(String::from(\"{v}\")),",
+                        v = v.name
+                    ),
+                    VariantKind::Tuple(1) => format!(
+                        "{name}::{v}(f0) => serde::Value::Map(vec![(String::from(\"{v}\"), \
+                         serde::ser::Serialize::to_value(f0))]),",
+                        v = v.name
+                    ),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("serde::ser::Serialize::to_value(f{k})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({b}) => serde::Value::Map(vec![(String::from(\"{v}\"), \
+                             serde::Value::Seq(vec![{i}]))]),",
+                            v = v.name,
+                            b = binds.join(", "),
+                            i = items.join(", ")
+                        )
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{n}\"), serde::ser::Serialize::to_value({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {b} }} => serde::Value::Map(vec![(String::from(\"{v}\"), \
+                             serde::Value::Map(vec![{e}]))]),",
+                            v = v.name,
+                            b = binds.join(", "),
+                            e = entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl serde::ser::Serialize for {name} {{\n\
+           fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn field_from_value(field: &Field, source: &str) -> String {
+    match &field.with {
+        None => format!("serde::de::Deserialize::from_value({source})?"),
+        Some(path) => {
+            format!("{path}::deserialize(serde::de::ValueDeserializer(({source}).clone()))?")
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let lookup =
+                        format!("value.get(\"{n}\").unwrap_or(&serde::Value::Null)", n = f.name);
+                    format!(
+                        "{n}: {{ let v = {lookup}; {} }},",
+                        field_from_value(f, "v"),
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "if value.as_map().is_none() {{ \
+                   return Err(serde::de::DeError(format!(\"expected map for struct {name}, got {{value:?}}\"))); \
+                 }}\n\
+                 Ok({name} {{ {} }})",
+                inits.join(" ")
+            )
+        }
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),", v = v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match &v.kind {
+                    VariantKind::Unit => None,
+                    VariantKind::Tuple(1) => Some(format!(
+                        "\"{v}\" => Ok({name}::{v}(serde::de::Deserialize::from_value(inner)?)),",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("serde::de::Deserialize::from_value(&seq[{k}])?"))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{ \
+                               let seq = inner.as_seq().ok_or_else(|| serde::de::DeError(\
+                                   String::from(\"expected sequence for variant {v}\")))?; \
+                               if seq.len() != {n} {{ return Err(serde::de::DeError(\
+                                   String::from(\"wrong arity for variant {v}\"))); }} \
+                               Ok({name}::{v}({i})) }}",
+                            v = v.name,
+                            i = items.join(", ")
+                        ))
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{n}: {{ let v = inner.get(\"{n}\").unwrap_or(&serde::Value::Null); {} }},",
+                                    field_from_value(f, "v"),
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{ \
+                               if inner.as_map().is_none() {{ return Err(serde::de::DeError(\
+                                   String::from(\"expected map for variant {v}\"))); }} \
+                               Ok({name}::{v} {{ {i} }}) }}",
+                            v = v.name,
+                            i = inits.join(" ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match value {{\n\
+                   serde::Value::Str(s) => match s.as_str() {{\n\
+                     {units}\n\
+                     other => Err(serde::de::DeError(format!(\"unknown unit variant {{other}} for {name}\"))),\n\
+                   }},\n\
+                   serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                     let (tag, inner) = (&entries[0].0, &entries[0].1);\n\
+                     let _ = inner;\n\
+                     match tag.as_str() {{\n\
+                       {tagged}\n\
+                       other => Err(serde::de::DeError(format!(\"unknown variant {{other}} for {name}\"))),\n\
+                     }}\n\
+                   }},\n\
+                   other => Err(serde::de::DeError(format!(\"invalid value for enum {name}: {{other:?}}\"))),\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl<'de> serde::de::Deserialize<'de> for {name} {{\n\
+           fn from_value(value: &serde::Value) -> Result<Self, serde::de::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
