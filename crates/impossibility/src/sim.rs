@@ -1,8 +1,8 @@
 //! FSYNC simulation under a partial visibility-1 rule table.
 
 use crate::table::{decode, view_bits, RuleTable, STAY};
+use robots::visited::ClassSet;
 use robots::{engine, Configuration, View};
-use std::collections::HashSet;
 use trigrid::{Coord, Dir};
 
 /// Result of simulating one initial class under a partial table.
@@ -56,7 +56,7 @@ pub fn simulate(initial: &Configuration, table: &RuleTable) -> SimResult {
 #[must_use]
 pub fn simulate_tracked(initial: &Configuration, table: &RuleTable) -> (SimResult, u64) {
     let mut cfg = initial.clone();
-    let mut visited: HashSet<Configuration> = HashSet::new();
+    let mut visited = ClassSet::new();
     let mut reads: u64 = 0;
 
     // Any legal collision-free, connected execution stays within the
@@ -82,14 +82,15 @@ pub fn simulate_tracked(initial: &Configuration, table: &RuleTable) -> (SimResul
                 (SimResult::Fails(FailKind::StuckFixpoint), reads)
             };
         }
-        if !visited.insert(cfg.canonical()) {
+        if !visited.insert(&cfg) {
             return (SimResult::Fails(FailKind::Livelock), reads);
         }
-        if engine::check_moves(&cfg, &moves).is_err() {
-            return (SimResult::Fails(FailKind::Collision), reads);
+        // The round itself — validation and application — goes through
+        // the engine's single round-semantics implementation.
+        match engine::step_moves(&cfg, &moves) {
+            Err(_) => return (SimResult::Fails(FailKind::Collision), reads),
+            Ok(result) => cfg = result.config,
         }
-        cfg =
-            cfg.positions().iter().zip(&moves).map(|(&p, m)| m.map_or(p, |d| p.step(d))).collect();
         if !cfg.is_connected() {
             return (SimResult::Fails(FailKind::Disconnected), reads);
         }

@@ -221,6 +221,51 @@ where
     best.into_inner()
 }
 
+/// Deterministic early-exit search: returns the **lowest-indexed** item
+/// for which `f` returns `Some`, independent of thread count and
+/// scheduling.
+///
+/// Unlike [`par_find_any`], which returns whichever hit was found
+/// before shutdown, this keeps scanning every index below the best hit
+/// so far, and only prunes indices above it. Use it when the result
+/// feeds deterministic records (e.g. the sweep pipeline's fail-fast
+/// counterexample hunt).
+pub fn par_find_min<T, R, F>(items: &[T], threads: usize, f: F) -> Option<(usize, R)>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> Option<R> + Sync,
+{
+    let threads = resolve_threads(threads).min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().enumerate().find_map(|(i, t)| f(t).map(|r| (i, r)));
+    }
+    let next = AtomicUsize::new(0);
+    // Lowest hit index so far; items above it need not be scanned.
+    let bound = AtomicUsize::new(usize::MAX);
+    let best: Mutex<Option<(usize, R)>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() || i > bound.load(Ordering::Relaxed) {
+                    // Claims are handed out in ascending order, so every
+                    // later claim would be above the bound too.
+                    break;
+                }
+                if let Some(r) = f(&items[i]) {
+                    bound.fetch_min(i, Ordering::Relaxed);
+                    let mut guard = best.lock();
+                    if guard.as_ref().is_none_or(|(j, _)| i < *j) {
+                        *guard = Some((i, r));
+                    }
+                }
+            });
+        }
+    });
+    best.into_inner()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,6 +339,27 @@ mod tests {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(3), 3);
         assert_eq!(resolve_threads(1), 1);
+    }
+
+    #[test]
+    fn par_find_min_always_returns_the_lowest_hit() {
+        // Many hits: the deterministic variant must return the lowest
+        // index regardless of thread count, every time.
+        let items: Vec<u64> = (0..10_000).collect();
+        for threads in [0, 1, 2, 3, 8] {
+            for _ in 0..5 {
+                let hit = par_find_min(&items, threads, |&x| (x % 1000 == 137).then_some(x));
+                assert_eq!(hit, Some((137, 137)), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_find_min_none_when_absent() {
+        let items: Vec<u64> = (0..2000).collect();
+        assert_eq!(par_find_min(&items, 4, |&x| (x > 5000).then_some(())), None);
+        let empty: Vec<u64> = vec![];
+        assert_eq!(par_find_min(&empty, 4, |&x| Some(x)), None);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! [`run_async`] exists to *measure* how the completed algorithm
 //! degrades under maximal asynchrony (experiment E13).
 
-use crate::engine::{Execution, Limits, Outcome, RoundCollision};
+use crate::engine::{Execution, Limits, Outcome};
 use crate::{engine, Algorithm, Configuration, View};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -110,21 +110,23 @@ pub fn run_async<A: Algorithm + ?Sized, S: AsyncScheduler>(
             }
             Some(None) => {} // a pending "stay" completes trivially
             Some(Some(d)) => {
-                // Move with a possibly stale decision.
-                let target = positions[i].step(d);
-                if positions.contains(&target) {
-                    return finish(
-                        &positions,
-                        Outcome::Collision {
-                            round: tick,
-                            collision: RoundCollision::SharedTarget {
-                                target,
-                                sources: vec![positions[i], target],
-                            },
-                        },
-                    );
+                // Move with a possibly stale decision. A single mover
+                // is a one-hot round: validation goes through the
+                // engine's shared round-semantics implementation (the
+                // only possible violation is a shared target — a swap
+                // needs two movers).
+                let cfg = Configuration::new(positions.iter().copied());
+                let slot = cfg
+                    .positions()
+                    .iter()
+                    .position(|&p| p == positions[i])
+                    .expect("the robot occupies its own node");
+                let mut moves = vec![None; cfg.len()];
+                moves[slot] = Some(d);
+                if let Err(collision) = engine::step_moves(&cfg, &moves) {
+                    return finish(&positions, Outcome::Collision { round: tick, collision });
                 }
-                positions[i] = target;
+                positions[i] = positions[i].step(d);
                 let cfg = Configuration::new(positions.iter().copied());
                 if !cfg.is_connected() {
                     return finish(&positions, Outcome::Disconnected { round: tick });

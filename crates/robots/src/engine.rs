@@ -27,9 +27,9 @@
 //!   oblivious robot with an empty view can never deterministically
 //!   rejoin, so this is terminal.
 
+use crate::visited::ClassMap;
 use crate::{Algorithm, Configuration, View};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use trigrid::{Coord, Dir};
 
 /// A single robot's move in a round.
@@ -118,6 +118,70 @@ pub fn check_moves(config: &Configuration, moves: &[Option<Dir>]) -> Result<(), 
     Ok(())
 }
 
+/// The outcome of one legal round: the successor configuration plus the
+/// moves that were actually performed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RoundResult {
+    /// The configuration after the round.
+    pub config: Configuration,
+    /// The moves performed (robots that stayed are omitted), in
+    /// row-major order of their origins.
+    pub moved: Vec<Move>,
+}
+
+impl RoundResult {
+    /// Whether any robot moved this round.
+    #[must_use]
+    pub fn progressed(&self) -> bool {
+        !self.moved.is_empty()
+    }
+}
+
+/// Validates and applies a full vector of per-robot move decisions
+/// (aligned with `config.positions()`). This is the **single**
+/// implementation of the paper's round semantics: the FSYNC runner, the
+/// SSYNC schedulers, the adversary model checker and the impossibility
+/// simulator all execute rounds through this function.
+///
+/// # Errors
+/// Returns the collision if the simultaneous moves are illegal.
+pub fn step_moves(
+    config: &Configuration,
+    moves: &[Option<Dir>],
+) -> Result<RoundResult, RoundCollision> {
+    check_moves(config, moves)?;
+    let moved: Vec<Move> = config
+        .positions()
+        .iter()
+        .zip(moves)
+        .filter_map(|(&p, m)| m.map(|dir| Move { from: p, dir }))
+        .collect();
+    Ok(RoundResult { config: config.apply_unchecked(moves), moved })
+}
+
+/// Restricts a full decision vector to the activated robots: inactive
+/// robots stay regardless of what they would have decided. This is the
+/// entire semantics of SSYNC activation.
+#[must_use]
+pub fn masked_moves(full: &[Option<Dir>], active: &[bool]) -> Vec<Option<Dir>> {
+    debug_assert_eq!(full.len(), active.len());
+    full.iter().zip(active).map(|(m, &a)| if a { *m } else { None }).collect()
+}
+
+/// Executes one SSYNC round: the robots flagged in `active` perform a
+/// full Look-Compute-Move cycle, the rest are idle.
+///
+/// # Errors
+/// Returns the collision if the simultaneous moves are illegal.
+pub fn step_masked<A: Algorithm + ?Sized>(
+    config: &Configuration,
+    algo: &A,
+    active: &[bool],
+) -> Result<RoundResult, RoundCollision> {
+    let full = compute_moves(config, algo);
+    step_moves(config, &masked_moves(&full, active))
+}
+
 /// Executes one FSYNC round: compute, validate, apply.
 ///
 /// # Errors
@@ -127,14 +191,7 @@ pub fn step<A: Algorithm + ?Sized>(
     algo: &A,
 ) -> Result<(Configuration, Vec<Move>), RoundCollision> {
     let moves = compute_moves(config, algo);
-    check_moves(config, &moves)?;
-    let applied: Vec<Move> = config
-        .positions()
-        .iter()
-        .zip(&moves)
-        .filter_map(|(&p, m)| m.map(|dir| Move { from: p, dir }))
-        .collect();
-    Ok((config.apply_unchecked(&moves), applied))
+    step_moves(config, &moves).map(|r| (r.config, r.moved))
 }
 
 /// Stopping parameters for [`run`].
@@ -220,18 +277,34 @@ pub struct Execution {
     pub trace: Option<Vec<Configuration>>,
 }
 
-fn run_inner<A: Algorithm + ?Sized>(
+/// The shared execution loop behind [`run`], [`run_traced`] and
+/// `sched::run_scheduled`: one round-semantics implementation for every
+/// scheduler.
+///
+/// `select` returns the activation flags for a round (`None` = everyone,
+/// the FSYNC fast path that skips masking entirely). An all-`false`
+/// selection is promoted to full activation — the fairness convention
+/// that keeps executions live.
+///
+/// Termination tests run against the **full** decision vector, so a
+/// configuration only counts as a fixpoint when no robot would move even
+/// if activated. Livelock detection by class repetition is applied when
+/// `limits.detect_livelock` is set; it is sound only for schedulers
+/// whose selection does not depend on the round index (FSYNC), and
+/// callers with other schedulers must disable it.
+pub(crate) fn run_loop<A: Algorithm + ?Sized>(
     initial: &Configuration,
     algo: &A,
     limits: Limits,
+    mut select: impl FnMut(usize, usize) -> Option<Vec<bool>>,
     mut on_config: impl FnMut(&Configuration),
 ) -> (Configuration, Outcome) {
-    let mut seen: HashMap<Configuration, usize> = HashMap::new();
+    let mut seen: ClassMap<usize> = ClassMap::new();
     let mut cfg = initial.clone();
     on_config(&cfg);
     for round in 0..limits.max_rounds {
-        let moves = compute_moves(&cfg, algo);
-        if moves.iter().all(Option::is_none) {
+        let full = compute_moves(&cfg, algo);
+        if full.iter().all(Option::is_none) {
             let outcome = if cfg.is_gathered() {
                 Outcome::Gathered { rounds: round }
             } else {
@@ -240,15 +313,26 @@ fn run_inner<A: Algorithm + ?Sized>(
             return (cfg, outcome);
         }
         if limits.detect_livelock {
-            if let Some(&entry) = seen.get(&cfg.canonical()) {
+            if let Some(&entry) = seen.get(&cfg) {
                 return (cfg, Outcome::Livelock { entry, period: round - entry });
             }
-            seen.insert(cfg.canonical(), round);
+            seen.insert(&cfg, round);
         }
-        if let Err(collision) = check_moves(&cfg, &moves) {
-            return (cfg, Outcome::Collision { round, collision });
+        let moves = match select(round, cfg.len()) {
+            None => full,
+            Some(mut flags) => {
+                flags.resize(cfg.len(), false);
+                if flags.iter().all(|&b| !b) {
+                    full // fairness: never a fully idle round
+                } else {
+                    masked_moves(&full, &flags)
+                }
+            }
+        };
+        match step_moves(&cfg, &moves) {
+            Err(collision) => return (cfg, Outcome::Collision { round, collision }),
+            Ok(result) => cfg = result.config,
         }
-        cfg = cfg.apply_unchecked(&moves);
         on_config(&cfg);
         if !cfg.is_connected() {
             return (cfg, Outcome::Disconnected { round: round + 1 });
@@ -261,7 +345,7 @@ fn run_inner<A: Algorithm + ?Sized>(
 /// outcome, without recording the trace.
 #[must_use]
 pub fn run<A: Algorithm + ?Sized>(initial: &Configuration, algo: &A, limits: Limits) -> Execution {
-    let (final_config, outcome) = run_inner(initial, algo, limits, |_| ());
+    let (final_config, outcome) = run_loop(initial, algo, limits, |_, _| None, |_| ());
     Execution { initial: initial.clone(), final_config, outcome, trace: None }
 }
 
@@ -273,7 +357,8 @@ pub fn run_traced<A: Algorithm + ?Sized>(
     limits: Limits,
 ) -> Execution {
     let mut trace = Vec::new();
-    let (final_config, outcome) = run_inner(initial, algo, limits, |c| trace.push(c.clone()));
+    let (final_config, outcome) =
+        run_loop(initial, algo, limits, |_, _| None, |c| trace.push(c.clone()));
     Execution { initial: initial.clone(), final_config, outcome, trace: Some(trace) }
 }
 

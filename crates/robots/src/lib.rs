@@ -18,20 +18,28 @@
 //!   runner with fixpoint, livelock, disconnection and gathering
 //!   detection.
 //! * [`sched`] — activation schedulers beyond FSYNC (round-robin,
-//!   random subsets) for the paper's future-work question of weaker
-//!   synchrony.
+//!   random subsets, recorded-schedule replay) for the paper's
+//!   future-work question of weaker synchrony.
+//! * [`adversary`] — an exhaustive SSYNC adversary model checker that
+//!   classifies an initial class as adversary-proof, refuted (with a
+//!   minimal replayable counterexample schedule) or undecided.
+//! * [`visited`] — shared canonical-class memoization primitives used
+//!   by the engine, the checker and the impossibility simulator.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 mod algorithm;
 pub mod async_model;
 mod config;
 pub mod engine;
 pub mod sched;
 pub mod view;
+pub mod visited;
 
+pub use adversary::{AdversaryReport, AdversaryVerdict, Checker};
 pub use algorithm::{Algorithm, FnAlgorithm, StayAlgorithm};
 pub use config::{hexagon, Configuration};
-pub use engine::{run, run_traced, Execution, Limits, Move, Outcome, RoundCollision};
+pub use engine::{run, run_traced, Execution, Limits, Move, Outcome, RoundCollision, RoundResult};
 pub use view::View;

@@ -8,14 +8,20 @@
 //! idle.
 //!
 //! Livelock detection by state repetition is unsound under
-//! non-deterministic scheduling, so [`run_scheduled`] relies on the
-//! round cap plus an explicit all-active fixpoint test.
+//! non-deterministic or round-dependent scheduling; [`run_scheduled`]
+//! honours `limits.detect_livelock`, and callers must disable it for
+//! any scheduler other than [`FullSync`] (the sweep pipeline does this
+//! automatically). The round cap plus the explicit all-active fixpoint
+//! test keep every execution finite either way.
+//!
+//! All round execution goes through [`engine::step_moves`] via the
+//! shared engine loop — the scheduler layer adds only activation
+//! masking, never its own collision semantics.
 
-use crate::engine::{check_moves, Execution, Limits, Outcome};
+use crate::engine::{Execution, Limits};
 use crate::{engine, Algorithm, Configuration};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use trigrid::Dir;
 
 /// Chooses the set of robots activated in each round.
 ///
@@ -97,12 +103,63 @@ impl Scheduler for RandomSubset {
     }
 }
 
+/// Replays a recorded activation schedule: round `r` activates exactly
+/// the robots whose bit is set in `masks[r]` (bit `i` = the `i`-th robot
+/// in row-major order of the current configuration — the same indexing
+/// every [`Scheduler`] uses). Rounds beyond the recorded schedule
+/// activate everyone.
+///
+/// This is how the adversary model checker's counterexample schedules
+/// are replayed through [`run_scheduled`].
+pub struct ScheduleReplay {
+    masks: Vec<u8>,
+}
+
+impl ScheduleReplay {
+    /// Wraps a recorded mask sequence.
+    #[must_use]
+    pub fn new(masks: Vec<u8>) -> Self {
+        ScheduleReplay { masks }
+    }
+
+    /// Number of recorded rounds.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Whether the schedule is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+}
+
+impl Scheduler for ScheduleReplay {
+    fn select(&mut self, round: usize, n: usize) -> Vec<bool> {
+        match self.masks.get(round) {
+            Some(&mask) => (0..n).map(|i| mask & (1 << i) != 0).collect(),
+            None => vec![true; n],
+        }
+    }
+    fn name(&self) -> &str {
+        "replay"
+    }
+}
+
 /// Runs `algo` from `initial` under the given activation scheduler.
 ///
 /// Terminates with [`Outcome::Gathered`]/[`Outcome::StuckFixpoint`] when
 /// a *full* activation would move nobody (so the configuration is a true
-/// fixpoint), with a collision/disconnection outcome as in FSYNC, or
-/// with [`Outcome::StepLimit`].
+/// fixpoint), with a collision/disconnection outcome as in FSYNC, with
+/// [`Outcome::Livelock`] if `limits.detect_livelock` is set and a class
+/// repeats (sound only for round-independent deterministic schedulers
+/// such as [`FullSync`]), or with [`Outcome::StepLimit`].
+///
+/// [`Outcome::Gathered`]: crate::Outcome::Gathered
+/// [`Outcome::StuckFixpoint`]: crate::Outcome::StuckFixpoint
+/// [`Outcome::Livelock`]: crate::Outcome::Livelock
+/// [`Outcome::StepLimit`]: crate::Outcome::StepLimit
 #[must_use]
 pub fn run_scheduled<A: Algorithm + ?Sized, S: Scheduler>(
     initial: &Configuration,
@@ -110,61 +167,38 @@ pub fn run_scheduled<A: Algorithm + ?Sized, S: Scheduler>(
     sched: &mut S,
     limits: Limits,
 ) -> Execution {
-    let mut cfg = initial.clone();
-    for round in 0..limits.max_rounds {
-        // True-fixpoint test under full activation.
-        let full_moves = engine::compute_moves(&cfg, algo);
-        if full_moves.iter().all(Option::is_none) {
-            let outcome = if cfg.is_gathered() {
-                Outcome::Gathered { rounds: round }
-            } else {
-                Outcome::StuckFixpoint { rounds: round }
-            };
-            return Execution { initial: initial.clone(), final_config: cfg, outcome, trace: None };
-        }
+    let (final_config, outcome) =
+        engine::run_loop(initial, algo, limits, |round, n| Some(sched.select(round, n)), |_| ());
+    Execution { initial: initial.clone(), final_config, outcome, trace: None }
+}
 
-        let mut flags = sched.select(round, cfg.len());
-        flags.resize(cfg.len(), false);
-        if flags.iter().all(|&b| !b) {
-            flags.fill(true); // fairness: never a fully idle round
-        }
-        let moves: Vec<Option<Dir>> = full_moves
-            .iter()
-            .zip(&flags)
-            .map(|(m, &active)| if active { *m } else { None })
-            .collect();
-
-        if let Err(collision) = check_moves(&cfg, &moves) {
-            return Execution {
-                initial: initial.clone(),
-                final_config: cfg,
-                outcome: Outcome::Collision { round, collision },
-                trace: None,
-            };
-        }
-        cfg = cfg.apply_unchecked(&moves);
-        if !cfg.is_connected() {
-            return Execution {
-                initial: initial.clone(),
-                final_config: cfg,
-                outcome: Outcome::Disconnected { round: round + 1 },
-                trace: None,
-            };
-        }
-    }
-    Execution {
-        initial: initial.clone(),
-        final_config: cfg,
-        outcome: Outcome::StepLimit { rounds: limits.max_rounds },
-        trace: None,
-    }
+/// Like [`run_scheduled`], additionally recording every visited
+/// configuration (including the initial one), exactly as
+/// [`engine::run_traced`] does.
+#[must_use]
+pub fn run_scheduled_traced<A: Algorithm + ?Sized, S: Scheduler>(
+    initial: &Configuration,
+    algo: &A,
+    sched: &mut S,
+    limits: Limits,
+) -> Execution {
+    let mut trace = Vec::new();
+    let (final_config, outcome) = engine::run_loop(
+        initial,
+        algo,
+        limits,
+        |round, n| Some(sched.select(round, n)),
+        |c| trace.push(c.clone()),
+    );
+    Execution { initial: initial.clone(), final_config, outcome, trace: Some(trace) }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Outcome;
     use crate::{FnAlgorithm, StayAlgorithm, View};
-    use trigrid::{Coord, ORIGIN};
+    use trigrid::{Coord, Dir, ORIGIN};
 
     fn two() -> Configuration {
         Configuration::new([ORIGIN, Coord::new(2, 0)])

@@ -1,0 +1,137 @@
+//! Memoized visited-sets over canonical configuration classes.
+//!
+//! Every component that walks the configuration space — the FSYNC
+//! engine's livelock detector, the impossibility simulator, the SSYNC
+//! adversary checker — needs the same primitive: "have I seen this
+//! translation class before?". These small wrappers keep the
+//! canonicalisation in one place so no caller can accidentally memoize
+//! raw (translated) configurations.
+
+use crate::Configuration;
+use std::collections::HashMap;
+
+/// A set of translation classes of configurations.
+#[derive(Default, Debug)]
+pub struct ClassSet {
+    map: ClassMap<()>,
+}
+
+impl ClassSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts the class of `cfg`; returns `true` if it was new.
+    pub fn insert(&mut self, cfg: &Configuration) -> bool {
+        self.map.insert(cfg, ()).is_none()
+    }
+
+    /// Whether the class of `cfg` is present.
+    #[must_use]
+    pub fn contains(&self, cfg: &Configuration) -> bool {
+        self.map.get(cfg).is_some()
+    }
+
+    /// Number of distinct classes inserted.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no class has been inserted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// A map keyed by translation classes of configurations.
+#[derive(Debug)]
+pub struct ClassMap<V> {
+    map: HashMap<Configuration, V>,
+}
+
+impl<V> Default for ClassMap<V> {
+    fn default() -> Self {
+        ClassMap { map: HashMap::new() }
+    }
+}
+
+impl<V> ClassMap<V> {
+    /// An empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `value` under the class of `cfg`, returning the previous
+    /// value for that class if any.
+    pub fn insert(&mut self, cfg: &Configuration, value: V) -> Option<V> {
+        self.map.insert(cfg.canonical(), value)
+    }
+
+    /// The value stored for the class of `cfg`.
+    #[must_use]
+    pub fn get(&self, cfg: &Configuration) -> Option<&V> {
+        self.map.get(&cfg.canonical())
+    }
+
+    /// Like [`Self::get`] for a key that is **already canonical**,
+    /// skipping re-canonicalisation — for hot paths that computed the
+    /// canonical form anyway.
+    #[must_use]
+    pub fn get_canonical(&self, canonical: &Configuration) -> Option<&V> {
+        debug_assert_eq!(canonical, &canonical.canonical(), "key must be canonical");
+        self.map.get(canonical)
+    }
+
+    /// Like [`Self::insert`] for a key that is **already canonical**,
+    /// skipping re-canonicalisation.
+    pub fn insert_canonical(&mut self, canonical: Configuration, value: V) -> Option<V> {
+        debug_assert_eq!(&canonical, &canonical.canonical(), "key must be canonical");
+        self.map.insert(canonical, value)
+    }
+
+    /// Number of distinct classes stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no class is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trigrid::{Coord, ORIGIN};
+
+    fn two() -> Configuration {
+        Configuration::new([ORIGIN, Coord::new(2, 0)])
+    }
+
+    #[test]
+    fn class_set_identifies_translates() {
+        let mut set = ClassSet::new();
+        assert!(set.insert(&two()));
+        assert!(!set.insert(&two().translate(Coord::new(7, 3))));
+        assert!(set.contains(&two().translate(Coord::new(-4, 2))));
+        assert_eq!(set.len(), 1);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn class_map_overwrites_per_class() {
+        let mut map: ClassMap<usize> = ClassMap::new();
+        assert_eq!(map.insert(&two(), 1), None);
+        assert_eq!(map.insert(&two().translate(Coord::new(2, 0)), 2), Some(1));
+        assert_eq!(map.get(&two()), Some(&2));
+        assert_eq!(map.len(), 1);
+    }
+}

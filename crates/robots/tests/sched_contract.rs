@@ -88,6 +88,67 @@ fn random_subset_is_deterministic_per_seed() {
 }
 
 #[test]
+fn nondeterministic_schedulers_hit_the_cap_not_livelock() {
+    // A lone marcher's translation class repeats every single round,
+    // and no activation subset can ever collide or disconnect it: with
+    // livelock detection correctly disabled for a non-deterministic
+    // scheduler, the run must terminate with the round cap
+    // (`StepLimit`) — never a spurious `Livelock`, which is only sound
+    // for deterministic round-independent schedulers.
+    let march = FnAlgorithm::new(1, "march", |_: &View| Some(Dir::E));
+    let lone = Configuration::new([ORIGIN]);
+    for seed in 0..5 {
+        let limits = Limits { max_rounds: 60, detect_livelock: false };
+        let mut sched = RandomSubset::new(seed, 0.5);
+        let ex = run_scheduled(&lone, &march, &mut sched, limits);
+        assert_eq!(
+            ex.outcome,
+            Outcome::StepLimit { rounds: 60 },
+            "seed {seed}: repeating classes must run to the cap"
+        );
+    }
+}
+
+#[test]
+fn round_robin_with_detection_disabled_reaches_the_cap() {
+    // Round-robin is deterministic but *round-dependent*: the sweep
+    // pipeline disables class-repetition detection for it. Pin that a
+    // repeating execution then ends at the cap rather than `Livelock`.
+    let march = FnAlgorithm::new(1, "march", |_: &View| Some(Dir::E));
+    let lone = Configuration::new([ORIGIN]);
+    let limits = Limits { max_rounds: 25, detect_livelock: false };
+    let ex = run_scheduled(&lone, &march, &mut RoundRobin, limits);
+    assert_eq!(ex.outcome, Outcome::StepLimit { rounds: 25 });
+}
+
+#[test]
+fn fullsync_livelock_detection_matches_the_engine() {
+    // Under FullSync the scheduled runner with detection on must agree
+    // with the FSYNC engine even on Livelock outcomes — the shared
+    // engine loop makes this exact.
+    let march = FnAlgorithm::new(1, "march", |_: &View| Some(Dir::E));
+    let pair = Configuration::new([ORIGIN, Coord::new(2, 0)]);
+    let limits = Limits { max_rounds: 500, detect_livelock: true };
+    let fsync = robots::engine::run(&pair, &march, limits);
+    let scheduled = run_scheduled(&pair, &march, &mut FullSync, limits);
+    assert_eq!(fsync.outcome, Outcome::Livelock { entry: 0, period: 1 });
+    assert_eq!(scheduled.outcome, fsync.outcome);
+    assert_eq!(scheduled.final_config, fsync.final_config);
+}
+
+#[test]
+fn replay_scheduler_reproduces_recorded_masks_then_promotes_to_full() {
+    use robots::sched::ScheduleReplay;
+    let mut replay = ScheduleReplay::new(vec![0b001, 0b110]);
+    assert_eq!(replay.len(), 2);
+    assert!(!replay.is_empty());
+    assert_eq!(replay.select(0, 3), vec![true, false, false]);
+    assert_eq!(replay.select(1, 3), vec![false, true, true]);
+    // Beyond the recorded schedule: everyone, every round.
+    assert_eq!(replay.select(2, 3), vec![true, true, true]);
+}
+
+#[test]
 fn random_subset_scheduled_runs_are_reproducible() {
     // Same seed ⇒ bit-identical execution, including the final
     // configuration, for a nontrivial multi-robot run.

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run --release -p simlab --bin sweep -- \
-//!     [--algo paper|verified|FLAGS] [--sched fsync|round-robin|random[:SEED:P]] \
+//!     [--algo paper|verified|FLAGS] \
+//!     [--sched fsync|round-robin|random[:SEED:P]|adversary[:DEPTH]] \
 //!     [--n 7] [--shards 8] [--threads 0] [--stealing auto|on|off] \
 //!     [--max-rounds N] [--out-dir target/sweep] [--resume] \
 //!     [--fail-fast] [--matrix]
@@ -13,12 +14,24 @@
 //! the output directory. `--resume` reuses any shard record already on
 //! disk that matches the cell, so interrupted sweeps continue where
 //! they stopped. `--fail-fast` skips the pipeline and instead hunts for
-//! a single counterexample with the early-exit executor. `--matrix`
-//! runs the full default matrix ({paper, verified, fix25+conn+compl} ×
-//! {fsync, round-robin, random}) and prints a verdict table.
+//! the lowest-index counterexample with the deterministic early-exit
+//! executor. `--matrix` runs the full default matrix ({paper, verified,
+//! fix25+conn+compl} × {fsync, round-robin, random}) and prints a
+//! verdict table.
+//!
+//! `--sched adversary[:DEPTH]` runs the exhaustive SSYNC adversary
+//! model checker per class (see `robots::adversary`); refuted classes
+//! carry replayable counterexample schedules in the shard records.
+//!
+//! Every non-fail-fast invocation also writes `BENCH_sweep.json` into
+//! the output directory: per-cell wall-clock, classes/sec and states
+//! expanded, so the performance trajectory has a tracked baseline.
 
 use robots::Limits;
-use simlab::sweep::{run_sweep, AlgoSpec, SchedSpec, ShardStatus, SweepConfig, SweepSummary};
+use simlab::sweep::{
+    run_sweep, write_bench, AlgoSpec, BenchRecord, SchedSpec, ShardStatus, SweepConfig,
+    SweepSummary,
+};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -35,7 +48,8 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sweep [--algo paper|verified|FLAGS] [--sched fsync|round-robin|random[:SEED:P]]\n\
+        "usage: sweep [--algo paper|verified|FLAGS]\n\
+         \x20            [--sched fsync|round-robin|random[:SEED:P]|adversary[:DEPTH]]\n\
          \x20            [--n N] [--shards S] [--threads T] [--stealing auto|on|off]\n\
          \x20            [--max-rounds R] [--out-dir DIR] [--resume] [--fail-fast] [--matrix]\n\
          \n\
@@ -124,7 +138,11 @@ fn parse_args() -> Args {
     args
 }
 
-fn run_cell(cfg: &SweepConfig, out_dir: &std::path::Path, resume: bool) -> SweepSummary {
+fn run_cell(
+    cfg: &SweepConfig,
+    out_dir: &std::path::Path,
+    resume: bool,
+) -> (SweepSummary, BenchRecord) {
     let started = Instant::now();
     eprintln!(
         "sweep {} · n={} shards={} threads={} executor={} resume={}",
@@ -151,15 +169,32 @@ fn run_cell(cfg: &SweepConfig, out_dir: &std::path::Path, resume: bool) -> Sweep
         eprintln!("sweep failed: {e}");
         std::process::exit(1);
     });
+    let elapsed = started.elapsed();
     let reused = outcome.shard_status.iter().filter(|s| **s == ShardStatus::Reused).count();
     eprintln!(
         "  merged {} shards ({reused} reused) in {:.2?} -> {}",
         outcome.shard_status.len(),
-        started.elapsed(),
+        elapsed,
         cfg.summary_path(out_dir).display(),
     );
     println!("{}", outcome.summary.line());
-    outcome.summary
+    let elapsed_secs = elapsed.as_secs_f64();
+    let bench = BenchRecord {
+        cell: cfg.slug(),
+        robots: cfg.n,
+        total: outcome.summary.total,
+        shards: outcome.shard_status.len(),
+        threads: cfg.threads,
+        computed_shards: outcome.shard_status.len() - reused,
+        elapsed_secs,
+        classes_per_sec: if elapsed_secs > 0.0 {
+            outcome.summary.total as f64 / elapsed_secs
+        } else {
+            0.0
+        },
+        states_expanded: outcome.expanded,
+    };
+    (outcome.summary, bench)
 }
 
 fn main() {
@@ -176,6 +211,34 @@ fn main() {
         return;
     }
 
+    let bench_path = args.out_dir.join("BENCH_sweep.json");
+    let write_benches = |benches: &[BenchRecord]| {
+        // A fully-resumed cell spent its wall-clock on JSON I/O, not
+        // simulation; writing it would clobber an honest baseline with
+        // a wildly inflated classes/sec figure.
+        let honest: Vec<BenchRecord> =
+            benches.iter().filter(|b| b.computed_shards > 0).cloned().collect();
+        if honest.is_empty() {
+            eprintln!("  bench: all shards reused; leaving {} untouched", bench_path.display());
+            return;
+        }
+        // Merge with records from earlier invocations (keyed by cell),
+        // so successive single-cell runs accumulate one baseline file
+        // instead of clobbering each other.
+        let mut merged: Vec<BenchRecord> = std::fs::read_to_string(&bench_path)
+            .ok()
+            .and_then(|text| serde_json::from_str::<Vec<BenchRecord>>(&text).ok())
+            .unwrap_or_default();
+        merged.retain(|old| !honest.iter().any(|new| new.cell == old.cell));
+        merged.extend(honest);
+        merged.sort_by(|a, b| a.cell.cmp(&b.cell));
+        if let Err(e) = write_bench(&bench_path, &merged) {
+            eprintln!("warning: could not write {}: {e}", bench_path.display());
+        } else {
+            eprintln!("  bench -> {} ({} cells)", bench_path.display(), merged.len());
+        }
+    };
+
     if args.matrix {
         let algos = [
             AlgoSpec::Paper,
@@ -185,13 +248,16 @@ fn main() {
         let scheds =
             [SchedSpec::Fsync, SchedSpec::RoundRobin, SchedSpec::RandomSubset { seed: 1, p: 0.5 }];
         let mut lines = Vec::new();
+        let mut benches = Vec::new();
         for algo in algos {
             for sched in scheds {
                 let cfg = SweepConfig { algo, sched, ..args.cfg.clone() };
-                let summary = run_cell(&cfg, &args.out_dir, args.resume);
+                let (summary, bench) = run_cell(&cfg, &args.out_dir, args.resume);
                 lines.push(summary.line());
+                benches.push(bench);
             }
         }
+        write_benches(&benches);
         println!("\n=== matrix verdicts ===");
         for line in lines {
             println!("{line}");
@@ -199,7 +265,8 @@ fn main() {
         return;
     }
 
-    let summary = run_cell(&args.cfg, &args.out_dir, args.resume);
+    let (summary, bench) = run_cell(&args.cfg, &args.out_dir, args.resume);
+    write_benches(std::slice::from_ref(&bench));
     if args.cfg.sched == SchedSpec::Fsync
         && args.cfg.algo == AlgoSpec::Verified
         && !summary.all_gathered()

@@ -24,6 +24,7 @@
 
 use gathering::rules::RuleOptions;
 use gathering::SevenGather;
+use robots::adversary::{self, AdversaryOptions, AdversaryVerdict, Checker, DEFAULT_FAIR_DEPTH};
 use robots::sched::{RandomSubset, RoundRobin};
 use robots::{engine, sched, Algorithm, Configuration, Limits, Outcome};
 use serde::{Deserialize, Serialize};
@@ -132,27 +133,44 @@ pub enum SchedSpec {
         /// Activation probability in `(0, 1]`.
         p: f64,
     },
+    /// The exhaustive SSYNC adversary model checker
+    /// ([`robots::adversary`]): every class is classified as
+    /// adversary-proof, refuted (with a replayable counterexample
+    /// schedule stored in the record), or undecided at fair-cycle
+    /// search depth `depth`.
+    Adversary {
+        /// Fair-cycle search depth (`D` of `--sched adversary:D`).
+        depth: usize,
+    },
 }
 
 impl SchedSpec {
-    /// Parses a scheduler spec: `fsync`, `round-robin` (or `rr`), or
-    /// `random` (optionally `random:SEED:P`).
+    /// Parses a scheduler spec: `fsync`, `round-robin` (or `rr`),
+    /// `random` (optionally `random:SEED:P`), or `adversary`
+    /// (optionally `adversary:DEPTH`).
     #[must_use]
     pub fn parse(s: &str) -> Option<SchedSpec> {
         match s {
             "fsync" => return Some(SchedSpec::Fsync),
             "round-robin" | "rr" => return Some(SchedSpec::RoundRobin),
             "random" => return Some(SchedSpec::RandomSubset { seed: 1, p: 0.5 }),
+            "adversary" => return Some(SchedSpec::Adversary { depth: DEFAULT_FAIR_DEPTH }),
             _ => {}
         }
         let mut parts = s.split(':');
-        if parts.next() != Some("random") {
-            return None;
+        match parts.next() {
+            Some("random") => {
+                let seed = parts.next()?.parse().ok()?;
+                let p: f64 = parts.next()?.parse().ok()?;
+                (parts.next().is_none() && p > 0.0 && p <= 1.0)
+                    .then_some(SchedSpec::RandomSubset { seed, p })
+            }
+            Some("adversary") => {
+                let depth: usize = parts.next()?.parse().ok()?;
+                (parts.next().is_none() && depth > 0).then_some(SchedSpec::Adversary { depth })
+            }
+            _ => None,
         }
-        let seed = parts.next()?.parse().ok()?;
-        let p: f64 = parts.next()?.parse().ok()?;
-        (parts.next().is_none() && p > 0.0 && p <= 1.0)
-            .then_some(SchedSpec::RandomSubset { seed, p })
     }
 
     /// Canonical name used in filenames and records.
@@ -162,6 +180,10 @@ impl SchedSpec {
             SchedSpec::Fsync => "fsync".to_string(),
             SchedSpec::RoundRobin => "round-robin".to_string(),
             SchedSpec::RandomSubset { seed, p } => format!("random-s{seed}-p{p}"),
+            SchedSpec::Adversary { depth } if *depth == DEFAULT_FAIR_DEPTH => {
+                "adversary".to_string()
+            }
+            SchedSpec::Adversary { depth } => format!("adversary-d{depth}"),
         }
     }
 }
@@ -244,8 +266,17 @@ impl SweepConfig {
 pub struct ClassOutcome {
     /// Index of the class in enumeration order (global, not per-shard).
     pub index: usize,
-    /// How the execution ended.
+    /// How the execution ended. For adversary cells this is the
+    /// *witness* outcome: the counterexample's terminal outcome for
+    /// refuted classes, `Gathered {{ rounds: 0 }}` for proofs, and
+    /// `StepLimit` for undecided classes — use `verdict` for the
+    /// authoritative classification.
     pub outcome: Outcome,
+    /// Deterministic work measure: rounds executed for scheduled cells,
+    /// classes explored for adversary cells. Feeds `BENCH_sweep.json`.
+    pub expanded: usize,
+    /// The model-checking verdict (adversary cells only).
+    pub verdict: Option<AdversaryVerdict>,
 }
 
 /// The persisted result of one shard of a sweep cell.
@@ -290,6 +321,17 @@ impl ShardRecord {
     }
 }
 
+/// Per-cell tallies of the adversary model checker's verdicts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdversaryCounts {
+    /// Classes certified: every fair SSYNC schedule gathers.
+    pub proof: usize,
+    /// Classes refuted by a concrete counterexample schedule.
+    pub refuted: usize,
+    /// Classes with a cyclic class graph and no fair cycle found.
+    pub undecided: usize,
+}
+
 /// The merged verdict of a sweep cell.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SweepSummary {
@@ -321,6 +363,8 @@ pub struct SweepSummary {
     pub mean_rounds: f64,
     /// Indices of the first non-gathering classes (capped, for triage).
     pub failure_indices: Vec<usize>,
+    /// Model-checking verdict tallies (adversary cells only).
+    pub adversary: Option<AdversaryCounts>,
 }
 
 impl SweepSummary {
@@ -333,6 +377,12 @@ impl SweepSummary {
     /// One-line human summary.
     #[must_use]
     pub fn line(&self) -> String {
+        if let Some(counts) = &self.adversary {
+            return format!(
+                "{}/{}: {} proof, {} refuted, {} undecided of {} classes",
+                self.algo, self.sched, counts.proof, counts.refuted, counts.undecided, self.total,
+            );
+        }
         format!(
             "{}/{}: {}/{} gathered (stuck {}, livelock {}, collision {}, disconnected {}, cap {}), rounds max={} mean={:.2}",
             self.algo,
@@ -369,6 +419,47 @@ pub struct SweepOutcome {
     pub summary: SweepSummary,
     /// Per-shard status, in shard order.
     pub shard_status: Vec<ShardStatus>,
+    /// Total work across all classes (sum of [`ClassOutcome::expanded`]):
+    /// rounds executed for scheduled cells, classes explored for
+    /// adversary cells.
+    pub expanded: u64,
+    /// Deterministic digest of the per-class verdict stream
+    /// ([`verdict_digest`]).
+    pub digest: u64,
+}
+
+/// One cell's performance record, written as `BENCH_sweep.json` by the
+/// sweep CLI so the perf trajectory has a tracked baseline.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Cell slug (`algo-sched`).
+    pub cell: String,
+    /// Number of robots.
+    pub robots: usize,
+    /// Classes covered.
+    pub total: usize,
+    /// Shards the run used.
+    pub shards: usize,
+    /// Worker threads per shard (0 = all cores).
+    pub threads: usize,
+    /// Shards actually computed this run (the rest were resumed).
+    pub computed_shards: usize,
+    /// Wall-clock seconds for the whole cell.
+    pub elapsed_secs: f64,
+    /// Classes per wall-clock second.
+    pub classes_per_sec: f64,
+    /// Total work: rounds executed, or classes explored for adversary
+    /// cells.
+    pub states_expanded: u64,
+}
+
+/// Writes the run's [`BenchRecord`]s (one per cell) atomically to
+/// `path` as a JSON array.
+///
+/// # Errors
+/// Propagates I/O errors from the target directory.
+pub fn write_bench(path: &Path, records: &[BenchRecord]) -> io::Result<()> {
+    write_json_atomic(path, &records.to_vec())
 }
 
 /// Splits `total` items into `shards` near-equal contiguous ranges.
@@ -389,9 +480,61 @@ pub fn shard_ranges(total: usize, shards: usize) -> Vec<(usize, usize)> {
     ranges
 }
 
+/// The adversary checker options for a given search depth (other
+/// budgets stay at their defaults).
+#[must_use]
+fn adversary_options(depth: usize) -> AdversaryOptions {
+    AdversaryOptions { fair_depth: depth, ..AdversaryOptions::default() }
+}
+
+/// Maps a model-checking verdict onto the witness [`Outcome`] stored in
+/// the record's `outcome` column (see [`ClassOutcome::outcome`]).
+#[must_use]
+pub fn outcome_of_verdict(verdict: &AdversaryVerdict, limits: Limits) -> Outcome {
+    match verdict {
+        AdversaryVerdict::Proof => Outcome::Gathered { rounds: 0 },
+        AdversaryVerdict::Refuted { outcome, .. } => outcome.clone(),
+        AdversaryVerdict::Undecided { .. } => Outcome::StepLimit { rounds: limits.max_rounds },
+    }
+}
+
+/// Deterministic per-class work measure for scheduled executions.
+#[must_use]
+fn rounds_of(outcome: &Outcome) -> usize {
+    match outcome {
+        Outcome::Gathered { rounds }
+        | Outcome::StuckFixpoint { rounds }
+        | Outcome::StepLimit { rounds } => *rounds,
+        Outcome::Livelock { entry, period } => entry + period,
+        Outcome::Collision { round, .. } => round + 1,
+        Outcome::Disconnected { round } => *round,
+    }
+}
+
+/// Runs one class of an adversary cell through a shared checker.
+#[must_use]
+fn run_class_checked<A: Algorithm + ?Sized>(
+    initial: &Configuration,
+    checker: &Checker<'_, A>,
+    index: usize,
+    limits: Limits,
+) -> ClassOutcome {
+    let report = checker.check(initial);
+    ClassOutcome {
+        index,
+        outcome: outcome_of_verdict(&report.verdict, limits),
+        expanded: report.classes,
+        verdict: Some(report.verdict),
+    }
+}
+
 /// Runs one class under the cell's scheduler and returns its outcome.
 /// `index` is the global class index (it seeds the per-class random
 /// scheduler, keeping outcomes independent of sharding and threading).
+///
+/// For [`SchedSpec::Adversary`] this builds a throwaway checker per
+/// call; batch paths ([`run_shard`], [`find_failure`]) share one
+/// checker across the whole cell instead.
 #[must_use]
 pub fn run_class<A: Algorithm + ?Sized>(
     initial: &Configuration,
@@ -410,6 +553,10 @@ pub fn run_class<A: Algorithm + ?Sized>(
             let mut s = RandomSubset::new(class_seed, p);
             sched::run_scheduled(initial, algo, &mut s, limits).outcome
         }
+        SchedSpec::Adversary { depth } => {
+            let checker = Checker::new(algo, adversary_options(depth));
+            run_class_checked(initial, &checker, index, limits).outcome
+        }
     }
 }
 
@@ -425,10 +572,23 @@ pub fn run_shard(
     let algo = cfg.algo.build();
     let limits = cfg.effective_limits();
     let slice = &classes[start..end];
+    // Adversary cells share one checker across the shard, so the
+    // algorithm's equivariance group is computed once, not per class.
+    let checker = match cfg.sched {
+        SchedSpec::Adversary { depth } => Some(Checker::new(&algo, adversary_options(depth))),
+        _ => None,
+    };
     let run_one = |offset: usize, cells: &Vec<Coord>| {
         let index = start + offset;
         let initial = Configuration::new(cells.iter().copied());
-        ClassOutcome { index, outcome: run_class(&initial, &algo, cfg.sched, index, limits) }
+        match &checker {
+            Some(checker) => run_class_checked(&initial, checker, index, limits),
+            None => {
+                let outcome = run_class(&initial, &algo, cfg.sched, index, limits);
+                let expanded = rounds_of(&outcome);
+                ClassOutcome { index, outcome, expanded, verdict: None }
+            }
+        }
     };
     // Work items carry their offset so both executors yield identical,
     // order-preserved records.
@@ -522,6 +682,10 @@ pub fn merge_shards(cfg: &SweepConfig, records: &[ShardRecord]) -> Result<SweepS
         max_rounds: usize,
         total_rounds: usize,
         failures: Vec<usize>,
+        proof: usize,
+        refuted: usize,
+        undecided: usize,
+        any_verdict: bool,
     }
     let mut acc = Acc::default();
     for res in sorted.iter().flat_map(|r| r.results.iter()) {
@@ -539,6 +703,14 @@ pub fn merge_shards(cfg: &SweepConfig, records: &[ShardRecord]) -> Result<SweepS
         }
         if !res.outcome.is_gathered() && acc.failures.len() < FAILURE_INDEX_CAP {
             acc.failures.push(res.index);
+        }
+        if let Some(verdict) = &res.verdict {
+            acc.any_verdict = true;
+            match verdict {
+                AdversaryVerdict::Proof => acc.proof += 1,
+                AdversaryVerdict::Refuted { .. } => acc.refuted += 1,
+                AdversaryVerdict::Undecided { .. } => acc.undecided += 1,
+            }
         }
     }
 
@@ -561,7 +733,35 @@ pub fn merge_shards(cfg: &SweepConfig, records: &[ShardRecord]) -> Result<SweepS
             acc.total_rounds as f64 / acc.gathered as f64
         },
         failure_indices: acc.failures,
+        adversary: acc.any_verdict.then_some(AdversaryCounts {
+            proof: acc.proof,
+            refuted: acc.refuted,
+            undecided: acc.undecided,
+        }),
     })
+}
+
+/// FNV-1a digest over the merged per-class verdicts of an adversary
+/// cell: index, verdict kind, and — for refutations — the
+/// counterexample schedule. Two runs agree on this digest iff they
+/// classified every class identically; the release golden test pins it
+/// for the full 3652-class space.
+#[must_use]
+pub fn verdict_digest(records: &[ShardRecord]) -> u64 {
+    let mut h = adversary::Fnv64::new();
+    for res in records.iter().flat_map(|r| r.results.iter()) {
+        h.write_all(&(res.index as u64).to_le_bytes());
+        match &res.verdict {
+            None => h.write(0xFF),
+            Some(AdversaryVerdict::Proof) => h.write(1),
+            Some(AdversaryVerdict::Undecided { .. }) => h.write(2),
+            Some(AdversaryVerdict::Refuted { schedule, .. }) => {
+                h.write(3);
+                h.write_all(&adversary::schedule_hash(schedule).to_le_bytes());
+            }
+        }
+    }
+    h.finish()
 }
 
 fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> io::Result<()> {
@@ -624,24 +824,39 @@ pub fn run_sweep(
 
     let summary = merge_shards(cfg, &records).map_err(io::Error::other)?;
     write_json_atomic(&cfg.summary_path(out_dir), &summary)?;
-    Ok(SweepOutcome { summary, shard_status })
+    let expanded = records.iter().flat_map(|r| r.results.iter()).map(|r| r.expanded as u64).sum();
+    let digest = verdict_digest(&records);
+    Ok(SweepOutcome { summary, shard_status, expanded, digest })
 }
 
-/// Early-exit search for **any** non-gathering class of a sweep cell,
-/// via the parallel find executor (chunk size 1: per-item costs are
-/// wildly skewed under non-FSYNC schedulers). Returns the lowest-index
-/// counterexample found before shutdown, or `None` when the cell's
-/// claim holds. Orders of magnitude faster than a full sweep when a
-/// regression makes many classes fail.
+/// Early-exit search for the **lowest-indexed** non-gathering class of
+/// a sweep cell (for adversary cells: the lowest class that is not
+/// adversary-proof), via [`parallel::par_find_min`] — deterministic
+/// regardless of thread count. Returns `None` when the cell's claim
+/// holds for every class. Orders of magnitude faster than a full sweep
+/// when a regression makes many classes fail.
 #[must_use]
 pub fn find_failure(cfg: &SweepConfig) -> Option<(usize, Outcome)> {
     let classes = polyhex::enumerate_fixed(cfg.n);
     let algo = cfg.algo.build();
     let limits = cfg.effective_limits();
+    let checker = match cfg.sched {
+        SchedSpec::Adversary { depth } => Some(Checker::new(&algo, adversary_options(depth))),
+        _ => None,
+    };
     let indexed: Vec<(usize, &Vec<Coord>)> = classes.iter().enumerate().collect();
-    parallel::par_find_any_chunked(&indexed, cfg.threads, 1, |&(index, cells)| {
+    parallel::par_find_min(&indexed, cfg.threads, |&(index, cells)| {
         let initial = Configuration::new(cells.iter().copied());
-        let outcome = run_class(&initial, &algo, cfg.sched, index, limits);
+        let outcome = match &checker {
+            Some(checker) => {
+                let result = run_class_checked(&initial, checker, index, limits);
+                match result.verdict {
+                    Some(AdversaryVerdict::Proof) => return None,
+                    _ => result.outcome,
+                }
+            }
+            None => run_class(&initial, &algo, cfg.sched, index, limits),
+        };
         (!outcome.is_gathered()).then_some(outcome)
     })
     .map(|(i, outcome)| (indexed[i].0, outcome))
@@ -694,6 +909,68 @@ mod tests {
         );
         assert_eq!(SchedSpec::parse("random:9:1.5"), None);
         assert_eq!(SchedSpec::parse("sometimes"), None);
+        assert_eq!(
+            SchedSpec::parse("adversary"),
+            Some(SchedSpec::Adversary { depth: DEFAULT_FAIR_DEPTH })
+        );
+        assert_eq!(SchedSpec::parse("adversary:5"), Some(SchedSpec::Adversary { depth: 5 }));
+        assert_eq!(SchedSpec::parse("adversary:0"), None);
+        assert_eq!(SchedSpec::parse("adversary:x"), None);
+        assert_eq!(SchedSpec::parse("adversary").unwrap().name(), "adversary");
+        assert_eq!(SchedSpec::parse("adversary:5").unwrap().name(), "adversary-d5");
+    }
+
+    #[test]
+    fn adversary_cell_records_verdicts_and_replayable_schedules() {
+        // The 44-class n=4 space is cheap even in debug. The verified
+        // algorithm targets seven robots, so plenty of classes refute;
+        // every refutation's schedule must replay to its recorded
+        // outcome, and the summary must tally the verdicts.
+        let sched = SchedSpec::Adversary { depth: DEFAULT_FAIR_DEPTH };
+        let cfg = SweepConfig { n: 4, sched, shards: 2, ..SweepConfig::default() };
+        let classes = polyhex::enumerate_fixed(4);
+        let records: Vec<ShardRecord> = shard_ranges(classes.len(), cfg.shards)
+            .into_iter()
+            .enumerate()
+            .map(|(s, (start, end))| run_shard(&classes, &cfg, s, start, end))
+            .collect();
+        let summary = merge_shards(&cfg, &records).expect("consistent shards");
+        let counts = summary.adversary.expect("adversary cells tally verdicts");
+        assert_eq!(counts.proof + counts.refuted + counts.undecided, 44);
+
+        let algo = cfg.algo.build();
+        let mut replayed = 0;
+        for res in records.iter().flat_map(|r| r.results.iter()) {
+            let verdict = res.verdict.as_ref().expect("adversary cells store verdicts");
+            if let AdversaryVerdict::Refuted { outcome, .. } = verdict {
+                assert_eq!(outcome, &res.outcome, "witness outcome mirrors the verdict");
+                let initial = Configuration::new(classes[res.index].iter().copied());
+                let ex = adversary::replay(&initial, &algo, verdict).expect("refutations replay");
+                assert_eq!(&ex.outcome, outcome, "class {}", res.index);
+                replayed += 1;
+            }
+        }
+        assert!(replayed > 0, "expected at least one refuted class in the n=4 space");
+    }
+
+    #[test]
+    fn adversary_outcomes_are_sharding_invariant() {
+        let sched = SchedSpec::Adversary { depth: DEFAULT_FAIR_DEPTH };
+        let one = SweepConfig { n: 4, shards: 1, sched, ..SweepConfig::default() };
+        let many = SweepConfig { n: 4, shards: 3, sched, threads: 2, ..SweepConfig::default() };
+        let classes = polyhex::enumerate_fixed(4);
+        let whole = run_shard(&classes, &one, 0, 0, classes.len());
+        let pieces: Vec<ClassOutcome> = shard_ranges(classes.len(), 3)
+            .into_iter()
+            .enumerate()
+            .flat_map(|(s, (start, end))| run_shard(&classes, &many, s, start, end).results)
+            .collect();
+        assert_eq!(whole.results.len(), pieces.len());
+        for (a, b) in whole.results.iter().zip(&pieces) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.verdict, b.verdict, "class {}", a.index);
+            assert_eq!(a.outcome, b.outcome, "class {}", a.index);
+        }
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Determinism pins for the sweep pipeline: the merged per-class
+//! record stream must be **byte-identical** regardless of worker
+//! thread count and shard count — for the seeded random-subset cells
+//! (whose per-class seed derivation must be threading/sharding
+//! invariant) and for the adversary model-checking cells (whose
+//! verdicts and counterexample schedules must be reproducible).
+
+use simlab::sweep::{
+    merge_shards, run_shard, shard_ranges, ClassOutcome, SchedSpec, ShardRecord, SweepConfig,
+};
+
+/// Runs a full cell with the given thread and shard counts and returns
+/// the merged per-class results serialised to JSON.
+fn merged_results_json(cfg: &SweepConfig) -> String {
+    let classes = polyhex::enumerate_fixed(cfg.n);
+    let merged: Vec<ClassOutcome> = shard_ranges(classes.len(), cfg.shards)
+        .into_iter()
+        .enumerate()
+        .flat_map(|(s, (start, end))| run_shard(&classes, cfg, s, start, end).results)
+        .collect();
+    serde_json::to_string(&merged).expect("results serialise")
+}
+
+fn assert_invariant_across_threads_and_shards(base: SweepConfig, label: &str) {
+    let reference = merged_results_json(&SweepConfig { threads: 1, shards: 1, ..base.clone() });
+    for threads in [2, 8] {
+        let got = merged_results_json(&SweepConfig { threads, shards: 1, ..base.clone() });
+        assert_eq!(reference, got, "{label}: thread count {threads} changed the records");
+    }
+    for shards in [3, 5] {
+        let got = merged_results_json(&SweepConfig { threads: 2, shards, ..base.clone() });
+        assert_eq!(reference, got, "{label}: shard count {shards} changed the records");
+    }
+    // Executor choice must not matter either.
+    let stolen =
+        merged_results_json(&SweepConfig { threads: 4, shards: 2, stealing: Some(true), ..base });
+    assert_eq!(reference, stolen, "{label}: the stealing executor changed the records");
+}
+
+#[test]
+fn random_subset_records_are_thread_and_shard_invariant() {
+    let sched = SchedSpec::RandomSubset { seed: 11, p: 0.4 };
+    assert_invariant_across_threads_and_shards(
+        SweepConfig { n: 5, sched, ..SweepConfig::default() },
+        "random-subset n=5",
+    );
+}
+
+#[test]
+fn adversary_records_are_thread_and_shard_invariant() {
+    let sched = SchedSpec::parse("adversary").expect("known scheduler");
+    assert_invariant_across_threads_and_shards(
+        SweepConfig { n: 4, sched, ..SweepConfig::default() },
+        "adversary n=4",
+    );
+}
+
+#[test]
+fn summaries_are_thread_invariant_for_fixed_sharding() {
+    // The merged summary (including the adversary verdict tallies) must
+    // not depend on the thread count.
+    let sched = SchedSpec::parse("adversary").expect("known scheduler");
+    let summarise = |threads: usize| {
+        let cfg = SweepConfig { n: 4, sched, threads, shards: 2, ..SweepConfig::default() };
+        let classes = polyhex::enumerate_fixed(cfg.n);
+        let records: Vec<ShardRecord> = shard_ranges(classes.len(), cfg.shards)
+            .into_iter()
+            .enumerate()
+            .map(|(s, (start, end))| run_shard(&classes, &cfg, s, start, end))
+            .collect();
+        merge_shards(&cfg, &records).expect("consistent shards")
+    };
+    let a = summarise(1);
+    let b = summarise(8);
+    assert_eq!(a, b);
+    assert!(a.adversary.is_some(), "adversary cells must tally verdicts");
+}

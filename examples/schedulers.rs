@@ -47,7 +47,9 @@ fn main() {
     sweep("random subsets p=0.9 (seed 2)", || RandomSubset::new(2, 0.9));
     println!(
         "\nThe paper claims Theorem 2 for FSYNC only (weaker synchrony is §V future\n\
-         work); empirically the completed rule set gathers under these schedulers\n\
-         too — an affirmative data point for the SSYNC question."
+         work); empirically the completed rule set gathers under these *sampled*\n\
+         schedulers. The exhaustive adversary checker shows sampling is misleading:\n\
+         `sweep --algo verified --sched adversary` certifies 1869 classes but\n\
+         refutes 1783 with fair non-gathering schedules (see DESIGN.md §7)."
     );
 }

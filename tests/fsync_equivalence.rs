@@ -1,0 +1,90 @@
+//! Equivalence pin for the shared engine loop: `run_scheduled` under
+//! the [`FullSync`] scheduler must agree **round for round** — trace,
+//! outcome, and round count — with the FSYNC engine. This is the
+//! regression harness around the refactor that made `run`,
+//! `run_scheduled` and the adversary checker share one round-semantics
+//! implementation (`engine::step_moves`).
+
+use proptest::prelude::*;
+use robots::sched::{run_scheduled, run_scheduled_traced, FullSync};
+use robots::{engine, Algorithm, Configuration, Limits, View};
+use trigather::prelude::SevenGather;
+use trigrid::Dir;
+
+/// Strategy: a connected configuration of `n` robots grown from the
+/// origin (deterministic given the choice list).
+fn connected_config(n: usize) -> impl Strategy<Value = Configuration> {
+    proptest::collection::vec((0usize..64, 0usize..6), n - 1).prop_map(move |choices| {
+        let mut cells = vec![trigrid::ORIGIN];
+        for (anchor_raw, dir_raw) in choices {
+            for probe in 0..cells.len() {
+                let anchor = cells[(anchor_raw + probe) % cells.len()];
+                let mut done = false;
+                for k in 0..6 {
+                    let cand = anchor.step(Dir::from_index(dir_raw + k));
+                    if !cells.contains(&cand) {
+                        cells.push(cand);
+                        done = true;
+                        break;
+                    }
+                }
+                if done {
+                    break;
+                }
+            }
+        }
+        Configuration::new(cells)
+    })
+}
+
+/// A random total visibility-1 algorithm as a 64-entry table.
+struct VecTable(Vec<u8>);
+
+impl Algorithm for VecTable {
+    fn radius(&self) -> u32 {
+        1
+    }
+    fn compute(&self, view: &View) -> Option<Dir> {
+        let code = self.0[view.bits() as usize];
+        (code != 0).then(|| Dir::from_index((code - 1) as usize))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fullsync_schedule_equals_fsync_engine(
+        cfg in connected_config(7),
+        table in proptest::collection::vec(0u8..7, 64),
+    ) {
+        let algo = VecTable(table);
+        // detect_livelock stays on: FullSync is round-independent and
+        // deterministic, so class-repetition detection is sound and the
+        // two runners must agree even on Livelock outcomes.
+        let limits = Limits { max_rounds: 4000, detect_livelock: true };
+        let a = engine::run_traced(&cfg, &algo, limits);
+        let b = run_scheduled_traced(&cfg, &algo, &mut FullSync, limits);
+        prop_assert_eq!(&a.outcome, &b.outcome);
+        prop_assert_eq!(&a.final_config, &b.final_config);
+        let (ta, tb) = (a.trace.expect("traced"), b.trace.expect("traced"));
+        prop_assert_eq!(ta.len(), tb.len(), "round counts must agree");
+        prop_assert_eq!(ta, tb, "traces must agree round for round");
+    }
+}
+
+#[test]
+fn fullsync_schedule_equals_fsync_engine_on_verified_rules() {
+    // The paper's algorithm over a deterministic sample of the 3652
+    // classes: outcome (including rounds-to-gather) must be identical
+    // through both runners.
+    let algo = SevenGather::verified();
+    let classes = polyhex::enumerate_fixed(7);
+    for index in (0..classes.len()).step_by(97) {
+        let initial = Configuration::new(classes[index].iter().copied());
+        let a = engine::run(&initial, &algo, Limits::default());
+        let b = run_scheduled(&initial, &algo, &mut FullSync, Limits::default());
+        assert_eq!(a.outcome, b.outcome, "class {index}");
+        assert_eq!(a.final_config, b.final_config, "class {index}");
+    }
+}
