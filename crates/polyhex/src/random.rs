@@ -8,7 +8,11 @@ use trigrid::{Coord, ORIGIN};
 
 /// Generates a random connected set of `n` nodes containing the origin,
 /// by repeatedly attaching a uniformly random unoccupied neighbour of a
-/// uniformly random occupied node ("Eden growth").
+/// uniformly random *open* occupied node ("Eden growth"). Anchors are
+/// sampled only among cells that still have at least one unoccupied
+/// neighbour, so every draw attaches a cell — generation is loop-free
+/// (exactly `n - 1` growth steps) instead of retrying on saturated
+/// anchors, which matters once large sets develop big solid cores.
 ///
 /// The distribution over shapes is **not** uniform; it is intended for
 /// stress tests and scaling experiments, not statistics over the class
@@ -21,16 +25,40 @@ pub fn random_connected<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<Coord> {
     }
     let mut cells: Vec<Coord> = vec![ORIGIN];
     let mut occupied: HashSet<Coord> = HashSet::from([ORIGIN]);
+    // Cells with at least one unoccupied neighbour, with an index map
+    // for O(1) removal; a cell leaves the list the moment its last
+    // free neighbour is taken.
+    let mut open: Vec<Coord> = vec![ORIGIN];
+    let mut open_index: std::collections::HashMap<Coord, usize> =
+        std::collections::HashMap::from([(ORIGIN, 0)]);
+    let close = |open: &mut Vec<Coord>,
+                 open_index: &mut std::collections::HashMap<Coord, usize>,
+                 cell: Coord| {
+        if let Some(i) = open_index.remove(&cell) {
+            open.swap_remove(i);
+            if let Some(&moved) = open.get(i) {
+                open_index.insert(moved, i);
+            }
+        }
+    };
     while cells.len() < n {
-        let &anchor = cells.choose(rng).expect("cells is non-empty");
+        let &anchor = open.choose(rng).expect("a finite set always has an open boundary cell");
         let free: Vec<Coord> =
             anchor.neighbors().into_iter().filter(|c| !occupied.contains(c)).collect();
-        if let Some(&next) = free.choose(rng) {
-            occupied.insert(next);
-            cells.push(next);
+        let &next = free.choose(rng).expect("open cells have a free neighbour");
+        occupied.insert(next);
+        cells.push(next);
+        open.push(next);
+        open_index.insert(next, open.len() - 1);
+        // Occupying `next` may have saturated it or any occupied
+        // neighbour (including the anchor).
+        for cell in next.neighbors().into_iter().chain([next]) {
+            if open_index.contains_key(&cell)
+                && cell.neighbors().into_iter().all(|c| occupied.contains(&c))
+            {
+                close(&mut open, &mut open_index, cell);
+            }
         }
-        // If the anchor was fully surrounded we simply retry; for the
-        // sizes used here this terminates quickly with probability 1.
     }
     crate::canonical_translation(&cells)
 }

@@ -14,6 +14,14 @@
 //! * [`AdversaryVerdict::Undecided`] — the class graph is cyclic but no
 //!   fair counterexample cycle was found within the search depth.
 //!
+//! Since the crash-fault subsystem landed, the BFS / fair-cycle /
+//! stabilizer-dedup machinery lives in [`crate::explore`]; this module
+//! is the **crash-budget-0** instantiation of that transition system
+//! with the paper's gathering goal. The instantiation is exact: with a
+//! zero budget every crash branch of the explorer is dead, so this
+//! checker's verdicts are byte-identical to the pre-refactor ones (the
+//! golden files in `tests/golden/adversary-*.json` pin that).
+//!
 //! # Soundness (sketch — the full argument is DESIGN.md §7)
 //!
 //! A round's successor depends only on the activated robots **that
@@ -45,14 +53,14 @@
 //! arbitrary D6 stabilizer of the configuration does **not** commute
 //! with the algorithm.
 
-use crate::engine::{self, Limits, Outcome};
-use crate::sched::{self, ScheduleReplay};
-use crate::visited::ClassMap;
-use crate::{view, Algorithm, Configuration, Execution, View};
+use crate::engine::{Limits, Outcome};
+use crate::explore::{ExploreOptions, ExploreVerdict, Explorer};
+use crate::sched::{self, CrashRound, ScheduleReplay};
+use crate::{Algorithm, Configuration, Execution};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 use trigrid::transform::PointSymmetry;
-use trigrid::{Coord, Dir};
+
+pub use crate::explore::equivariance_group;
 
 /// Search budgets for [`Checker::check`]. All budgets are deterministic
 /// counters, so verdicts never depend on threading or timing.
@@ -74,6 +82,16 @@ pub const DEFAULT_FAIR_DEPTH: usize = 12;
 impl Default for AdversaryOptions {
     fn default() -> Self {
         AdversaryOptions { max_classes: 4096, max_edges: 2_000_000, fair_depth: DEFAULT_FAIR_DEPTH }
+    }
+}
+
+impl From<AdversaryOptions> for ExploreOptions {
+    fn from(opts: AdversaryOptions) -> Self {
+        ExploreOptions {
+            max_states: opts.max_classes,
+            max_edges: opts.max_edges,
+            fair_depth: opts.fair_depth,
+        }
     }
 }
 
@@ -199,147 +217,35 @@ pub fn replay<A: Algorithm + ?Sized>(
     Some(sched::run_scheduled(initial, algo, &mut replayer, limits))
 }
 
-/// Computes the subgroup of D6 under which `algo` is equivariant:
-/// `compute(σ·v) = σ·compute(v)` for every view `v` with at most
-/// **seven** robots — the only views that can arise in the up-to-8
-/// robot configurations [`Checker::check`] accepts. Algorithms with
-/// radius beyond 2 are conservatively treated as asymmetric.
-#[must_use]
-pub fn equivariance_group<A: Algorithm + ?Sized>(algo: &A) -> Vec<PointSymmetry> {
-    let radius = algo.radius();
-    let mut group = vec![PointSymmetry::Rot(0)];
-    let labels = view::labels(radius);
-    if labels.len() > 18 {
-        return group;
-    }
-    'sym: for &s in &PointSymmetry::ALL[1..] {
-        let perm: Vec<usize> = labels
-            .iter()
-            .map(|&l| view::label_index(radius, s.apply(l)).expect("D6 permutes the label disk"))
-            .collect();
-        for bits in 0..(1u64 << labels.len()) {
-            if bits.count_ones() > 7 {
-                continue;
-            }
-            let mut mapped = 0u64;
-            for (i, &j) in perm.iter().enumerate() {
-                if bits & (1 << i) != 0 {
-                    mapped |= 1 << j;
-                }
-            }
-            let decision = algo.compute(&View::from_bits(radius, bits));
-            let image = algo.compute(&View::from_bits(radius, mapped));
-            if image != decision.map(|d| s.apply_dir(d)) {
-                continue 'sym;
-            }
-        }
-        group.push(s);
-    }
-    group
+/// The goal of the fault-free instantiation: the paper's gathered
+/// hexagon (Definition 1). The crash mask is statically zero here.
+fn fsync_goal(cfg: &Configuration, _crashed: u8) -> bool {
+    cfg.is_gathered()
 }
 
-/// How a discovered class terminates, if it does.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum NodeKind {
-    /// Movers exist: the class is expanded.
-    Inner,
-    /// Full activation moves nobody and the class is gathered.
-    Gathered,
-    /// Full activation moves nobody but the class is not gathered.
-    Stuck,
-}
-
-struct StateNode {
-    /// Canonical representative of the translation class.
-    cfg: Configuration,
-    /// Full decision vector, aligned with `cfg.positions()`.
-    moves: Vec<Option<Dir>>,
-    /// Bitmask of robots whose decision is a move.
-    movers: u8,
-    /// BFS depth (rounds from the initial class).
-    depth: usize,
-    /// Discovery edge, for schedule reconstruction.
-    parent: Option<(usize, u8)>,
-    /// Expanded edges `(activation mask, successor id)`.
-    edges: Vec<(u8, usize)>,
-    kind: NodeKind,
-}
-
-/// A fair-cycle certificate: one traversal of a closed class walk.
-#[derive(Clone)]
-struct CycleCert {
-    /// The activation masks of the traversal.
-    masks: Vec<u8>,
-    /// Role permutation: the robot in row-major slot `r` at the start
-    /// occupies slot `perm[r]` after the traversal.
-    perm: Vec<usize>,
-    /// Whether role `r` moved, or was seen deciding to stay (and is
-    /// thus activatable for free), during the traversal.
-    flags: Vec<bool>,
-}
-
-impl CycleCert {
-    /// Whether pumping this traversal forever is fair: every orbit of
-    /// the role permutation must contain a flagged role.
-    fn is_fair(&self) -> bool {
-        let n = self.perm.len();
-        let mut seen = vec![false; n];
-        for start in 0..n {
-            if seen[start] {
-                continue;
-            }
-            let mut ok = false;
-            let mut r = start;
-            loop {
-                seen[r] = true;
-                ok |= self.flags[r];
-                r = self.perm[r];
-                if r == start {
-                    break;
-                }
-            }
-            if !ok {
-                return false;
-            }
-        }
-        true
-    }
-
-    /// Sequential composition: this traversal followed by `next` (both
-    /// starting from the same class).
-    fn compose(&self, next: &CycleCert) -> CycleCert {
-        let mut masks = self.masks.clone();
-        masks.extend_from_slice(&next.masks);
-        let perm = self.perm.iter().map(|&p| next.perm[p]).collect();
-        let flags = self.flags.iter().zip(&self.perm).map(|(&f, &p)| f || next.flags[p]).collect();
-        CycleCert { masks, perm, flags }
-    }
-}
-
-/// An exhaustive SSYNC adversary checker for one algorithm.
+/// An exhaustive SSYNC adversary checker for one algorithm: the
+/// [`Explorer`] instantiated with crash budget **0** and the paper's
+/// gathering goal.
 ///
 /// Construction computes the algorithm's equivariance subgroup once
 /// (it scans every view of the algorithm's radius); reuse one checker
 /// across many [`check`](Checker::check) calls.
 pub struct Checker<'a, A: Algorithm + ?Sized> {
-    algo: &'a A,
-    opts: AdversaryOptions,
-    group: Vec<PointSymmetry>,
+    explorer: Explorer<'a, A>,
 }
 
 impl<'a, A: Algorithm + ?Sized> Checker<'a, A> {
     /// Builds a checker for `algo` with the given budgets.
     #[must_use]
     pub fn new(algo: &'a A, opts: AdversaryOptions) -> Self {
-        let group = equivariance_group(algo);
-        Checker { algo, opts, group }
+        Checker { explorer: Explorer::new(algo, opts.into(), 0, fsync_goal) }
     }
 
     /// The algorithm's equivariance subgroup (always contains the
     /// identity).
     #[must_use]
     pub fn group(&self) -> &[PointSymmetry] {
-        &self.group
+        self.explorer.group()
     }
 
     /// Classifies `initial` under the exhaustive SSYNC adversary.
@@ -349,518 +255,36 @@ impl<'a, A: Algorithm + ?Sized> Checker<'a, A> {
     /// (activation masks are bytes).
     #[must_use]
     pub fn check(&self, initial: &Configuration) -> AdversaryReport {
-        assert!(initial.len() <= 8, "activation masks are bytes: at most 8 robots");
-        assert!(initial.is_connected(), "the paper's model starts connected");
-        let mut search = Search {
-            checker: self,
-            states: Vec::new(),
-            ids: ClassMap::new(),
-            edges: 0,
-            deduped: 0,
+        let report = self.explorer.check(initial);
+        let verdict = match report.verdict {
+            ExploreVerdict::Proof => AdversaryVerdict::Proof,
+            ExploreVerdict::Undecided { depth } => AdversaryVerdict::Undecided { depth },
+            ExploreVerdict::Refuted { schedule, outcome } => AdversaryVerdict::Refuted {
+                schedule: schedule
+                    .iter()
+                    .map(|&CrashRound { crash, activate }| {
+                        debug_assert_eq!(crash, 0, "budget 0 never injects crashes");
+                        activate
+                    })
+                    .collect(),
+                outcome,
+            },
         };
-        let verdict = search.run(initial);
         AdversaryReport {
             verdict,
-            classes: search.states.len(),
-            edges: search.edges,
-            deduped: search.deduped,
+            classes: report.states,
+            edges: report.edges,
+            deduped: report.deduped,
         }
-    }
-
-    /// Index permutations induced on `cfg` by the stabilizer of its
-    /// class within the equivariance subgroup (identity omitted).
-    fn stabilizer_perms(&self, cfg: &Configuration) -> Vec<Vec<usize>> {
-        let positions = cfg.positions();
-        let mut perms = Vec::new();
-        for &s in &self.group[1..] {
-            let mapped: Vec<Coord> = positions.iter().map(|&p| s.apply(p)).collect();
-            let canon = polyhex::canonical_translation(&mapped);
-            if canon != positions {
-                continue;
-            }
-            let delta = *mapped
-                .iter()
-                .min_by_key(|c| polyhex::key(**c))
-                .expect("configurations are non-empty");
-            let perm: Vec<usize> = mapped
-                .iter()
-                .map(|&q| {
-                    let normalized = q - delta;
-                    positions
-                        .iter()
-                        .position(|&p| p == normalized)
-                        .expect("stabilizer permutes the class")
-                })
-                .collect();
-            perms.push(perm);
-        }
-        perms
-    }
-}
-
-/// Minimal representative of `mask`'s orbit under the index
-/// permutations.
-fn canonical_mask(mask: u8, perms: &[Vec<usize>]) -> u8 {
-    let mut best = mask;
-    for perm in perms {
-        let mut mapped = 0u8;
-        for (i, &j) in perm.iter().enumerate() {
-            if mask & (1 << i) != 0 {
-                mapped |= 1 << j;
-            }
-        }
-        best = best.min(mapped);
-    }
-    best
-}
-
-/// One `check` call's working state.
-struct Search<'c, 'a, A: Algorithm + ?Sized> {
-    checker: &'c Checker<'a, A>,
-    states: Vec<StateNode>,
-    ids: ClassMap<usize>,
-    edges: usize,
-    deduped: usize,
-}
-
-impl<A: Algorithm + ?Sized> Search<'_, '_, A> {
-    /// Interns the class of `cfg`, computing its decisions on first
-    /// sight. Returns `(id, newly_inserted)`. Canonicalises exactly
-    /// once — this is the checker's hottest path.
-    fn intern(
-        &mut self,
-        cfg: &Configuration,
-        depth: usize,
-        parent: Option<(usize, u8)>,
-    ) -> (usize, bool) {
-        let canonical = cfg.canonical();
-        if let Some(&id) = self.ids.get_canonical(&canonical) {
-            return (id, false);
-        }
-        let moves = engine::compute_moves(&canonical, self.checker.algo);
-        let movers =
-            moves
-                .iter()
-                .enumerate()
-                .fold(0u8, |acc, (i, m)| if m.is_some() { acc | (1 << i) } else { acc });
-        let kind = if movers == 0 {
-            if canonical.is_gathered() {
-                NodeKind::Gathered
-            } else {
-                NodeKind::Stuck
-            }
-        } else {
-            NodeKind::Inner
-        };
-        let id = self.states.len();
-        self.ids.insert_canonical(canonical.clone(), id);
-        self.states.push(StateNode {
-            cfg: canonical,
-            moves,
-            movers,
-            depth,
-            parent,
-            edges: Vec::new(),
-            kind,
-        });
-        (id, true)
-    }
-
-    /// Activation masks from the initial class to `id`, via BFS parents.
-    fn path_to(&self, id: usize) -> Vec<u8> {
-        let mut masks = Vec::new();
-        let mut cur = id;
-        while let Some((parent, mask)) = self.states[cur].parent {
-            masks.push(mask);
-            cur = parent;
-        }
-        masks.reverse();
-        masks
-    }
-
-    fn run(&mut self, initial: &Configuration) -> AdversaryVerdict {
-        let (root, _) = self.intern(initial, 0, None);
-        if self.states[root].kind == NodeKind::Stuck {
-            return AdversaryVerdict::Refuted {
-                schedule: Vec::new(),
-                outcome: Outcome::StuckFixpoint { rounds: 0 },
-            };
-        }
-
-        // Phase A: BFS over the reachable class graph; the first bad
-        // terminal yields a minimal counterexample schedule.
-        let mut queue: VecDeque<usize> = VecDeque::from([root]);
-        while let Some(id) = queue.pop_front() {
-            if self.states[id].kind != NodeKind::Inner {
-                continue;
-            }
-            let cfg = self.states[id].cfg.clone();
-            let moves = self.states[id].moves.clone();
-            let movers = self.states[id].movers;
-            let depth = self.states[id].depth;
-            let perms = if self.checker.group.len() > 1 {
-                self.checker.stabilizer_perms(&cfg)
-            } else {
-                Vec::new()
-            };
-            for mask in 1..=u8::MAX {
-                if mask & !movers != 0 {
-                    continue;
-                }
-                if !perms.is_empty() && canonical_mask(mask, &perms) != mask {
-                    self.deduped += 1;
-                    continue;
-                }
-                let masked: Vec<Option<Dir>> = moves
-                    .iter()
-                    .enumerate()
-                    .map(|(i, m)| if mask & (1 << i) != 0 { *m } else { None })
-                    .collect();
-                match engine::step_moves(&cfg, &masked) {
-                    Err(collision) => {
-                        let mut schedule = self.path_to(id);
-                        schedule.push(mask);
-                        return AdversaryVerdict::Refuted {
-                            schedule,
-                            outcome: Outcome::Collision { round: depth, collision },
-                        };
-                    }
-                    Ok(result) => {
-                        self.edges += 1;
-                        if !result.config.is_connected() {
-                            let mut schedule = self.path_to(id);
-                            schedule.push(mask);
-                            return AdversaryVerdict::Refuted {
-                                schedule,
-                                outcome: Outcome::Disconnected { round: depth + 1 },
-                            };
-                        }
-                        let (succ, new) = self.intern(&result.config, depth + 1, Some((id, mask)));
-                        if new {
-                            if self.states[succ].kind == NodeKind::Stuck {
-                                let mut schedule = self.path_to(id);
-                                schedule.push(mask);
-                                return AdversaryVerdict::Refuted {
-                                    schedule,
-                                    outcome: Outcome::StuckFixpoint { rounds: depth + 1 },
-                                };
-                            }
-                            queue.push_back(succ);
-                        }
-                        self.states[id].edges.push((mask, succ));
-                    }
-                }
-                if self.states.len() > self.checker.opts.max_classes
-                    || self.edges > self.checker.opts.max_edges
-                {
-                    return AdversaryVerdict::Undecided { depth: self.checker.opts.fair_depth };
-                }
-            }
-        }
-
-        // Phase B: no bad terminal is reachable. If the graph —
-        // quotiented by the equivariance subgroup — is acyclic, every
-        // fair schedule terminates, and all terminals gather: proof.
-        if self.quotient_is_acyclic() {
-            return AdversaryVerdict::Proof;
-        }
-
-        // Phase C: hunt for a fairly-pumpable cycle.
-        if let Some(verdict) = self.find_fair_cycle() {
-            return verdict;
-        }
-        AdversaryVerdict::Undecided { depth: self.checker.opts.fair_depth }
-    }
-
-    /// Whether the class graph, with nodes identified up to the
-    /// algorithm's equivariance subgroup, is acyclic. The quotient is
-    /// what must be checked: a subtree skipped by the stabilizer
-    /// reduction is isomorphic to an explored one, so cycles in the
-    /// full graph correspond exactly to closed walks in the quotient.
-    fn quotient_is_acyclic(&self) -> bool {
-        use std::collections::HashMap;
-        let mut qid_of_key: HashMap<Vec<Coord>, usize> = HashMap::new();
-        let mut qid: Vec<usize> = Vec::with_capacity(self.states.len());
-        for s in &self.states {
-            let key = self
-                .checker
-                .group
-                .iter()
-                .map(|sym| {
-                    let mapped: Vec<Coord> =
-                        s.cfg.positions().iter().map(|&p| sym.apply(p)).collect();
-                    polyhex::canonical_translation(&mapped)
-                })
-                .min()
-                .expect("the group contains the identity");
-            let next = qid_of_key.len();
-            qid.push(*qid_of_key.entry(key).or_insert(next));
-        }
-        let nq = qid_of_key.len();
-        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nq];
-        for (i, s) in self.states.iter().enumerate() {
-            for &(_, to) in &s.edges {
-                adj[qid[i]].push(qid[to]);
-            }
-        }
-        // Iterative three-colour DFS.
-        let mut colour = vec![0u8; nq]; // 0 white, 1 grey, 2 black
-        for start in 0..nq {
-            if colour[start] != 0 {
-                continue;
-            }
-            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
-            colour[start] = 1;
-            while let Some(&mut (node, ref mut next)) = stack.last_mut() {
-                if *next < adj[node].len() {
-                    let to = adj[node][*next];
-                    *next += 1;
-                    match colour[to] {
-                        0 => {
-                            colour[to] = 1;
-                            stack.push((to, 0));
-                        }
-                        1 => return false, // back edge: cycle
-                        _ => {}
-                    }
-                } else {
-                    colour[node] = 2;
-                    stack.pop();
-                }
-            }
-        }
-        true
-    }
-
-    /// Searches strongly connected components of the explored graph for
-    /// a cycle whose pumped execution is fair; returns the refutation
-    /// lasso if one is found.
-    fn find_fair_cycle(&self) -> Option<AdversaryVerdict> {
-        let sccs = self.tarjan_sccs();
-        for scc in sccs {
-            let has_cycle =
-                scc.len() > 1 || self.states[scc[0]].edges.iter().any(|&(_, to)| to == scc[0]);
-            if !has_cycle {
-                continue;
-            }
-            let in_scc: std::collections::HashSet<usize> = scc.iter().copied().collect();
-            for &start in &scc {
-                let cycles = self.collect_cycles(start, &in_scc);
-                if cycles.is_empty() {
-                    continue;
-                }
-                let certs: Vec<CycleCert> =
-                    cycles.iter().map(|c| self.build_cert(start, c)).collect();
-                for cert in &certs {
-                    if cert.is_fair() {
-                        return Some(self.lasso(start, cert));
-                    }
-                }
-                // Single cycles may starve a parked robot that another
-                // cycle through the same class activates: compose them.
-                let mut acc = certs[0].clone();
-                for round in 1..=self.checker.opts.fair_depth {
-                    acc = acc.compose(&certs[round % certs.len()]);
-                    if acc.is_fair() {
-                        return Some(self.lasso(start, &acc));
-                    }
-                }
-            }
-        }
-        None
-    }
-
-    /// Simple cycles through `start` inside its SCC, as mask/state
-    /// sequences, found by bounded DFS (deterministic budgets).
-    fn collect_cycles(
-        &self,
-        start: usize,
-        in_scc: &std::collections::HashSet<usize>,
-    ) -> Vec<Vec<(u8, usize)>> {
-        const MAX_CYCLES: usize = 32;
-        const NODE_BUDGET: usize = 20_000;
-        let depth_cap = self.checker.opts.fair_depth;
-        let mut cycles = Vec::new();
-        let mut budget = NODE_BUDGET;
-        let mut on_path = vec![false; self.states.len()];
-        let mut path: Vec<(u8, usize)> = Vec::new();
-        self.dfs_cycles(
-            start,
-            start,
-            in_scc,
-            depth_cap,
-            &mut budget,
-            &mut on_path,
-            &mut path,
-            &mut cycles,
-            MAX_CYCLES,
-        );
-        cycles
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn dfs_cycles(
-        &self,
-        node: usize,
-        start: usize,
-        in_scc: &std::collections::HashSet<usize>,
-        depth_left: usize,
-        budget: &mut usize,
-        on_path: &mut [bool],
-        path: &mut Vec<(u8, usize)>,
-        cycles: &mut Vec<Vec<(u8, usize)>>,
-        max_cycles: usize,
-    ) {
-        if depth_left == 0 || cycles.len() >= max_cycles || *budget == 0 {
-            return;
-        }
-        *budget -= 1;
-        on_path[node] = true;
-        for &(mask, to) in &self.states[node].edges {
-            if to == start {
-                let mut cycle = path.clone();
-                cycle.push((mask, to));
-                cycles.push(cycle);
-                if cycles.len() >= max_cycles {
-                    break;
-                }
-                continue;
-            }
-            if !in_scc.contains(&to) || on_path[to] {
-                continue;
-            }
-            path.push((mask, to));
-            self.dfs_cycles(
-                to,
-                start,
-                in_scc,
-                depth_left - 1,
-                budget,
-                on_path,
-                path,
-                cycles,
-                max_cycles,
-            );
-            path.pop();
-        }
-        on_path[node] = false;
-    }
-
-    /// Concretely traverses a closed class walk once, tracking robot
-    /// roles and activation flags.
-    fn build_cert(&self, start: usize, cycle: &[(u8, usize)]) -> CycleCert {
-        let n = self.states[start].cfg.len();
-        // pos[r] = current coordinate of the robot that began in
-        // row-major slot r; role_at[i] = which role sits in slot i.
-        let mut pos: Vec<Coord> = self.states[start].cfg.positions().to_vec();
-        let mut role_at: Vec<usize> = (0..n).collect();
-        let mut flags = vec![false; n];
-        let mut masks = Vec::with_capacity(cycle.len());
-        let mut cur = start;
-        for &(mask, next) in cycle {
-            let moves = &self.states[cur].moves;
-            for slot in 0..n {
-                let role = role_at[slot];
-                match moves[slot] {
-                    None => flags[role] = true, // free activation
-                    Some(dir) => {
-                        if mask & (1 << slot) != 0 {
-                            pos[role] = pos[role].step(dir);
-                            flags[role] = true;
-                        }
-                    }
-                }
-            }
-            // Re-derive the slot ordering of the new configuration.
-            let mut order: Vec<usize> = (0..n).collect();
-            order.sort_by_key(|&r| polyhex::key(pos[r]));
-            role_at = order;
-            masks.push(mask);
-            cur = next;
-            debug_assert_eq!(
-                Configuration::new(pos.iter().copied()).canonical(),
-                self.states[cur].cfg,
-                "certificate walk diverged from the class graph"
-            );
-        }
-        // The walk returned to the start class, translated by delta.
-        let mut perm = vec![0usize; n];
-        for (slot, &role) in role_at.iter().enumerate() {
-            perm[role] = slot;
-        }
-        CycleCert { masks, perm, flags }
-    }
-
-    /// Builds the lasso refutation: BFS prefix to `start`, then the
-    /// certificate's masks; replaying it runs to the step limit without
-    /// gathering.
-    fn lasso(&self, start: usize, cert: &CycleCert) -> AdversaryVerdict {
-        let mut schedule = self.path_to(start);
-        schedule.extend_from_slice(&cert.masks);
-        let rounds = schedule.len();
-        AdversaryVerdict::Refuted { schedule, outcome: Outcome::StepLimit { rounds } }
-    }
-
-    /// Tarjan's SCC algorithm (iterative), components in deterministic
-    /// order.
-    fn tarjan_sccs(&self) -> Vec<Vec<usize>> {
-        let n = self.states.len();
-        let mut index = vec![usize::MAX; n];
-        let mut low = vec![0usize; n];
-        let mut on_stack = vec![false; n];
-        let mut stack: Vec<usize> = Vec::new();
-        let mut sccs: Vec<Vec<usize>> = Vec::new();
-        let mut counter = 0usize;
-        for root in 0..n {
-            if index[root] != usize::MAX {
-                continue;
-            }
-            let mut call: Vec<(usize, usize)> = vec![(root, 0)];
-            while let Some(&mut (v, ref mut ei)) = call.last_mut() {
-                if *ei == 0 {
-                    index[v] = counter;
-                    low[v] = counter;
-                    counter += 1;
-                    stack.push(v);
-                    on_stack[v] = true;
-                }
-                if *ei < self.states[v].edges.len() {
-                    let w = self.states[v].edges[*ei].1;
-                    *ei += 1;
-                    if index[w] == usize::MAX {
-                        call.push((w, 0));
-                    } else if on_stack[w] {
-                        low[v] = low[v].min(index[w]);
-                    }
-                } else {
-                    if low[v] == index[v] {
-                        let mut comp = Vec::new();
-                        while let Some(w) = stack.pop() {
-                            on_stack[w] = false;
-                            comp.push(w);
-                            if w == v {
-                                break;
-                            }
-                        }
-                        comp.sort_unstable();
-                        sccs.push(comp);
-                    }
-                    call.pop();
-                    if let Some(&mut (parent, _)) = call.last_mut() {
-                        low[parent] = low[parent].min(low[v]);
-                    }
-                }
-            }
-        }
-        sccs
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{FnAlgorithm, StayAlgorithm};
-    use trigrid::ORIGIN;
+    use crate::engine::Outcome;
+    use crate::{FnAlgorithm, StayAlgorithm, View};
+    use trigrid::{Coord, Dir, ORIGIN};
 
     fn cfg(cells: &[(i32, i32)]) -> Configuration {
         Configuration::new(cells.iter().map(|&(x, y)| Coord::new(x, y)))

@@ -182,6 +182,32 @@ pub fn step_masked<A: Algorithm + ?Sized>(
     step_moves(config, &masked_moves(&full, active))
 }
 
+/// Executes one SSYNC round under a *frozen-robot* (crash-fault) mask:
+/// robots flagged in `frozen` are permanently crashed — they never act,
+/// not even when `active` selects them, but they still occupy their
+/// node and appear in every view exactly like a live robot.
+///
+/// This is the reference form of the crash-masking rule
+/// (`active && !frozen`, then a plain masked round): the crash
+/// checker's replay loop ([`crate::faults::run_crash_schedule`])
+/// open-codes the same rule so it can reuse its precomputed decision
+/// vector for fixpoint detection — the property tests pin the two
+/// paths against each other. The goal relaxation lives in
+/// [`crate::faults`], not here.
+///
+/// # Errors
+/// Returns the collision if the simultaneous moves are illegal.
+pub fn step_frozen<A: Algorithm + ?Sized>(
+    config: &Configuration,
+    algo: &A,
+    active: &[bool],
+    frozen: &[bool],
+) -> Result<RoundResult, RoundCollision> {
+    debug_assert_eq!(active.len(), frozen.len());
+    let thawed: Vec<bool> = active.iter().zip(frozen).map(|(&a, &f)| a && !f).collect();
+    step_masked(config, algo, &thawed)
+}
+
 /// Executes one FSYNC round: compute, validate, apply.
 ///
 /// # Errors

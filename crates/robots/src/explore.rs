@@ -1,0 +1,1057 @@
+//! Generic crash-adversary transition-system exploration.
+//!
+//! This module is the BFS / cycle-hunting / stabilizer-dedup heart that
+//! used to live inside [`crate::adversary`], generalized into a
+//! transition system over **states** `(canonical class, crash mask)`
+//! and **adversary actions** `(crash injection, activation subset)`:
+//!
+//! * a *state* is the canonical translation class of the configuration
+//!   together with the bitmask of crashed robots (bit `i` = the `i`-th
+//!   robot in row-major order of the canonical representative);
+//! * an *action* first permanently crashes the robots in
+//!   [`CrashRound::crash`] (allowed while the crash budget lasts) and
+//!   then activates the robots in [`CrashRound::activate`], which must
+//!   be non-crashed movers. When the injection leaves no live mover the
+//!   activation is empty: the configuration is frozen forever.
+//!
+//! The SSYNC adversary checker is this system with crash budget **0**
+//! and goal `Configuration::is_gathered` — every crash branch below is
+//! statically dead in that instantiation, so [`crate::adversary`]
+//! produces byte-identical verdicts through this core. The crash-fault
+//! checker ([`crate::faults`]) is the same system with budget `f` and
+//! the relaxed gathering goal.
+//!
+//! Soundness of the exploration (acyclicity ⇒ proof, fair cycle ⇒
+//! refutation, stabilizer dedup) is argued in DESIGN.md §7 for the
+//! fault-free system and extended to crash faults in DESIGN.md §10;
+//! the key facts used here are:
+//!
+//! * crash injections strictly grow the crash mask, so no cycle of the
+//!   state graph contains one — fair-cycle certificates never cross a
+//!   crash level;
+//! * deferring an injection past rounds in which the crashed robot is
+//!   idle anyway yields the same execution, so combining "inject, then
+//!   activate" into one transition loses no adversary behaviour;
+//! * a goal terminal stays a goal terminal under further injections
+//!   (crashing robots only shrinks the set that must gather and never
+//!   creates movers), so goal terminals need no crash expansion.
+
+use crate::engine::{self, Outcome};
+use crate::sched::CrashRound;
+use crate::{view, Algorithm, Configuration, View};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use trigrid::transform::PointSymmetry;
+use trigrid::{Coord, Dir};
+
+/// Deterministic search budgets for [`Explorer::check`]. All budgets
+/// are plain counters, so verdicts never depend on threading or timing.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreOptions {
+    /// Cap on distinct states explored per check.
+    pub max_states: usize,
+    /// Cap on expanded transitions per check.
+    pub max_edges: usize,
+    /// Depth bound for the fair-cycle search: maximal simple-cycle
+    /// length and maximal number of cycle compositions tried.
+    pub fair_depth: usize,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        // The fault-free defaults: the connected seven-robot space
+        // holds 3652 translation classes, so 4096 states never bind
+        // there. Crash instantiations multiply the space by the crash
+        // placements and should use [`ExploreOptions::crash`].
+        ExploreOptions { max_states: 4096, max_edges: 2_000_000, fair_depth: 12 }
+    }
+}
+
+impl ExploreOptions {
+    /// Budgets sized for crash instantiations: each crash placement
+    /// opens its own copy of the class graph, so the state and edge
+    /// caps are an order of magnitude above the fault-free defaults.
+    #[must_use]
+    pub fn crash() -> Self {
+        ExploreOptions { max_states: 65_536, max_edges: 16_000_000, fair_depth: 12 }
+    }
+}
+
+/// The goal predicate of an instantiation: whether `cfg` with the given
+/// crashed-slot mask counts as a *successful* terminal. Plain function
+/// pointer so [`Explorer`] needs no extra type parameter.
+pub type Goal = fn(&Configuration, u8) -> bool;
+
+/// The classification of one initial class by [`Explorer::check`].
+///
+/// The schedule of a refutation is a sequence of [`CrashRound`]
+/// actions; for budget-0 instantiations every `crash` field is zero and
+/// the sequence degrades to the activation schedule of
+/// [`crate::adversary::AdversaryVerdict::Refuted`].
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum ExploreVerdict {
+    /// Every fair schedule of the instantiated system reaches a goal
+    /// terminal.
+    Proof,
+    /// A concrete schedule (activations + crash injections) refutes the
+    /// goal; replaying it must reproduce `outcome`.
+    Refuted {
+        /// Per-round adversary actions (crash mask, activation mask),
+        /// indexed like every scheduler: bit `i` = the `i`-th robot in
+        /// row-major order of the round's configuration.
+        schedule: Vec<CrashRound>,
+        /// The outcome the replay must reproduce. Round counts refer to
+        /// *movement* rounds: injection-only actions do not advance the
+        /// round counter.
+        outcome: Outcome,
+    },
+    /// The state graph contains cycles, but no fair counterexample
+    /// cycle was found within depth `depth`.
+    Undecided {
+        /// The fair-cycle search depth that was exhausted.
+        depth: usize,
+    },
+}
+
+impl ExploreVerdict {
+    /// Short tag used by reports and golden files.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ExploreVerdict::Proof => "proof",
+            ExploreVerdict::Refuted { .. } => "refuted",
+            ExploreVerdict::Undecided { .. } => "undecided",
+        }
+    }
+}
+
+/// The result of checking one class: the verdict plus deterministic
+/// exploration statistics.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ExploreReport {
+    /// The classification.
+    pub verdict: ExploreVerdict,
+    /// Distinct `(class, crash mask)` states explored.
+    pub states: usize,
+    /// Transitions expanded (legal rounds executed plus injections).
+    pub edges: usize,
+    /// Actions skipped by the stabilizer symmetry reduction.
+    pub deduped: usize,
+}
+
+/// Computes the subgroup of D6 under which `algo` is equivariant:
+/// `compute(σ·v) = σ·compute(v)` for every view `v` with at most
+/// **seven** robots — the only views that can arise in the up-to-8
+/// robot configurations [`Explorer::check`] accepts. Algorithms with
+/// radius beyond 2 are conservatively treated as asymmetric.
+#[must_use]
+pub fn equivariance_group<A: Algorithm + ?Sized>(algo: &A) -> Vec<PointSymmetry> {
+    let radius = algo.radius();
+    let mut group = vec![PointSymmetry::Rot(0)];
+    let labels = view::labels(radius);
+    if labels.len() > 18 {
+        return group;
+    }
+    'sym: for &s in &PointSymmetry::ALL[1..] {
+        let perm: Vec<usize> = labels
+            .iter()
+            .map(|&l| view::label_index(radius, s.apply(l)).expect("D6 permutes the label disk"))
+            .collect();
+        for bits in 0..(1u64 << labels.len()) {
+            if bits.count_ones() > 7 {
+                continue;
+            }
+            let mut mapped = 0u64;
+            for (i, &j) in perm.iter().enumerate() {
+                if bits & (1 << i) != 0 {
+                    mapped |= 1 << j;
+                }
+            }
+            let decision = algo.compute(&View::from_bits(radius, bits));
+            let image = algo.compute(&View::from_bits(radius, mapped));
+            if image != decision.map(|d| s.apply_dir(d)) {
+                continue 'sym;
+            }
+        }
+        group.push(s);
+    }
+    group
+}
+
+/// How a discovered state terminates, if it does.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum NodeKind {
+    /// Live (non-crashed) movers exist: the state is expanded.
+    Inner,
+    /// No live mover and the goal predicate holds.
+    Goal,
+    /// No live mover and the goal predicate fails.
+    Stuck,
+}
+
+struct StateNode {
+    /// Canonical representative of the translation class.
+    cfg: Configuration,
+    /// Crashed robots, as a bitmask over `cfg.positions()` slots.
+    crashed: u8,
+    /// Full decision vector, aligned with `cfg.positions()`.
+    moves: Vec<Option<Dir>>,
+    /// Bitmask of robots whose decision is a move (crashed included —
+    /// a crashed robot keeps "deciding", it just never acts).
+    movers: u8,
+    /// Movement rounds from the initial state (injection-only actions
+    /// do not count; this is what replay outcomes report).
+    rounds: usize,
+    /// Discovery edge, for schedule reconstruction.
+    parent: Option<(usize, CrashRound)>,
+    /// Expanded edges `(action, successor id)`.
+    edges: Vec<(CrashRound, usize)>,
+    kind: NodeKind,
+}
+
+/// A fair-cycle certificate: one traversal of a closed state walk.
+/// Crash injections strictly grow the crash mask, so every action on a
+/// cycle has `crash == 0`.
+#[derive(Clone)]
+struct CycleCert {
+    /// The actions of the traversal.
+    masks: Vec<CrashRound>,
+    /// Role permutation: the robot in row-major slot `r` at the start
+    /// occupies slot `perm[r]` after the traversal.
+    perm: Vec<usize>,
+    /// Whether role `r` moved, was seen deciding to stay (and is thus
+    /// activatable for free), or is crashed (exempt from fairness)
+    /// during the traversal.
+    flags: Vec<bool>,
+}
+
+impl CycleCert {
+    /// Whether pumping this traversal forever is fair: every orbit of
+    /// the role permutation must contain a flagged role.
+    fn is_fair(&self) -> bool {
+        let n = self.perm.len();
+        let mut seen = vec![false; n];
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut ok = false;
+            let mut r = start;
+            loop {
+                seen[r] = true;
+                ok |= self.flags[r];
+                r = self.perm[r];
+                if r == start {
+                    break;
+                }
+            }
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Sequential composition: this traversal followed by `next` (both
+    /// starting from the same state).
+    fn compose(&self, next: &CycleCert) -> CycleCert {
+        let mut masks = self.masks.clone();
+        masks.extend_from_slice(&next.masks);
+        let perm = self.perm.iter().map(|&p| next.perm[p]).collect();
+        let flags = self.flags.iter().zip(&self.perm).map(|(&f, &p)| f || next.flags[p]).collect();
+        CycleCert { masks, perm, flags }
+    }
+}
+
+/// An exhaustive adversary explorer for one algorithm, one crash
+/// budget and one goal predicate.
+///
+/// Construction computes the algorithm's equivariance subgroup once
+/// (it scans every view of the algorithm's radius); reuse one explorer
+/// across many [`check`](Explorer::check) calls.
+pub struct Explorer<'a, A: Algorithm + ?Sized> {
+    algo: &'a A,
+    opts: ExploreOptions,
+    group: Vec<PointSymmetry>,
+    /// Maximal number of robots the adversary may crash in total.
+    budget: u8,
+    goal: Goal,
+}
+
+impl<'a, A: Algorithm + ?Sized> Explorer<'a, A> {
+    /// Builds an explorer for `algo` with the given budgets, crash
+    /// budget and goal predicate.
+    ///
+    /// # Panics
+    /// Panics if `budget > 7`: crash masks are bytes and at least one
+    /// robot must stay alive for the goal to be meaningful.
+    #[must_use]
+    pub fn new(algo: &'a A, opts: ExploreOptions, budget: u8, goal: Goal) -> Self {
+        assert!(budget <= 7, "crash budget above 7 is meaningless for byte masks");
+        let group = equivariance_group(algo);
+        Explorer { algo, opts, group, budget, goal }
+    }
+
+    /// The algorithm's equivariance subgroup (always contains the
+    /// identity).
+    #[must_use]
+    pub fn group(&self) -> &[PointSymmetry] {
+        &self.group
+    }
+
+    /// The crash budget this explorer was built with.
+    #[must_use]
+    pub fn budget(&self) -> u8 {
+        self.budget
+    }
+
+    /// Classifies `initial` (no robot crashed yet) under the exhaustive
+    /// adversary of this instantiation.
+    ///
+    /// # Panics
+    /// Panics if `initial` is disconnected or holds more than 8 robots
+    /// (activation and crash masks are bytes).
+    #[must_use]
+    pub fn check(&self, initial: &Configuration) -> ExploreReport {
+        assert!(initial.len() <= 8, "activation masks are bytes: at most 8 robots");
+        assert!(initial.is_connected(), "the paper's model starts connected");
+        let mut search = Search {
+            explorer: self,
+            states: Vec::new(),
+            ids: HashMap::new(),
+            edges: 0,
+            deduped: 0,
+        };
+        let verdict = search.run(initial);
+        ExploreReport {
+            verdict,
+            states: search.states.len(),
+            edges: search.edges,
+            deduped: search.deduped,
+        }
+    }
+
+    /// Index permutations induced on `cfg` by the stabilizer of its
+    /// class within the equivariance subgroup (identity omitted),
+    /// restricted to permutations that also fix the crashed-slot mask —
+    /// a symmetry that maps a crashed robot onto a live one does not
+    /// commute with the crash assignment.
+    fn stabilizer_perms(&self, cfg: &Configuration, crashed: u8) -> Vec<Vec<usize>> {
+        let positions = cfg.positions();
+        let mut perms = Vec::new();
+        for &s in &self.group[1..] {
+            let mapped: Vec<Coord> = positions.iter().map(|&p| s.apply(p)).collect();
+            let canon = polyhex::canonical_translation(&mapped);
+            if canon != positions {
+                continue;
+            }
+            let delta = *mapped
+                .iter()
+                .min_by_key(|c| polyhex::key(**c))
+                .expect("configurations are non-empty");
+            let perm: Vec<usize> = mapped
+                .iter()
+                .map(|&q| {
+                    let normalized = q - delta;
+                    positions
+                        .iter()
+                        .position(|&p| p == normalized)
+                        .expect("stabilizer permutes the class")
+                })
+                .collect();
+            if apply_perm_mask(crashed, &perm) != crashed {
+                continue;
+            }
+            perms.push(perm);
+        }
+        perms
+    }
+}
+
+/// Image of a slot bitmask under an index permutation.
+fn apply_perm_mask(mask: u8, perm: &[usize]) -> u8 {
+    let mut mapped = 0u8;
+    for (i, &j) in perm.iter().enumerate() {
+        if mask & (1 << i) != 0 {
+            mapped |= 1 << j;
+        }
+    }
+    mapped
+}
+
+/// Minimal representative of the action's orbit under the index
+/// permutations, ordered by `(crash, activate)`.
+fn canonical_action(action: CrashRound, perms: &[Vec<usize>]) -> CrashRound {
+    let mut best = action;
+    for perm in perms {
+        let mapped = CrashRound {
+            crash: apply_perm_mask(action.crash, perm),
+            activate: apply_perm_mask(action.activate, perm),
+        };
+        if (mapped.crash, mapped.activate) < (best.crash, best.activate) {
+            best = mapped;
+        }
+    }
+    best
+}
+
+/// Movement rounds of a schedule: injection-only actions do not count.
+fn movement_rounds(schedule: &[CrashRound]) -> usize {
+    schedule.iter().filter(|a| a.activate != 0).count()
+}
+
+/// One `check` call's working state.
+struct Search<'c, 'a, A: Algorithm + ?Sized> {
+    explorer: &'c Explorer<'a, A>,
+    states: Vec<StateNode>,
+    /// State ids per canonical class, with the (few) crash-mask
+    /// variants in a small inner list — keyed by the class alone so
+    /// lookups on the hot path borrow the canonical form instead of
+    /// cloning it.
+    ids: HashMap<Configuration, Vec<(u8, usize)>>,
+    edges: usize,
+    deduped: usize,
+}
+
+impl<A: Algorithm + ?Sized> Search<'_, '_, A> {
+    /// Interns the state of `raw` with the given crashed coordinates
+    /// (in `raw`'s frame), computing its decisions on first sight.
+    /// Returns `(id, newly_inserted)`. Canonicalises exactly once —
+    /// this is the explorer's hottest path. Crashed robots never move,
+    /// so their coordinates survive a round verbatim and only need the
+    /// canonical translation applied here.
+    fn intern(
+        &mut self,
+        raw: &Configuration,
+        crashed_coords: &[Coord],
+        rounds: usize,
+        parent: Option<(usize, CrashRound)>,
+    ) -> (usize, bool) {
+        let canonical = raw.canonical();
+        let crashed = if crashed_coords.is_empty() {
+            0
+        } else {
+            // `positions()` is sorted by key, so the canonical
+            // translation subtracts the first raw position.
+            let delta = raw.positions()[0];
+            let mut mask = 0u8;
+            for &p in crashed_coords {
+                let slot = canonical
+                    .positions()
+                    .iter()
+                    .position(|&q| q == p - delta)
+                    .expect("crashed robots occupy nodes of the configuration");
+                mask |= 1 << slot;
+            }
+            mask
+        };
+        if let Some(variants) = self.ids.get(&canonical) {
+            if let Some(&(_, id)) = variants.iter().find(|&&(mask, _)| mask == crashed) {
+                return (id, false);
+            }
+        }
+        let moves = engine::compute_moves(&canonical, self.explorer.algo);
+        let movers =
+            moves
+                .iter()
+                .enumerate()
+                .fold(0u8, |acc, (i, m)| if m.is_some() { acc | (1 << i) } else { acc });
+        let kind = if movers & !crashed == 0 {
+            if (self.explorer.goal)(&canonical, crashed) {
+                NodeKind::Goal
+            } else {
+                NodeKind::Stuck
+            }
+        } else {
+            NodeKind::Inner
+        };
+        let id = self.states.len();
+        self.ids.entry(canonical.clone()).or_default().push((crashed, id));
+        self.states.push(StateNode {
+            cfg: canonical,
+            crashed,
+            moves,
+            movers,
+            rounds,
+            parent,
+            edges: Vec::new(),
+            kind,
+        });
+        (id, true)
+    }
+
+    /// Actions from the initial state to `id`, via BFS parents.
+    fn path_to(&self, id: usize) -> Vec<CrashRound> {
+        let mut actions = Vec::new();
+        let mut cur = id;
+        while let Some((parent, action)) = self.states[cur].parent {
+            actions.push(action);
+            cur = parent;
+        }
+        actions.reverse();
+        actions
+    }
+
+    /// Coordinates of the slots in `mask` within `cfg`.
+    fn mask_coords(cfg: &Configuration, mask: u8) -> Vec<Coord> {
+        cfg.positions()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &p)| p)
+            .collect()
+    }
+
+    fn run(&mut self, initial: &Configuration) -> ExploreVerdict {
+        let (root, _) = self.intern(initial, &[], 0, None);
+        if self.states[root].kind == NodeKind::Stuck {
+            return ExploreVerdict::Refuted {
+                schedule: Vec::new(),
+                outcome: Outcome::StuckFixpoint { rounds: 0 },
+            };
+        }
+
+        // Phase A: BFS over the reachable state graph; the first bad
+        // terminal yields a minimal counterexample schedule.
+        let mut queue: VecDeque<usize> = VecDeque::from([root]);
+        while let Some(id) = queue.pop_front() {
+            if self.states[id].kind != NodeKind::Inner {
+                continue;
+            }
+            if let Some(verdict) = self.expand(id, &mut queue) {
+                return verdict;
+            }
+            if self.states.len() > self.explorer.opts.max_states
+                || self.edges > self.explorer.opts.max_edges
+            {
+                return ExploreVerdict::Undecided { depth: self.explorer.opts.fair_depth };
+            }
+        }
+
+        // Phase B: no bad terminal is reachable. If the graph —
+        // quotiented by the equivariance subgroup — is acyclic, every
+        // fair schedule terminates, and all terminals are goals: proof.
+        if self.quotient_is_acyclic() {
+            return ExploreVerdict::Proof;
+        }
+
+        // Phase C: hunt for a fairly-pumpable cycle.
+        if let Some(verdict) = self.find_fair_cycle() {
+            return verdict;
+        }
+        ExploreVerdict::Undecided { depth: self.explorer.opts.fair_depth }
+    }
+
+    /// Expands every adversary action of inner state `id`: first the
+    /// pure-activation actions (crash budget untouched), then every
+    /// crash injection combined with each activation of the surviving
+    /// movers — or alone, when it leaves no live mover. Returns a
+    /// refutation as soon as a bad terminal is reached.
+    fn expand(&mut self, id: usize, queue: &mut VecDeque<usize>) -> Option<ExploreVerdict> {
+        let cfg = self.states[id].cfg.clone();
+        let moves = self.states[id].moves.clone();
+        let movers = self.states[id].movers;
+        let crashed = self.states[id].crashed;
+        let rounds = self.states[id].rounds;
+        let n = cfg.len();
+        let live = if n >= 8 { u8::MAX } else { (1u8 << n) - 1 } & !crashed;
+        let avail = self.explorer.budget.saturating_sub(crashed.count_ones() as u8);
+        let perms = if self.explorer.group.len() > 1 {
+            self.explorer.stabilizer_perms(&cfg, crashed)
+        } else {
+            Vec::new()
+        };
+        for crash in 0..=u8::MAX {
+            if crash & !live != 0 || crash.count_ones() > u32::from(avail) {
+                continue;
+            }
+            let after = crashed | crash;
+            let live_movers = movers & !after;
+            // Depends only on the injection, not the activation: one
+            // computation serves every mask below (empty and
+            // allocation-free in budget-0 instantiations).
+            let crashed_coords = Self::mask_coords(&cfg, after);
+            if live_movers == 0 {
+                // The injection froze every remaining mover: a single
+                // injection-only action to a terminal state. `crash`
+                // is nonzero here — an inner state has a live mover.
+                let action = CrashRound { crash, activate: 0 };
+                if !perms.is_empty() && canonical_action(action, &perms) != action {
+                    self.deduped += 1;
+                    continue;
+                }
+                self.edges += 1;
+                let (succ, new) = self.intern(&cfg, &crashed_coords, rounds, Some((id, action)));
+                if new && self.states[succ].kind == NodeKind::Stuck {
+                    let mut schedule = self.path_to(id);
+                    schedule.push(action);
+                    return Some(ExploreVerdict::Refuted {
+                        schedule,
+                        outcome: Outcome::StuckFixpoint { rounds },
+                    });
+                }
+                self.states[id].edges.push((action, succ));
+                if self.states.len() > self.explorer.opts.max_states
+                    || self.edges > self.explorer.opts.max_edges
+                {
+                    return Some(ExploreVerdict::Undecided {
+                        depth: self.explorer.opts.fair_depth,
+                    });
+                }
+                continue;
+            }
+            for mask in 1..=u8::MAX {
+                if mask & !live_movers != 0 {
+                    continue;
+                }
+                let action = CrashRound { crash, activate: mask };
+                if !perms.is_empty() && canonical_action(action, &perms) != action {
+                    self.deduped += 1;
+                    continue;
+                }
+                let masked: Vec<Option<Dir>> = moves
+                    .iter()
+                    .enumerate()
+                    .map(|(i, m)| if mask & (1 << i) != 0 { *m } else { None })
+                    .collect();
+                match engine::step_moves(&cfg, &masked) {
+                    Err(collision) => {
+                        let mut schedule = self.path_to(id);
+                        schedule.push(action);
+                        return Some(ExploreVerdict::Refuted {
+                            schedule,
+                            outcome: Outcome::Collision { round: rounds, collision },
+                        });
+                    }
+                    Ok(result) => {
+                        self.edges += 1;
+                        if !result.config.is_connected() {
+                            let mut schedule = self.path_to(id);
+                            schedule.push(action);
+                            return Some(ExploreVerdict::Refuted {
+                                schedule,
+                                outcome: Outcome::Disconnected { round: rounds + 1 },
+                            });
+                        }
+                        let (succ, new) = self.intern(
+                            &result.config,
+                            &crashed_coords,
+                            rounds + 1,
+                            Some((id, action)),
+                        );
+                        if new {
+                            if self.states[succ].kind == NodeKind::Stuck {
+                                let mut schedule = self.path_to(id);
+                                schedule.push(action);
+                                return Some(ExploreVerdict::Refuted {
+                                    schedule,
+                                    outcome: Outcome::StuckFixpoint { rounds: rounds + 1 },
+                                });
+                            }
+                            queue.push_back(succ);
+                        }
+                        self.states[id].edges.push((action, succ));
+                    }
+                }
+                if self.states.len() > self.explorer.opts.max_states
+                    || self.edges > self.explorer.opts.max_edges
+                {
+                    return Some(ExploreVerdict::Undecided {
+                        depth: self.explorer.opts.fair_depth,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether the state graph, with nodes identified up to the
+    /// algorithm's equivariance subgroup, is acyclic. The quotient is
+    /// what must be checked: a subtree skipped by the stabilizer
+    /// reduction is isomorphic to an explored one, so cycles in the
+    /// full graph correspond exactly to closed walks in the quotient.
+    fn quotient_is_acyclic(&self) -> bool {
+        let mut qid_of_key: HashMap<(Vec<Coord>, u8), usize> = HashMap::new();
+        let mut qid: Vec<usize> = Vec::with_capacity(self.states.len());
+        for s in &self.states {
+            let key = self
+                .explorer
+                .group
+                .iter()
+                .map(|sym| {
+                    let mapped: Vec<Coord> =
+                        s.cfg.positions().iter().map(|&p| sym.apply(p)).collect();
+                    let canon = polyhex::canonical_translation(&mapped);
+                    let mask = if s.crashed == 0 {
+                        0
+                    } else {
+                        let delta = *mapped
+                            .iter()
+                            .min_by_key(|c| polyhex::key(**c))
+                            .expect("configurations are non-empty");
+                        let mut mask = 0u8;
+                        for (i, &p) in s.cfg.positions().iter().enumerate() {
+                            if s.crashed & (1 << i) != 0 {
+                                let slot = canon
+                                    .iter()
+                                    .position(|&q| q == sym.apply(p) - delta)
+                                    .expect("symmetries permute the class");
+                                mask |= 1 << slot;
+                            }
+                        }
+                        mask
+                    };
+                    (canon, mask)
+                })
+                .min()
+                .expect("the group contains the identity");
+            let next = qid_of_key.len();
+            qid.push(*qid_of_key.entry(key).or_insert(next));
+        }
+        let nq = qid_of_key.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nq];
+        for (i, s) in self.states.iter().enumerate() {
+            for &(_, to) in &s.edges {
+                adj[qid[i]].push(qid[to]);
+            }
+        }
+        // Iterative three-colour DFS.
+        let mut colour = vec![0u8; nq]; // 0 white, 1 grey, 2 black
+        for start in 0..nq {
+            if colour[start] != 0 {
+                continue;
+            }
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            colour[start] = 1;
+            while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+                if *next < adj[node].len() {
+                    let to = adj[node][*next];
+                    *next += 1;
+                    match colour[to] {
+                        0 => {
+                            colour[to] = 1;
+                            stack.push((to, 0));
+                        }
+                        1 => return false, // back edge: cycle
+                        _ => {}
+                    }
+                } else {
+                    colour[node] = 2;
+                    stack.pop();
+                }
+            }
+        }
+        true
+    }
+
+    /// Searches strongly connected components of the explored graph for
+    /// a cycle whose pumped execution is fair; returns the refutation
+    /// lasso if one is found.
+    fn find_fair_cycle(&self) -> Option<ExploreVerdict> {
+        let sccs = self.tarjan_sccs();
+        for scc in sccs {
+            let has_cycle =
+                scc.len() > 1 || self.states[scc[0]].edges.iter().any(|&(_, to)| to == scc[0]);
+            if !has_cycle {
+                continue;
+            }
+            let in_scc: std::collections::HashSet<usize> = scc.iter().copied().collect();
+            for &start in &scc {
+                let cycles = self.collect_cycles(start, &in_scc);
+                if cycles.is_empty() {
+                    continue;
+                }
+                let certs: Vec<CycleCert> =
+                    cycles.iter().map(|c| self.build_cert(start, c)).collect();
+                for cert in &certs {
+                    if cert.is_fair() {
+                        return Some(self.lasso(start, cert));
+                    }
+                }
+                // Single cycles may starve a parked robot that another
+                // cycle through the same state activates: compose them.
+                let mut acc = certs[0].clone();
+                for round in 1..=self.explorer.opts.fair_depth {
+                    acc = acc.compose(&certs[round % certs.len()]);
+                    if acc.is_fair() {
+                        return Some(self.lasso(start, &acc));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Simple cycles through `start` inside its SCC, as action/state
+    /// sequences, found by bounded DFS (deterministic budgets).
+    fn collect_cycles(
+        &self,
+        start: usize,
+        in_scc: &std::collections::HashSet<usize>,
+    ) -> Vec<Vec<(CrashRound, usize)>> {
+        const MAX_CYCLES: usize = 32;
+        const NODE_BUDGET: usize = 20_000;
+        let depth_cap = self.explorer.opts.fair_depth;
+        let mut cycles = Vec::new();
+        let mut budget = NODE_BUDGET;
+        let mut on_path = vec![false; self.states.len()];
+        let mut path: Vec<(CrashRound, usize)> = Vec::new();
+        self.dfs_cycles(
+            start,
+            start,
+            in_scc,
+            depth_cap,
+            &mut budget,
+            &mut on_path,
+            &mut path,
+            &mut cycles,
+            MAX_CYCLES,
+        );
+        cycles
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs_cycles(
+        &self,
+        node: usize,
+        start: usize,
+        in_scc: &std::collections::HashSet<usize>,
+        depth_left: usize,
+        budget: &mut usize,
+        on_path: &mut [bool],
+        path: &mut Vec<(CrashRound, usize)>,
+        cycles: &mut Vec<Vec<(CrashRound, usize)>>,
+        max_cycles: usize,
+    ) {
+        if depth_left == 0 || cycles.len() >= max_cycles || *budget == 0 {
+            return;
+        }
+        *budget -= 1;
+        on_path[node] = true;
+        for &(action, to) in &self.states[node].edges {
+            if to == start {
+                let mut cycle = path.clone();
+                cycle.push((action, to));
+                cycles.push(cycle);
+                if cycles.len() >= max_cycles {
+                    break;
+                }
+                continue;
+            }
+            if !in_scc.contains(&to) || on_path[to] {
+                continue;
+            }
+            path.push((action, to));
+            self.dfs_cycles(
+                to,
+                start,
+                in_scc,
+                depth_left - 1,
+                budget,
+                on_path,
+                path,
+                cycles,
+                max_cycles,
+            );
+            path.pop();
+        }
+        on_path[node] = false;
+    }
+
+    /// Concretely traverses a closed state walk once, tracking robot
+    /// roles and activation flags.
+    fn build_cert(&self, start: usize, cycle: &[(CrashRound, usize)]) -> CycleCert {
+        let n = self.states[start].cfg.len();
+        // pos[r] = current coordinate of the robot that began in
+        // row-major slot r; role_at[i] = which role sits in slot i.
+        let mut pos: Vec<Coord> = self.states[start].cfg.positions().to_vec();
+        let mut role_at: Vec<usize> = (0..n).collect();
+        let mut flags = vec![false; n];
+        // Crashed robots are exempt from fairness: never activating
+        // them is legitimate, so their orbits are satisfied for free.
+        for (slot, flag) in flags.iter_mut().enumerate() {
+            if self.states[start].crashed & (1 << slot) != 0 {
+                *flag = true;
+            }
+        }
+        let mut masks = Vec::with_capacity(cycle.len());
+        let mut cur = start;
+        for &(action, next) in cycle {
+            debug_assert_eq!(action.crash, 0, "cycles never cross a crash level");
+            let moves = &self.states[cur].moves;
+            for slot in 0..n {
+                let role = role_at[slot];
+                match moves[slot] {
+                    None => flags[role] = true, // free activation
+                    Some(dir) => {
+                        if action.activate & (1 << slot) != 0 {
+                            pos[role] = pos[role].step(dir);
+                            flags[role] = true;
+                        }
+                    }
+                }
+            }
+            // Re-derive the slot ordering of the new configuration.
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by_key(|&r| polyhex::key(pos[r]));
+            role_at = order;
+            masks.push(action);
+            cur = next;
+            debug_assert_eq!(
+                Configuration::new(pos.iter().copied()).canonical(),
+                self.states[cur].cfg,
+                "certificate walk diverged from the state graph"
+            );
+        }
+        // The walk returned to the start state, translated by delta.
+        let mut perm = vec![0usize; n];
+        for (slot, &role) in role_at.iter().enumerate() {
+            perm[role] = slot;
+        }
+        CycleCert { masks, perm, flags }
+    }
+
+    /// Builds the lasso refutation: BFS prefix to `start`, then the
+    /// certificate's actions; replaying it runs to the step limit
+    /// without settling at a goal.
+    fn lasso(&self, start: usize, cert: &CycleCert) -> ExploreVerdict {
+        let mut schedule = self.path_to(start);
+        schedule.extend_from_slice(&cert.masks);
+        let rounds = movement_rounds(&schedule);
+        ExploreVerdict::Refuted { schedule, outcome: Outcome::StepLimit { rounds } }
+    }
+
+    /// Tarjan's SCC algorithm (iterative), components in deterministic
+    /// order.
+    fn tarjan_sccs(&self) -> Vec<Vec<usize>> {
+        let n = self.states.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut sccs: Vec<Vec<usize>> = Vec::new();
+        let mut counter = 0usize;
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+            while let Some(&mut (v, ref mut ei)) = call.last_mut() {
+                if *ei == 0 {
+                    index[v] = counter;
+                    low[v] = counter;
+                    counter += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if *ei < self.states[v].edges.len() {
+                    let w = self.states[v].edges[*ei].1;
+                    *ei += 1;
+                    if index[w] == usize::MAX {
+                        call.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        sccs.push(comp);
+                    }
+                    call.pop();
+                    if let Some(&mut (parent, _)) = call.last_mut() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                }
+            }
+        }
+        sccs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FnAlgorithm, StayAlgorithm};
+    use trigrid::ORIGIN;
+
+    fn fsync_goal(cfg: &Configuration, _crashed: u8) -> bool {
+        cfg.is_gathered()
+    }
+
+    fn cfg(cells: &[(i32, i32)]) -> Configuration {
+        Configuration::new(cells.iter().map(|&(x, y)| Coord::new(x, y)))
+    }
+
+    #[test]
+    fn budget_zero_has_no_crash_actions() {
+        let march = FnAlgorithm::new(1, "march", |_: &View| Some(Dir::E));
+        let explorer = Explorer::new(&march, ExploreOptions::default(), 0, fsync_goal);
+        let report = explorer.check(&cfg(&[(0, 0), (2, 0)]));
+        let ExploreVerdict::Refuted { schedule, .. } = &report.verdict else {
+            panic!("two marchers refute under SSYNC: {:?}", report.verdict);
+        };
+        assert!(schedule.iter().all(|a| a.crash == 0), "budget 0 must never inject");
+    }
+
+    #[test]
+    fn crash_budget_preserves_a_stay_proof() {
+        // StayAlgorithm on the hexagon has no mover anywhere, so the
+        // crash budget gives the adversary nothing to exploit: the
+        // gathered terminal stays a proof. (That a nonzero budget can
+        // flip a budget-0 proof into a refutation is pinned at scale
+        // by the crash golden files: 1869 adversary-proof classes vs
+        // 11 crash-proof ones.)
+        let h = crate::config::hexagon(ORIGIN);
+        let explorer = Explorer::new(&StayAlgorithm, ExploreOptions::default(), 1, fsync_goal);
+        assert_eq!(explorer.check(&h).verdict, ExploreVerdict::Proof);
+    }
+
+    #[test]
+    fn injection_freezes_the_lone_mover() {
+        // One robot marches east towards its idle neighbour's far side;
+        // crashing the mover parks the pair two apart forever: a stuck
+        // refutation reachable only through a crash injection.
+        let march = FnAlgorithm::new(1, "march-if-clear", |v: &View| {
+            (!v.neighbor(Dir::E)).then_some(Dir::E)
+        });
+        let two = cfg(&[(0, 0), (2, 0)]);
+        let zero = Explorer::new(&march, ExploreOptions::default(), 0, fsync_goal);
+        let one = Explorer::new(&march, ExploreOptions::default(), 1, fsync_goal);
+        // Without crashes the east robot disconnects the pair.
+        assert!(matches!(
+            zero.check(&two).verdict,
+            ExploreVerdict::Refuted { outcome: Outcome::Disconnected { .. }, .. }
+        ));
+        // With one crash the minimal refutation is still 1 action, and
+        // budget 1 explores at least as much as budget 0.
+        let report = one.check(&two);
+        assert!(matches!(report.verdict, ExploreVerdict::Refuted { .. }));
+        assert!(report.edges >= zero.check(&two).edges);
+    }
+
+    #[test]
+    fn movement_rounds_skip_injection_only_actions() {
+        let schedule = [
+            CrashRound { crash: 0b01, activate: 0 },
+            CrashRound { crash: 0, activate: 0b10 },
+            CrashRound { crash: 0b10, activate: 0b100 },
+        ];
+        assert_eq!(movement_rounds(&schedule), 2);
+    }
+
+    #[test]
+    fn canonical_action_orders_by_crash_then_activation() {
+        let swap = vec![1usize, 0];
+        let action = CrashRound { crash: 0b10, activate: 0b01 };
+        let canon = canonical_action(action, std::slice::from_ref(&swap));
+        assert_eq!(canon, CrashRound { crash: 0b01, activate: 0b10 });
+    }
+}

@@ -1,0 +1,443 @@
+//! The crash-fault scenario model: gathering despite up to `f`
+//! permanently crashed robots.
+//!
+//! The paper proves gathering only in the fault-free FSYNC model and
+//! names weaker models as future work (§V); [`crate::adversary`]
+//! settled the SSYNC axis. This module opens the next canonical axis:
+//! an adversary that, on top of choosing SSYNC activations, may
+//! **permanently crash** up to `f` robots. A crashed robot never
+//! performs another Look-Compute-Move cycle, but it keeps occupying its
+//! node and appears in every view exactly like a live robot — crashes
+//! are invisible to the algorithm.
+//!
+//! Because the crashed robots cannot join any gathering point, the goal
+//! is relaxed (the standard relaxation for crash-fault gathering): the
+//! execution succeeds when it reaches a fixpoint of the *live* robots
+//! in which all live robots fit inside one closed radius-1 ball — see
+//! [`relaxed_gathered`]. For seven robots and `f = 0` this coincides
+//! exactly with the paper's hexagon (Definition 1), which is why the
+//! fault-free checker is this model's `f = 0` instantiation.
+//!
+//! [`CrashChecker`] classifies an initial class as
+//! **f-crash-proof** (every fair schedule with at most `f` crashes
+//! gathers the live robots), **refuted** (a minimal replayable
+//! schedule + crash assignment reaches a collision, a disconnection, a
+//! dead fixpoint or a fair non-gathering cycle), or **undecided** at
+//! the fair-cycle search depth. Refutations replay through the engine
+//! via [`replay`]. The exploration core is [`crate::explore`]; the
+//! soundness argument is DESIGN.md §10.
+
+use crate::adversary::Fnv64;
+use crate::engine::{self, Execution, Limits, Outcome};
+use crate::explore::{ExploreOptions, Explorer};
+use crate::sched::{CrashRound, CrashSchedule};
+use crate::{Algorithm, Configuration};
+use trigrid::transform::PointSymmetry;
+use trigrid::Coord;
+
+pub use crate::explore::{ExploreReport as CrashReport, ExploreVerdict as CrashVerdict};
+
+/// Search parameters for [`CrashChecker`].
+#[derive(Clone, Copy, Debug)]
+pub struct CrashOptions {
+    /// Maximal number of robots the adversary may crash (`f`).
+    pub crashes: u8,
+    /// Budgets of the underlying explorer.
+    pub explore: ExploreOptions,
+}
+
+impl Default for CrashOptions {
+    fn default() -> Self {
+        CrashOptions { crashes: 1, explore: ExploreOptions::crash() }
+    }
+}
+
+impl CrashOptions {
+    /// Options for budget `f` with the given fair-cycle search depth.
+    #[must_use]
+    pub fn new(crashes: u8, fair_depth: usize) -> Self {
+        CrashOptions { crashes, explore: ExploreOptions { fair_depth, ..ExploreOptions::crash() } }
+    }
+}
+
+/// Whether the configuration counts as *relaxed-gathered* for the given
+/// crashed-slot mask: every non-crashed robot lies within one closed
+/// radius-1 ball of the grid. One or zero live robots are vacuously
+/// gathered. With no crashes and seven robots this is exactly the
+/// paper's gathered hexagon — a radius-1 ball holds seven nodes, so all
+/// seven robots fill it.
+#[must_use]
+pub fn relaxed_gathered(cfg: &Configuration, crashed: u8) -> bool {
+    let live: Vec<Coord> = cfg
+        .positions()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| crashed & (1 << *i) == 0)
+        .map(|(_, &p)| p)
+        .collect();
+    let Some(&first) = live.first() else {
+        return true;
+    };
+    if live.len() == 1 {
+        return true;
+    }
+    trigrid::region::disk(first, 1)
+        .into_iter()
+        .any(|center| live.iter().all(|&p| center.distance(p) <= 1))
+}
+
+/// Slot bitmask of the `crashed` coordinates within `cfg` (row-major
+/// slot indexing, like every scheduler mask).
+///
+/// # Panics
+/// Panics if a coordinate is not a robot node of `cfg`, or if `cfg`
+/// holds more than 8 robots.
+#[must_use]
+pub fn crash_mask(cfg: &Configuration, crashed: &[Coord]) -> u8 {
+    assert!(cfg.len() <= 8, "crash masks are bytes: at most 8 robots");
+    let mut mask = 0u8;
+    for &p in crashed {
+        let slot = cfg
+            .positions()
+            .iter()
+            .position(|&q| q == p)
+            .expect("crashed robots occupy nodes of the configuration");
+        mask |= 1 << slot;
+    }
+    mask
+}
+
+/// Whether `cfg` is a *successful* terminal of the crash model: no live
+/// robot would move even if activated, and the live robots are
+/// relaxed-gathered.
+#[must_use]
+pub fn is_goal_fixpoint<A: Algorithm + ?Sized>(
+    cfg: &Configuration,
+    algo: &A,
+    crashed: &[Coord],
+) -> bool {
+    let mask = crash_mask(cfg, crashed);
+    let moves = engine::compute_moves(cfg, algo);
+    let live_mover = moves.iter().enumerate().any(|(i, m)| mask & (1 << i) == 0 && m.is_some());
+    !live_mover && relaxed_gathered(cfg, mask)
+}
+
+/// FNV-1a hash of a crash-fault schedule (crash byte then activation
+/// byte per round), for compact golden files — the crash-model
+/// counterpart of [`crate::adversary::schedule_hash`].
+#[must_use]
+pub fn schedule_hash(schedule: &[CrashRound]) -> u64 {
+    let mut h = Fnv64::new();
+    for action in schedule {
+        h.write(action.crash);
+        h.write(action.activate);
+    }
+    h.finish()
+}
+
+/// An exhaustive crash-fault adversary checker for one algorithm: the
+/// [`Explorer`] instantiated with crash budget `f` and the
+/// [`relaxed_gathered`] goal.
+///
+/// Construction computes the algorithm's equivariance subgroup once;
+/// reuse one checker across many [`check`](CrashChecker::check) calls.
+pub struct CrashChecker<'a, A: Algorithm + ?Sized> {
+    explorer: Explorer<'a, A>,
+}
+
+impl<'a, A: Algorithm + ?Sized> CrashChecker<'a, A> {
+    /// Builds a checker for `algo` with the given crash budget and
+    /// search options.
+    ///
+    /// # Panics
+    /// Panics if `opts.crashes > 7`.
+    #[must_use]
+    pub fn new(algo: &'a A, opts: CrashOptions) -> Self {
+        CrashChecker { explorer: Explorer::new(algo, opts.explore, opts.crashes, relaxed_gathered) }
+    }
+
+    /// The algorithm's equivariance subgroup.
+    #[must_use]
+    pub fn group(&self) -> &[PointSymmetry] {
+        self.explorer.group()
+    }
+
+    /// The crash budget `f`.
+    #[must_use]
+    pub fn crashes(&self) -> u8 {
+        self.explorer.budget()
+    }
+
+    /// Classifies `initial` under the exhaustive `f`-crash SSYNC
+    /// adversary.
+    ///
+    /// # Panics
+    /// Panics if `initial` is disconnected or holds more than 8 robots.
+    #[must_use]
+    pub fn check(&self, initial: &Configuration) -> CrashReport {
+        self.explorer.check(initial)
+    }
+}
+
+/// The result of replaying a crash-fault schedule: the execution plus
+/// the final crashed coordinates.
+#[derive(Clone, Debug)]
+pub struct CrashExecution {
+    /// The replayed execution; `trace` is always recorded.
+    pub execution: Execution,
+    /// Coordinates of the crashed robots at the end, in discovery
+    /// order.
+    pub crashed: Vec<Coord>,
+    /// Crash events as `(trace index, coordinate)`: the robot at
+    /// `coordinate` crashed when the trace held `trace index + 1`
+    /// configurations — it must still occupy that node in every later
+    /// trace entry.
+    pub events: Vec<(usize, Coord)>,
+}
+
+/// Replays a crash-fault schedule through the engine's round semantics
+/// ([`engine::step_moves`]). Each recorded round first lands its crash
+/// injections (freezing those robots' coordinates forever), then
+/// activates the recorded non-crashed robots; rounds beyond the
+/// schedule activate every live robot. The run terminates with
+///
+/// * [`Outcome::Gathered`] / [`Outcome::StuckFixpoint`] when no live
+///   robot would move even under full activation (the goal is
+///   [`relaxed_gathered`]),
+/// * [`Outcome::Collision`] / [`Outcome::Disconnected`] as in FSYNC,
+/// * [`Outcome::StepLimit`] after `limits.max_rounds` *movement*
+///   rounds — injection-only rounds and rounds that move nobody do not
+///   advance the counter (matching the explorer's round bookkeeping).
+#[must_use]
+pub fn run_crash_schedule<A: Algorithm + ?Sized>(
+    initial: &Configuration,
+    algo: &A,
+    schedule: &CrashSchedule,
+    limits: Limits,
+) -> CrashExecution {
+    assert!(initial.len() <= 8, "crash masks are bytes: at most 8 robots");
+    let mut cfg = initial.clone();
+    let mut trace = vec![cfg.clone()];
+    let mut frozen: Vec<Coord> = Vec::new();
+    let mut events: Vec<(usize, Coord)> = Vec::new();
+    let mut rounds = 0usize;
+    let mut next = 0usize;
+    let outcome = loop {
+        let full = engine::compute_moves(&cfg, algo);
+        let crashed: Vec<bool> = cfg.positions().iter().map(|p| frozen.contains(p)).collect();
+        if full.iter().zip(&crashed).all(|(m, &c)| c || m.is_none()) {
+            let mask = crash_mask(&cfg, &frozen);
+            break if relaxed_gathered(&cfg, mask) {
+                Outcome::Gathered { rounds }
+            } else {
+                Outcome::StuckFixpoint { rounds }
+            };
+        }
+        if rounds >= limits.max_rounds {
+            break Outcome::StepLimit { rounds: limits.max_rounds };
+        }
+        let entry = schedule.rounds().get(next).copied();
+        next += 1;
+        let (crash, activate) = match entry {
+            Some(action) => (action.crash, action.activate),
+            // Beyond the schedule: no more crashes, everyone live acts.
+            None => (0, u8::MAX),
+        };
+        for (i, &p) in cfg.positions().iter().enumerate() {
+            if crash & (1 << i) != 0 && !frozen.contains(&p) {
+                frozen.push(p);
+                events.push((trace.len() - 1, p));
+            }
+        }
+        let moves: Vec<_> = full
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let live = !frozen.contains(&cfg.positions()[i]);
+                if live && activate & (1 << i) != 0 {
+                    *m
+                } else {
+                    None
+                }
+            })
+            .collect();
+        if moves.iter().all(Option::is_none) {
+            continue; // injection-only (or mover-free) round
+        }
+        match engine::step_moves(&cfg, &moves) {
+            Err(collision) => break Outcome::Collision { round: rounds, collision },
+            Ok(result) => {
+                cfg = result.config;
+                rounds += 1;
+                trace.push(cfg.clone());
+                if !cfg.is_connected() {
+                    break Outcome::Disconnected { round: rounds };
+                }
+            }
+        }
+    };
+    CrashExecution {
+        execution: Execution {
+            initial: initial.clone(),
+            final_config: cfg,
+            outcome,
+            trace: Some(trace),
+        },
+        crashed: frozen,
+        events,
+    }
+}
+
+/// Replays a [`CrashVerdict::Refuted`] schedule through
+/// [`run_crash_schedule`]; returns `None` for other verdicts. The
+/// replayed execution must end with exactly the verdict's `outcome`.
+#[must_use]
+pub fn replay<A: Algorithm + ?Sized>(
+    initial: &Configuration,
+    algo: &A,
+    verdict: &CrashVerdict,
+) -> Option<CrashExecution> {
+    let CrashVerdict::Refuted { schedule, outcome } = verdict else {
+        return None;
+    };
+    let movement = schedule.iter().filter(|a| a.activate != 0).count();
+    let max_rounds = match outcome {
+        Outcome::StuckFixpoint { rounds } => rounds + 1,
+        Outcome::StepLimit { rounds } => *rounds,
+        Outcome::Collision { .. } | Outcome::Disconnected { .. } => movement.max(1),
+        _ => movement + 1,
+    };
+    let limits = Limits { max_rounds, detect_livelock: false };
+    Some(run_crash_schedule(initial, algo, &CrashSchedule::new(schedule.clone()), limits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FnAlgorithm, StayAlgorithm, View};
+    use trigrid::{Dir, ORIGIN};
+
+    fn cfg(cells: &[(i32, i32)]) -> Configuration {
+        Configuration::new(cells.iter().map(|&(x, y)| Coord::new(x, y)))
+    }
+
+    #[test]
+    fn relaxed_gathering_accepts_balls_and_sub_balls() {
+        let h = crate::config::hexagon(ORIGIN);
+        assert!(relaxed_gathered(&h, 0), "the full hexagon is gathered");
+        // Crash any one robot: the remaining six still fit the ball.
+        for slot in 0..7 {
+            assert!(relaxed_gathered(&h, 1 << slot));
+        }
+        // A line of three fits the ball centred on its middle robot; a
+        // line of four does not, but crashing an end robot shrinks the
+        // live set back into a ball.
+        let line3 = cfg(&[(0, 0), (2, 0), (4, 0)]);
+        assert!(relaxed_gathered(&line3, 0), "a 3-line sits inside one ball");
+        let line4 = cfg(&[(0, 0), (2, 0), (4, 0), (6, 0)]);
+        assert!(!relaxed_gathered(&line4, 0));
+        assert!(relaxed_gathered(&line4, 0b0001), "crashing an end robot re-gathers the rest");
+        assert!(!relaxed_gathered(&line4, 0b0010), "the live span is still 3 edges wide");
+    }
+
+    #[test]
+    fn relaxed_gathering_is_vacuous_below_two_live_robots() {
+        let two = cfg(&[(0, 0), (6, 0)]);
+        assert!(relaxed_gathered(&two, 0b11));
+        assert!(relaxed_gathered(&two, 0b01));
+        assert!(relaxed_gathered(&Configuration::new([ORIGIN]), 0));
+    }
+
+    #[test]
+    fn crash_mask_round_trips_coordinates() {
+        let line = cfg(&[(0, 0), (2, 0), (4, 0)]);
+        assert_eq!(crash_mask(&line, &[Coord::new(2, 0)]), 0b010);
+        assert_eq!(crash_mask(&line, &[Coord::new(4, 0), Coord::new(0, 0)]), 0b101);
+        assert_eq!(crash_mask(&line, &[]), 0);
+    }
+
+    #[test]
+    fn crashed_robot_freezes_in_replay() {
+        // Both robots march east; the schedule crashes the west robot
+        // in round 0 and activates the east one: the frozen robot must
+        // stay at the origin while the other walks away and
+        // disconnects the pair.
+        let march = FnAlgorithm::new(1, "march", |_: &View| Some(Dir::E));
+        let two = cfg(&[(0, 0), (2, 0)]);
+        let schedule = CrashSchedule::new(vec![CrashRound { crash: 0b01, activate: 0b10 }]);
+        let limits = Limits { max_rounds: 10, detect_livelock: false };
+        let run = run_crash_schedule(&two, &march, &schedule, limits);
+        assert_eq!(run.execution.outcome, Outcome::Disconnected { round: 1 });
+        assert_eq!(run.crashed, vec![ORIGIN]);
+        let trace = run.execution.trace.as_ref().expect("trace recorded");
+        assert!(trace.iter().all(|c| c.contains(ORIGIN)), "the crashed robot never moves");
+    }
+
+    #[test]
+    fn injection_only_round_does_not_advance_the_round_counter() {
+        // A wanderer plus a stayer two nodes behind it: crashing the
+        // wanderer in an injection-only round freezes the pair at span
+        // 2 — a (relaxed-gathered) fixpoint after zero movement rounds.
+        let march = FnAlgorithm::new(1, "march-if-clear", |v: &View| {
+            (!v.neighbor(Dir::E)).then_some(Dir::E)
+        });
+        let pair = cfg(&[(0, 0), (2, 0)]);
+        let schedule = CrashSchedule::new(vec![CrashRound { crash: 0b10, activate: 0 }]);
+        let limits = Limits { max_rounds: 10, detect_livelock: false };
+        let run = run_crash_schedule(&pair, &march, &schedule, limits);
+        assert_eq!(run.execution.outcome, Outcome::Gathered { rounds: 0 });
+        assert_eq!(run.crashed, vec![Coord::new(2, 0)]);
+    }
+
+    #[test]
+    fn checker_refutes_the_marching_pair_and_replays() {
+        let march = FnAlgorithm::new(1, "march", |_: &View| Some(Dir::E));
+        let two = cfg(&[(0, 0), (2, 0)]);
+        let checker = CrashChecker::new(&march, CrashOptions::default());
+        assert_eq!(checker.crashes(), 1);
+        let report = checker.check(&two);
+        let CrashVerdict::Refuted { outcome, .. } = &report.verdict else {
+            panic!("marching east cannot crash-gather: {:?}", report.verdict);
+        };
+        let run = replay(&two, &march, &report.verdict).expect("refutations replay");
+        assert_eq!(&run.execution.outcome, outcome, "replay reproduces the verdict outcome");
+    }
+
+    #[test]
+    fn stay_on_a_ball_is_crash_proof() {
+        // StayAlgorithm never moves, so any non-ball class is stuck —
+        // but from the gathered hexagon every crash keeps the live
+        // robots inside the ball: proof even with the full budget.
+        let h = crate::config::hexagon(ORIGIN);
+        for f in [0u8, 1, 3] {
+            let checker = CrashChecker::new(&StayAlgorithm, CrashOptions::new(f, 12));
+            assert_eq!(checker.check(&h).verdict, CrashVerdict::Proof, "f = {f}");
+        }
+    }
+
+    #[test]
+    fn goal_fixpoint_helper_matches_model() {
+        let h = crate::config::hexagon(ORIGIN);
+        assert!(is_goal_fixpoint(&h, &StayAlgorithm, &[]));
+        assert!(is_goal_fixpoint(&h, &StayAlgorithm, &[ORIGIN]));
+        let line4 = cfg(&[(0, 0), (2, 0), (4, 0), (6, 0)]);
+        assert!(!is_goal_fixpoint(&line4, &StayAlgorithm, &[]));
+        let march = FnAlgorithm::new(1, "march", |_: &View| Some(Dir::E));
+        assert!(!is_goal_fixpoint(&h, &march, &[]), "movers forbid a fixpoint");
+    }
+
+    #[test]
+    fn replay_returns_none_for_proof_and_undecided() {
+        let h = crate::config::hexagon(ORIGIN);
+        assert!(replay(&h, &StayAlgorithm, &CrashVerdict::Proof).is_none());
+        assert!(replay(&h, &StayAlgorithm, &CrashVerdict::Undecided { depth: 4 }).is_none());
+    }
+
+    #[test]
+    fn crash_schedule_hash_distinguishes_crash_patterns() {
+        let a = vec![CrashRound { crash: 1, activate: 2 }];
+        let b = vec![CrashRound { crash: 2, activate: 1 }];
+        assert_ne!(schedule_hash(&a), schedule_hash(&b));
+        assert_eq!(schedule_hash(&[]), schedule_hash(&[]));
+    }
+}

@@ -20,11 +20,20 @@
 //! * [`sched`] — activation schedulers beyond FSYNC (round-robin,
 //!   random subsets, recorded-schedule replay) for the paper's
 //!   future-work question of weaker synchrony.
-//! * [`adversary`] — an exhaustive SSYNC adversary model checker that
-//!   classifies an initial class as adversary-proof, refuted (with a
-//!   minimal replayable counterexample schedule) or undecided.
+//! * [`explore`] — the generic crash-adversary transition-system
+//!   explorer: BFS over `(canonical class, crash mask)` states with
+//!   stabilizer-subset dedup, quotient-acyclicity proofs and orbit-fair
+//!   cycle refutations. Both checkers below are instantiations.
+//! * [`adversary`] — an exhaustive SSYNC adversary model checker
+//!   (crash budget 0) that classifies an initial class as
+//!   adversary-proof, refuted (with a minimal replayable counterexample
+//!   schedule) or undecided.
+//! * [`faults`] — the crash-fault scenario model (crash budget `f`,
+//!   relaxed gathering of the live robots) with replayable
+//!   schedule + crash assignments.
 //! * [`visited`] — shared canonical-class memoization primitives used
-//!   by the engine, the checker and the impossibility simulator.
+//!   by the engine's livelock detector and the impossibility
+//!   simulator (the explorer keeps its own crash-mask-aware interner).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +43,8 @@ mod algorithm;
 pub mod async_model;
 mod config;
 pub mod engine;
+pub mod explore;
+pub mod faults;
 pub mod sched;
 pub mod view;
 pub mod visited;
@@ -42,4 +53,5 @@ pub use adversary::{AdversaryReport, AdversaryVerdict, Checker};
 pub use algorithm::{Algorithm, FnAlgorithm, StayAlgorithm};
 pub use config::{hexagon, Configuration};
 pub use engine::{run, run_traced, Execution, Limits, Move, Outcome, RoundCollision, RoundResult};
+pub use faults::{CrashChecker, CrashOptions, CrashReport, CrashVerdict};
 pub use view::View;

@@ -17,11 +17,16 @@
 //! All round execution goes through [`engine::step_moves`] via the
 //! shared engine loop — the scheduler layer adds only activation
 //! masking, never its own collision semantics.
+//!
+//! The crash-fault model records richer schedules: [`CrashSchedule`]
+//! carries per-round crash injections alongside activations and is
+//! replayed by [`crate::faults::run_crash_schedule`].
 
 use crate::engine::{Execution, Limits};
 use crate::{engine, Algorithm, Configuration};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// Chooses the set of robots activated in each round.
 ///
@@ -144,6 +149,69 @@ impl Scheduler for ScheduleReplay {
     }
     fn name(&self) -> &str {
         "replay"
+    }
+}
+
+/// One round of a crash-fault schedule: the adversary first
+/// *permanently crashes* the robots in `crash`, then activates the
+/// robots in `activate`. Both masks use the standard scheduler
+/// indexing — bit `i` = the `i`-th robot in row-major order of the
+/// round's configuration (row-major order is translation-invariant, so
+/// the indexing survives canonicalisation).
+///
+/// `activate == 0` is an *injection-only* round: crashes land but no
+/// robot performs a Look-Compute-Move cycle, and replay round counters
+/// do not advance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CrashRound {
+    /// Robots permanently crashed at the start of this round.
+    pub crash: u8,
+    /// Robots activated this round (crashed robots are ignored).
+    pub activate: u8,
+}
+
+/// A replayable crash-fault schedule: the per-round crash injections
+/// and activations recorded by the crash-model explorer
+/// ([`crate::faults`]). Rounds beyond the recorded schedule activate
+/// every non-crashed robot; crashed robots never activate again —
+/// they keep occupying their node and appearing in views.
+///
+/// This is to [`crate::faults::replay`] what [`ScheduleReplay`] is to
+/// the fault-free adversary checker.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CrashSchedule {
+    rounds: Vec<CrashRound>,
+}
+
+impl CrashSchedule {
+    /// Wraps a recorded action sequence.
+    #[must_use]
+    pub fn new(rounds: Vec<CrashRound>) -> Self {
+        CrashSchedule { rounds }
+    }
+
+    /// The recorded actions, in round order.
+    #[must_use]
+    pub fn rounds(&self) -> &[CrashRound] {
+        &self.rounds
+    }
+
+    /// Number of recorded rounds (including injection-only rounds).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Whether the schedule is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// Total number of robots the schedule crashes.
+    #[must_use]
+    pub fn crash_count(&self) -> u32 {
+        self.rounds.iter().map(|r| r.crash.count_ones()).sum()
     }
 }
 

@@ -30,7 +30,7 @@
 use robots::Limits;
 use simlab::sweep::{
     run_sweep, write_bench, AlgoSpec, BenchRecord, SchedSpec, ShardStatus, SweepConfig,
-    SweepSummary,
+    SweepSummary, SCHED_SPECS,
 };
 use std::path::PathBuf;
 use std::time::Instant;
@@ -49,11 +49,12 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: sweep [--algo paper|verified|FLAGS]\n\
-         \x20            [--sched fsync|round-robin|random[:SEED:P]|adversary[:DEPTH]]\n\
+         \x20            [--sched fsync|round-robin|random[:SEED:P]|adversary[:DEPTH]|crash:F[:DEPTH]]\n\
          \x20            [--n N] [--shards S] [--threads T] [--stealing auto|on|off]\n\
          \x20            [--max-rounds R] [--out-dir DIR] [--resume] [--fail-fast] [--matrix]\n\
          \n\
-         FLAGS is a '+'-separated ablation list from fix25, conn, prio, compl, mirror (or 'none')."
+         FLAGS is a '+'-separated ablation list from fix25, conn, prio, compl, mirror (or 'none').\n\
+         Scheduler specs: {SCHED_SPECS}."
     );
     std::process::exit(2);
 }
@@ -87,7 +88,7 @@ fn parse_args() -> Args {
             "--sched" => {
                 let v = value("--sched");
                 args.cfg.sched = SchedSpec::parse(&v).unwrap_or_else(|| {
-                    eprintln!("unknown scheduler spec {v:?}");
+                    eprintln!("unknown scheduler spec {v:?}; valid specs: {SCHED_SPECS}");
                     usage();
                 });
                 args.cell_chosen = true;
@@ -193,6 +194,7 @@ fn run_cell(
             0.0
         },
         states_expanded: outcome.expanded,
+        verdicts: outcome.summary.adversary,
     };
     (outcome.summary, bench)
 }

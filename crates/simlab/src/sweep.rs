@@ -25,6 +25,7 @@
 use gathering::rules::RuleOptions;
 use gathering::SevenGather;
 use robots::adversary::{self, AdversaryOptions, AdversaryVerdict, Checker, DEFAULT_FAIR_DEPTH};
+use robots::faults::{self, CrashChecker, CrashOptions, CrashVerdict};
 use robots::sched::{RandomSubset, RoundRobin};
 use robots::{engine, sched, Algorithm, Configuration, Limits, Outcome};
 use serde::{Deserialize, Serialize};
@@ -142,12 +143,29 @@ pub enum SchedSpec {
         /// Fair-cycle search depth (`D` of `--sched adversary:D`).
         depth: usize,
     },
+    /// The exhaustive crash-fault model checker ([`robots::faults`]):
+    /// the SSYNC adversary may additionally crash up to `f` robots
+    /// permanently, and every class is classified as f-crash-proof,
+    /// refuted (with a replayable schedule + crash assignment), or
+    /// undecided at fair-cycle search depth `depth`.
+    Crash {
+        /// Maximal number of crashed robots (`F` of `--sched crash:F`).
+        f: u8,
+        /// Fair-cycle search depth (`D` of `--sched crash:F:D`).
+        depth: usize,
+    },
 }
+
+/// The scheduler specs `SchedSpec::parse` accepts, for CLI error
+/// messages and usage strings.
+pub const SCHED_SPECS: &str =
+    "fsync, round-robin (rr), random[:SEED:P], adversary[:DEPTH], crash:F[:DEPTH]";
 
 impl SchedSpec {
     /// Parses a scheduler spec: `fsync`, `round-robin` (or `rr`),
-    /// `random` (optionally `random:SEED:P`), or `adversary`
-    /// (optionally `adversary:DEPTH`).
+    /// `random` (optionally `random:SEED:P`), `adversary` (optionally
+    /// `adversary:DEPTH`), or `crash:F` (optionally `crash:F:DEPTH`)
+    /// with `F <= 7` crashed robots.
     #[must_use]
     pub fn parse(s: &str) -> Option<SchedSpec> {
         match s {
@@ -169,6 +187,15 @@ impl SchedSpec {
                 let depth: usize = parts.next()?.parse().ok()?;
                 (parts.next().is_none() && depth > 0).then_some(SchedSpec::Adversary { depth })
             }
+            Some("crash") => {
+                let f: u8 = parts.next()?.parse().ok()?;
+                let depth: usize = match parts.next() {
+                    Some(d) => d.parse().ok()?,
+                    None => DEFAULT_FAIR_DEPTH,
+                };
+                (parts.next().is_none() && f <= 7 && depth > 0)
+                    .then_some(SchedSpec::Crash { f, depth })
+            }
             _ => None,
         }
     }
@@ -184,6 +211,8 @@ impl SchedSpec {
                 "adversary".to_string()
             }
             SchedSpec::Adversary { depth } => format!("adversary-d{depth}"),
+            SchedSpec::Crash { f, depth } if *depth == DEFAULT_FAIR_DEPTH => format!("crash-f{f}"),
+            SchedSpec::Crash { f, depth } => format!("crash-f{f}-d{depth}"),
         }
     }
 }
@@ -273,10 +302,15 @@ pub struct ClassOutcome {
     /// authoritative classification.
     pub outcome: Outcome,
     /// Deterministic work measure: rounds executed for scheduled cells,
-    /// classes explored for adversary cells. Feeds `BENCH_sweep.json`.
+    /// states explored for adversary/crash cells. Feeds
+    /// `BENCH_sweep.json`.
     pub expanded: usize,
     /// The model-checking verdict (adversary cells only).
     pub verdict: Option<AdversaryVerdict>,
+    /// The crash-fault model-checking verdict (crash cells only;
+    /// absent in records written before the crash subsystem).
+    #[serde(default)]
+    pub crash: Option<CrashVerdict>,
 }
 
 /// The persisted result of one shard of a sweep cell.
@@ -363,8 +397,15 @@ pub struct SweepSummary {
     pub mean_rounds: f64,
     /// Indices of the first non-gathering classes (capped, for triage).
     pub failure_indices: Vec<usize>,
-    /// Model-checking verdict tallies (adversary cells only).
+    /// Model-checking verdict tallies (adversary **and** crash cells;
+    /// the `sched` name says which model produced them).
     pub adversary: Option<AdversaryCounts>,
+    /// Deterministic FNV-1a digest over the per-class verdict stream
+    /// ([`verdict_digest`], as 16 hex digits), present for adversary
+    /// and crash cells: two runs agree on this digest iff they
+    /// classified every class identically.
+    #[serde(default)]
+    pub digest: Option<String>,
 }
 
 impl SweepSummary {
@@ -448,9 +489,14 @@ pub struct BenchRecord {
     pub elapsed_secs: f64,
     /// Classes per wall-clock second.
     pub classes_per_sec: f64,
-    /// Total work: rounds executed, or classes explored for adversary
-    /// cells.
+    /// Total work: rounds executed, or states explored for
+    /// adversary/crash cells.
     pub states_expanded: u64,
+    /// Model-checking verdict tallies (adversary and crash cells), so
+    /// the bench baseline records *what* was classified alongside how
+    /// fast.
+    #[serde(default)]
+    pub verdicts: Option<AdversaryCounts>,
 }
 
 /// Writes the run's [`BenchRecord`]s (one per cell) atomically to
@@ -498,6 +544,16 @@ pub fn outcome_of_verdict(verdict: &AdversaryVerdict, limits: Limits) -> Outcome
     }
 }
 
+/// [`outcome_of_verdict`] for crash-fault verdicts.
+#[must_use]
+pub fn outcome_of_crash_verdict(verdict: &CrashVerdict, limits: Limits) -> Outcome {
+    match verdict {
+        CrashVerdict::Proof => Outcome::Gathered { rounds: 0 },
+        CrashVerdict::Refuted { outcome, .. } => outcome.clone(),
+        CrashVerdict::Undecided { .. } => Outcome::StepLimit { rounds: limits.max_rounds },
+    }
+}
+
 /// Deterministic per-class work measure for scheduled executions.
 #[must_use]
 fn rounds_of(outcome: &Outcome) -> usize {
@@ -525,6 +581,55 @@ fn run_class_checked<A: Algorithm + ?Sized>(
         outcome: outcome_of_verdict(&report.verdict, limits),
         expanded: report.classes,
         verdict: Some(report.verdict),
+        crash: None,
+    }
+}
+
+/// Runs one class of a crash cell through a shared crash checker.
+#[must_use]
+fn run_class_crashed<A: Algorithm + ?Sized>(
+    initial: &Configuration,
+    checker: &CrashChecker<'_, A>,
+    index: usize,
+    limits: Limits,
+) -> ClassOutcome {
+    let report = checker.check(initial);
+    ClassOutcome {
+        index,
+        outcome: outcome_of_crash_verdict(&report.verdict, limits),
+        expanded: report.states,
+        verdict: None,
+        crash: Some(report.verdict),
+    }
+}
+
+/// The per-shard checker of a model-checking cell, if any.
+enum CellChecker<'a, A: Algorithm + ?Sized> {
+    Adversary(Checker<'a, A>),
+    Crash(CrashChecker<'a, A>),
+}
+
+impl<'a, A: Algorithm + ?Sized> CellChecker<'a, A> {
+    /// Builds the shared checker for model-checking cells (`None` for
+    /// scheduled cells). Shared per shard so the algorithm's
+    /// equivariance group is computed once, not per class.
+    fn for_spec(algo: &'a A, spec: SchedSpec) -> Option<Self> {
+        match spec {
+            SchedSpec::Adversary { depth } => {
+                Some(CellChecker::Adversary(Checker::new(algo, adversary_options(depth))))
+            }
+            SchedSpec::Crash { f, depth } => {
+                Some(CellChecker::Crash(CrashChecker::new(algo, CrashOptions::new(f, depth))))
+            }
+            _ => None,
+        }
+    }
+
+    fn run_class(&self, initial: &Configuration, index: usize, limits: Limits) -> ClassOutcome {
+        match self {
+            CellChecker::Adversary(c) => run_class_checked(initial, c, index, limits),
+            CellChecker::Crash(c) => run_class_crashed(initial, c, index, limits),
+        }
     }
 }
 
@@ -532,9 +637,9 @@ fn run_class_checked<A: Algorithm + ?Sized>(
 /// `index` is the global class index (it seeds the per-class random
 /// scheduler, keeping outcomes independent of sharding and threading).
 ///
-/// For [`SchedSpec::Adversary`] this builds a throwaway checker per
-/// call; batch paths ([`run_shard`], [`find_failure`]) share one
-/// checker across the whole cell instead.
+/// For [`SchedSpec::Adversary`] and [`SchedSpec::Crash`] this builds a
+/// throwaway checker per call; batch paths ([`run_shard`],
+/// [`find_failure`]) share one checker across the whole cell instead.
 #[must_use]
 pub fn run_class<A: Algorithm + ?Sized>(
     initial: &Configuration,
@@ -553,9 +658,9 @@ pub fn run_class<A: Algorithm + ?Sized>(
             let mut s = RandomSubset::new(class_seed, p);
             sched::run_scheduled(initial, algo, &mut s, limits).outcome
         }
-        SchedSpec::Adversary { depth } => {
-            let checker = Checker::new(algo, adversary_options(depth));
-            run_class_checked(initial, &checker, index, limits).outcome
+        SchedSpec::Adversary { .. } | SchedSpec::Crash { .. } => {
+            let checker = CellChecker::for_spec(algo, spec).expect("model-checking cell");
+            checker.run_class(initial, index, limits).outcome
         }
     }
 }
@@ -572,21 +677,18 @@ pub fn run_shard(
     let algo = cfg.algo.build();
     let limits = cfg.effective_limits();
     let slice = &classes[start..end];
-    // Adversary cells share one checker across the shard, so the
+    // Model-checking cells share one checker across the shard, so the
     // algorithm's equivariance group is computed once, not per class.
-    let checker = match cfg.sched {
-        SchedSpec::Adversary { depth } => Some(Checker::new(&algo, adversary_options(depth))),
-        _ => None,
-    };
+    let checker = CellChecker::for_spec(&algo, cfg.sched);
     let run_one = |offset: usize, cells: &Vec<Coord>| {
         let index = start + offset;
         let initial = Configuration::new(cells.iter().copied());
         match &checker {
-            Some(checker) => run_class_checked(&initial, checker, index, limits),
+            Some(checker) => checker.run_class(&initial, index, limits),
             None => {
                 let outcome = run_class(&initial, &algo, cfg.sched, index, limits);
                 let expanded = rounds_of(&outcome);
-                ClassOutcome { index, outcome, expanded, verdict: None }
+                ClassOutcome { index, outcome, expanded, verdict: None, crash: None }
             }
         }
     };
@@ -712,7 +814,24 @@ pub fn merge_shards(cfg: &SweepConfig, records: &[ShardRecord]) -> Result<SweepS
                 AdversaryVerdict::Undecided { .. } => acc.undecided += 1,
             }
         }
+        if let Some(verdict) = &res.crash {
+            acc.any_verdict = true;
+            match verdict {
+                CrashVerdict::Proof => acc.proof += 1,
+                CrashVerdict::Refuted { .. } => acc.refuted += 1,
+                CrashVerdict::Undecided { .. } => acc.undecided += 1,
+            }
+        }
     }
+    // The digest is computed over the class-ordered record stream, so
+    // it is independent of the order the caller handed the shards in.
+    let digest = acc.any_verdict.then(|| {
+        let mut h = adversary::Fnv64::new();
+        for res in sorted.iter().flat_map(|r| r.results.iter()) {
+            digest_class(&mut h, res);
+        }
+        format!("{:016x}", h.finish())
+    });
 
     Ok(SweepSummary {
         algo: cfg.algo.name(),
@@ -738,28 +857,55 @@ pub fn merge_shards(cfg: &SweepConfig, records: &[ShardRecord]) -> Result<SweepS
             refuted: acc.refuted,
             undecided: acc.undecided,
         }),
+        digest,
     })
 }
 
-/// FNV-1a digest over the merged per-class verdicts of an adversary
-/// cell: index, verdict kind, and — for refutations — the
-/// counterexample schedule. Two runs agree on this digest iff they
-/// classified every class identically; the release golden test pins it
-/// for the full 3652-class space.
+/// Mixes one class's verdicts into the running digest. Adversary and
+/// crash verdicts use disjoint tag bytes so a cell can never be
+/// mistaken for the other model.
+fn digest_class(h: &mut adversary::Fnv64, res: &ClassOutcome) {
+    h.write_all(&(res.index as u64).to_le_bytes());
+    match &res.verdict {
+        None => {}
+        Some(AdversaryVerdict::Proof) => h.write(1),
+        Some(AdversaryVerdict::Undecided { .. }) => h.write(2),
+        Some(AdversaryVerdict::Refuted { schedule, .. }) => {
+            h.write(3);
+            h.write_all(&adversary::schedule_hash(schedule).to_le_bytes());
+        }
+    }
+    match &res.crash {
+        None => {}
+        Some(CrashVerdict::Proof) => h.write(0x11),
+        Some(CrashVerdict::Undecided { .. }) => h.write(0x12),
+        Some(CrashVerdict::Refuted { schedule, .. }) => {
+            h.write(0x13);
+            h.write_all(&faults::schedule_hash(schedule).to_le_bytes());
+        }
+    }
+    if res.verdict.is_none() && res.crash.is_none() {
+        h.write(0xFF);
+    }
+}
+
+/// FNV-1a digest over the merged per-class verdicts of a
+/// model-checking (adversary or crash) cell: index, verdict kind,
+/// and — for refutations — the counterexample schedule (including
+/// crash assignments). Records are digested in class order (shards
+/// sorted by their start index, exactly as [`merge_shards`] does for
+/// [`SweepSummary::digest`]), so the value depends only on the
+/// classification, never on the order the caller collected the
+/// shards in. Two runs agree on this digest iff they classified every
+/// class identically; the release golden tests pin it for the full
+/// 3652-class space.
 #[must_use]
 pub fn verdict_digest(records: &[ShardRecord]) -> u64 {
+    let mut sorted: Vec<&ShardRecord> = records.iter().collect();
+    sorted.sort_by_key(|r| r.start);
     let mut h = adversary::Fnv64::new();
-    for res in records.iter().flat_map(|r| r.results.iter()) {
-        h.write_all(&(res.index as u64).to_le_bytes());
-        match &res.verdict {
-            None => h.write(0xFF),
-            Some(AdversaryVerdict::Proof) => h.write(1),
-            Some(AdversaryVerdict::Undecided { .. }) => h.write(2),
-            Some(AdversaryVerdict::Refuted { schedule, .. }) => {
-                h.write(3);
-                h.write_all(&adversary::schedule_hash(schedule).to_le_bytes());
-            }
-        }
+    for res in sorted.iter().flat_map(|r| r.results.iter()) {
+        digest_class(&mut h, res);
     }
     h.finish()
 }
@@ -830,8 +976,8 @@ pub fn run_sweep(
 }
 
 /// Early-exit search for the **lowest-indexed** non-gathering class of
-/// a sweep cell (for adversary cells: the lowest class that is not
-/// adversary-proof), via [`parallel::par_find_min`] — deterministic
+/// a sweep cell (for adversary and crash cells: the lowest class that
+/// is not proof), via [`parallel::par_find_min`] — deterministic
 /// regardless of thread count. Returns `None` when the cell's claim
 /// holds for every class. Orders of magnitude faster than a full sweep
 /// when a regression makes many classes fail.
@@ -840,20 +986,19 @@ pub fn find_failure(cfg: &SweepConfig) -> Option<(usize, Outcome)> {
     let classes = polyhex::enumerate_fixed(cfg.n);
     let algo = cfg.algo.build();
     let limits = cfg.effective_limits();
-    let checker = match cfg.sched {
-        SchedSpec::Adversary { depth } => Some(Checker::new(&algo, adversary_options(depth))),
-        _ => None,
-    };
+    let checker = CellChecker::for_spec(&algo, cfg.sched);
     let indexed: Vec<(usize, &Vec<Coord>)> = classes.iter().enumerate().collect();
     parallel::par_find_min(&indexed, cfg.threads, |&(index, cells)| {
         let initial = Configuration::new(cells.iter().copied());
         let outcome = match &checker {
             Some(checker) => {
-                let result = run_class_checked(&initial, checker, index, limits);
-                match result.verdict {
-                    Some(AdversaryVerdict::Proof) => return None,
-                    _ => result.outcome,
+                let result = checker.run_class(&initial, index, limits);
+                let proof = matches!(result.verdict, Some(AdversaryVerdict::Proof))
+                    || matches!(result.crash, Some(CrashVerdict::Proof));
+                if proof {
+                    return None;
                 }
+                result.outcome
             }
             None => run_class(&initial, &algo, cfg.sched, index, limits),
         };
@@ -918,6 +1063,75 @@ mod tests {
         assert_eq!(SchedSpec::parse("adversary:x"), None);
         assert_eq!(SchedSpec::parse("adversary").unwrap().name(), "adversary");
         assert_eq!(SchedSpec::parse("adversary:5").unwrap().name(), "adversary-d5");
+    }
+
+    #[test]
+    fn sched_spec_parse_crash() {
+        assert_eq!(
+            SchedSpec::parse("crash:1"),
+            Some(SchedSpec::Crash { f: 1, depth: DEFAULT_FAIR_DEPTH })
+        );
+        assert_eq!(SchedSpec::parse("crash:2:6"), Some(SchedSpec::Crash { f: 2, depth: 6 }));
+        assert_eq!(SchedSpec::parse("crash"), None, "the crash budget is mandatory");
+        assert_eq!(SchedSpec::parse("crash:8"), None, "masks are bytes: at most 7 crashes");
+        assert_eq!(SchedSpec::parse("crash:1:0"), None);
+        assert_eq!(SchedSpec::parse("crash:1:2:3"), None);
+        assert_eq!(SchedSpec::parse("crash:1").unwrap().name(), "crash-f1");
+        assert_eq!(SchedSpec::parse("crash:2:6").unwrap().name(), "crash-f2-d6");
+    }
+
+    #[test]
+    fn crash_cell_records_verdicts_replayable_schedules_and_digest() {
+        // The 44-class n=4 space is cheap even in debug. Every
+        // refutation's schedule + crash assignment must replay to its
+        // recorded outcome, the summary must tally the verdicts, and
+        // the digest must be present and sharding-invariant.
+        let sched = SchedSpec::parse("crash:1").expect("known scheduler");
+        let cfg = SweepConfig { n: 4, sched, shards: 2, ..SweepConfig::default() };
+        let classes = polyhex::enumerate_fixed(4);
+        let records: Vec<ShardRecord> = shard_ranges(classes.len(), cfg.shards)
+            .into_iter()
+            .enumerate()
+            .map(|(s, (start, end))| run_shard(&classes, &cfg, s, start, end))
+            .collect();
+        let summary = merge_shards(&cfg, &records).expect("consistent shards");
+        let counts = summary.adversary.expect("crash cells tally verdicts");
+        assert_eq!(counts.proof + counts.refuted + counts.undecided, 44);
+        let digest = summary.digest.expect("crash cells carry a digest");
+        assert_eq!(digest, format!("{:016x}", verdict_digest(&records)));
+
+        let algo = cfg.algo.build();
+        let mut replayed = 0;
+        for res in records.iter().flat_map(|r| r.results.iter()) {
+            assert!(res.verdict.is_none(), "crash cells use the crash column");
+            let verdict = res.crash.as_ref().expect("crash cells store verdicts");
+            if let CrashVerdict::Refuted { outcome, schedule } = verdict {
+                assert_eq!(outcome, &res.outcome, "witness outcome mirrors the verdict");
+                let crashes: u32 = schedule.iter().map(|a| a.crash.count_ones()).sum();
+                assert!(crashes <= 1, "f = 1 schedules crash at most one robot");
+                let initial = Configuration::new(classes[res.index].iter().copied());
+                let run = faults::replay(&initial, &algo, verdict).expect("refutations replay");
+                assert_eq!(&run.execution.outcome, outcome, "class {}", res.index);
+                replayed += 1;
+            }
+        }
+        assert!(replayed > 0, "expected at least one crash-refuted class in the n=4 space");
+
+        // Sharding invariance of verdicts and digest.
+        let one = SweepConfig { shards: 1, ..cfg.clone() };
+        let whole = run_shard(&classes, &one, 0, 0, classes.len());
+        let resharded = verdict_digest(std::slice::from_ref(&whole));
+        assert_eq!(verdict_digest(&records), resharded, "digest must be sharding-invariant");
+    }
+
+    #[test]
+    fn fsync_cells_carry_no_digest() {
+        let cfg = SweepConfig { n: 4, shards: 1, ..SweepConfig::default() };
+        let classes = polyhex::enumerate_fixed(4);
+        let record = run_shard(&classes, &cfg, 0, 0, classes.len());
+        let summary = merge_shards(&cfg, std::slice::from_ref(&record)).expect("merges");
+        assert!(summary.digest.is_none(), "digests are for model-checking cells");
+        assert!(summary.adversary.is_none());
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Golden-file regression for the crash-fault (f = 1) model checker.
+//!
+//! * Debug tier: the verdicts (kind + schedule hash + crash count) of
+//!   the fixed 65-class subset (every 57th class, the same subset the
+//!   adversary golden pins) are pinned by
+//!   `tests/golden/crash-verified-subset.json`, and every refuted
+//!   verdict is replayed through the engine to its recorded outcome.
+//! * Release tier: the full 3652-class f = 1 classification is
+//!   re-derived and pinned — verdict tallies plus the FNV digest over
+//!   every per-class verdict and schedule — by
+//!   `tests/golden/crash-verified-full.json`, and **every** refuted
+//!   class's schedule + crash assignment is replayed to a non-gathered
+//!   outcome (the subsystem's acceptance criterion).
+//!
+//! Regenerate both fixtures after an intentional checker change with:
+//!
+//! ```sh
+//! cargo test --release --test crash_golden -- --ignored regen
+//! ```
+
+use gathering::SevenGather;
+use robots::faults::{self, CrashChecker, CrashOptions, CrashVerdict};
+use robots::{Configuration, Outcome};
+use simlab::sweep::{run_shard, verdict_digest, SchedSpec, ShardRecord, SweepConfig};
+
+const SUBSET_GOLDEN: &str = include_str!("golden/crash-verified-subset.json");
+const FULL_GOLDEN: &str = include_str!("golden/crash-verified-full.json");
+
+/// The pinned subset: every 57th class of the enumeration (65 classes,
+/// spread across the whole space — the adversary golden's subset).
+fn subset_indices() -> Vec<usize> {
+    (0..3652).step_by(57).collect()
+}
+
+fn check_subset() -> Vec<(usize, Configuration, faults::CrashReport)> {
+    let classes = polyhex::enumerate_fixed(7);
+    let algo = SevenGather::verified();
+    let checker = CrashChecker::new(&algo, CrashOptions::default());
+    subset_indices()
+        .into_iter()
+        .map(|index| {
+            let initial = Configuration::new(classes[index].iter().copied());
+            let report = checker.check(&initial);
+            (index, initial, report)
+        })
+        .collect()
+}
+
+fn subset_fixture_entries(
+    reports: &[(usize, Configuration, faults::CrashReport)],
+) -> Vec<serde_json::Value> {
+    reports
+        .iter()
+        .map(|(index, _, report)| {
+            let (schedule_hash, crashes) = match &report.verdict {
+                CrashVerdict::Refuted { schedule, .. } => (
+                    format!("{:016x}", faults::schedule_hash(schedule)),
+                    schedule.iter().map(|a| u64::from(a.crash.count_ones())).sum(),
+                ),
+                _ => (String::new(), 0),
+            };
+            serde_json::Value::Map(vec![
+                ("index".to_string(), serde_json::Value::UInt(*index as u64)),
+                ("verdict".to_string(), serde_json::Value::Str(report.verdict.kind().to_string())),
+                ("schedule_hash".to_string(), serde_json::Value::Str(schedule_hash)),
+                ("crashes".to_string(), serde_json::Value::UInt(crashes)),
+            ])
+        })
+        .collect()
+}
+
+/// Asserts a refuted crash verdict replays through the engine to its
+/// recorded outcome, with the crashed robots frozen for good.
+fn assert_replays(
+    index: usize,
+    initial: &Configuration,
+    algo: &SevenGather,
+    verdict: &CrashVerdict,
+) {
+    let CrashVerdict::Refuted { outcome, schedule } = verdict else {
+        return;
+    };
+    let budget: u32 = schedule.iter().map(|a| a.crash.count_ones()).sum();
+    assert!(budget <= 1, "class {index}: f = 1 schedules crash at most one robot");
+    let run = faults::replay(initial, algo, verdict).expect("refuted verdicts replay");
+    assert_eq!(&run.execution.outcome, outcome, "class {index}: replay diverged");
+    assert!(!run.execution.outcome.is_gathered(), "class {index}: a refutation cannot gather");
+    // The crashed robots never move: each crash coordinate stays
+    // occupied in every configuration after the injection.
+    let trace = run.execution.trace.as_ref().expect("crash replays record traces");
+    for &(at, coord) in &run.events {
+        assert!(
+            trace[at..].iter().all(|c| c.contains(coord)),
+            "class {index}: crashed robot at {coord:?} moved"
+        );
+    }
+    // For lassos, the final configuration must not already be a
+    // successful terminal of the crash model.
+    if matches!(outcome, Outcome::StepLimit { .. }) {
+        assert!(
+            !faults::is_goal_fixpoint(&run.execution.final_config, algo, &run.crashed),
+            "class {index}: a lasso replay must not settle at a goal"
+        );
+    }
+}
+
+#[test]
+fn crash_subset_matches_golden_file() {
+    let reports = check_subset();
+    let produced = subset_fixture_entries(&reports);
+    let golden: serde_json::Value = serde_json::from_str(SUBSET_GOLDEN).expect("fixture parses");
+    let golden = golden.as_seq().expect("fixture is an array");
+    assert_eq!(golden.len(), produced.len(), "fixture covers the 65-class subset");
+    for (expected, actual) in golden.iter().zip(&produced) {
+        assert_eq!(expected, actual, "subset verdict diverged from the golden file");
+    }
+}
+
+#[test]
+fn crash_subset_refutations_replay_to_their_recorded_outcomes() {
+    let algo = SevenGather::verified();
+    let mut refuted = 0;
+    for (index, initial, report) in check_subset() {
+        if matches!(report.verdict, CrashVerdict::Refuted { .. }) {
+            assert_replays(index, &initial, &algo, &report.verdict);
+            refuted += 1;
+        }
+    }
+    assert!(refuted > 0, "the pinned subset contains refuted classes");
+}
+
+#[test]
+fn crash_checker_is_deterministic_on_the_subset() {
+    let a = check_subset();
+    let b = check_subset();
+    for ((ia, _, ra), (ib, _, rb)) in a.iter().zip(&b) {
+        assert_eq!(ia, ib);
+        assert_eq!(ra, rb, "class {ia}: verdicts must be reproducible");
+    }
+}
+
+fn full_classification() -> (ShardRecord, usize, usize, usize, String) {
+    let sched = SchedSpec::parse("crash:1").expect("known scheduler");
+    let cfg = SweepConfig { sched, shards: 1, ..SweepConfig::default() };
+    let classes = polyhex::enumerate_fixed(7);
+    let record = run_shard(&classes, &cfg, 0, 0, classes.len());
+    let digest = format!("{:016x}", verdict_digest(std::slice::from_ref(&record)));
+    let mut proof = 0;
+    let mut refuted = 0;
+    let mut undecided = 0;
+    for res in &record.results {
+        match res.crash.as_ref().expect("crash cells store verdicts") {
+            CrashVerdict::Proof => proof += 1,
+            CrashVerdict::Refuted { .. } => refuted += 1,
+            CrashVerdict::Undecided { .. } => undecided += 1,
+        }
+    }
+    (record, proof, refuted, undecided, digest)
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full 3652-class crash classification is release-only; run cargo test --release"
+)]
+fn crash_full_classification_matches_golden_file_and_replays() {
+    let (record, proof, refuted, undecided, digest) = full_classification();
+    let golden: serde_json::Value = serde_json::from_str(FULL_GOLDEN).expect("fixture parses");
+    let expect = |key: &str| {
+        golden.get(key).and_then(serde_json::Value::as_f64).unwrap_or_else(|| {
+            panic!("fixture lacks numeric key {key:?}");
+        }) as usize
+    };
+    assert_eq!(proof + refuted + undecided, 3652, "every class is classified");
+    assert_eq!(proof, expect("proof"), "crash-proof count diverged");
+    assert_eq!(refuted, expect("refuted"), "refuted count diverged");
+    assert_eq!(undecided, expect("undecided"), "undecided count diverged");
+    let expected_digest =
+        golden.get("digest").and_then(serde_json::Value::as_str).expect("digest key");
+    assert_eq!(digest, expected_digest, "per-class verdict digest diverged");
+
+    // Acceptance criterion: every refuted class's schedule + crash
+    // assignment replays through the engine to a non-gathered outcome.
+    let algo = SevenGather::verified();
+    let classes = polyhex::enumerate_fixed(7);
+    for res in &record.results {
+        let verdict = res.crash.as_ref().expect("crash cells store verdicts");
+        if matches!(verdict, CrashVerdict::Refuted { .. }) {
+            let initial = Configuration::new(classes[res.index].iter().copied());
+            assert_replays(res.index, &initial, &algo, verdict);
+        }
+    }
+}
+
+/// Not a test: regenerates both fixtures. Run explicitly (release!)
+/// after an intentional checker change.
+#[test]
+#[ignore = "fixture regeneration helper; run explicitly with --ignored"]
+fn regen_crash_goldens() {
+    let reports = check_subset();
+    let entries = subset_fixture_entries(&reports);
+    let subset =
+        serde_json::to_string_pretty(&serde_json::Value::Seq(entries)).expect("fixture serialises");
+    std::fs::write("tests/golden/crash-verified-subset.json", subset + "\n")
+        .expect("write subset fixture");
+
+    let (_, proof, refuted, undecided, digest) = full_classification();
+    let full = serde_json::to_string_pretty(&serde_json::Value::Map(vec![
+        ("total".to_string(), serde_json::Value::UInt(3652)),
+        ("crashes".to_string(), serde_json::Value::UInt(1)),
+        ("proof".to_string(), serde_json::Value::UInt(proof as u64)),
+        ("refuted".to_string(), serde_json::Value::UInt(refuted as u64)),
+        ("undecided".to_string(), serde_json::Value::UInt(undecided as u64)),
+        ("digest".to_string(), serde_json::Value::Str(digest)),
+    ]))
+    .expect("fixture serialises");
+    std::fs::write("tests/golden/crash-verified-full.json", full + "\n")
+        .expect("write full fixture");
+
+    // Keep replay validity in the regen path too.
+    let algo = SevenGather::verified();
+    for (index, initial, report) in &reports {
+        assert_replays(*index, initial, &algo, &report.verdict);
+    }
+}
