@@ -1,0 +1,75 @@
+//! Scratch probe (not part of the PR): hunt for Collision refutations
+//! at round >= 1 and check replay outcome equality.
+
+use robots::faults::{self, CrashChecker, CrashOptions, CrashVerdict};
+use robots::{Algorithm, Configuration, Outcome, View};
+use trigrid::{Coord, Dir};
+
+struct VecTable(Vec<u8>);
+
+impl Algorithm for VecTable {
+    fn radius(&self) -> u32 {
+        1
+    }
+    fn compute(&self, view: &View) -> Option<Dir> {
+        let code = self.0[view.bits() as usize];
+        (code != 0).then(|| Dir::from_index((code - 1) as usize))
+    }
+}
+
+// Simple deterministic LCG so the probe needs no rand dependency.
+struct Lcg(u64);
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+fn connected(n: usize, rng: &mut Lcg) -> Configuration {
+    let mut cells = vec![trigrid::ORIGIN];
+    while cells.len() < n {
+        let anchor = cells[(rng.next() as usize) % cells.len()];
+        let d = Dir::from_index(rng.next() as usize % 6);
+        let cand = anchor.step(d);
+        if !cells.contains(&cand) {
+            cells.push(cand);
+        }
+    }
+    Configuration::new(cells)
+}
+
+#[test]
+fn probe_collision_rounds() {
+    let mut rng = Lcg(0xDEADBEEF);
+    let mut deep_collisions = 0usize;
+    let mut mismatches = 0usize;
+    for trial in 0..400 {
+        let table: Vec<u8> = (0..64).map(|_| (rng.next() % 7) as u8).collect();
+        let algo = VecTable(table);
+        let cfg = connected(5, &mut rng).canonical();
+        let checker = CrashChecker::new(&algo, CrashOptions::default());
+        let report = checker.check(&cfg);
+        if let CrashVerdict::Refuted { outcome, .. } = &report.verdict {
+            if let Outcome::Collision { round, .. } = outcome {
+                if *round >= 1 {
+                    deep_collisions += 1;
+                    let run = faults::replay(&cfg, &algo, &report.verdict).unwrap();
+                    if &run.execution.outcome != outcome {
+                        mismatches += 1;
+                        if mismatches <= 3 {
+                            eprintln!(
+                                "trial {trial}: cfg {:?}\n verdict {outcome:?}\n replay  {:?}",
+                                cfg.positions(),
+                                run.execution.outcome
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    eprintln!("deep collisions: {deep_collisions}, mismatches: {mismatches}");
+    assert_eq!(mismatches, 0, "replay diverged on {mismatches} deep collisions");
+    let _ = Coord::new(0, 0);
+}
