@@ -48,7 +48,7 @@ pub fn canonical_translation(cells: &[Coord]) -> Vec<Coord> {
         return Vec::new();
     };
     let mut out: Vec<Coord> = cells.iter().map(|&c| c - min).collect();
-    out.sort_by_key(|c| key(*c));
+    out.sort_unstable_by_key(|c| key(*c));
     out.dedup();
     out
 }

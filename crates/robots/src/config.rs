@@ -3,7 +3,124 @@
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
-use trigrid::{path, Coord, Dir};
+use trigrid::{path, Coord, Dir, ORIGIN};
+
+/// Bits per packed node for the signed x offset (window `-64..=63`).
+const X_BITS: u32 = 7;
+/// Bits per packed node for the y offset (window `0..=31`).
+const Y_BITS: u32 = 5;
+/// Bits per packed node.
+const NODE_BITS: u32 = X_BITS + Y_BITS;
+/// Bits for the robot count prefix.
+const LEN_BITS: u32 = 4;
+/// Offset added to x so the packed field is non-negative.
+const X_BIAS: i32 = 1 << (X_BITS - 1);
+
+/// A lossless bit-packed translation-class key of a configuration.
+///
+/// The canonical representative of a translation class places its
+/// row-major-minimal node at the origin, so every other node lies in
+/// the half-plane `y > 0 || (y == 0 && x > 0)`; for the bounded
+/// configurations the checkers handle (≤ [`PackedClass::MAX_ROBOTS`]
+/// robots within a diameter window of 31 rows × 127 half-columns) each
+/// node fits 12 bits and the whole class key fits a `u128`:
+///
+/// ```text
+/// bits 0..4            robot count n (0..=8)
+/// bits 4+12i..4+12i+7  node i: x + 64   (row-major order)
+/// bits 4+12i+7..16+12i node i: y
+/// ```
+///
+/// Packing is injective on that window, so two configurations have
+/// equal keys **iff** they are translates of each other — the key is
+/// the class. [`Configuration::canonical_key`] produces it without
+/// materializing the canonical `Vec<Coord>`; [`PackedClass::unpack`]
+/// decodes the canonical representative back.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PackedClass(u128);
+
+impl PackedClass {
+    /// Largest robot count a packed key can hold.
+    pub const MAX_ROBOTS: usize = 8;
+
+    /// Packs arbitrary cells (folding the translation): the packed
+    /// canonical translation class of `cells`.
+    ///
+    /// # Panics
+    /// Panics if there are more than [`Self::MAX_ROBOTS`] cells or the
+    /// set exceeds the packable diameter window.
+    #[must_use]
+    pub fn of_cells(cells: &[Coord]) -> PackedClass {
+        assert!(cells.len() <= Self::MAX_ROBOTS, "packed keys hold at most 8 robots");
+        let mut buf = [ORIGIN; Self::MAX_ROBOTS];
+        buf[..cells.len()].copy_from_slice(cells);
+        let sorted = &mut buf[..cells.len()];
+        sorted.sort_unstable_by_key(|c| polyhex::key(*c));
+        Self::of_sorted(sorted)
+    }
+
+    /// Packs cells that are **already sorted in row-major order** (the
+    /// stored order of [`Configuration::positions`]); the row-major
+    /// minimum — the first cell — becomes the origin.
+    pub(crate) fn of_sorted(sorted: &[Coord]) -> PackedClass {
+        Self::try_of_sorted(sorted).unwrap_or_else(|| {
+            panic!("configuration exceeds the packable diameter window: {sorted:?}")
+        })
+    }
+
+    /// Like [`Self::of_sorted`], returning `None` when the set has
+    /// more than [`Self::MAX_ROBOTS`] cells or exceeds the window.
+    pub(crate) fn try_of_sorted(sorted: &[Coord]) -> Option<PackedClass> {
+        debug_assert!(sorted.windows(2).all(|w| polyhex::key(w[0]) < polyhex::key(w[1])));
+        if sorted.len() > Self::MAX_ROBOTS {
+            return None;
+        }
+        let Some(&min) = sorted.first() else {
+            return Some(PackedClass(0));
+        };
+        let mut bits = sorted.len() as u128;
+        for (i, &c) in sorted.iter().enumerate() {
+            let dx = c.x - min.x + X_BIAS;
+            let dy = c.y - min.y;
+            if !(0..1 << X_BITS).contains(&dx) || !(0..1 << Y_BITS).contains(&dy) {
+                return None;
+            }
+            let node = (dx as u128) | ((dy as u128) << X_BITS);
+            bits |= node << (LEN_BITS + NODE_BITS * i as u32);
+        }
+        Some(PackedClass(bits))
+    }
+
+    /// The raw key bits.
+    #[must_use]
+    pub fn bits(self) -> u128 {
+        self.0
+    }
+
+    /// Number of robots in the packed configuration.
+    #[must_use]
+    pub fn robots(self) -> usize {
+        (self.0 & ((1 << LEN_BITS) - 1)) as usize
+    }
+
+    /// Decodes the canonical representative of the class.
+    #[must_use]
+    pub fn unpack(self) -> Configuration {
+        let n = self.robots();
+        Configuration::new((0..n).map(|i| {
+            let node = (self.0 >> (LEN_BITS + NODE_BITS * i as u32)) & ((1 << NODE_BITS) - 1);
+            let x = (node & ((1 << X_BITS) - 1)) as i32 - X_BIAS;
+            let y = (node >> X_BITS) as i32;
+            Coord::new(x, y)
+        }))
+    }
+}
+
+impl fmt::Debug for PackedClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PackedClass({:#x})", self.0)
+    }
+}
 
 /// A configuration of anonymous robots: the set of *robot nodes*
 /// (paper §II-A). Stored sorted in [`polyhex::key`] (row-major) order,
@@ -23,7 +140,7 @@ impl Configuration {
     #[must_use]
     pub fn new<I: IntoIterator<Item = Coord>>(positions: I) -> Self {
         let mut nodes: Vec<Coord> = positions.into_iter().collect();
-        nodes.sort_by_key(|c| polyhex::key(*c));
+        nodes.sort_unstable_by_key(|c| polyhex::key(*c));
         let before = nodes.len();
         nodes.dedup();
         assert_eq!(before, nodes.len(), "duplicate robot positions are a collision");
@@ -100,6 +217,43 @@ impl Configuration {
     #[must_use]
     pub fn canonical(&self) -> Configuration {
         Configuration { nodes: polyhex::canonical_translation(&self.nodes) }
+    }
+
+    /// The packed translation-class key: equal for two configurations
+    /// **iff** they are translates of each other. Allocation-free — the
+    /// nodes are already stored in row-major order and translation
+    /// preserves that order, so the key folds directly off the stored
+    /// slice without materializing [`Self::canonical`].
+    ///
+    /// # Panics
+    /// Panics if the configuration holds more than
+    /// [`PackedClass::MAX_ROBOTS`] robots or exceeds the packable
+    /// diameter window (see [`PackedClass`]).
+    #[must_use]
+    pub fn canonical_key(&self) -> PackedClass {
+        assert!(self.nodes.len() <= PackedClass::MAX_ROBOTS, "packed keys hold at most 8 robots");
+        PackedClass::of_sorted(&self.nodes)
+    }
+
+    /// Like [`Self::canonical_key`], returning `None` instead of
+    /// panicking when the configuration does not fit the packed window
+    /// (more than [`PackedClass::MAX_ROBOTS`] robots, or a diameter
+    /// beyond it). [`crate::visited::ClassMap`] uses this to fall back
+    /// to unpacked keys, so the shared memoization utilities keep
+    /// their full historical domain.
+    #[must_use]
+    pub fn try_canonical_key(&self) -> Option<PackedClass> {
+        PackedClass::try_of_sorted(&self.nodes)
+    }
+
+    /// Packs this configuration's translation class — identical to
+    /// [`Self::canonical_key`]; on a canonical configuration it is a
+    /// pure re-encoding, so `cfg.canonical_key() == cfg.canonical().pack()`
+    /// and `canonical.pack().unpack() == canonical` (the proptests in
+    /// `tests/packed_class.rs` pin both).
+    #[must_use]
+    pub fn pack(&self) -> PackedClass {
+        self.canonical_key()
     }
 
     /// Translates every robot by `delta`.
@@ -228,5 +382,47 @@ mod tests {
     fn disconnected_detection() {
         let c = Configuration::new([ORIGIN, Coord::new(10, 0)]);
         assert!(!c.is_connected());
+    }
+
+    #[test]
+    fn packed_key_identifies_translates_and_roundtrips() {
+        let a = line(7);
+        let b = a.translate(Coord::new(-7, 3));
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        assert_eq!(a.canonical_key(), a.canonical().pack());
+        assert_eq!(a.canonical_key().unpack(), a.canonical());
+        assert_eq!(a.canonical_key().robots(), 7);
+        let h = hexagon(Coord::new(6, 2));
+        assert_ne!(h.canonical_key(), a.canonical_key());
+        assert_eq!(h.canonical_key().unpack(), h.canonical());
+    }
+
+    #[test]
+    fn packed_key_of_cells_matches_configuration_path() {
+        let cells = [Coord::new(3, 1), Coord::new(0, 0), Coord::new(2, 0)];
+        let via_cfg = Configuration::new(cells).canonical_key();
+        assert_eq!(PackedClass::of_cells(&cells), via_cfg);
+        assert_eq!(PackedClass::of_cells(&[]), Configuration::new([]).canonical_key());
+        assert_eq!(PackedClass::of_cells(&[]).robots(), 0);
+    }
+
+    #[test]
+    fn packed_key_covers_negative_x_offsets() {
+        // The row-major minimum is the *lowest row*, so upper rows may
+        // extend to its west: x offsets are signed.
+        let c = Configuration::new([ORIGIN, Coord::new(-5, 1), Coord::new(-3, 1)]);
+        assert_eq!(c.canonical_key().unpack(), c.canonical());
+    }
+
+    #[test]
+    #[should_panic(expected = "packable diameter window")]
+    fn packed_key_rejects_configurations_beyond_the_window() {
+        let _ = Configuration::new([ORIGIN, Coord::new(200, 0)]).canonical_key();
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 8 robots")]
+    fn packed_key_rejects_nine_robots() {
+        let _ = Configuration::new((0..9).map(|i| Coord::new(2 * i, 0))).canonical_key();
     }
 }

@@ -104,16 +104,26 @@ pub fn check_moves(config: &Configuration, moves: &[Option<Dir>]) -> Result<(), 
         }
     }
 
-    // (b)/(c) shared destinations.
-    let mut dests: Vec<(Coord, Coord)> =
-        positions.iter().zip(moves).map(|(&p, m)| (m.map_or(p, |d| p.step(d)), p)).collect();
-    dests.sort_by_key(|(dest, _)| polyhex::key(*dest));
-    for window in dests.windows(2) {
-        if window[0].0 == window[1].0 {
-            let target = window[0].0;
-            let sources = dests.iter().filter(|(d, _)| *d == target).map(|(_, s)| *s).collect();
-            return Err(RoundCollision::SharedTarget { target, sources });
+    // (b)/(c) shared destinations. Configurations are small (≤ 8
+    // robots in every checker workload), so a pairwise scan beats
+    // sorting and — on the hot all-clear path — allocates nothing.
+    // The reported collision is identical to the historical
+    // sorted-scan formulation: the contested node with the smallest
+    // row-major key, its sources in row-major origin order.
+    let dest_of = |i: usize| moves[i].map_or(positions[i], |d| positions[i].step(d));
+    let mut target: Option<Coord> = None;
+    for i in 0..positions.len() {
+        let di = dest_of(i);
+        for j in i + 1..positions.len() {
+            if di == dest_of(j) && target.is_none_or(|t| polyhex::key(di) < polyhex::key(t)) {
+                target = Some(di);
+            }
         }
+    }
+    if let Some(target) = target {
+        let sources =
+            (0..positions.len()).filter(|&i| dest_of(i) == target).map(|i| positions[i]).collect();
+        return Err(RoundCollision::SharedTarget { target, sources });
     }
     Ok(())
 }
@@ -422,6 +432,15 @@ mod tests {
         // Everyone moves east forever: the translation class repeats
         // immediately after one round.
         let line = cfg(&[(0, 0), (2, 0)]);
+        let ex = run(&line, &march_east(), Limits::default());
+        assert_eq!(ex.outcome, Outcome::Livelock { entry: 0, period: 1 });
+    }
+
+    #[test]
+    fn livelock_detection_handles_more_than_eight_robots() {
+        // Nine robots exceed the packed class-key window; the livelock
+        // ClassMap must fall back to unpacked keys, not panic.
+        let line = Configuration::new((0..9).map(|i| Coord::new(2 * i, 0)));
         let ex = run(&line, &march_east(), Limits::default());
         assert_eq!(ex.outcome, Outcome::Livelock { entry: 0, period: 1 });
     }

@@ -35,14 +35,30 @@
 //! * a goal terminal stays a goal terminal under further injections
 //!   (crashing robots only shrinks the set that must gather and never
 //!   creates movers), so goal terminals need no crash expansion.
+//!
+//! # Packed-state core
+//!
+//! The exploration substrate is built for mechanical sympathy
+//! (DESIGN.md §11): translation classes are interned through a
+//! [`ClassArena`] keyed by the lossless bit-packed
+//! [`PackedClass`](crate::PackedClass) `u128` form (one hash of 16
+//! bytes per revisit, the decoded representative stored once per
+//! class), per-class decision vectors are computed once through a
+//! [`MoveOracle`] that memoizes the algorithm per distinct view, and
+//! expansion, stabilizer tests and quotient orbit keys all work in
+//! fixed stack buffers. None of this is observable in verdicts or
+//! exploration statistics — the adversary and crash golden files pin
+//! byte-identical output.
 
+use crate::config::PackedClass;
 use crate::engine::{self, Outcome};
 use crate::sched::CrashRound;
-use crate::{view, Algorithm, Configuration, View};
+use crate::visited::ClassArena;
+use crate::{view, Algorithm, Configuration, MoveOracle, View};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use trigrid::transform::PointSymmetry;
-use trigrid::{Coord, Dir};
+use trigrid::{Coord, Dir, ORIGIN};
 
 /// Deterministic search budgets for [`Explorer::check`]. All budgets
 /// are plain counters, so verdicts never depend on threading or timing.
@@ -189,16 +205,28 @@ enum NodeKind {
     Stuck,
 }
 
-struct StateNode {
-    /// Canonical representative of the translation class.
-    cfg: Configuration,
-    /// Crashed robots, as a bitmask over `cfg.positions()` slots.
-    crashed: u8,
-    /// Full decision vector, aligned with `cfg.positions()`.
-    moves: Vec<Option<Dir>>,
+/// Per-class data computed once when a translation class is first
+/// interned: the full decision vector (a pure function of the class —
+/// crash masks do not change what a robot *would* decide) in a fixed
+/// `Copy` array, so expansion never clones a `Vec`.
+#[derive(Clone, Copy)]
+struct ClassInfo {
+    /// Robot count of the class.
+    n: u8,
     /// Bitmask of robots whose decision is a move (crashed included —
     /// a crashed robot keeps "deciding", it just never acts).
     movers: u8,
+    /// Full decision vector, aligned with the class's positions.
+    moves: [Option<Dir>; PackedClass::MAX_ROBOTS],
+}
+
+struct StateNode {
+    /// The translation class, as a dense [`ClassArena`] id; the
+    /// canonical representative and decision vector are stored once
+    /// per class, not per crash variant.
+    class: u32,
+    /// Crashed robots, as a bitmask over the class's position slots.
+    crashed: u8,
     /// Movement rounds from the initial state (injection-only actions
     /// do not count; this is what replay outcomes report).
     rounds: usize,
@@ -270,7 +298,10 @@ impl CycleCert {
 /// (it scans every view of the algorithm's radius); reuse one explorer
 /// across many [`check`](Explorer::check) calls.
 pub struct Explorer<'a, A: Algorithm + ?Sized> {
-    algo: &'a A,
+    /// Memoized decision oracle over the algorithm: every distinct
+    /// view is evaluated once per explorer, not once per robot per
+    /// state (see [`MoveOracle`]).
+    oracle: MoveOracle<'a, A>,
     opts: ExploreOptions,
     group: Vec<PointSymmetry>,
     /// Maximal number of robots the adversary may crash in total.
@@ -288,8 +319,13 @@ impl<'a, A: Algorithm + ?Sized> Explorer<'a, A> {
     #[must_use]
     pub fn new(algo: &'a A, opts: ExploreOptions, budget: u8, goal: Goal) -> Self {
         assert!(budget <= 7, "crash budget above 7 is meaningless for byte masks");
-        let group = equivariance_group(algo);
-        Explorer { algo, opts, group, budget, goal }
+        let oracle = MoveOracle::new(algo);
+        // Scanning the view space for the equivariance subgroup goes
+        // through the oracle too: it both dedups the scan's repeated
+        // evaluations and pre-warms the memo table with every view the
+        // exploration can encounter.
+        let group = equivariance_group(&oracle);
+        Explorer { oracle, opts, group, budget, goal }
     }
 
     /// The algorithm's equivariance subgroup (always contains the
@@ -318,7 +354,9 @@ impl<'a, A: Algorithm + ?Sized> Explorer<'a, A> {
         let mut search = Search {
             explorer: self,
             states: Vec::new(),
-            ids: HashMap::new(),
+            arena: ClassArena::new(),
+            info: Vec::new(),
+            variants: Vec::new(),
             edges: 0,
             deduped: 0,
         };
@@ -335,21 +373,27 @@ impl<'a, A: Algorithm + ?Sized> Explorer<'a, A> {
     /// class within the equivariance subgroup (identity omitted),
     /// restricted to permutations that also fix the crashed-slot mask —
     /// a symmetry that maps a crashed robot onto a live one does not
-    /// commute with the crash assignment.
+    /// commute with the crash assignment. The stabilizer test compares
+    /// packed class keys, so non-stabilizing symmetries (the common
+    /// case) are rejected without any allocation.
     fn stabilizer_perms(&self, cfg: &Configuration, crashed: u8) -> Vec<Vec<usize>> {
         let positions = cfg.positions();
+        let n = positions.len();
+        let class_key = cfg.canonical_key();
         let mut perms = Vec::new();
+        let mut mapped = [ORIGIN; PackedClass::MAX_ROBOTS];
         for &s in &self.group[1..] {
-            let mapped: Vec<Coord> = positions.iter().map(|&p| s.apply(p)).collect();
-            let canon = polyhex::canonical_translation(&mapped);
-            if canon != positions {
+            for (m, &p) in mapped[..n].iter_mut().zip(positions) {
+                *m = s.apply(p);
+            }
+            if PackedClass::of_cells(&mapped[..n]) != class_key {
                 continue;
             }
-            let delta = *mapped
+            let delta = *mapped[..n]
                 .iter()
                 .min_by_key(|c| polyhex::key(**c))
                 .expect("configurations are non-empty");
-            let perm: Vec<usize> = mapped
+            let perm: Vec<usize> = mapped[..n]
                 .iter()
                 .map(|&q| {
                     let normalized = q - delta;
@@ -404,22 +448,50 @@ fn movement_rounds(schedule: &[CrashRound]) -> usize {
 struct Search<'c, 'a, A: Algorithm + ?Sized> {
     explorer: &'c Explorer<'a, A>,
     states: Vec<StateNode>,
-    /// State ids per canonical class, with the (few) crash-mask
-    /// variants in a small inner list — keyed by the class alone so
-    /// lookups on the hot path borrow the canonical form instead of
-    /// cloning it.
-    ids: HashMap<Configuration, Vec<(u8, usize)>>,
+    /// Interned translation classes: packed `u128` key → dense id,
+    /// decoded canonical representative stored once.
+    arena: ClassArena,
+    /// Per-class decision data, parallel to the arena ids.
+    info: Vec<ClassInfo>,
+    /// Per-class state ids, one per crash-mask variant, parallel to
+    /// the arena ids.
+    variants: Vec<Vec<(u8, usize)>>,
     edges: usize,
     deduped: usize,
 }
 
 impl<A: Algorithm + ?Sized> Search<'_, '_, A> {
-    /// Interns the state of `raw` with the given crashed coordinates
-    /// (in `raw`'s frame), computing its decisions on first sight.
-    /// Returns `(id, newly_inserted)`. Canonicalises exactly once —
-    /// this is the explorer's hottest path. Crashed robots never move,
-    /// so their coordinates survive a round verbatim and only need the
-    /// canonical translation applied here.
+    /// Interns `raw`'s translation class, computing its decision
+    /// vector on first sight. This is the explorer's hottest path: the
+    /// packed key folds the canonical translation without allocating,
+    /// so a revisited class costs one `u128` hash lookup.
+    fn intern_class(&mut self, raw: &Configuration) -> u32 {
+        let (class, new) = self.arena.intern_key(raw.canonical_key());
+        if new {
+            let cfg = self.arena.get(class);
+            let decisions = engine::compute_moves(cfg, &self.explorer.oracle);
+            let mut moves = [None; PackedClass::MAX_ROBOTS];
+            moves[..decisions.len()].copy_from_slice(&decisions);
+            let movers = decisions.iter().enumerate().fold(0u8, |acc, (i, m)| {
+                if m.is_some() {
+                    acc | (1 << i)
+                } else {
+                    acc
+                }
+            });
+            self.info.push(ClassInfo { n: cfg.len() as u8, movers, moves });
+            self.variants.push(Vec::new());
+        }
+        class
+    }
+
+    /// Interns the state `(class of raw, crash mask)` with the crashed
+    /// robots given as coordinates in `raw`'s frame. Returns
+    /// `(id, newly_inserted)`. Crashed robots never move, so their
+    /// coordinates survive a round verbatim; `positions()` is sorted
+    /// row-major and canonicalisation only translates, so a crashed
+    /// coordinate's slot in the canonical ordering is its slot in
+    /// `raw` — no canonical configuration is materialized here.
     fn intern(
         &mut self,
         raw: &Configuration,
@@ -427,37 +499,40 @@ impl<A: Algorithm + ?Sized> Search<'_, '_, A> {
         rounds: usize,
         parent: Option<(usize, CrashRound)>,
     ) -> (usize, bool) {
-        let canonical = raw.canonical();
-        let crashed = if crashed_coords.is_empty() {
-            0
-        } else {
-            // `positions()` is sorted by key, so the canonical
-            // translation subtracts the first raw position.
-            let delta = raw.positions()[0];
+        let class = self.intern_class(raw);
+        let crashed = {
             let mut mask = 0u8;
             for &p in crashed_coords {
-                let slot = canonical
+                let slot = raw
                     .positions()
                     .iter()
-                    .position(|&q| q == p - delta)
+                    .position(|&q| q == p)
                     .expect("crashed robots occupy nodes of the configuration");
                 mask |= 1 << slot;
             }
             mask
         };
-        if let Some(variants) = self.ids.get(&canonical) {
-            if let Some(&(_, id)) = variants.iter().find(|&&(mask, _)| mask == crashed) {
-                return (id, false);
-            }
+        self.intern_variant(class, crashed, rounds, parent)
+    }
+
+    /// Interns the state `(class, crashed)` for an already-interned
+    /// class — the injection-only fast path, where the configuration
+    /// (and thus the slot indexing of the mask) is unchanged.
+    fn intern_variant(
+        &mut self,
+        class: u32,
+        crashed: u8,
+        rounds: usize,
+        parent: Option<(usize, CrashRound)>,
+    ) -> (usize, bool) {
+        if let Some(&(_, id)) =
+            self.variants[class as usize].iter().find(|&&(mask, _)| mask == crashed)
+        {
+            return (id, false);
         }
-        let moves = engine::compute_moves(&canonical, self.explorer.algo);
-        let movers =
-            moves
-                .iter()
-                .enumerate()
-                .fold(0u8, |acc, (i, m)| if m.is_some() { acc | (1 << i) } else { acc });
-        let kind = if movers & !crashed == 0 {
-            if (self.explorer.goal)(&canonical, crashed) {
+        let info = &self.info[class as usize];
+        let kind = if info.movers & !crashed == 0 {
+            if (self.explorer.goal)(self.arena.get(class), crashed) {
                 NodeKind::Goal
             } else {
                 NodeKind::Stuck
@@ -466,17 +541,8 @@ impl<A: Algorithm + ?Sized> Search<'_, '_, A> {
             NodeKind::Inner
         };
         let id = self.states.len();
-        self.ids.entry(canonical.clone()).or_default().push((crashed, id));
-        self.states.push(StateNode {
-            cfg: canonical,
-            crashed,
-            moves,
-            movers,
-            rounds,
-            parent,
-            edges: Vec::new(),
-            kind,
-        });
+        self.variants[class as usize].push((crashed, id));
+        self.states.push(StateNode { class, crashed, rounds, parent, edges: Vec::new(), kind });
         (id, true)
     }
 
@@ -492,14 +558,17 @@ impl<A: Algorithm + ?Sized> Search<'_, '_, A> {
         actions
     }
 
-    /// Coordinates of the slots in `mask` within `cfg`.
-    fn mask_coords(cfg: &Configuration, mask: u8) -> Vec<Coord> {
-        cfg.positions()
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| mask & (1 << i) != 0)
-            .map(|(_, &p)| p)
-            .collect()
+    /// Coordinates of the slots in `mask` within `cfg`, written into a
+    /// stack buffer (returned as the filled prefix length).
+    fn mask_coords(cfg: &Configuration, mask: u8, buf: &mut [Coord; 8]) -> usize {
+        let mut len = 0;
+        for (i, &p) in cfg.positions().iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                buf[len] = p;
+                len += 1;
+            }
+        }
+        len
     }
 
     fn run(&mut self, initial: &Configuration) -> ExploreVerdict {
@@ -547,17 +616,23 @@ impl<A: Algorithm + ?Sized> Search<'_, '_, A> {
     /// crash injection combined with each activation of the surviving
     /// movers — or alone, when it leaves no live mover. Returns a
     /// refutation as soon as a bad terminal is reached.
+    ///
+    /// The state's configuration and decision vector are borrowed
+    /// through the arena per iteration (the class data is `Copy` and
+    /// the representative is re-indexed where needed), so nothing is
+    /// cloned up front.
     fn expand(&mut self, id: usize, queue: &mut VecDeque<usize>) -> Option<ExploreVerdict> {
-        let cfg = self.states[id].cfg.clone();
-        let moves = self.states[id].moves.clone();
-        let movers = self.states[id].movers;
-        let crashed = self.states[id].crashed;
-        let rounds = self.states[id].rounds;
-        let n = cfg.len();
+        let (class, crashed, rounds) = {
+            let s = &self.states[id];
+            (s.class, s.crashed, s.rounds)
+        };
+        let info = self.info[class as usize];
+        let n = info.n as usize;
+        let movers = info.movers;
         let live = if n >= 8 { u8::MAX } else { (1u8 << n) - 1 } & !crashed;
         let avail = self.explorer.budget.saturating_sub(crashed.count_ones() as u8);
         let perms = if self.explorer.group.len() > 1 {
-            self.explorer.stabilizer_perms(&cfg, crashed)
+            self.explorer.stabilizer_perms(self.arena.get(class), crashed)
         } else {
             Vec::new()
         };
@@ -567,21 +642,19 @@ impl<A: Algorithm + ?Sized> Search<'_, '_, A> {
             }
             let after = crashed | crash;
             let live_movers = movers & !after;
-            // Depends only on the injection, not the activation: one
-            // computation serves every mask below (empty and
-            // allocation-free in budget-0 instantiations).
-            let crashed_coords = Self::mask_coords(&cfg, after);
             if live_movers == 0 {
                 // The injection froze every remaining mover: a single
                 // injection-only action to a terminal state. `crash`
                 // is nonzero here — an inner state has a live mover.
+                // The configuration is unchanged, so the successor is
+                // interned directly at this class with the new mask.
                 let action = CrashRound { crash, activate: 0 };
                 if !perms.is_empty() && canonical_action(action, &perms) != action {
                     self.deduped += 1;
                     continue;
                 }
                 self.edges += 1;
-                let (succ, new) = self.intern(&cfg, &crashed_coords, rounds, Some((id, action)));
+                let (succ, new) = self.intern_variant(class, after, rounds, Some((id, action)));
                 if new && self.states[succ].kind == NodeKind::Stuck {
                     let mut schedule = self.path_to(id);
                     schedule.push(action);
@@ -600,6 +673,12 @@ impl<A: Algorithm + ?Sized> Search<'_, '_, A> {
                 }
                 continue;
             }
+            // Depends only on the injection, not the activation: one
+            // computation serves every mask below (empty and
+            // allocation-free in budget-0 instantiations).
+            let mut crash_buf = [ORIGIN; 8];
+            let crash_len = Self::mask_coords(self.arena.get(class), after, &mut crash_buf);
+            let crashed_coords = &crash_buf[..crash_len];
             for mask in 1..=u8::MAX {
                 if mask & !live_movers != 0 {
                     continue;
@@ -609,12 +688,17 @@ impl<A: Algorithm + ?Sized> Search<'_, '_, A> {
                     self.deduped += 1;
                     continue;
                 }
-                let masked: Vec<Option<Dir>> = moves
-                    .iter()
-                    .enumerate()
-                    .map(|(i, m)| if mask & (1 << i) != 0 { *m } else { None })
-                    .collect();
-                match engine::step_moves(&cfg, &masked) {
+                let mut masked = [None; PackedClass::MAX_ROBOTS];
+                for (i, slot) in masked[..n].iter_mut().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        *slot = info.moves[i];
+                    }
+                }
+                // The round semantics are the engine's `check_moves` +
+                // `apply_unchecked` — exactly `step_moves` minus the
+                // per-round `moved` report nobody reads here.
+                let cfg = self.arena.get(class);
+                match engine::check_moves(cfg, &masked[..n]) {
                     Err(collision) => {
                         let mut schedule = self.path_to(id);
                         schedule.push(action);
@@ -623,9 +707,10 @@ impl<A: Algorithm + ?Sized> Search<'_, '_, A> {
                             outcome: Outcome::Collision { round: rounds, collision },
                         });
                     }
-                    Ok(result) => {
+                    Ok(()) => {
+                        let next = cfg.apply_unchecked(&masked[..n]);
                         self.edges += 1;
-                        if !result.config.is_connected() {
+                        if !next.is_connected() {
                             let mut schedule = self.path_to(id);
                             schedule.push(action);
                             return Some(ExploreVerdict::Refuted {
@@ -633,12 +718,8 @@ impl<A: Algorithm + ?Sized> Search<'_, '_, A> {
                                 outcome: Outcome::Disconnected { round: rounds + 1 },
                             });
                         }
-                        let (succ, new) = self.intern(
-                            &result.config,
-                            &crashed_coords,
-                            rounds + 1,
-                            Some((id, action)),
-                        );
+                        let (succ, new) =
+                            self.intern(&next, crashed_coords, rounds + 1, Some((id, action)));
                         if new {
                             if self.states[succ].kind == NodeKind::Stuck {
                                 let mut schedule = self.path_to(id);
@@ -670,38 +751,44 @@ impl<A: Algorithm + ?Sized> Search<'_, '_, A> {
     /// what must be checked: a subtree skipped by the stabilizer
     /// reduction is isomorphic to an explored one, so cycles in the
     /// full graph correspond exactly to closed walks in the quotient.
+    ///
+    /// Orbit keys are packed: each symmetry image is transformed,
+    /// sorted and folded into a `(u128, u8)` pair on the stack, and
+    /// the orbit minimum of those pairs names the quotient node.
+    /// Packing is injective, so the orbit partition is exactly the one
+    /// the unpacked `(Vec<Coord>, u8)` keys induced — only the (free)
+    /// choice of representative changed, which cannot affect whether
+    /// the quotient graph has a cycle.
     fn quotient_is_acyclic(&self) -> bool {
-        let mut qid_of_key: HashMap<(Vec<Coord>, u8), usize> = HashMap::new();
+        let mut qid_of_key: HashMap<(u128, u8), usize> = HashMap::new();
         let mut qid: Vec<usize> = Vec::with_capacity(self.states.len());
         for s in &self.states {
+            let positions = self.arena.get(s.class).positions();
+            let n = positions.len();
             let key = self
                 .explorer
                 .group
                 .iter()
                 .map(|sym| {
-                    let mapped: Vec<Coord> =
-                        s.cfg.positions().iter().map(|&p| sym.apply(p)).collect();
-                    let canon = polyhex::canonical_translation(&mapped);
-                    let mask = if s.crashed == 0 {
-                        0
-                    } else {
-                        let delta = *mapped
-                            .iter()
-                            .min_by_key(|c| polyhex::key(**c))
-                            .expect("configurations are non-empty");
-                        let mut mask = 0u8;
-                        for (i, &p) in s.cfg.positions().iter().enumerate() {
-                            if s.crashed & (1 << i) != 0 {
-                                let slot = canon
-                                    .iter()
-                                    .position(|&q| q == sym.apply(p) - delta)
-                                    .expect("symmetries permute the class");
-                                mask |= 1 << slot;
-                            }
+                    let mut mapped = [ORIGIN; PackedClass::MAX_ROBOTS];
+                    for (m, &p) in mapped[..n].iter_mut().zip(positions) {
+                        *m = sym.apply(p);
+                    }
+                    // Sort slot indices by the row-major order of the
+                    // images: slot `k` of the transformed canonical
+                    // form holds the robot from original slot `idx[k]`.
+                    let mut idx = [0usize, 1, 2, 3, 4, 5, 6, 7];
+                    idx[..n].sort_unstable_by_key(|&i| polyhex::key(mapped[i]));
+                    let delta = mapped[idx[0]];
+                    let mut cells = [ORIGIN; PackedClass::MAX_ROBOTS];
+                    let mut mask = 0u8;
+                    for k in 0..n {
+                        cells[k] = mapped[idx[k]] - delta;
+                        if s.crashed & (1 << idx[k]) != 0 {
+                            mask |= 1 << k;
                         }
-                        mask
-                    };
-                    (canon, mask)
+                    }
+                    (PackedClass::of_sorted(&cells[..n]).bits(), mask)
                 })
                 .min()
                 .expect("the group contains the identity");
@@ -861,10 +948,11 @@ impl<A: Algorithm + ?Sized> Search<'_, '_, A> {
     /// Concretely traverses a closed state walk once, tracking robot
     /// roles and activation flags.
     fn build_cert(&self, start: usize, cycle: &[(CrashRound, usize)]) -> CycleCert {
-        let n = self.states[start].cfg.len();
+        let start_cfg = self.arena.get(self.states[start].class);
+        let n = start_cfg.len();
         // pos[r] = current coordinate of the robot that began in
         // row-major slot r; role_at[i] = which role sits in slot i.
-        let mut pos: Vec<Coord> = self.states[start].cfg.positions().to_vec();
+        let mut pos: Vec<Coord> = start_cfg.positions().to_vec();
         let mut role_at: Vec<usize> = (0..n).collect();
         let mut flags = vec![false; n];
         // Crashed robots are exempt from fairness: never activating
@@ -878,7 +966,7 @@ impl<A: Algorithm + ?Sized> Search<'_, '_, A> {
         let mut cur = start;
         for &(action, next) in cycle {
             debug_assert_eq!(action.crash, 0, "cycles never cross a crash level");
-            let moves = &self.states[cur].moves;
+            let moves = &self.info[self.states[cur].class as usize].moves;
             for slot in 0..n {
                 let role = role_at[slot];
                 match moves[slot] {
@@ -898,8 +986,8 @@ impl<A: Algorithm + ?Sized> Search<'_, '_, A> {
             masks.push(action);
             cur = next;
             debug_assert_eq!(
-                Configuration::new(pos.iter().copied()).canonical(),
-                self.states[cur].cfg,
+                &Configuration::new(pos.iter().copied()).canonical(),
+                self.arena.get(self.states[cur].class),
                 "certificate walk diverged from the state graph"
             );
         }

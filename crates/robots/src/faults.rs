@@ -24,7 +24,10 @@
 //! schedule + crash assignment reaches a collision, a disconnection, a
 //! dead fixpoint or a fair non-gathering cycle), or **undecided** at
 //! the fair-cycle search depth. Refutations replay through the engine
-//! via [`replay`]. The exploration core is [`crate::explore`]; the
+//! via [`replay`]. The exploration core is [`crate::explore`] — its
+//! packed-state representation and memoized move oracle (DESIGN.md
+//! §11) carry this checker's full-space classification; the crash
+//! golden files pin that the packing is verdict-transparent. The
 //! soundness argument is DESIGN.md §10.
 
 use crate::adversary::Fnv64;

@@ -31,9 +31,11 @@
 //! * [`faults`] — the crash-fault scenario model (crash budget `f`,
 //!   relaxed gathering of the live robots) with replayable
 //!   schedule + crash assignments.
-//! * [`visited`] — shared canonical-class memoization primitives used
-//!   by the engine's livelock detector and the impossibility
-//!   simulator (the explorer keeps its own crash-mask-aware interner).
+//! * [`visited`] — shared canonical-class memoization primitives
+//!   (packed-key [`visited::ClassSet`]/[`visited::ClassMap`] and the
+//!   interning [`visited::ClassArena`]) used by the engine's livelock
+//!   detector, the impossibility simulator and the explorer's
+//!   crash-mask-aware state interner.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,8 +52,8 @@ pub mod view;
 pub mod visited;
 
 pub use adversary::{AdversaryReport, AdversaryVerdict, Checker};
-pub use algorithm::{Algorithm, FnAlgorithm, StayAlgorithm};
-pub use config::{hexagon, Configuration};
+pub use algorithm::{Algorithm, FnAlgorithm, MoveOracle, StayAlgorithm};
+pub use config::{hexagon, Configuration, PackedClass};
 pub use engine::{run, run_traced, Execution, Limits, Move, Outcome, RoundCollision, RoundResult};
 pub use faults::{CrashChecker, CrashOptions, CrashReport, CrashVerdict};
 pub use view::View;

@@ -3,11 +3,16 @@
 //! Every component that walks the configuration space — the FSYNC
 //! engine's livelock detector, the impossibility simulator, the SSYNC
 //! adversary checker — needs the same primitive: "have I seen this
-//! translation class before?". These small wrappers keep the
+//! translation class before?". These wrappers keep the
 //! canonicalisation in one place so no caller can accidentally memoize
-//! raw (translated) configurations.
+//! raw (translated) configurations, and they key on the bit-packed
+//! [`PackedClass`] form: membership tests hash 16 bytes instead of a
+//! `Vec<Coord>`, and no canonical configuration is ever materialized
+//! on the lookup path.
 
+use crate::config::PackedClass;
 use crate::Configuration;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 /// A set of translation classes of configurations.
@@ -47,15 +52,23 @@ impl ClassSet {
     }
 }
 
-/// A map keyed by translation classes of configurations.
+/// A map keyed by translation classes of configurations, stored as
+/// packed `u128` class keys. Configurations beyond the packable
+/// window (more than [`PackedClass::MAX_ROBOTS`] robots, or a huge
+/// diameter) transparently fall back to unpacked canonical keys, so
+/// the map's domain is unrestricted — only its hot path assumes the
+/// window.
 #[derive(Debug)]
 pub struct ClassMap<V> {
-    map: HashMap<Configuration, V>,
+    map: HashMap<u128, V>,
+    /// Fallback for classes that do not fit a packed key; empty in
+    /// every checker workload.
+    wide: HashMap<Configuration, V>,
 }
 
 impl<V> Default for ClassMap<V> {
     fn default() -> Self {
-        ClassMap { map: HashMap::new() }
+        ClassMap { map: HashMap::new(), wide: HashMap::new() }
     }
 }
 
@@ -69,41 +82,102 @@ impl<V> ClassMap<V> {
     /// Inserts `value` under the class of `cfg`, returning the previous
     /// value for that class if any.
     pub fn insert(&mut self, cfg: &Configuration, value: V) -> Option<V> {
-        self.map.insert(cfg.canonical(), value)
+        match cfg.try_canonical_key() {
+            Some(key) => self.insert_key(key, value),
+            None => self.wide.insert(cfg.canonical(), value),
+        }
     }
 
     /// The value stored for the class of `cfg`.
     #[must_use]
     pub fn get(&self, cfg: &Configuration) -> Option<&V> {
-        self.map.get(&cfg.canonical())
+        match cfg.try_canonical_key() {
+            Some(key) => self.get_key(key),
+            None => self.wide.get(&cfg.canonical()),
+        }
     }
 
-    /// Like [`Self::get`] for a key that is **already canonical**,
-    /// skipping re-canonicalisation — for hot paths that computed the
-    /// canonical form anyway.
+    /// Like [`Self::insert`] for a key the caller already packed.
+    pub fn insert_key(&mut self, key: PackedClass, value: V) -> Option<V> {
+        self.map.insert(key.bits(), value)
+    }
+
+    /// Like [`Self::get`] for a key the caller already packed.
     #[must_use]
-    pub fn get_canonical(&self, canonical: &Configuration) -> Option<&V> {
-        debug_assert_eq!(canonical, &canonical.canonical(), "key must be canonical");
-        self.map.get(canonical)
-    }
-
-    /// Like [`Self::insert`] for a key that is **already canonical**,
-    /// skipping re-canonicalisation.
-    pub fn insert_canonical(&mut self, canonical: Configuration, value: V) -> Option<V> {
-        debug_assert_eq!(&canonical, &canonical.canonical(), "key must be canonical");
-        self.map.insert(canonical, value)
+    pub fn get_key(&self, key: PackedClass) -> Option<&V> {
+        self.map.get(&key.bits())
     }
 
     /// Number of distinct classes stored.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.map.len() + self.wide.len()
     }
 
     /// Whether no class is stored.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.map.is_empty() && self.wide.is_empty()
+    }
+}
+
+/// An interning arena over translation classes: every class is mapped
+/// to a dense `u32` id, with its decoded canonical representative
+/// stored exactly once. This is the explorer's state-interning
+/// substrate — the hot path hashes a packed key and never clones or
+/// canonicalises a configuration that was seen before.
+#[derive(Default, Debug)]
+pub struct ClassArena {
+    ids: HashMap<u128, u32>,
+    cfgs: Vec<Configuration>,
+}
+
+impl ClassArena {
+    /// An empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns the class of `cfg` (which may be arbitrarily
+    /// translated); returns its dense id and whether it was new.
+    pub fn intern(&mut self, cfg: &Configuration) -> (u32, bool) {
+        self.intern_key(cfg.canonical_key())
+    }
+
+    /// Interns an already-packed class key. The decoded canonical
+    /// representative is materialized only on first sight.
+    pub fn intern_key(&mut self, key: PackedClass) -> (u32, bool) {
+        match self.ids.entry(key.bits()) {
+            Entry::Occupied(e) => (*e.get(), false),
+            Entry::Vacant(e) => {
+                let id = u32::try_from(self.cfgs.len()).expect("fewer than 2^32 classes");
+                e.insert(id);
+                self.cfgs.push(key.unpack());
+                (id, true)
+            }
+        }
+    }
+
+    /// The canonical representative of class `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not returned by this arena.
+    #[must_use]
+    pub fn get(&self, id: u32) -> &Configuration {
+        &self.cfgs[id as usize]
+    }
+
+    /// Number of distinct classes interned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cfgs.len()
+    }
+
+    /// Whether the arena is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cfgs.is_empty()
     }
 }
 
@@ -133,5 +207,51 @@ mod tests {
         assert_eq!(map.insert(&two().translate(Coord::new(2, 0)), 2), Some(1));
         assert_eq!(map.get(&two()), Some(&2));
         assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn class_map_key_paths_agree_with_configuration_paths() {
+        let mut map: ClassMap<&str> = ClassMap::new();
+        assert_eq!(map.insert_key(two().canonical_key(), "a"), None);
+        assert_eq!(map.get(&two().translate(Coord::new(4, 0))), Some(&"a"));
+        assert_eq!(map.get_key(two().canonical_key()), Some(&"a"));
+    }
+
+    #[test]
+    fn class_map_and_set_handle_unpackable_configurations() {
+        // Nine robots exceed the packed window; the shared utilities
+        // must fall back to unpacked keys, not panic — the engine's
+        // livelock detector runs on arbitrary robot counts.
+        let nine = Configuration::new((0..9).map(|i| Coord::new(2 * i, 0)));
+        assert_eq!(nine.try_canonical_key(), None);
+        let mut map: ClassMap<u32> = ClassMap::new();
+        assert_eq!(map.insert(&nine, 1), None);
+        assert_eq!(map.insert(&nine.translate(Coord::new(4, 2)), 2), Some(1));
+        assert_eq!(map.get(&nine), Some(&2));
+        assert_eq!(map.insert(&two(), 7), None);
+        assert_eq!(map.len(), 2);
+        let mut set = ClassSet::new();
+        assert!(set.insert(&nine));
+        assert!(!set.insert(&nine.translate(Coord::new(-2, 0))));
+        assert!(set.contains(&nine));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn arena_interns_each_class_once() {
+        let mut arena = ClassArena::new();
+        let (a, new_a) = arena.intern(&two());
+        assert!(new_a);
+        let (b, new_b) = arena.intern(&two().translate(Coord::new(6, 2)));
+        assert!(!new_b);
+        assert_eq!(a, b);
+        assert_eq!(arena.get(a), &two().canonical());
+        assert_eq!(arena.len(), 1);
+        assert!(!arena.is_empty());
+        let (c, new_c) = arena.intern_key(crate::config::hexagon(ORIGIN).canonical_key());
+        assert!(new_c);
+        assert_ne!(a, c);
+        assert_eq!(arena.get(c), &crate::config::hexagon(ORIGIN).canonical());
+        assert_eq!(arena.len(), 2);
     }
 }

@@ -1,0 +1,128 @@
+//! Property-based pins for the packed translation-class keys: the
+//! `Configuration` ↔ `u128` encoding is a lossless roundtrip on
+//! canonical configurations, `canonical_key()` agrees with the
+//! materializing `canonical().pack()` path on arbitrary translates of
+//! random connected polyhexes, and key equality is exactly class
+//! equality. The `ClassArena` built on the keys must intern every
+//! class once.
+
+use proptest::prelude::*;
+use robots::visited::{ClassArena, ClassMap, ClassSet};
+use robots::{Configuration, PackedClass};
+use trigrid::{Coord, Dir};
+
+/// Strategy: a connected configuration of `n` robots grown from the
+/// origin (deterministic given the choice list) — the same random
+/// connected-polyhex generator the crash-model proptests use.
+fn connected_config(n: usize) -> impl Strategy<Value = Configuration> {
+    proptest::collection::vec((0usize..64, 0usize..6), n - 1).prop_map(move |choices| {
+        let mut cells = vec![trigrid::ORIGIN];
+        for (anchor_raw, dir_raw) in choices {
+            for probe in 0..cells.len() {
+                let anchor = cells[(anchor_raw + probe) % cells.len()];
+                let mut done = false;
+                for k in 0..6 {
+                    let cand = anchor.step(Dir::from_index(dir_raw + k));
+                    if !cells.contains(&cand) {
+                        cells.push(cand);
+                        done = true;
+                        break;
+                    }
+                }
+                if done {
+                    break;
+                }
+            }
+        }
+        Configuration::new(cells)
+    })
+}
+
+/// Strategy: a lattice translation vector (x + y even).
+fn delta() -> impl Strategy<Value = Coord> {
+    (-20i32..20, -10i32..10).prop_map(|(h, y)| Coord::new(2 * h + (y & 1), y))
+}
+
+proptest! {
+    #[test]
+    fn pack_unpack_roundtrips_canonical_configurations(
+        cfg in connected_config(7),
+        d in delta(),
+    ) {
+        let canonical = cfg.translate(d).canonical();
+        prop_assert_eq!(canonical.pack().unpack(), canonical.clone());
+        prop_assert_eq!(canonical.pack().robots(), canonical.len());
+    }
+
+    #[test]
+    fn canonical_key_equals_canonical_then_pack(
+        cfg in connected_config(7),
+        d in delta(),
+    ) {
+        let translated = cfg.translate(d);
+        prop_assert_eq!(translated.canonical_key(), translated.canonical().pack());
+        // The key names the translation class: every translate agrees.
+        prop_assert_eq!(translated.canonical_key(), cfg.canonical_key());
+    }
+
+    #[test]
+    fn key_equality_is_class_equality(
+        a in connected_config(6),
+        b in connected_config(6),
+    ) {
+        prop_assert_eq!(
+            a.canonical_key() == b.canonical_key(),
+            a.canonical() == b.canonical(),
+            "packed keys must induce exactly the translation-class partition"
+        );
+    }
+
+    #[test]
+    fn of_cells_matches_the_configuration_path(cfg in connected_config(5), d in delta()) {
+        let translated = cfg.translate(d);
+        prop_assert_eq!(
+            PackedClass::of_cells(translated.positions()),
+            translated.canonical_key()
+        );
+    }
+
+    #[test]
+    fn arena_and_class_map_agree_on_interning(
+        cfg in connected_config(7),
+        d in delta(),
+    ) {
+        let translated = cfg.translate(d);
+        let mut arena = ClassArena::new();
+        let (id_a, new_a) = arena.intern(&cfg);
+        let (id_b, new_b) = arena.intern(&translated);
+        prop_assert!(new_a);
+        prop_assert!(!new_b, "a translate must hit the interned class");
+        prop_assert_eq!(id_a, id_b);
+        prop_assert_eq!(arena.get(id_a), &cfg.canonical());
+
+        let mut set = ClassSet::new();
+        prop_assert!(set.insert(&cfg));
+        prop_assert!(!set.insert(&translated));
+        prop_assert!(set.contains(&translated));
+
+        let mut map: ClassMap<u32> = ClassMap::new();
+        prop_assert_eq!(map.insert(&cfg, 1), None);
+        prop_assert_eq!(map.insert(&translated, 2), Some(1));
+        prop_assert_eq!(map.get_key(translated.canonical_key()), Some(&2));
+    }
+}
+
+/// Exhaustive pin on the full enumerated space: the 3652 seven-robot
+/// classes map to 3652 distinct keys, every one of which roundtrips.
+#[test]
+fn all_seven_robot_classes_have_distinct_roundtripping_keys() {
+    let mut arena = ClassArena::new();
+    for cells in polyhex::enumerate_fixed(7) {
+        let cfg = Configuration::new(cells);
+        let key = cfg.canonical_key();
+        assert_eq!(key.unpack(), cfg, "enumerated classes are canonical already");
+        let (_, new) = arena.intern_key(key);
+        assert!(new, "distinct classes must intern to distinct keys: {cfg:?}");
+    }
+    assert_eq!(arena.len(), 3652);
+}

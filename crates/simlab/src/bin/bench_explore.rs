@@ -1,0 +1,267 @@
+//! Performance record for the packed-state exploration core.
+//!
+//! ```text
+//! cargo run --release -p simlab --bin bench_explore -- \
+//!     [--out PATH] [--iters N] [--skip-adversary]
+//! ```
+//!
+//! Measures, on the full 3652-class seven-robot space:
+//!
+//! * `canonical()` (materializing) vs `canonical_key()` (packed,
+//!   allocation-free) per-class cost,
+//! * `HashMap<Configuration, id>` interning vs the packed `ClassArena`,
+//! * raw `compute_moves` vs the memoized [`robots::MoveOracle`],
+//! * checker construction (equivariance scan through the oracle),
+//! * the headline: full crash `f = 1` classification wall-time (pure
+//!   classification — every class checked in-memory, verdict tallies
+//!   asserted against the golden 11/3641/0), and the full SSYNC
+//!   adversary classification for context.
+//!
+//! The result is written as `BENCH_explore.json` next to
+//! `BENCH_sweep.json`; the `baseline` block pins the measurements taken
+//! on the pre-refactor tree (same host, single core) so the `speedup`
+//! fields track the packed-core gain across future changes.
+
+use gathering::SevenGather;
+use robots::adversary::{AdversaryOptions, AdversaryVerdict, Checker};
+use robots::faults::{CrashChecker, CrashOptions, CrashVerdict};
+use robots::visited::ClassArena;
+use robots::{engine, Configuration, MoveOracle};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Pre-refactor measurements of the same quantities (commit `5873ec6`,
+/// this repository's CI-equivalent host, 1 core, release profile).
+/// `crash_f1_secs` / `adversary_secs` are pure classification loops
+/// over all 3652 classes, measured with the same harness as below.
+#[derive(Clone, Debug, Serialize)]
+struct Baseline {
+    host: String,
+    crash_f1_secs: f64,
+    adversary_secs: f64,
+    canonical_ns: f64,
+}
+
+#[derive(Clone, Debug, Serialize)]
+struct MicroBench {
+    /// Materializing `canonical()` per class, nanoseconds.
+    canonical_ns: f64,
+    /// Packed `canonical_key()` per class, nanoseconds.
+    canonical_key_ns: f64,
+    /// `canonical()`-keyed `HashMap` intern+lookup per class, ns.
+    hashmap_intern_ns: f64,
+    /// `ClassArena` packed intern+lookup per class, ns.
+    arena_intern_ns: f64,
+    /// Raw `compute_moves` per class, nanoseconds.
+    compute_moves_raw_ns: f64,
+    /// Memoized (warm oracle) `compute_moves` per class, nanoseconds.
+    compute_moves_memo_ns: f64,
+    /// One `CrashChecker::new` (equivariance scan + memo warmup), ms.
+    checker_build_ms: f64,
+}
+
+#[derive(Clone, Debug, Serialize)]
+struct Record {
+    /// Classes in the space (3652 for n = 7).
+    classes: usize,
+    iters: usize,
+    micro: MicroBench,
+    /// Full crash `f = 1` classification (pure, in-memory), seconds.
+    crash_f1_secs: f64,
+    /// Crash f=1 verdict tallies (proof, refuted, undecided).
+    crash_f1_verdicts: [usize; 3],
+    /// Full SSYNC adversary classification, seconds (absent with
+    /// `--skip-adversary`).
+    adversary_secs: Option<f64>,
+    baseline: Baseline,
+    /// `baseline.crash_f1_secs / crash_f1_secs`.
+    crash_f1_speedup: f64,
+    /// `baseline.canonical_ns / micro.canonical_key_ns`.
+    canonical_key_speedup: f64,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: bench_explore [--out PATH] [--iters N] [--skip-adversary]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut out = PathBuf::from("target/sweep/BENCH_explore.json");
+    let mut iters = 20usize;
+    let mut skip_adversary = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = PathBuf::from(it.next().unwrap_or_else(|| usage())),
+            "--iters" => {
+                iters = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                if iters == 0 {
+                    usage();
+                }
+            }
+            "--skip-adversary" => skip_adversary = true,
+            _ => usage(),
+        }
+    }
+
+    let algo = SevenGather::verified();
+    let classes: Vec<Configuration> =
+        polyhex::enumerate_fixed(7).into_iter().map(Configuration::new).collect();
+    let n = classes.len();
+    // Shifted copies so the canonicalisation paths do real work.
+    let shifted: Vec<Configuration> =
+        classes.iter().map(|c| c.translate(trigrid::Coord::new(6, 2))).collect();
+
+    let per_ns = |elapsed: std::time::Duration, ops: usize| elapsed.as_nanos() as f64 / ops as f64;
+
+    // canonical() vs canonical_key().
+    let started = Instant::now();
+    let mut guard = 0usize;
+    for _ in 0..iters {
+        for c in &shifted {
+            guard = guard.wrapping_add(c.canonical().len());
+        }
+    }
+    let canonical_ns = per_ns(started.elapsed(), n * iters);
+    let started = Instant::now();
+    for _ in 0..iters {
+        for c in &shifted {
+            guard = guard.wrapping_add(c.canonical_key().robots());
+        }
+    }
+    let canonical_key_ns = per_ns(started.elapsed(), n * iters);
+
+    // HashMap<canonical Configuration> intern vs packed ClassArena:
+    // one insert pass plus one hit pass per iteration.
+    let started = Instant::now();
+    for _ in 0..iters {
+        let mut map: HashMap<Configuration, u32> = HashMap::new();
+        for (i, c) in shifted.iter().enumerate() {
+            map.entry(c.canonical()).or_insert(i as u32);
+        }
+        for c in &shifted {
+            guard = guard.wrapping_add(map[&c.canonical()] as usize);
+        }
+    }
+    let hashmap_intern_ns = per_ns(started.elapsed(), 2 * n * iters);
+    let started = Instant::now();
+    for _ in 0..iters {
+        let mut arena = ClassArena::new();
+        for c in &shifted {
+            guard = guard.wrapping_add(arena.intern(c).0 as usize);
+        }
+        for c in &shifted {
+            guard = guard.wrapping_add(arena.intern(c).0 as usize);
+        }
+    }
+    let arena_intern_ns = per_ns(started.elapsed(), 2 * n * iters);
+
+    // Raw vs memoized move computation.
+    let started = Instant::now();
+    for _ in 0..iters {
+        for c in &classes {
+            guard = guard.wrapping_add(engine::compute_moves(c, &algo).len());
+        }
+    }
+    let compute_moves_raw_ns = per_ns(started.elapsed(), n * iters);
+    let oracle = MoveOracle::new(&algo);
+    for c in &classes {
+        let _ = engine::compute_moves(c, &oracle); // warm
+    }
+    let started = Instant::now();
+    for _ in 0..iters {
+        for c in &classes {
+            guard = guard.wrapping_add(engine::compute_moves(c, &oracle).len());
+        }
+    }
+    let compute_moves_memo_ns = per_ns(started.elapsed(), n * iters);
+
+    // Checker construction (equivariance scan through the oracle).
+    let started = Instant::now();
+    let crash_checker = CrashChecker::new(&algo, CrashOptions::default());
+    let checker_build_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // Headline: the full crash f=1 classification, pure in-memory.
+    let started = Instant::now();
+    let mut crash_tallies = [0usize; 3];
+    for c in &classes {
+        match crash_checker.check(c).verdict {
+            CrashVerdict::Proof => crash_tallies[0] += 1,
+            CrashVerdict::Refuted { .. } => crash_tallies[1] += 1,
+            CrashVerdict::Undecided { .. } => crash_tallies[2] += 1,
+        }
+    }
+    let crash_f1_secs = started.elapsed().as_secs_f64();
+    assert_eq!(crash_tallies, [11, 3641, 0], "crash f=1 tallies diverged from the golden");
+
+    let adversary_secs = (!skip_adversary).then(|| {
+        let checker = Checker::new(&algo, AdversaryOptions::default());
+        let started = Instant::now();
+        let mut tallies = [0usize; 3];
+        for c in &classes {
+            match checker.check(c).verdict {
+                AdversaryVerdict::Proof => tallies[0] += 1,
+                AdversaryVerdict::Refuted { .. } => tallies[1] += 1,
+                AdversaryVerdict::Undecided { .. } => tallies[2] += 1,
+            }
+        }
+        let secs = started.elapsed().as_secs_f64();
+        assert_eq!(tallies, [1869, 1783, 0], "adversary tallies diverged from the golden");
+        secs
+    });
+
+    let baseline = Baseline {
+        host: "pre-refactor tree at 5873ec6, same single-core host".to_string(),
+        crash_f1_secs: BASELINE_CRASH_F1_SECS,
+        adversary_secs: BASELINE_ADVERSARY_SECS,
+        canonical_ns: BASELINE_CANONICAL_NS,
+    };
+    let record = Record {
+        classes: n,
+        iters,
+        crash_f1_speedup: baseline.crash_f1_secs / crash_f1_secs,
+        canonical_key_speedup: baseline.canonical_ns / canonical_key_ns,
+        micro: MicroBench {
+            canonical_ns,
+            canonical_key_ns,
+            hashmap_intern_ns,
+            arena_intern_ns,
+            compute_moves_raw_ns,
+            compute_moves_memo_ns,
+            checker_build_ms,
+        },
+        crash_f1_secs,
+        crash_f1_verdicts: crash_tallies,
+        adversary_secs,
+        baseline,
+    };
+
+    let json = serde_json::to_string_pretty(&record).expect("record serialises");
+    if let Some(parent) = out.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&out, json + "\n").unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", out.display());
+        std::process::exit(1);
+    });
+    eprintln!(
+        "bench_explore: crash f=1 full classification {crash_f1_secs:.3}s \
+         ({:.2}x vs baseline {:.3}s) -> {}",
+        record.crash_f1_speedup,
+        record.baseline.crash_f1_secs,
+        out.display()
+    );
+    // `guard` keeps the measured loops observable.
+    assert!(guard != 0);
+}
+
+/// Pre-refactor full crash f=1 classification, seconds — best of three
+/// runs of the same pure loop on the pre-refactor tree (see
+/// [`Baseline`] provenance).
+const BASELINE_CRASH_F1_SECS: f64 = 0.462;
+/// Pre-refactor full adversary classification, seconds (best of 3).
+const BASELINE_ADVERSARY_SECS: f64 = 2.030;
+/// Pre-refactor `canonical()` cost per class, nanoseconds (best of 3).
+const BASELINE_CANONICAL_NS: f64 = 35.8;

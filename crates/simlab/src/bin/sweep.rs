@@ -4,7 +4,7 @@
 //! cargo run --release -p simlab --bin sweep -- \
 //!     [--algo paper|verified|FLAGS] \
 //!     [--sched fsync|round-robin|random[:SEED:P]|adversary[:DEPTH]] \
-//!     [--n 7] [--shards 8] [--threads 0] [--stealing auto|on|off] \
+//!     [--n 7] [--shards 8] [--threads N] [--stealing auto|on|off] \
 //!     [--max-rounds N] [--out-dir target/sweep] [--resume] \
 //!     [--fail-fast] [--matrix]
 //! ```
@@ -54,7 +54,9 @@ fn usage() -> ! {
          \x20            [--max-rounds R] [--out-dir DIR] [--resume] [--fail-fast] [--matrix]\n\
          \n\
          FLAGS is a '+'-separated ablation list from fix25, conn, prio, compl, mirror (or 'none').\n\
-         Scheduler specs: {SCHED_SPECS}."
+         Scheduler specs: {SCHED_SPECS}.\n\
+         --threads takes the worker count of the per-shard pool (>= 1); the default\n\
+         is all available cores."
     );
     std::process::exit(2);
 }
@@ -102,7 +104,16 @@ fn parse_args() -> Args {
                 }
             }
             "--threads" => {
-                args.cfg.threads = value("--threads").parse().unwrap_or_else(|_| usage())
+                let threads: usize = value("--threads").parse().unwrap_or_else(|_| usage());
+                if threads == 0 {
+                    eprintln!(
+                        "--threads must be at least 1; omit the flag to use all \
+                         available cores ({})",
+                        parallel::resolve_threads(0)
+                    );
+                    usage();
+                }
+                args.cfg.threads = threads;
             }
             "--stealing" => {
                 args.cfg.stealing = match value("--stealing").as_str() {

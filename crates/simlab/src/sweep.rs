@@ -8,10 +8,16 @@
 //! * a sweep **cell** is a pair of [`AlgoSpec`] (the paper rules, the
 //!   verified rules, or a named ablation of [`RuleOptions`]) and
 //!   [`SchedSpec`] (FSYNC, round-robin, or seeded random subsets);
-//! * the 3652-class space is split into contiguous **shards**, each run
-//!   on one of the `parallel` executors (work stealing by default for
-//!   non-FSYNC cells, whose livelock-bound items make costs heavily
-//!   skewed) and persisted as a serde-serialised [`ShardRecord`];
+//! * the 3652-class space is split into contiguous **shards**, each
+//!   fanned across one of the `parallel` executors (the
+//!   crossbeam-deque **work-stealing pool** by default for every
+//!   non-FSYNC cell — the per-class adversary/crash checker runs are
+//!   wildly skewed: a proof explores thousands of states where a
+//!   refutation stops at its first bad terminal) and persisted as a
+//!   serde-serialised [`ShardRecord`]. Work items carry their class
+//!   index and results are merged in index order, so the record
+//!   stream is **byte-identical for every worker-thread count** —
+//!   `tests/determinism.rs` pins this for the model-checking cells;
 //! * a **merge** step loads the shard records, checks they tile the
 //!   class space exactly, and folds them into a [`SweepSummary`];
 //! * reruns with `resume` skip shards whose record on disk already

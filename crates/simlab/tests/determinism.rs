@@ -2,8 +2,9 @@
 //! record stream must be **byte-identical** regardless of worker
 //! thread count and shard count — for the seeded random-subset cells
 //! (whose per-class seed derivation must be threading/sharding
-//! invariant) and for the adversary model-checking cells (whose
-//! verdicts and counterexample schedules must be reproducible).
+//! invariant) and for the adversary and crash model-checking cells
+//! (whose verdicts and counterexample schedules must be reproducible
+//! no matter how the work-stealing pool interleaves the classes).
 
 use simlab::sweep::{
     merge_shards, run_shard, shard_ranges, ClassOutcome, SchedSpec, ShardRecord, SweepConfig,
@@ -52,6 +53,19 @@ fn adversary_records_are_thread_and_shard_invariant() {
     assert_invariant_across_threads_and_shards(
         SweepConfig { n: 4, sched, ..SweepConfig::default() },
         "adversary n=4",
+    );
+}
+
+#[test]
+fn crash_records_are_thread_and_shard_invariant() {
+    // The acceptance bar for the work-stealing fan-out: crash-cell
+    // verdicts (including the replayable schedule + crash assignment
+    // of every refutation) must be byte-identical between a
+    // single-thread run and any multi-thread/stealing run.
+    let sched = SchedSpec::parse("crash:1").expect("known scheduler");
+    assert_invariant_across_threads_and_shards(
+        SweepConfig { n: 4, sched, ..SweepConfig::default() },
+        "crash f=1 n=4",
     );
 }
 

@@ -23,10 +23,19 @@ pub fn shortest_path(from: Coord, to: Coord) -> Vec<Dir> {
 
 /// Whether the subgraph induced by `nodes` (adjacency = grid adjacency)
 /// is connected. Empty sets are considered connected.
+///
+/// Small sets (≤ 16 nodes — every robot configuration) take an
+/// allocation-free path: the adjacency relation is folded into one
+/// bitmask per node and connectivity is a bitmask flood fill. This is
+/// a hot function for the exploration checkers, which test every
+/// successor configuration once per expanded edge.
 #[must_use]
 pub fn is_connected(nodes: &[Coord]) -> bool {
     if nodes.len() <= 1 {
         return true;
+    }
+    if nodes.len() <= 16 {
+        return small_is_connected(nodes);
     }
     let set: HashSet<Coord> = nodes.iter().copied().collect();
     let mut seen = HashSet::with_capacity(set.len());
@@ -41,6 +50,33 @@ pub fn is_connected(nodes: &[Coord]) -> bool {
         }
     }
     seen.len() == set.len()
+}
+
+/// Bitmask flood fill for at most 16 nodes. Duplicate nodes are merged
+/// by treating distance-0 pairs as adjacent, matching the set
+/// semantics of the general path.
+fn small_is_connected(nodes: &[Coord]) -> bool {
+    let n = nodes.len();
+    let mut adj = [0u16; 16];
+    for i in 0..n {
+        for j in i + 1..n {
+            if nodes[i].distance(nodes[j]) <= 1 {
+                adj[i] |= 1 << j;
+                adj[j] |= 1 << i;
+            }
+        }
+    }
+    let all: u16 = if n == 16 { u16::MAX } else { (1 << n) - 1 };
+    let mut seen: u16 = 1;
+    let mut frontier: u16 = 1;
+    while frontier != 0 {
+        let i = frontier.trailing_zeros() as usize;
+        frontier &= frontier - 1;
+        let fresh = adj[i] & !seen;
+        seen |= fresh;
+        frontier |= fresh;
+    }
+    seen == all
 }
 
 /// The connected components of the subgraph induced by `nodes`, each
