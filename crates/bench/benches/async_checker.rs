@@ -1,0 +1,56 @@
+//! Throughput of the ASYNC phase-interleaving model checker versus the
+//! SSYNC adversary checker on the same classes: how much the pending
+//! vector axis multiplies per-class exploration cost, and the cost of
+//! a full lcm-async sweep shard. Complements `crash_checker` (the
+//! crash axis) and `sweep_shard` (scheduled cells).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gathering::SevenGather;
+use robots::adversary::{AdversaryOptions, Checker};
+use robots::async_model::{AsyncChecker, AsyncOptions};
+use robots::Configuration;
+use simlab::sweep::{run_shard, shard_ranges, SchedSpec, SweepConfig};
+
+fn bench(c: &mut Criterion) {
+    let classes = polyhex::enumerate_fixed(7);
+    let algo = SevenGather::verified();
+    // A spread of classes: the first (sparse line-like), a middle one,
+    // and the gathered hexagon's immediate neighbourhood.
+    let picks: Vec<(usize, Configuration)> = [0usize, 1826, 3651]
+        .into_iter()
+        .map(|i| (i, Configuration::new(classes[i].iter().copied())))
+        .collect();
+
+    let mut g = c.benchmark_group("async_checker");
+    g.sample_size(10);
+    let adversary = Checker::new(&algo, AdversaryOptions::default());
+    let lcm_async = AsyncChecker::new(&algo, AsyncOptions::default());
+    for (index, initial) in &picks {
+        g.bench_with_input(BenchmarkId::new("adversary", index), initial, |b, initial| {
+            b.iter(|| adversary.check(initial));
+        });
+        g.bench_with_input(BenchmarkId::new("lcm-async", index), initial, |b, initial| {
+            b.iter(|| lcm_async.check(initial));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("async_shard");
+    g.sample_size(10);
+    let (start, end) = shard_ranges(classes.len(), 32)[0];
+    let cfg = SweepConfig {
+        sched: SchedSpec::parse("lcm-async").expect("known scheduler"),
+        ..SweepConfig::default()
+    };
+    g.bench_function("shard0of32", |b| {
+        b.iter(|| {
+            let record = run_shard(&classes, &cfg, 0, start, end);
+            assert_eq!(record.results.len(), end - start);
+            record
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

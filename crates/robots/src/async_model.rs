@@ -1,32 +1,60 @@
-//! The ASYNC (fully asynchronous) model.
+//! The ASYNC (fully asynchronous) model: semantics, exhaustive model
+//! checker, and scheduled walks.
 //!
 //! In ASYNC the adversary interleaves the *phases* of the robots'
 //! Look-Compute-Move cycles: a robot may compute a move from a stale
 //! snapshot and execute it much later, after the world has changed.
-//! This module implements the standard discretisation: each tick the
-//! adversary activates one robot; an idle robot performs Look+Compute
-//! (capturing a pending decision from the *current* configuration), a
-//! robot with a pending decision executes its (possibly outdated) move.
+//! This module implements the standard interleaving discretisation —
+//! each tick the adversary advances exactly one robot's phase: an idle
+//! robot performs Look+Compute (capturing a pending decision from the
+//! *current* configuration), a robot with a pending decision executes
+//! its (possibly outdated) move. A robot whose fresh decision is *stay*
+//! completes its whole cycle with no effect, so the discretisation
+//! collapses look-then-stay into a single no-op (DESIGN.md §13 argues
+//! why this loses no adversary behaviour).
 //!
-//! The paper claims nothing about ASYNC (§V leaves even SSYNC open);
-//! [`run_async`] exists to *measure* how the completed algorithm
-//! degrades under maximal asynchrony (experiment E13).
+//! The paper claims nothing about ASYNC (§V leaves even SSYNC open).
+//! Historically this module could only *sample* the model with a
+//! seeded random scheduler; it is now an instantiation of the generic
+//! exploration layer: [`AsyncSemantics`] plugs the phase-advance
+//! transition system into [`robots::explore`](crate::explore), and
+//! [`AsyncChecker`] classifies an initial class as **async-proof**
+//! (every fair phase interleaving gathers), **refuted** (with a minimal
+//! replayable tick schedule) or **undecided** at the fair-cycle search
+//! depth. States are `(canonical class, packed pending vector)` — see
+//! [`PackedPending`] — actions are single-robot phase advances, and
+//! every walk (the explorer's, [`run_async`]'s, and the replayer's)
+//! steps through the one [`advance_phase`] successor function.
+//!
+//! Fairness in ASYNC means every robot's phase advances infinitely
+//! often (every robot completes infinitely many LCM cycles); the
+//! fair-cycle certificates of the explorer encode exactly that, with
+//! idle robots that are observed deciding to stay satisfiable for free.
 
-use crate::engine::{Execution, Limits, Outcome};
-use crate::{engine, Algorithm, Configuration, View};
+use crate::config::{PackedClass, PackedPending};
+use crate::engine::{self, Execution, Limits, Outcome, RoundCollision};
+use crate::explore::{
+    canonical_action, ClassInfo, CycleCert, ExploreOptions, Explorer, NodeKind, Search, Semantics,
+};
+use crate::sched::CrashRound;
+use crate::{Algorithm, Configuration, View};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use trigrid::{Coord, Dir};
+use std::collections::VecDeque;
+use trigrid::transform::PointSymmetry;
+use trigrid::Coord;
+
+pub use crate::explore::{ExploreReport as AsyncReport, ExploreVerdict as AsyncVerdict};
 
 /// Chooses which robot's phase advances at each tick.
 pub trait AsyncScheduler {
-    /// Index (into the simulator's internal robot list) of the robot to
-    /// activate at this tick. Must be `< n`.
+    /// Index (into the stable internal robot list, *not* the row-major
+    /// slot order) of the robot to activate at this tick. Must be `< n`.
     fn pick(&mut self, tick: usize, n: usize) -> usize;
 }
 
 /// Cycles through the robots in index order — every robot completes its
-/// cycle in two consecutive activations (a "almost synchronous"
+/// cycle in two consecutive activations (an "almost synchronous"
 /// adversary).
 pub struct RoundRobinAsync;
 
@@ -56,9 +84,90 @@ impl AsyncScheduler for RandomAsync {
     }
 }
 
+/// The effect of advancing one robot's LCM phase — the ASYNC model's
+/// only adversary action, produced by [`advance_phase`].
+pub enum PhaseAdvance {
+    /// The robot was idle and its fresh decision is *stay*: the whole
+    /// Look-Compute-Move cycle completes with no effect.
+    Stayed,
+    /// The robot was idle: Look+Compute captured a pending move from
+    /// the current configuration.
+    Looked(PackedPending),
+    /// The robot executed its pending (possibly stale) move.
+    Moved {
+        /// The configuration after the move.
+        config: Configuration,
+        /// The surviving pendings, re-indexed to `config`'s row-major
+        /// slots; the mover itself returns to idle.
+        pending: PackedPending,
+    },
+}
+
+/// Advances the phase of the robot in row-major slot `slot` of `cfg`
+/// with pending state `pending`: the **single** successor function of
+/// the ASYNC model, stepped through by the exhaustive checker
+/// ([`AsyncSemantics`]), the simulator ([`run_async`]) and the
+/// replayer ([`run_async_schedule`]) alike. Move execution validates
+/// through the engine's shared round semantics
+/// ([`engine::check_moves`]) — a one-hot round, whose only possible
+/// violation is a shared target (a swap needs two movers).
+///
+/// # Errors
+/// Returns the collision when the (stale) pending move lands on an
+/// occupied node.
+///
+/// # Panics
+/// Panics if `slot` is out of range or `cfg` holds more than 8 robots.
+pub fn advance_phase<A: Algorithm + ?Sized>(
+    cfg: &Configuration,
+    pending: PackedPending,
+    slot: usize,
+    algo: &A,
+) -> Result<PhaseAdvance, RoundCollision> {
+    let n = cfg.len();
+    assert!(n <= PackedClass::MAX_ROBOTS, "pending masks hold at most 8 robots");
+    assert!(slot < n, "slot {slot} out of range for {n} robots");
+    match pending.get(slot) {
+        None => {
+            // Look + Compute on the *current* configuration.
+            let p = cfg.positions()[slot];
+            let view = View::observe(cfg, p, algo.radius());
+            match algo.compute(&view) {
+                None => Ok(PhaseAdvance::Stayed),
+                Some(d) => Ok(PhaseAdvance::Looked(pending.with(slot, Some(d)))),
+            }
+        }
+        Some(d) => {
+            let mut moves = [None; PackedClass::MAX_ROBOTS];
+            moves[slot] = Some(d);
+            engine::check_moves(cfg, &moves[..n])?;
+            let next = cfg.apply_unchecked(&moves[..n]);
+            // Re-index the surviving pendings into the new row-major
+            // slot order; stationary robots keep their coordinates.
+            let mut remapped = PackedPending::IDLE;
+            for (i, &p) in cfg.positions().iter().enumerate() {
+                if i == slot {
+                    continue; // the mover completes its cycle: idle
+                }
+                if let Some(dir) = pending.get(i) {
+                    let j = next
+                        .positions()
+                        .iter()
+                        .position(|&q| q == p)
+                        .expect("stationary robots keep their nodes");
+                    remapped = remapped.with(j, Some(dir));
+                }
+            }
+            Ok(PhaseAdvance::Moved { config: next, pending: remapped })
+        }
+    }
+}
+
 /// Runs `algo` under the ASYNC model. `limits.max_rounds` counts
 /// *ticks* (single-robot phase advances).
 ///
+/// This is a thin scheduled walk over [`advance_phase`] — the same
+/// successor function the exhaustive [`AsyncChecker`] explores.
 /// Outcomes: [`Outcome::Gathered`]/[`Outcome::StuckFixpoint`] when no
 /// robot has a pending move and a fresh Look would move nobody;
 /// [`Outcome::Collision`] when a (stale) move lands on an occupied node;
@@ -72,14 +181,15 @@ pub fn run_async<A: Algorithm + ?Sized, S: AsyncScheduler>(
     sched: &mut S,
     limits: Limits,
 ) -> Execution {
-    // Internal robot identities (the algorithm itself never sees them).
+    // Stable robot identities for the scheduler (the algorithm itself
+    // never sees them); slot indices are re-derived per tick.
     let mut positions: Vec<Coord> = initial.positions().to_vec();
-    let mut pending: Vec<Option<Option<Dir>>> = vec![None; positions.len()];
-    let radius = algo.radius();
+    let mut cfg = initial.clone();
+    let mut pending = PackedPending::IDLE;
 
-    let finish = |positions: &[Coord], outcome: Outcome| Execution {
+    let finish = |cfg: Configuration, outcome: Outcome| Execution {
         initial: initial.clone(),
-        final_config: Configuration::new(positions.iter().copied()),
+        final_config: cfg,
         outcome,
         trace: None,
     };
@@ -87,8 +197,7 @@ pub fn run_async<A: Algorithm + ?Sized, S: AsyncScheduler>(
     for tick in 0..limits.max_rounds {
         // Termination test: nothing pending, and a synchronous Look
         // would move nobody.
-        if pending.iter().all(Option::is_none) {
-            let cfg = Configuration::new(positions.iter().copied());
+        if pending.is_idle() {
             let moves = engine::compute_moves(&cfg, algo);
             if moves.iter().all(Option::is_none) {
                 let outcome = if cfg.is_gathered() {
@@ -96,52 +205,465 @@ pub fn run_async<A: Algorithm + ?Sized, S: AsyncScheduler>(
                 } else {
                     Outcome::StuckFixpoint { rounds: tick }
                 };
-                return finish(&positions, outcome);
+                return finish(cfg, outcome);
             }
         }
 
         let i = sched.pick(tick, positions.len());
-        match pending[i].take() {
-            None => {
-                // Look + Compute on the *current* configuration.
-                let cfg = Configuration::new(positions.iter().copied());
-                let view = View::observe(&cfg, positions[i], radius);
-                pending[i] = Some(algo.compute(&view));
-            }
-            Some(None) => {} // a pending "stay" completes trivially
-            Some(Some(d)) => {
-                // Move with a possibly stale decision. A single mover
-                // is a one-hot round: validation goes through the
-                // engine's shared round-semantics implementation (the
-                // only possible violation is a shared target — a swap
-                // needs two movers).
-                let cfg = Configuration::new(positions.iter().copied());
-                let slot = cfg
-                    .positions()
-                    .iter()
-                    .position(|&p| p == positions[i])
-                    .expect("the robot occupies its own node");
-                let mut moves = vec![None; cfg.len()];
-                moves[slot] = Some(d);
-                if let Err(collision) = engine::step_moves(&cfg, &moves) {
-                    return finish(&positions, Outcome::Collision { round: tick, collision });
-                }
+        let slot = cfg
+            .positions()
+            .iter()
+            .position(|&p| p == positions[i])
+            .expect("the robot occupies its own node");
+        match advance_phase(&cfg, pending, slot, algo) {
+            Err(collision) => return finish(cfg, Outcome::Collision { round: tick, collision }),
+            Ok(PhaseAdvance::Stayed) => {}
+            Ok(PhaseAdvance::Looked(captured)) => pending = captured,
+            Ok(PhaseAdvance::Moved { config, pending: remapped }) => {
+                let d = pending.get(slot).expect("the robot moved from a pending slot");
                 positions[i] = positions[i].step(d);
-                let cfg = Configuration::new(positions.iter().copied());
+                cfg = config;
+                pending = remapped;
                 if !cfg.is_connected() {
-                    return finish(&positions, Outcome::Disconnected { round: tick });
+                    return finish(cfg, Outcome::Disconnected { round: tick });
                 }
             }
         }
     }
-    finish(&positions, Outcome::StepLimit { rounds: limits.max_rounds })
+    finish(cfg, Outcome::StepLimit { rounds: limits.max_rounds })
+}
+
+/// The ASYNC instantiation of the exploration layer's [`Semantics`]:
+/// states are `(canonical class, packed pending vector)`, actions are
+/// single-robot phase advances (one-hot [`CrashRound::activate`]
+/// masks, never a crash injection), and successors are
+/// [`advance_phase`].
+///
+/// Idle robots whose fresh decision is *stay* offer no action — their
+/// full LCM cycle is a no-effect self-loop, excluded from expansion
+/// and granted to fairness for free in the cycle certificates, exactly
+/// as the SSYNC checker treats observed-stay activations.
+pub struct AsyncSemantics {
+    /// Whether a terminal (all idle, nobody would move) counts as
+    /// successful.
+    goal: fn(&Configuration) -> bool,
+}
+
+impl AsyncSemantics {
+    /// Builds the semantics with the given terminal goal predicate.
+    #[must_use]
+    pub fn new(goal: fn(&Configuration) -> bool) -> Self {
+        AsyncSemantics { goal }
+    }
+
+    /// The paper's gathering goal ([`Configuration::is_gathered`]).
+    #[must_use]
+    pub fn gathering() -> Self {
+        AsyncSemantics::new(Configuration::is_gathered)
+    }
+}
+
+impl Semantics for AsyncSemantics {
+    type Aux = PackedPending;
+
+    fn root_aux(&self) -> PackedPending {
+        PackedPending::IDLE
+    }
+
+    fn aux_bits(aux: PackedPending) -> u32 {
+        aux.bits()
+    }
+
+    fn permute_aux(
+        aux: PackedPending,
+        n: usize,
+        map: impl Fn(usize) -> usize,
+        sym: PointSymmetry,
+    ) -> PackedPending {
+        // Pendings carry directions, so the symmetry acts on the
+        // payload too: the robot mapped to slot `map(i)` holds the
+        // *transformed* pending move.
+        aux.permute_map(n, map, |d| sym.apply_dir(d))
+    }
+
+    fn classify(&self, cfg: &Configuration, info: &ClassInfo, aux: PackedPending) -> NodeKind {
+        // A pending robot can always execute; an idle mover can always
+        // look. Terminal = everyone idle and nobody would move.
+        if aux.is_idle() && info.movers() == 0 {
+            if (self.goal)(cfg) {
+                NodeKind::Goal
+            } else {
+                NodeKind::Stuck
+            }
+        } else {
+            NodeKind::Inner
+        }
+    }
+
+    /// Expands the phase advance of every robot with an action: a
+    /// pending robot executes its (possibly stale) move through
+    /// [`advance_phase`]; an idle mover captures its decision. Rounds
+    /// count *ticks* — every phase advance is one.
+    fn expand<A: Algorithm + ?Sized>(
+        &self,
+        search: &mut Search<'_, '_, A, Self>,
+        id: usize,
+        queue: &mut VecDeque<usize>,
+    ) -> Option<AsyncVerdict> {
+        let (class, pending, rounds) = search.state(id);
+        let info = search.info(class);
+        let n = info.robots();
+        let explorer = search.explorer();
+        let perms = if explorer.group().len() > 1 {
+            explorer.stabilizer_perms(search.class_cfg(class), pending)
+        } else {
+            Vec::new()
+        };
+        for slot in 0..n {
+            let action = CrashRound { crash: 0, activate: 1 << slot };
+            match pending.get(slot) {
+                None => {
+                    // Idle. A robot deciding to stay completes its
+                    // whole cycle with no effect: a self-loop excluded
+                    // from expansion (fairness gets it for free).
+                    let Some(dir) = info.decision(slot) else { continue };
+                    if !perms.is_empty() && canonical_action(action, &perms) != action {
+                        search.bump_deduped();
+                        continue;
+                    }
+                    search.bump_edges();
+                    let captured = pending.with(slot, Some(dir));
+                    let (succ, new) =
+                        search.intern_variant(class, captured, rounds + 1, Some((id, action)));
+                    debug_assert_ne!(
+                        search.node_kind(succ),
+                        NodeKind::Stuck,
+                        "a pending state always has an action"
+                    );
+                    if new {
+                        queue.push_back(succ);
+                    }
+                    search.push_edge(id, action, succ);
+                }
+                Some(_) => {
+                    if !perms.is_empty() && canonical_action(action, &perms) != action {
+                        search.bump_deduped();
+                        continue;
+                    }
+                    let cfg = search.class_cfg(class);
+                    match advance_phase(cfg, pending, slot, explorer.oracle()) {
+                        Err(collision) => {
+                            let mut schedule = search.path_to(id);
+                            schedule.push(action);
+                            return Some(AsyncVerdict::Refuted {
+                                schedule,
+                                outcome: Outcome::Collision { round: rounds, collision },
+                            });
+                        }
+                        Ok(PhaseAdvance::Moved { config: next, pending: remapped }) => {
+                            search.bump_edges();
+                            if !next.is_connected() {
+                                let mut schedule = search.path_to(id);
+                                schedule.push(action);
+                                return Some(AsyncVerdict::Refuted {
+                                    schedule,
+                                    outcome: Outcome::Disconnected { round: rounds + 1 },
+                                });
+                            }
+                            let (succ, new) = search.intern_state(
+                                &next,
+                                remapped,
+                                rounds + 1,
+                                Some((id, action)),
+                            );
+                            if new {
+                                if search.node_kind(succ) == NodeKind::Stuck {
+                                    let mut schedule = search.path_to(id);
+                                    schedule.push(action);
+                                    return Some(AsyncVerdict::Refuted {
+                                        schedule,
+                                        outcome: Outcome::StuckFixpoint { rounds: rounds + 1 },
+                                    });
+                                }
+                                queue.push_back(succ);
+                            }
+                            search.push_edge(id, action, succ);
+                        }
+                        Ok(_) => unreachable!("a pending robot always moves"),
+                    }
+                }
+            }
+            if search.over_budget() {
+                return Some(AsyncVerdict::Undecided { depth: search.opts().fair_depth });
+            }
+        }
+        None
+    }
+
+    /// Traverses a closed state walk once. A role satisfies fairness
+    /// when its phase advanced at least once during the traversal
+    /// (finitely many phases ⇒ infinitely many completed cycles in the
+    /// pumped run) or when it was idle at a state whose fresh decision
+    /// for it is *stay* (it can run full no-effect cycles at will).
+    fn traverse<A: Algorithm + ?Sized>(
+        &self,
+        search: &Search<'_, '_, A, Self>,
+        start: usize,
+        cycle: &[(CrashRound, usize)],
+    ) -> CycleCert {
+        search.traverse_roles(
+            start,
+            cycle,
+            |_| {},
+            |cur, action, walk| {
+                debug_assert_eq!(action.crash, 0, "ASYNC actions never inject crashes");
+                let slot = action.activate.trailing_zeros() as usize;
+                let (cur_class, cur_aux, _) = search.state(cur);
+                let info = search.info(cur_class);
+                // Idle robots observed deciding to stay: fairness for free.
+                for i in 0..walk.role_at.len() {
+                    if cur_aux.get(i).is_none() && info.decision(i).is_none() {
+                        walk.flags[walk.role_at[i]] = true;
+                    }
+                }
+                match cur_aux.get(slot) {
+                    None => {
+                        // Look: the configuration (and slot order) is
+                        // unchanged; the robot's phase advanced.
+                        walk.flags[walk.role_at[slot]] = true;
+                    }
+                    Some(dir) => {
+                        let role = walk.role_at[slot];
+                        walk.pos[role] = walk.pos[role].step(dir);
+                        walk.flags[role] = true;
+                    }
+                }
+            },
+        )
+    }
+}
+
+/// Search parameters for [`AsyncChecker`].
+#[derive(Clone, Copy, Debug)]
+pub struct AsyncOptions {
+    /// Budgets of the underlying explorer.
+    pub explore: ExploreOptions,
+}
+
+impl Default for AsyncOptions {
+    fn default() -> Self {
+        AsyncOptions { explore: ExploreOptions::lcm_async() }
+    }
+}
+
+impl AsyncOptions {
+    /// Options with the given fair-cycle search depth.
+    #[must_use]
+    pub fn new(fair_depth: usize) -> Self {
+        AsyncOptions { explore: ExploreOptions { fair_depth, ..ExploreOptions::lcm_async() } }
+    }
+}
+
+/// An exhaustive ASYNC adversary checker for one algorithm: the
+/// [`Explorer`] instantiated with [`AsyncSemantics`] and the paper's
+/// gathering goal.
+///
+/// Construction computes the algorithm's equivariance subgroup once;
+/// reuse one checker across many [`check`](AsyncChecker::check) calls.
+pub struct AsyncChecker<'a, A: Algorithm + ?Sized> {
+    explorer: Explorer<'a, A, AsyncSemantics>,
+}
+
+impl<'a, A: Algorithm + ?Sized> AsyncChecker<'a, A> {
+    /// Builds a checker for `algo` with the given search options.
+    #[must_use]
+    pub fn new(algo: &'a A, opts: AsyncOptions) -> Self {
+        AsyncChecker {
+            explorer: Explorer::with_semantics(algo, opts.explore, AsyncSemantics::gathering()),
+        }
+    }
+
+    /// The algorithm's equivariance subgroup.
+    #[must_use]
+    pub fn group(&self) -> &[PointSymmetry] {
+        self.explorer.group()
+    }
+
+    /// Classifies `initial` under the exhaustive ASYNC phase-interleaving
+    /// adversary.
+    ///
+    /// # Panics
+    /// Panics if `initial` is disconnected or holds more than 8 robots.
+    #[must_use]
+    pub fn check(&self, initial: &Configuration) -> AsyncReport {
+        self.explorer.check(initial)
+    }
+}
+
+/// The result of replaying an ASYNC tick schedule: the execution plus
+/// the final pending vector.
+#[derive(Clone, Debug)]
+pub struct AsyncExecution {
+    /// The replayed execution; `trace` is always recorded (one entry
+    /// per *move* — look ticks do not change the configuration), and
+    /// every entry is a canonical representative (see
+    /// [`run_async_schedule`]).
+    pub execution: Execution,
+    /// The pending vector at the end, over the final configuration's
+    /// row-major slots.
+    pub pending: PackedPending,
+}
+
+/// Replays an ASYNC tick schedule through [`advance_phase`]. Each
+/// recorded action advances the phase of the robot named by its one-hot
+/// `activate` mask (row-major slot of the *current* configuration);
+/// ticks beyond the schedule advance slots round-robin. Every applied
+/// tick advances the round counter — matching the checker's
+/// bookkeeping — and the walk steps through **canonical
+/// representatives** (the initial configuration is canonicalised and
+/// every move re-canonicalises): slot indexing is translation-invariant
+/// so scheduling cannot observe the difference, and recorded collision
+/// coordinates come out in exactly the frame the checker recorded them
+/// in. The run terminates with
+///
+/// * [`Outcome::Gathered`] / [`Outcome::StuckFixpoint`] when every
+///   robot is idle and a fresh Look would move nobody,
+/// * [`Outcome::Collision`] / [`Outcome::Disconnected`] as in FSYNC,
+/// * [`Outcome::StepLimit`] after `limits.max_rounds` ticks.
+#[must_use]
+pub fn run_async_schedule<A: Algorithm + ?Sized>(
+    initial: &Configuration,
+    algo: &A,
+    schedule: &[CrashRound],
+    limits: Limits,
+) -> AsyncExecution {
+    assert!(initial.len() <= 8, "activation masks are bytes: at most 8 robots");
+    let mut cfg = initial.canonical();
+    let mut pending = PackedPending::IDLE;
+    let mut trace = vec![cfg.clone()];
+    let mut rounds = 0usize;
+    let mut next = 0usize;
+    let outcome = loop {
+        if pending.is_idle() {
+            let moves = engine::compute_moves(&cfg, algo);
+            if moves.iter().all(Option::is_none) {
+                break if cfg.is_gathered() {
+                    Outcome::Gathered { rounds }
+                } else {
+                    Outcome::StuckFixpoint { rounds }
+                };
+            }
+        }
+        if rounds >= limits.max_rounds {
+            break Outcome::StepLimit { rounds: limits.max_rounds };
+        }
+        let slot = match schedule.get(next) {
+            Some(action) => {
+                debug_assert_eq!(action.crash, 0, "ASYNC schedules never inject crashes");
+                debug_assert_eq!(action.activate.count_ones(), 1, "ASYNC actions are one-hot");
+                action.activate.trailing_zeros() as usize
+            }
+            // Beyond the schedule: advance phases round-robin (fair).
+            None => (next - schedule.len()) % cfg.len(),
+        };
+        next += 1;
+        match advance_phase(&cfg, pending, slot, algo) {
+            Err(collision) => break Outcome::Collision { round: rounds, collision },
+            Ok(PhaseAdvance::Stayed) => rounds += 1,
+            Ok(PhaseAdvance::Looked(captured)) => {
+                pending = captured;
+                rounds += 1;
+            }
+            Ok(PhaseAdvance::Moved { config, pending: remapped }) => {
+                // Canonicalisation only translates, so the row-major
+                // slot order (and thus `remapped`) is unaffected.
+                cfg = config.canonical();
+                pending = remapped;
+                rounds += 1;
+                trace.push(cfg.clone());
+                if !cfg.is_connected() {
+                    break Outcome::Disconnected { round: rounds };
+                }
+            }
+        }
+    };
+    AsyncExecution {
+        execution: Execution {
+            initial: initial.clone(),
+            final_config: cfg,
+            outcome,
+            trace: Some(trace),
+        },
+        pending,
+    }
+}
+
+/// Replays an [`AsyncVerdict::Refuted`] schedule through
+/// [`run_async_schedule`]; returns `None` for other verdicts. The
+/// replayed execution must end with exactly the verdict's `outcome`.
+#[must_use]
+pub fn replay<A: Algorithm + ?Sized>(
+    initial: &Configuration,
+    algo: &A,
+    verdict: &AsyncVerdict,
+) -> Option<AsyncExecution> {
+    let AsyncVerdict::Refuted { schedule, outcome } = verdict else {
+        return None;
+    };
+    let max_rounds = match outcome {
+        Outcome::StuckFixpoint { rounds } => rounds + 1,
+        Outcome::StepLimit { rounds } => *rounds,
+        Outcome::Collision { .. } | Outcome::Disconnected { .. } => schedule.len().max(1),
+        _ => schedule.len() + 1,
+    };
+    let limits = Limits { max_rounds, detect_livelock: false };
+    Some(run_async_schedule(initial, algo, schedule, limits))
+}
+
+/// Whether `(cfg, pending)` is a *successful* terminal of the ASYNC
+/// model: every robot idle, nobody would move on a fresh Look, and the
+/// configuration is gathered.
+#[must_use]
+pub fn is_goal_state<A: Algorithm + ?Sized>(
+    cfg: &Configuration,
+    pending: PackedPending,
+    algo: &A,
+) -> bool {
+    pending.is_idle()
+        && cfg.is_gathered()
+        && engine::compute_moves(cfg, algo).iter().all(Option::is_none)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{FnAlgorithm, StayAlgorithm};
-    use trigrid::ORIGIN;
+    use trigrid::{Dir, ORIGIN};
+
+    fn cfg(cells: &[(i32, i32)]) -> Configuration {
+        Configuration::new(cells.iter().map(|&(x, y)| Coord::new(x, y)))
+    }
+
+    fn check<A: Algorithm>(algo: &A, initial: &Configuration) -> AsyncReport {
+        AsyncChecker::new(algo, AsyncOptions::default()).check(initial)
+    }
+
+    /// Asserts a refuted verdict replays to exactly its recorded
+    /// outcome, with every action a crash-free one-hot phase advance.
+    fn assert_replays<A: Algorithm>(algo: &A, initial: &Configuration, report: &AsyncReport) {
+        let AsyncVerdict::Refuted { schedule, outcome } = &report.verdict else {
+            panic!("expected a refutation, got {:?}", report.verdict);
+        };
+        assert!(schedule.iter().all(|a| a.crash == 0 && a.activate.count_ones() == 1));
+        let run = replay(initial, algo, &report.verdict).expect("refutations replay");
+        assert_eq!(&run.execution.outcome, outcome, "replay must reproduce the verdict outcome");
+        if matches!(outcome, Outcome::StepLimit { .. }) {
+            assert!(
+                !is_goal_state(&run.execution.final_config, run.pending, algo),
+                "a lasso replay must not settle at a goal"
+            );
+        }
+    }
 
     #[test]
     fn hexagon_is_an_async_fixpoint() {
@@ -151,60 +673,95 @@ mod tests {
     }
 
     #[test]
-    fn stale_moves_can_collide() {
-        // Robot A computes "move east into the empty node"; before A
-        // executes, robot B fills that node; A's stale move collides.
-        // Craft with a rule that moves a robot east when its east node is
-        // empty and it has a west neighbour; three in a line: the middle
-        // computes first, then the west robot computes+moves twice…
-        // simplest deterministic check: under round-robin the semantics
-        // still serialise, so use a custom scheduler that interleaves.
-        let follow =
-            FnAlgorithm::new(1, "march", |v: &View| (!v.neighbor(Dir::E)).then_some(Dir::E));
-        struct Interleave;
-        impl AsyncScheduler for Interleave {
-            fn pick(&mut self, tick: usize, _n: usize) -> usize {
-                // Robot 1 looks; robot 0 looks; robot 0 moves; robot 1
-                // moves (stale).
-                [1, 0, 0, 1, 0, 1][tick % 6]
+    fn hexagon_is_async_proof() {
+        let h = crate::config::hexagon(ORIGIN);
+        let report = check(&StayAlgorithm, &h);
+        assert_eq!(report.verdict, AsyncVerdict::Proof);
+        assert_eq!(report.states, 1, "the gathered terminal is the whole state space");
+    }
+
+    #[test]
+    fn stuck_fixpoint_is_refuted_with_empty_schedule() {
+        let line = cfg(&[(0, 0), (2, 0), (4, 0)]);
+        let report = check(&StayAlgorithm, &line);
+        assert_eq!(
+            report.verdict,
+            AsyncVerdict::Refuted {
+                schedule: vec![],
+                outcome: Outcome::StuckFixpoint { rounds: 0 }
             }
-        }
-        // Two robots: (0,0) behind (2,0). Robot 1 = (2,0) (row-major
-        // sorted order puts (0,0) first). Robot 1 pends "E" (sees empty
-        // east); robot 0 pends "stay"? (0,0) has east neighbour -> stays.
-        // Use a spread pair so both move east: (0,0) and (4,0) —
-        // disconnected though. Use three: (0,0),(2,0),(4,0): robot 2 at
-        // (4,0) pends E; robot 1 at (2,0) pends stay (east neighbour);
-        // robot 0 stays. No collision... Make the leader slow: leader
-        // (4,0) looks (pends E to (6,0)); follower? No one enters (6,0).
-        // Simplest real collision: rule "move east always".
+        );
+    }
+
+    #[test]
+    fn stale_moves_can_collide() {
+        // Robot 0 (west) looks, then moves onto robot 1's node while
+        // robot 1 never advanced: the simplest stale-move collision.
         let march = FnAlgorithm::new(1, "always-east", |_: &View| Some(Dir::E));
         struct LeaderLast;
         impl AsyncScheduler for LeaderLast {
-            fn pick(&mut self, tick: usize, _n: usize) -> usize {
-                // Robot 0 (west) looks, then moves into robot 1's node
-                // while robot 1 never moved.
-                [0, 0][tick % 2]
+            fn pick(&mut self, _tick: usize, _n: usize) -> usize {
+                0
             }
         }
         let two = Configuration::new([ORIGIN, Coord::new(2, 0)]);
         let ex = run_async(&two, &march, &mut LeaderLast, Limits::default());
         assert!(
-            matches!(ex.outcome, Outcome::Collision { .. }),
+            matches!(ex.outcome, Outcome::Collision { round: 1, .. }),
             "west robot walks onto the never-activated east robot: {:?}",
             ex.outcome
         );
-        let _ = (follow, Interleave);
+    }
+
+    #[test]
+    fn checker_finds_the_stale_collision_and_replays() {
+        let march = FnAlgorithm::new(1, "always-east", |_: &View| Some(Dir::E));
+        let two = cfg(&[(0, 0), (2, 0)]);
+        let report = check(&march, &two);
+        match &report.verdict {
+            AsyncVerdict::Refuted { schedule, outcome: Outcome::Collision { round: 1, .. } } => {
+                assert_eq!(schedule.len(), 2, "look + stale move is the minimal refutation");
+            }
+            other => panic!("expected a 2-tick stale collision, got {other:?}"),
+        }
+        assert_replays(&march, &two, &report);
+    }
+
+    #[test]
+    fn lone_marcher_is_a_fair_async_livelock() {
+        // One robot marching east forever: look, move, look, move …
+        // the pumped two-tick cycle is fair and never gathers.
+        let march = FnAlgorithm::new(1, "march", |_: &View| Some(Dir::E));
+        let lone = Configuration::new([ORIGIN]);
+        let report = check(&march, &lone);
+        match &report.verdict {
+            AsyncVerdict::Refuted { outcome: Outcome::StepLimit { .. }, schedule } => {
+                assert!(!schedule.is_empty());
+            }
+            other => panic!("expected a step-limit lasso, got {other:?}"),
+        }
+        assert_replays(&march, &lone, &report);
+    }
+
+    #[test]
+    fn fleeing_robot_is_refuted_by_disconnection() {
+        let flee = FnAlgorithm::new(1, "flee", |v: &View| {
+            (v.neighbor(Dir::W) && !v.neighbor(Dir::E)).then_some(Dir::E)
+        });
+        let two = cfg(&[(0, 0), (2, 0)]);
+        let report = check(&flee, &two);
+        match &report.verdict {
+            AsyncVerdict::Refuted { outcome: Outcome::Disconnected { .. }, .. } => {}
+            other => panic!("expected disconnection, got {other:?}"),
+        }
+        assert_replays(&flee, &two, &report);
     }
 
     #[test]
     fn round_robin_async_executes_trains_safely() {
-        // march-east under round-robin: look,look .. move,move order per
-        // pair of passes; the east robot moves first within each move
-        // pass (index order is row-major), so the train never collides…
-        // actually index 0 is the westmost: it moves first onto the east
-        // robot's still-occupied node. Expect a collision — ASYNC breaks
-        // even simple trains, which is the point of the model.
+        // march-east under round-robin: index 0 is the westmost robot,
+        // so it moves onto the east robot's still-occupied node — ASYNC
+        // breaks even simple trains, which is the point of the model.
         let march = FnAlgorithm::new(1, "always-east", |_: &View| Some(Dir::E));
         let two = Configuration::new([ORIGIN, Coord::new(2, 0)]);
         let ex = run_async(&two, &march, &mut RoundRobinAsync, Limits::default());
@@ -231,5 +788,56 @@ mod tests {
         let mut sched = RoundRobinAsync;
         let ex = run_async(&h, &StayAlgorithm, &mut sched, Limits::default());
         assert_eq!(ex.final_config, h);
+    }
+
+    #[test]
+    fn advance_phase_remaps_pendings_across_the_move() {
+        // Three in a line; the middle robot holds a pending west move
+        // while the west robot executes east … that would collide.
+        // Instead: east robot pends E, west robot pends E, west robot
+        // executes — slots shift because the configuration re-sorts.
+        let two = cfg(&[(0, 0), (2, 0), (4, 0)]);
+        let p = PackedPending::IDLE.with(0, Some(Dir::E)).with(2, Some(Dir::E));
+        let Ok(PhaseAdvance::Moved { config, pending }) = advance_phase(&two, p, 2, &StayAlgorithm)
+        else {
+            panic!("the east robot's move is legal");
+        };
+        assert_eq!(config, cfg(&[(0, 0), (2, 0), (6, 0)]));
+        assert_eq!(pending.get(0), Some(Dir::E), "the west pending survives in place");
+        assert_eq!(pending.get(2), None, "the mover returns to idle");
+    }
+
+    #[test]
+    fn verdicts_are_deterministic() {
+        let march = FnAlgorithm::new(1, "march", |_: &View| Some(Dir::E));
+        let three = cfg(&[(0, 0), (2, 0), (1, 1)]);
+        let checker = AsyncChecker::new(&march, AsyncOptions::default());
+        let a = checker.check(&three);
+        let b = checker.check(&three);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn symmetric_algorithm_dedups_phase_advances() {
+        // A rotation-equivariant moving rule (C6 group): the 2-robot
+        // pair is stabilized by the 180° rotation, which swaps the two
+        // singleton look actions — one of them is skipped.
+        let spin = FnAlgorithm::new(1, "spin", |v: &View| {
+            (v.robot_count() == 1).then(|| {
+                Dir::ALL.into_iter().find(|&d| v.neighbor(d)).expect("one neighbour").rotate_ccw(1)
+            })
+        });
+        let two = cfg(&[(0, 0), (2, 0)]);
+        let report = check(&spin, &two);
+        assert!(report.deduped > 0, "stabilizer reduction must fire: {report:?}");
+        assert!(matches!(report.verdict, AsyncVerdict::Refuted { .. }));
+        assert_replays(&spin, &two, &report);
+    }
+
+    #[test]
+    fn replay_returns_none_for_proof_and_undecided() {
+        let h = crate::config::hexagon(ORIGIN);
+        assert!(replay(&h, &StayAlgorithm, &AsyncVerdict::Proof).is_none());
+        assert!(replay(&h, &StayAlgorithm, &AsyncVerdict::Undecided { depth: 4 }).is_none());
     }
 }

@@ -122,6 +122,110 @@ impl fmt::Debug for PackedClass {
     }
 }
 
+/// Bits per packed pending slot: `0` = idle, `1 + d` = a pending move
+/// in direction index `d`.
+const PEND_BITS: u32 = 3;
+
+/// A lossless bit-packed per-robot **pending-move vector** — the
+/// auxiliary state of the ASYNC model ([`crate::async_model`]),
+/// companion to [`PackedClass`].
+///
+/// Slot `i` (row-major, the standard scheduler indexing) holds 3 bits:
+/// `0` when the robot is *idle* (between LCM cycles), `1 + d` when it
+/// has performed Look+Compute and holds the *pending* move in direction
+/// index `d`, captured from a possibly stale snapshot. Pending *stay*
+/// decisions are not represented: executing a stay changes nothing and
+/// interferes with nobody, so the ASYNC discretisation collapses
+/// look-then-stay into a single no-effect cycle (DESIGN.md §13).
+///
+/// Packing is injective on the 8-slot window, so two keys are equal
+/// **iff** the pending vectors are equal — the key *is* the auxiliary
+/// state, exactly as a [`PackedClass`] key is the translation class
+/// (`tests/packed_pending.rs` pins both directions).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PackedPending(u32);
+
+impl PackedPending {
+    /// The all-idle vector (every robot between LCM cycles).
+    pub const IDLE: PackedPending = PackedPending(0);
+
+    /// Packs a slot-aligned pending vector.
+    ///
+    /// # Panics
+    /// Panics if there are more than [`PackedClass::MAX_ROBOTS`] slots.
+    #[must_use]
+    pub fn of_slots(slots: &[Option<Dir>]) -> PackedPending {
+        assert!(slots.len() <= PackedClass::MAX_ROBOTS, "pending keys hold at most 8 robots");
+        let mut packed = PackedPending::IDLE;
+        for (i, &p) in slots.iter().enumerate() {
+            packed = packed.with(i, p);
+        }
+        packed
+    }
+
+    /// The pending move of slot `slot` (`None` = idle).
+    #[must_use]
+    pub fn get(self, slot: usize) -> Option<Dir> {
+        let code = (self.0 >> (PEND_BITS * slot as u32)) & ((1 << PEND_BITS) - 1);
+        (code != 0).then(|| Dir::from_index(code as usize - 1))
+    }
+
+    /// This vector with slot `slot` replaced by `pending`.
+    #[must_use]
+    pub fn with(self, slot: usize, pending: Option<Dir>) -> PackedPending {
+        let shift = PEND_BITS * slot as u32;
+        let cleared = self.0 & !(((1 << PEND_BITS) - 1) << shift);
+        let code = pending.map_or(0, |d| 1 + d.index() as u32);
+        PackedPending(cleared | (code << shift))
+    }
+
+    /// Whether every robot is idle.
+    #[must_use]
+    pub fn is_idle(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The raw key bits.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// The image under the slot permutation `old slot i → map(i)`, for
+    /// `n` robots. `map` is only consulted for non-idle slots.
+    #[must_use]
+    pub fn permute(self, n: usize, map: impl Fn(usize) -> usize) -> PackedPending {
+        self.permute_map(n, map, |d| d)
+    }
+
+    /// Like [`Self::permute`], additionally transforming each pending
+    /// direction by `dirs` — the action of a point symmetry on a
+    /// pending vector, which moves the robots *and* rotates/reflects
+    /// their captured moves (see
+    /// [`Semantics::permute_aux`](crate::explore::Semantics::permute_aux)).
+    #[must_use]
+    pub fn permute_map(
+        self,
+        n: usize,
+        map: impl Fn(usize) -> usize,
+        dirs: impl Fn(Dir) -> Dir,
+    ) -> PackedPending {
+        let mut mapped = PackedPending::IDLE;
+        for i in 0..n {
+            if let Some(d) = self.get(i) {
+                mapped = mapped.with(map(i), Some(dirs(d)));
+            }
+        }
+        mapped
+    }
+}
+
+impl fmt::Debug for PackedPending {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PackedPending({:#x})", self.0)
+    }
+}
+
 /// A configuration of anonymous robots: the set of *robot nodes*
 /// (paper §II-A). Stored sorted in [`polyhex::key`] (row-major) order,
 /// with no duplicates — several robots on one node would already be a
@@ -424,5 +528,29 @@ mod tests {
     #[should_panic(expected = "at most 8 robots")]
     fn packed_key_rejects_nine_robots() {
         let _ = Configuration::new((0..9).map(|i| Coord::new(2 * i, 0))).canonical_key();
+    }
+
+    #[test]
+    fn packed_pending_round_trips_and_permutes() {
+        let slots = [None, Some(Dir::E), None, Some(Dir::W), Some(Dir::NE)];
+        let packed = PackedPending::of_slots(&slots);
+        for (i, &p) in slots.iter().enumerate() {
+            assert_eq!(packed.get(i), p, "slot {i}");
+        }
+        assert!(!packed.is_idle());
+        assert!(PackedPending::IDLE.is_idle());
+        assert_eq!(packed.with(1, None).with(3, None).with(4, None), PackedPending::IDLE);
+        // Rotate the five slots by one: slot i's pending lands at i+1.
+        let rotated = packed.permute(5, |i| (i + 1) % 5);
+        assert_eq!(rotated.get(2), Some(Dir::E));
+        assert_eq!(rotated.get(4), Some(Dir::W));
+        assert_eq!(rotated.get(0), Some(Dir::NE));
+        assert_eq!(rotated.get(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 8 robots")]
+    fn packed_pending_rejects_nine_slots() {
+        let _ = PackedPending::of_slots(&[None; 9]);
     }
 }

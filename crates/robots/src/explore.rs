@@ -1,30 +1,40 @@
-//! Generic crash-adversary transition-system exploration.
+//! Generic adversary transition-system exploration over a pluggable
+//! **semantics**.
 //!
 //! This module is the BFS / cycle-hunting / stabilizer-dedup heart that
-//! used to live inside [`crate::adversary`], generalized into a
-//! transition system over **states** `(canonical class, crash mask)`
-//! and **adversary actions** `(crash injection, activation subset)`:
+//! used to live inside [`crate::adversary`], generalized twice:
 //!
-//! * a *state* is the canonical translation class of the configuration
-//!   together with the bitmask of crashed robots (bit `i` = the `i`-th
-//!   robot in row-major order of the canonical representative);
-//! * an *action* first permanently crashes the robots in
-//!   [`CrashRound::crash`] (allowed while the crash budget lasts) and
-//!   then activates the robots in [`CrashRound::activate`], which must
-//!   be non-crashed movers. When the injection leaves no live mover the
-//!   activation is empty: the configuration is frozen forever.
+//! 1. PR 3 turned the SSYNC checker into a transition system over
+//!    states `(canonical class, crash mask)` with `(crash injection,
+//!    activation subset)` actions;
+//! 2. this layer abstracts the *state and transition shape itself*
+//!    behind the [`Semantics`] trait — a semantics defines the per-state
+//!    adversary actions, the successor function, and the packed
+//!    auxiliary key stored alongside the translation class (a crash
+//!    mask for [`CrashSemantics`]; a per-robot pending-move vector for
+//!    the ASYNC model's
+//!    [`AsyncSemantics`](crate::async_model::AsyncSemantics)).
 //!
-//! The SSYNC adversary checker is this system with crash budget **0**
+//! The search machinery — BFS to the first bad terminal, packed
+//! quotient-acyclicity proofs, SCC-based fair-cycle refutations with
+//! composable certificates, and stabilizer-subset dedup — is shared by
+//! every semantics; only expansion, terminal classification and the
+//! certificate traversal are instantiation-specific.
+//!
+//! The SSYNC adversary checker is the crash semantics with budget **0**
 //! and goal `Configuration::is_gathered` — every crash branch below is
 //! statically dead in that instantiation, so [`crate::adversary`]
 //! produces byte-identical verdicts through this core. The crash-fault
-//! checker ([`crate::faults`]) is the same system with budget `f` and
-//! the relaxed gathering goal.
+//! checker ([`crate::faults`]) is the same semantics with budget `f`
+//! and the relaxed gathering goal. The ASYNC checker
+//! ([`crate::async_model`]) swaps in single-robot phase-advance actions
+//! over pending-move auxiliary state.
 //!
 //! Soundness of the exploration (acyclicity ⇒ proof, fair cycle ⇒
 //! refutation, stabilizer dedup) is argued in DESIGN.md §7 for the
-//! fault-free system and extended to crash faults in DESIGN.md §10;
-//! the key facts used here are:
+//! fault-free system, extended to crash faults in DESIGN.md §10 and to
+//! the ASYNC discretisation in DESIGN.md §13; the key facts used here
+//! for the crash semantics are:
 //!
 //! * crash injections strictly grow the crash mask, so no cycle of the
 //!   state graph contains one — fair-cycle certificates never cross a
@@ -46,9 +56,11 @@
 //! class), per-class decision vectors are computed once through a
 //! [`MoveOracle`] that memoizes the algorithm per distinct view, and
 //! expansion, stabilizer tests and quotient orbit keys all work in
-//! fixed stack buffers. None of this is observable in verdicts or
-//! exploration statistics — the adversary and crash golden files pin
-//! byte-identical output.
+//! fixed stack buffers. The auxiliary key rides along packed too: the
+//! per-state aux ([`Semantics::Aux`]) is a `Copy` bit-packed value
+//! whose raw bits fold into the quotient orbit keys. None of this is
+//! observable in verdicts or exploration statistics — the adversary and
+//! crash golden files pin byte-identical output.
 
 use crate::config::PackedClass;
 use crate::engine::{self, Outcome};
@@ -91,34 +103,47 @@ impl ExploreOptions {
     pub fn crash() -> Self {
         ExploreOptions { max_states: 65_536, max_edges: 16_000_000, fair_depth: 12 }
     }
+
+    /// Budgets sized for the ASYNC semantics: every class fans out into
+    /// its reachable pending-vector variants, so the state cap sits two
+    /// orders of magnitude above the fault-free class count.
+    #[must_use]
+    pub fn lcm_async() -> Self {
+        ExploreOptions { max_states: 524_288, max_edges: 16_000_000, fair_depth: 12 }
+    }
 }
 
-/// The goal predicate of an instantiation: whether `cfg` with the given
-/// crashed-slot mask counts as a *successful* terminal. Plain function
-/// pointer so [`Explorer`] needs no extra type parameter.
+/// The goal predicate of a crash-semantics instantiation: whether `cfg`
+/// with the given crashed-slot mask counts as a *successful* terminal.
+/// Plain function pointer so [`CrashSemantics`] needs no extra type
+/// parameter.
 pub type Goal = fn(&Configuration, u8) -> bool;
 
 /// The classification of one initial class by [`Explorer::check`].
 ///
 /// The schedule of a refutation is a sequence of [`CrashRound`]
-/// actions; for budget-0 instantiations every `crash` field is zero and
-/// the sequence degrades to the activation schedule of
-/// [`crate::adversary::AdversaryVerdict::Refuted`].
+/// actions; for budget-0 crash instantiations every `crash` field is
+/// zero and the sequence degrades to the activation schedule of
+/// [`crate::adversary::AdversaryVerdict::Refuted`]. ASYNC refutations
+/// also keep `crash == 0` — each action's `activate` is the one-hot
+/// mask of the robot whose LCM phase advances.
 #[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
 pub enum ExploreVerdict {
     /// Every fair schedule of the instantiated system reaches a goal
     /// terminal.
     Proof,
-    /// A concrete schedule (activations + crash injections) refutes the
-    /// goal; replaying it must reproduce `outcome`.
+    /// A concrete schedule refutes the goal; replaying it must
+    /// reproduce `outcome`.
     Refuted {
-        /// Per-round adversary actions (crash mask, activation mask),
-        /// indexed like every scheduler: bit `i` = the `i`-th robot in
-        /// row-major order of the round's configuration.
+        /// Per-round adversary actions, indexed like every scheduler:
+        /// bit `i` = the `i`-th robot in row-major order of the round's
+        /// configuration.
         schedule: Vec<CrashRound>,
         /// The outcome the replay must reproduce. Round counts refer to
-        /// *movement* rounds: injection-only actions do not advance the
-        /// round counter.
+        /// the semantics' own round bookkeeping: for the crash
+        /// semantics, *movement* rounds (injection-only actions do not
+        /// advance the counter); for ASYNC, every phase advance is one
+        /// tick.
         outcome: Outcome,
     },
     /// The state graph contains cycles, but no fair counterexample
@@ -147,9 +172,9 @@ impl ExploreVerdict {
 pub struct ExploreReport {
     /// The classification.
     pub verdict: ExploreVerdict,
-    /// Distinct `(class, crash mask)` states explored.
+    /// Distinct `(class, aux)` states explored.
     pub states: usize,
-    /// Transitions expanded (legal rounds executed plus injections).
+    /// Transitions expanded (legal actions executed).
     pub edges: usize,
     /// Actions skipped by the stabilizer symmetry reduction.
     pub deduped: usize,
@@ -196,39 +221,161 @@ pub fn equivariance_group<A: Algorithm + ?Sized>(algo: &A) -> Vec<PointSymmetry>
 
 /// How a discovered state terminates, if it does.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum NodeKind {
-    /// Live (non-crashed) movers exist: the state is expanded.
+pub enum NodeKind {
+    /// Adversary actions remain: the state is expanded.
     Inner,
-    /// No live mover and the goal predicate holds.
+    /// No action remains and the goal predicate holds.
     Goal,
-    /// No live mover and the goal predicate fails.
+    /// No action remains and the goal predicate fails.
     Stuck,
 }
 
 /// Per-class data computed once when a translation class is first
 /// interned: the full decision vector (a pure function of the class —
-/// crash masks do not change what a robot *would* decide) in a fixed
-/// `Copy` array, so expansion never clones a `Vec`.
+/// auxiliary state never changes what a robot *would* decide from a
+/// fresh Look) in a fixed `Copy` array, so expansion never clones a
+/// `Vec`.
 #[derive(Clone, Copy)]
-struct ClassInfo {
+pub struct ClassInfo {
     /// Robot count of the class.
-    n: u8,
-    /// Bitmask of robots whose decision is a move (crashed included —
-    /// a crashed robot keeps "deciding", it just never acts).
-    movers: u8,
+    pub(crate) n: u8,
+    /// Bitmask of robots whose fresh decision is a move (for the crash
+    /// semantics this includes crashed robots — a crashed robot keeps
+    /// "deciding", it just never acts).
+    pub(crate) movers: u8,
     /// Full decision vector, aligned with the class's positions.
-    moves: [Option<Dir>; PackedClass::MAX_ROBOTS],
+    pub(crate) moves: [Option<Dir>; PackedClass::MAX_ROBOTS],
 }
 
-struct StateNode {
+impl ClassInfo {
+    /// Robot count of the class.
+    #[must_use]
+    pub fn robots(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Bitmask of robots whose fresh decision is a move.
+    #[must_use]
+    pub fn movers(&self) -> u8 {
+        self.movers
+    }
+
+    /// The fresh decision of the robot in row-major slot `slot`.
+    #[must_use]
+    pub fn decision(&self, slot: usize) -> Option<Dir> {
+        self.moves[slot]
+    }
+}
+
+/// A **semantics** of the exploration layer: what a state's auxiliary
+/// key is (packed alongside the interned translation class), which
+/// adversary actions a state offers, what their successors are, and how
+/// a closed walk is traversed for the fairness certificate.
+///
+/// Implementations in this crate: [`CrashSemantics`] (SSYNC activation
+/// subsets plus permanent crash injections — the budget-0 case is the
+/// plain SSYNC adversary) and
+/// [`AsyncSemantics`](crate::async_model::AsyncSemantics) (single-robot
+/// LCM phase advances over pending-move state). The trait is public so
+/// the instantiations can live next to their models, but its surface is
+/// an internal extension point of this crate: [`Search`]'s mutation
+/// methods are crate-private, so foreign implementations cannot drive a
+/// search.
+pub trait Semantics: Sync + Sized {
+    /// The packed per-state auxiliary key stored alongside the class
+    /// id. Key equality must coincide with auxiliary-state equality
+    /// (the packing is lossless), exactly as
+    /// [`PackedClass`](crate::PackedClass) equality coincides with
+    /// translation-class equality.
+    type Aux: Copy + Eq + std::fmt::Debug + Send + Sync;
+
+    /// The auxiliary key of an initial state (nothing crashed, every
+    /// robot idle).
+    fn root_aux(&self) -> Self::Aux;
+
+    /// The raw bits of an aux key, folded into packed quotient orbit
+    /// keys. Must be injective and monotone in the key's identity —
+    /// i.e. a plain re-encoding of `Aux`'s `Eq`.
+    fn aux_bits(aux: Self::Aux) -> u32;
+
+    /// The image of `aux` under the point symmetry `sym`, whose induced
+    /// slot permutation sends old slot `i` to new slot `map(i)`, for
+    /// `n` robots. Semantics whose aux carries directions (the ASYNC
+    /// pending vector) must transform them by `sym` too; slot masks
+    /// ignore it.
+    fn permute_aux(
+        aux: Self::Aux,
+        n: usize,
+        map: impl Fn(usize) -> usize,
+        sym: PointSymmetry,
+    ) -> Self::Aux;
+
+    /// Classifies a freshly interned state `(cfg's class, aux)`:
+    /// [`NodeKind::Inner`] when adversary actions remain, otherwise
+    /// goal or stuck.
+    fn classify(&self, cfg: &Configuration, info: &ClassInfo, aux: Self::Aux) -> NodeKind;
+
+    /// Expands every adversary action of inner state `id`, interning
+    /// successors and pushing newly discovered inner states onto
+    /// `queue`. Returns a verdict as soon as a bad terminal is reached
+    /// or a search budget is exhausted.
+    fn expand<A: Algorithm + ?Sized>(
+        &self,
+        search: &mut Search<'_, '_, A, Self>,
+        id: usize,
+        queue: &mut VecDeque<usize>,
+    ) -> Option<ExploreVerdict>;
+
+    /// Concretely traverses the closed state walk `cycle` (starting and
+    /// ending at `start`) once, tracking robot roles and fairness
+    /// flags, and returns the certificate.
+    fn traverse<A: Algorithm + ?Sized>(
+        &self,
+        search: &Search<'_, '_, A, Self>,
+        start: usize,
+        cycle: &[(CrashRound, usize)],
+    ) -> CycleCert;
+}
+
+/// The crash-fault semantics (and, at budget 0, the plain SSYNC
+/// adversary): states are `(class, crashed-slot mask)`, actions first
+/// permanently crash the robots in [`CrashRound::crash`] (allowed while
+/// the crash budget lasts) and then activate the robots in
+/// [`CrashRound::activate`], which must be non-crashed movers. When an
+/// injection leaves no live mover the activation is empty: the
+/// configuration is frozen forever.
+pub struct CrashSemantics {
+    /// Maximal number of robots the adversary may crash in total.
+    budget: u8,
+    /// Whether a terminal state counts as successful.
+    goal: Goal,
+}
+
+impl CrashSemantics {
+    /// Builds the semantics for the given crash budget and goal.
+    ///
+    /// # Panics
+    /// Panics if `budget > 7`: crash masks are bytes and at least one
+    /// robot must stay alive for the goal to be meaningful.
+    #[must_use]
+    pub fn new(budget: u8, goal: Goal) -> Self {
+        assert!(budget <= 7, "crash budget above 7 is meaningless for byte masks");
+        CrashSemantics { budget, goal }
+    }
+}
+
+struct StateNode<Aux> {
     /// The translation class, as a dense [`ClassArena`] id; the
     /// canonical representative and decision vector are stored once
-    /// per class, not per crash variant.
+    /// per class, not per aux variant.
     class: u32,
-    /// Crashed robots, as a bitmask over the class's position slots.
-    crashed: u8,
-    /// Movement rounds from the initial state (injection-only actions
-    /// do not count; this is what replay outcomes report).
+    /// The packed auxiliary key (crash mask / pending vector) over the
+    /// class's position slots.
+    aux: Aux,
+    /// Rounds from the initial state, in the semantics' own bookkeeping
+    /// (movement rounds for crash — injection-only actions do not
+    /// count; phase-advance ticks for ASYNC). This is what replay
+    /// outcomes report.
     rounds: usize,
     /// Discovery edge, for schedule reconstruction.
     parent: Option<(usize, CrashRound)>,
@@ -237,20 +384,32 @@ struct StateNode {
     kind: NodeKind,
 }
 
+/// The mutable role-tracking state of a certificate traversal
+/// ([`Search::traverse_roles`]): `pos[r]` is the current coordinate of
+/// the robot that began in row-major slot `r`, `role_at[i]` is which
+/// role sits in slot `i`, and `flags[r]` records whether role `r` has
+/// satisfied fairness so far.
+pub(crate) struct RoleWalk {
+    pub(crate) pos: Vec<Coord>,
+    pub(crate) role_at: Vec<usize>,
+    pub(crate) flags: Vec<bool>,
+}
+
 /// A fair-cycle certificate: one traversal of a closed state walk.
-/// Crash injections strictly grow the crash mask, so every action on a
-/// cycle has `crash == 0`.
+/// Crash injections strictly grow the crash mask, so every crash
+/// action on a cycle has `crash == 0` — and ASYNC actions never carry
+/// one at all.
 #[derive(Clone)]
-struct CycleCert {
+pub struct CycleCert {
     /// The actions of the traversal.
-    masks: Vec<CrashRound>,
+    pub(crate) masks: Vec<CrashRound>,
     /// Role permutation: the robot in row-major slot `r` at the start
     /// occupies slot `perm[r]` after the traversal.
-    perm: Vec<usize>,
-    /// Whether role `r` moved, was seen deciding to stay (and is thus
-    /// activatable for free), or is crashed (exempt from fairness)
-    /// during the traversal.
-    flags: Vec<bool>,
+    pub(crate) perm: Vec<usize>,
+    /// Whether role `r` satisfied fairness during the traversal (it
+    /// moved / advanced a phase, was seen deciding to stay — and is
+    /// thus activatable for free — or is crashed and exempt).
+    pub(crate) flags: Vec<bool>,
 }
 
 impl CycleCert {
@@ -291,41 +450,52 @@ impl CycleCert {
     }
 }
 
-/// An exhaustive adversary explorer for one algorithm, one crash
-/// budget and one goal predicate.
+/// An exhaustive adversary explorer for one algorithm and one
+/// [`Semantics`] instantiation.
 ///
 /// Construction computes the algorithm's equivariance subgroup once
 /// (it scans every view of the algorithm's radius); reuse one explorer
 /// across many [`check`](Explorer::check) calls.
-pub struct Explorer<'a, A: Algorithm + ?Sized> {
+pub struct Explorer<'a, A: Algorithm + ?Sized, S: Semantics = CrashSemantics> {
     /// Memoized decision oracle over the algorithm: every distinct
     /// view is evaluated once per explorer, not once per robot per
     /// state (see [`MoveOracle`]).
     oracle: MoveOracle<'a, A>,
     opts: ExploreOptions,
     group: Vec<PointSymmetry>,
-    /// Maximal number of robots the adversary may crash in total.
-    budget: u8,
-    goal: Goal,
+    semantics: S,
 }
 
-impl<'a, A: Algorithm + ?Sized> Explorer<'a, A> {
-    /// Builds an explorer for `algo` with the given budgets, crash
-    /// budget and goal predicate.
+impl<'a, A: Algorithm + ?Sized> Explorer<'a, A, CrashSemantics> {
+    /// Builds a crash-semantics explorer for `algo` with the given
+    /// budgets, crash budget and goal predicate.
     ///
     /// # Panics
     /// Panics if `budget > 7`: crash masks are bytes and at least one
     /// robot must stay alive for the goal to be meaningful.
     #[must_use]
     pub fn new(algo: &'a A, opts: ExploreOptions, budget: u8, goal: Goal) -> Self {
-        assert!(budget <= 7, "crash budget above 7 is meaningless for byte masks");
+        Self::with_semantics(algo, opts, CrashSemantics::new(budget, goal))
+    }
+
+    /// The crash budget this explorer was built with.
+    #[must_use]
+    pub fn budget(&self) -> u8 {
+        self.semantics.budget
+    }
+}
+
+impl<'a, A: Algorithm + ?Sized, S: Semantics> Explorer<'a, A, S> {
+    /// Builds an explorer for `algo` over the given semantics.
+    #[must_use]
+    pub fn with_semantics(algo: &'a A, opts: ExploreOptions, semantics: S) -> Self {
         let oracle = MoveOracle::new(algo);
         // Scanning the view space for the equivariance subgroup goes
         // through the oracle too: it both dedups the scan's repeated
         // evaluations and pre-warms the memo table with every view the
         // exploration can encounter.
         let group = equivariance_group(&oracle);
-        Explorer { oracle, opts, group, budget, goal }
+        Explorer { oracle, opts, group, semantics }
     }
 
     /// The algorithm's equivariance subgroup (always contains the
@@ -335,18 +505,22 @@ impl<'a, A: Algorithm + ?Sized> Explorer<'a, A> {
         &self.group
     }
 
-    /// The crash budget this explorer was built with.
-    #[must_use]
-    pub fn budget(&self) -> u8 {
-        self.budget
+    /// The semantics this explorer instantiates.
+    pub(crate) fn semantics(&self) -> &S {
+        &self.semantics
     }
 
-    /// Classifies `initial` (no robot crashed yet) under the exhaustive
-    /// adversary of this instantiation.
+    /// The memoized decision oracle.
+    pub(crate) fn oracle(&self) -> &MoveOracle<'a, A> {
+        &self.oracle
+    }
+
+    /// Classifies `initial` under the exhaustive adversary of this
+    /// instantiation.
     ///
     /// # Panics
     /// Panics if `initial` is disconnected or holds more than 8 robots
-    /// (activation and crash masks are bytes).
+    /// (activation and aux masks are bytes / byte-indexed).
     #[must_use]
     pub fn check(&self, initial: &Configuration) -> ExploreReport {
         assert!(initial.len() <= 8, "activation masks are bytes: at most 8 robots");
@@ -371,12 +545,13 @@ impl<'a, A: Algorithm + ?Sized> Explorer<'a, A> {
 
     /// Index permutations induced on `cfg` by the stabilizer of its
     /// class within the equivariance subgroup (identity omitted),
-    /// restricted to permutations that also fix the crashed-slot mask —
-    /// a symmetry that maps a crashed robot onto a live one does not
-    /// commute with the crash assignment. The stabilizer test compares
-    /// packed class keys, so non-stabilizing symmetries (the common
-    /// case) are rejected without any allocation.
-    fn stabilizer_perms(&self, cfg: &Configuration, crashed: u8) -> Vec<Vec<usize>> {
+    /// restricted to permutations that also fix the auxiliary key — a
+    /// symmetry that maps, say, a crashed robot onto a live one (or a
+    /// pending robot onto an idle one) does not commute with the
+    /// auxiliary state. The stabilizer test compares packed class
+    /// keys, so non-stabilizing symmetries (the common case) are
+    /// rejected without any allocation.
+    pub(crate) fn stabilizer_perms(&self, cfg: &Configuration, aux: S::Aux) -> Vec<Vec<usize>> {
         let positions = cfg.positions();
         let n = positions.len();
         let class_key = cfg.canonical_key();
@@ -403,7 +578,7 @@ impl<'a, A: Algorithm + ?Sized> Explorer<'a, A> {
                         .expect("stabilizer permutes the class")
                 })
                 .collect();
-            if apply_perm_mask(crashed, &perm) != crashed {
+            if S::permute_aux(aux, n, |i| perm[i], s) != aux {
                 continue;
             }
             perms.push(perm);
@@ -425,7 +600,7 @@ fn apply_perm_mask(mask: u8, perm: &[usize]) -> u8 {
 
 /// Minimal representative of the action's orbit under the index
 /// permutations, ordered by `(crash, activate)`.
-fn canonical_action(action: CrashRound, perms: &[Vec<usize>]) -> CrashRound {
+pub(crate) fn canonical_action(action: CrashRound, perms: &[Vec<usize>]) -> CrashRound {
     let mut best = action;
     for perm in perms {
         let mapped = CrashRound {
@@ -440,27 +615,83 @@ fn canonical_action(action: CrashRound, perms: &[Vec<usize>]) -> CrashRound {
 }
 
 /// Movement rounds of a schedule: injection-only actions do not count.
+/// (Every ASYNC action activates one robot, so there the count is the
+/// schedule length — one tick per phase advance.)
 fn movement_rounds(schedule: &[CrashRound]) -> usize {
     schedule.iter().filter(|a| a.activate != 0).count()
 }
 
-/// One `check` call's working state.
-struct Search<'c, 'a, A: Algorithm + ?Sized> {
-    explorer: &'c Explorer<'a, A>,
-    states: Vec<StateNode>,
+/// One `check` call's working state: the interned state graph plus the
+/// exploration statistics. [`Semantics`] implementations drive it
+/// through the crate-private mutation surface below.
+pub struct Search<'c, 'a, A: Algorithm + ?Sized, S: Semantics> {
+    explorer: &'c Explorer<'a, A, S>,
+    states: Vec<StateNode<S::Aux>>,
     /// Interned translation classes: packed `u128` key → dense id,
     /// decoded canonical representative stored once.
     arena: ClassArena,
     /// Per-class decision data, parallel to the arena ids.
     info: Vec<ClassInfo>,
-    /// Per-class state ids, one per crash-mask variant, parallel to
-    /// the arena ids.
-    variants: Vec<Vec<(u8, usize)>>,
+    /// Per-class state ids, one per aux variant, parallel to the arena
+    /// ids.
+    variants: Vec<Vec<(S::Aux, usize)>>,
     edges: usize,
     deduped: usize,
 }
 
-impl<A: Algorithm + ?Sized> Search<'_, '_, A> {
+impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
+    /// The explorer this search runs under.
+    pub(crate) fn explorer(&self) -> &'c Explorer<'a, A, S> {
+        self.explorer
+    }
+
+    /// The search budgets.
+    pub(crate) fn opts(&self) -> ExploreOptions {
+        self.explorer.opts
+    }
+
+    /// `(class id, aux, rounds)` of state `id`.
+    pub(crate) fn state(&self, id: usize) -> (u32, S::Aux, usize) {
+        let s = &self.states[id];
+        (s.class, s.aux, s.rounds)
+    }
+
+    /// The terminal classification of state `id`.
+    pub(crate) fn node_kind(&self, id: usize) -> NodeKind {
+        self.states[id].kind
+    }
+
+    /// The canonical representative of class `class`.
+    pub(crate) fn class_cfg(&self, class: u32) -> &Configuration {
+        self.arena.get(class)
+    }
+
+    /// The per-class decision data of class `class`.
+    pub(crate) fn info(&self, class: u32) -> ClassInfo {
+        self.info[class as usize]
+    }
+
+    /// Counts one expanded transition.
+    pub(crate) fn bump_edges(&mut self) {
+        self.edges += 1;
+    }
+
+    /// Counts one action skipped by the stabilizer reduction.
+    pub(crate) fn bump_deduped(&mut self) {
+        self.deduped += 1;
+    }
+
+    /// Whether a search budget is exhausted.
+    pub(crate) fn over_budget(&self) -> bool {
+        self.states.len() > self.explorer.opts.max_states
+            || self.edges > self.explorer.opts.max_edges
+    }
+
+    /// Records the expanded edge `(action, succ)` on state `id`.
+    pub(crate) fn push_edge(&mut self, id: usize, action: CrashRound, succ: usize) {
+        self.states[id].edges.push((action, succ));
+    }
+
     /// Interns `raw`'s translation class, computing its decision
     /// vector on first sight. This is the explorer's hottest path: the
     /// packed key folds the canonical translation without allocating,
@@ -485,69 +716,97 @@ impl<A: Algorithm + ?Sized> Search<'_, '_, A> {
         class
     }
 
-    /// Interns the state `(class of raw, crash mask)` with the crashed
-    /// robots given as coordinates in `raw`'s frame. Returns
-    /// `(id, newly_inserted)`. Crashed robots never move, so their
-    /// coordinates survive a round verbatim; `positions()` is sorted
-    /// row-major and canonicalisation only translates, so a crashed
-    /// coordinate's slot in the canonical ordering is its slot in
-    /// `raw` — no canonical configuration is materialized here.
-    fn intern(
+    /// Interns the state `(class of raw, aux)` where `aux` is already
+    /// expressed over `raw`'s row-major slots. Returns
+    /// `(id, newly_inserted)`. Row-major order is translation-invariant
+    /// and canonicalisation only translates, so a slot index in `raw`
+    /// is its slot in the canonical representative — no canonical
+    /// configuration is materialized here.
+    pub(crate) fn intern_state(
         &mut self,
         raw: &Configuration,
-        crashed_coords: &[Coord],
+        aux: S::Aux,
         rounds: usize,
         parent: Option<(usize, CrashRound)>,
     ) -> (usize, bool) {
         let class = self.intern_class(raw);
-        let crashed = {
-            let mut mask = 0u8;
-            for &p in crashed_coords {
-                let slot = raw
-                    .positions()
-                    .iter()
-                    .position(|&q| q == p)
-                    .expect("crashed robots occupy nodes of the configuration");
-                mask |= 1 << slot;
-            }
-            mask
-        };
-        self.intern_variant(class, crashed, rounds, parent)
+        self.intern_variant(class, aux, rounds, parent)
     }
 
-    /// Interns the state `(class, crashed)` for an already-interned
-    /// class — the injection-only fast path, where the configuration
-    /// (and thus the slot indexing of the mask) is unchanged.
-    fn intern_variant(
+    /// Interns the state `(class, aux)` for an already-interned class —
+    /// the fast path for actions that leave the configuration (and thus
+    /// the slot indexing of the aux) unchanged.
+    pub(crate) fn intern_variant(
         &mut self,
         class: u32,
-        crashed: u8,
+        aux: S::Aux,
         rounds: usize,
         parent: Option<(usize, CrashRound)>,
     ) -> (usize, bool) {
-        if let Some(&(_, id)) =
-            self.variants[class as usize].iter().find(|&&(mask, _)| mask == crashed)
-        {
+        if let Some(&(_, id)) = self.variants[class as usize].iter().find(|&&(a, _)| a == aux) {
             return (id, false);
         }
         let info = &self.info[class as usize];
-        let kind = if info.movers & !crashed == 0 {
-            if (self.explorer.goal)(self.arena.get(class), crashed) {
-                NodeKind::Goal
-            } else {
-                NodeKind::Stuck
-            }
-        } else {
-            NodeKind::Inner
-        };
+        let kind = self.explorer.semantics.classify(self.arena.get(class), info, aux);
         let id = self.states.len();
-        self.variants[class as usize].push((crashed, id));
-        self.states.push(StateNode { class, crashed, rounds, parent, edges: Vec::new(), kind });
+        self.variants[class as usize].push((aux, id));
+        self.states.push(StateNode { class, aux, rounds, parent, edges: Vec::new(), kind });
         (id, true)
     }
 
+    /// Shared scaffolding of a certificate traversal
+    /// ([`Semantics::traverse`]): role tracking through a closed state
+    /// walk, row-major re-sorting after every action, the
+    /// walk-divergence assert, and the final role permutation. `seed`
+    /// pre-flags roles exempt from fairness (role-indexed, which at
+    /// the start state equals slot-indexed); `step` applies one
+    /// action's semantics-specific effect — moving roles and setting
+    /// fairness flags — given the current state id.
+    pub(crate) fn traverse_roles(
+        &self,
+        start: usize,
+        cycle: &[(CrashRound, usize)],
+        seed: impl FnOnce(&mut [bool]),
+        mut step: impl FnMut(usize, CrashRound, &mut RoleWalk),
+    ) -> CycleCert {
+        let (start_class, _, _) = self.state(start);
+        let start_cfg = self.class_cfg(start_class);
+        let n = start_cfg.len();
+        // pos[r] = current coordinate of the robot that began in
+        // row-major slot r; role_at[i] = which role sits in slot i.
+        let mut walk = RoleWalk {
+            pos: start_cfg.positions().to_vec(),
+            role_at: (0..n).collect(),
+            flags: vec![false; n],
+        };
+        seed(&mut walk.flags);
+        let mut masks = Vec::with_capacity(cycle.len());
+        let mut cur = start;
+        for &(action, next) in cycle {
+            step(cur, action, &mut walk);
+            // Re-derive the slot ordering of the new configuration
+            // (the identity re-sort when no robot moved).
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by_key(|&r| polyhex::key(walk.pos[r]));
+            walk.role_at = order;
+            masks.push(action);
+            cur = next;
+            debug_assert_eq!(
+                &Configuration::new(walk.pos.iter().copied()).canonical(),
+                self.class_cfg(self.state(cur).0),
+                "certificate walk diverged from the state graph"
+            );
+        }
+        // The walk returned to the start state, translated by delta.
+        let mut perm = vec![0usize; n];
+        for (slot, &role) in walk.role_at.iter().enumerate() {
+            perm[role] = slot;
+        }
+        CycleCert { masks, perm, flags: walk.flags }
+    }
+
     /// Actions from the initial state to `id`, via BFS parents.
-    fn path_to(&self, id: usize) -> Vec<CrashRound> {
+    pub(crate) fn path_to(&self, id: usize) -> Vec<CrashRound> {
         let mut actions = Vec::new();
         let mut cur = id;
         while let Some((parent, action)) = self.states[cur].parent {
@@ -558,21 +817,9 @@ impl<A: Algorithm + ?Sized> Search<'_, '_, A> {
         actions
     }
 
-    /// Coordinates of the slots in `mask` within `cfg`, written into a
-    /// stack buffer (returned as the filled prefix length).
-    fn mask_coords(cfg: &Configuration, mask: u8, buf: &mut [Coord; 8]) -> usize {
-        let mut len = 0;
-        for (i, &p) in cfg.positions().iter().enumerate() {
-            if mask & (1 << i) != 0 {
-                buf[len] = p;
-                len += 1;
-            }
-        }
-        len
-    }
-
     fn run(&mut self, initial: &Configuration) -> ExploreVerdict {
-        let (root, _) = self.intern(initial, &[], 0, None);
+        let root_aux = self.explorer.semantics.root_aux();
+        let (root, _) = self.intern_state(initial, root_aux, 0, None);
         if self.states[root].kind == NodeKind::Stuck {
             return ExploreVerdict::Refuted {
                 schedule: Vec::new(),
@@ -587,12 +834,11 @@ impl<A: Algorithm + ?Sized> Search<'_, '_, A> {
             if self.states[id].kind != NodeKind::Inner {
                 continue;
             }
-            if let Some(verdict) = self.expand(id, &mut queue) {
+            let semantics = self.explorer.semantics();
+            if let Some(verdict) = semantics.expand(self, id, &mut queue) {
                 return verdict;
             }
-            if self.states.len() > self.explorer.opts.max_states
-                || self.edges > self.explorer.opts.max_edges
-            {
+            if self.over_budget() {
                 return ExploreVerdict::Undecided { depth: self.explorer.opts.fair_depth };
             }
         }
@@ -611,141 +857,6 @@ impl<A: Algorithm + ?Sized> Search<'_, '_, A> {
         ExploreVerdict::Undecided { depth: self.explorer.opts.fair_depth }
     }
 
-    /// Expands every adversary action of inner state `id`: first the
-    /// pure-activation actions (crash budget untouched), then every
-    /// crash injection combined with each activation of the surviving
-    /// movers — or alone, when it leaves no live mover. Returns a
-    /// refutation as soon as a bad terminal is reached.
-    ///
-    /// The state's configuration and decision vector are borrowed
-    /// through the arena per iteration (the class data is `Copy` and
-    /// the representative is re-indexed where needed), so nothing is
-    /// cloned up front.
-    fn expand(&mut self, id: usize, queue: &mut VecDeque<usize>) -> Option<ExploreVerdict> {
-        let (class, crashed, rounds) = {
-            let s = &self.states[id];
-            (s.class, s.crashed, s.rounds)
-        };
-        let info = self.info[class as usize];
-        let n = info.n as usize;
-        let movers = info.movers;
-        let live = if n >= 8 { u8::MAX } else { (1u8 << n) - 1 } & !crashed;
-        let avail = self.explorer.budget.saturating_sub(crashed.count_ones() as u8);
-        let perms = if self.explorer.group.len() > 1 {
-            self.explorer.stabilizer_perms(self.arena.get(class), crashed)
-        } else {
-            Vec::new()
-        };
-        for crash in 0..=u8::MAX {
-            if crash & !live != 0 || crash.count_ones() > u32::from(avail) {
-                continue;
-            }
-            let after = crashed | crash;
-            let live_movers = movers & !after;
-            if live_movers == 0 {
-                // The injection froze every remaining mover: a single
-                // injection-only action to a terminal state. `crash`
-                // is nonzero here — an inner state has a live mover.
-                // The configuration is unchanged, so the successor is
-                // interned directly at this class with the new mask.
-                let action = CrashRound { crash, activate: 0 };
-                if !perms.is_empty() && canonical_action(action, &perms) != action {
-                    self.deduped += 1;
-                    continue;
-                }
-                self.edges += 1;
-                let (succ, new) = self.intern_variant(class, after, rounds, Some((id, action)));
-                if new && self.states[succ].kind == NodeKind::Stuck {
-                    let mut schedule = self.path_to(id);
-                    schedule.push(action);
-                    return Some(ExploreVerdict::Refuted {
-                        schedule,
-                        outcome: Outcome::StuckFixpoint { rounds },
-                    });
-                }
-                self.states[id].edges.push((action, succ));
-                if self.states.len() > self.explorer.opts.max_states
-                    || self.edges > self.explorer.opts.max_edges
-                {
-                    return Some(ExploreVerdict::Undecided {
-                        depth: self.explorer.opts.fair_depth,
-                    });
-                }
-                continue;
-            }
-            // Depends only on the injection, not the activation: one
-            // computation serves every mask below (empty and
-            // allocation-free in budget-0 instantiations).
-            let mut crash_buf = [ORIGIN; 8];
-            let crash_len = Self::mask_coords(self.arena.get(class), after, &mut crash_buf);
-            let crashed_coords = &crash_buf[..crash_len];
-            for mask in 1..=u8::MAX {
-                if mask & !live_movers != 0 {
-                    continue;
-                }
-                let action = CrashRound { crash, activate: mask };
-                if !perms.is_empty() && canonical_action(action, &perms) != action {
-                    self.deduped += 1;
-                    continue;
-                }
-                let mut masked = [None; PackedClass::MAX_ROBOTS];
-                for (i, slot) in masked[..n].iter_mut().enumerate() {
-                    if mask & (1 << i) != 0 {
-                        *slot = info.moves[i];
-                    }
-                }
-                // The round semantics are the engine's `check_moves` +
-                // `apply_unchecked` — exactly `step_moves` minus the
-                // per-round `moved` report nobody reads here.
-                let cfg = self.arena.get(class);
-                match engine::check_moves(cfg, &masked[..n]) {
-                    Err(collision) => {
-                        let mut schedule = self.path_to(id);
-                        schedule.push(action);
-                        return Some(ExploreVerdict::Refuted {
-                            schedule,
-                            outcome: Outcome::Collision { round: rounds, collision },
-                        });
-                    }
-                    Ok(()) => {
-                        let next = cfg.apply_unchecked(&masked[..n]);
-                        self.edges += 1;
-                        if !next.is_connected() {
-                            let mut schedule = self.path_to(id);
-                            schedule.push(action);
-                            return Some(ExploreVerdict::Refuted {
-                                schedule,
-                                outcome: Outcome::Disconnected { round: rounds + 1 },
-                            });
-                        }
-                        let (succ, new) =
-                            self.intern(&next, crashed_coords, rounds + 1, Some((id, action)));
-                        if new {
-                            if self.states[succ].kind == NodeKind::Stuck {
-                                let mut schedule = self.path_to(id);
-                                schedule.push(action);
-                                return Some(ExploreVerdict::Refuted {
-                                    schedule,
-                                    outcome: Outcome::StuckFixpoint { rounds: rounds + 1 },
-                                });
-                            }
-                            queue.push_back(succ);
-                        }
-                        self.states[id].edges.push((action, succ));
-                    }
-                }
-                if self.states.len() > self.explorer.opts.max_states
-                    || self.edges > self.explorer.opts.max_edges
-                {
-                    return Some(ExploreVerdict::Undecided {
-                        depth: self.explorer.opts.fair_depth,
-                    });
-                }
-            }
-        }
-        None
-    }
-
     /// Whether the state graph, with nodes identified up to the
     /// algorithm's equivariance subgroup, is acyclic. The quotient is
     /// what must be checked: a subtree skipped by the stabilizer
@@ -753,14 +864,15 @@ impl<A: Algorithm + ?Sized> Search<'_, '_, A> {
     /// full graph correspond exactly to closed walks in the quotient.
     ///
     /// Orbit keys are packed: each symmetry image is transformed,
-    /// sorted and folded into a `(u128, u8)` pair on the stack, and
-    /// the orbit minimum of those pairs names the quotient node.
-    /// Packing is injective, so the orbit partition is exactly the one
-    /// the unpacked `(Vec<Coord>, u8)` keys induced — only the (free)
-    /// choice of representative changed, which cannot affect whether
-    /// the quotient graph has a cycle.
+    /// sorted and folded into a `(u128, u32)` pair on the stack — the
+    /// class bits plus the permuted aux bits — and the orbit minimum of
+    /// those pairs names the quotient node. Packing is injective, so
+    /// the orbit partition is exactly the one unpacked
+    /// `(Vec<Coord>, aux)` keys would induce — only the (free) choice
+    /// of representative changed, which cannot affect whether the
+    /// quotient graph has a cycle.
     fn quotient_is_acyclic(&self) -> bool {
-        let mut qid_of_key: HashMap<(u128, u8), usize> = HashMap::new();
+        let mut qid_of_key: HashMap<(u128, u32), usize> = HashMap::new();
         let mut qid: Vec<usize> = Vec::with_capacity(self.states.len());
         for s in &self.states {
             let positions = self.arena.get(s.class).positions();
@@ -781,14 +893,13 @@ impl<A: Algorithm + ?Sized> Search<'_, '_, A> {
                     idx[..n].sort_unstable_by_key(|&i| polyhex::key(mapped[i]));
                     let delta = mapped[idx[0]];
                     let mut cells = [ORIGIN; PackedClass::MAX_ROBOTS];
-                    let mut mask = 0u8;
+                    let mut inv = [0usize; PackedClass::MAX_ROBOTS];
                     for k in 0..n {
                         cells[k] = mapped[idx[k]] - delta;
-                        if s.crashed & (1 << idx[k]) != 0 {
-                            mask |= 1 << k;
-                        }
+                        inv[idx[k]] = k;
                     }
-                    (PackedClass::of_sorted(&cells[..n]).bits(), mask)
+                    let aux = S::permute_aux(s.aux, n, |i| inv[i], *sym);
+                    (PackedClass::of_sorted(&cells[..n]).bits(), S::aux_bits(aux))
                 })
                 .min()
                 .expect("the group contains the identity");
@@ -848,8 +959,10 @@ impl<A: Algorithm + ?Sized> Search<'_, '_, A> {
                 if cycles.is_empty() {
                     continue;
                 }
-                let certs: Vec<CycleCert> =
-                    cycles.iter().map(|c| self.build_cert(start, c)).collect();
+                let certs: Vec<CycleCert> = cycles
+                    .iter()
+                    .map(|c| self.explorer.semantics.traverse(self, start, c))
+                    .collect();
                 for cert in &certs {
                     if cert.is_fair() {
                         return Some(self.lasso(start, cert));
@@ -945,60 +1058,6 @@ impl<A: Algorithm + ?Sized> Search<'_, '_, A> {
         on_path[node] = false;
     }
 
-    /// Concretely traverses a closed state walk once, tracking robot
-    /// roles and activation flags.
-    fn build_cert(&self, start: usize, cycle: &[(CrashRound, usize)]) -> CycleCert {
-        let start_cfg = self.arena.get(self.states[start].class);
-        let n = start_cfg.len();
-        // pos[r] = current coordinate of the robot that began in
-        // row-major slot r; role_at[i] = which role sits in slot i.
-        let mut pos: Vec<Coord> = start_cfg.positions().to_vec();
-        let mut role_at: Vec<usize> = (0..n).collect();
-        let mut flags = vec![false; n];
-        // Crashed robots are exempt from fairness: never activating
-        // them is legitimate, so their orbits are satisfied for free.
-        for (slot, flag) in flags.iter_mut().enumerate() {
-            if self.states[start].crashed & (1 << slot) != 0 {
-                *flag = true;
-            }
-        }
-        let mut masks = Vec::with_capacity(cycle.len());
-        let mut cur = start;
-        for &(action, next) in cycle {
-            debug_assert_eq!(action.crash, 0, "cycles never cross a crash level");
-            let moves = &self.info[self.states[cur].class as usize].moves;
-            for slot in 0..n {
-                let role = role_at[slot];
-                match moves[slot] {
-                    None => flags[role] = true, // free activation
-                    Some(dir) => {
-                        if action.activate & (1 << slot) != 0 {
-                            pos[role] = pos[role].step(dir);
-                            flags[role] = true;
-                        }
-                    }
-                }
-            }
-            // Re-derive the slot ordering of the new configuration.
-            let mut order: Vec<usize> = (0..n).collect();
-            order.sort_by_key(|&r| polyhex::key(pos[r]));
-            role_at = order;
-            masks.push(action);
-            cur = next;
-            debug_assert_eq!(
-                &Configuration::new(pos.iter().copied()).canonical(),
-                self.arena.get(self.states[cur].class),
-                "certificate walk diverged from the state graph"
-            );
-        }
-        // The walk returned to the start state, translated by delta.
-        let mut perm = vec![0usize; n];
-        for (slot, &role) in role_at.iter().enumerate() {
-            perm[role] = slot;
-        }
-        CycleCert { masks, perm, flags }
-    }
-
     /// Builds the lasso refutation: BFS prefix to `start`, then the
     /// certificate's actions; replaying it runs to the step limit
     /// without settling at a goal.
@@ -1061,6 +1120,235 @@ impl<A: Algorithm + ?Sized> Search<'_, '_, A> {
             }
         }
         sccs
+    }
+}
+
+/// Slot bitmask of the `coords` within `raw` (row-major slot indexing).
+fn coords_mask(raw: &Configuration, coords: &[Coord]) -> u8 {
+    let mut mask = 0u8;
+    for &p in coords {
+        let slot = raw
+            .positions()
+            .iter()
+            .position(|&q| q == p)
+            .expect("crashed robots occupy nodes of the configuration");
+        mask |= 1 << slot;
+    }
+    mask
+}
+
+/// Coordinates of the slots in `mask` within `cfg`, written into a
+/// stack buffer (returned as the filled prefix length).
+fn mask_coords(cfg: &Configuration, mask: u8, buf: &mut [Coord; 8]) -> usize {
+    let mut len = 0;
+    for (i, &p) in cfg.positions().iter().enumerate() {
+        if mask & (1 << i) != 0 {
+            buf[len] = p;
+            len += 1;
+        }
+    }
+    len
+}
+
+impl Semantics for CrashSemantics {
+    type Aux = u8;
+
+    fn root_aux(&self) -> u8 {
+        0
+    }
+
+    fn aux_bits(aux: u8) -> u32 {
+        u32::from(aux)
+    }
+
+    fn permute_aux(aux: u8, _n: usize, map: impl Fn(usize) -> usize, _sym: PointSymmetry) -> u8 {
+        let mut mapped = 0u8;
+        for i in 0..8 {
+            if aux & (1 << i) != 0 {
+                mapped |= 1 << map(i);
+            }
+        }
+        mapped
+    }
+
+    fn classify(&self, cfg: &Configuration, info: &ClassInfo, crashed: u8) -> NodeKind {
+        if info.movers & !crashed == 0 {
+            if (self.goal)(cfg, crashed) {
+                NodeKind::Goal
+            } else {
+                NodeKind::Stuck
+            }
+        } else {
+            NodeKind::Inner
+        }
+    }
+
+    /// Expands every adversary action of inner state `id`: first the
+    /// pure-activation actions (crash budget untouched), then every
+    /// crash injection combined with each activation of the surviving
+    /// movers — or alone, when it leaves no live mover. Returns a
+    /// refutation as soon as a bad terminal is reached.
+    ///
+    /// The state's configuration and decision vector are borrowed
+    /// through the arena per iteration (the class data is `Copy` and
+    /// the representative is re-indexed where needed), so nothing is
+    /// cloned up front.
+    fn expand<A: Algorithm + ?Sized>(
+        &self,
+        search: &mut Search<'_, '_, A, Self>,
+        id: usize,
+        queue: &mut VecDeque<usize>,
+    ) -> Option<ExploreVerdict> {
+        let (class, crashed, rounds) = search.state(id);
+        let info = search.info(class);
+        let n = info.n as usize;
+        let movers = info.movers;
+        let live = if n >= 8 { u8::MAX } else { (1u8 << n) - 1 } & !crashed;
+        let avail = self.budget.saturating_sub(crashed.count_ones() as u8);
+        let explorer = search.explorer();
+        let perms = if explorer.group().len() > 1 {
+            explorer.stabilizer_perms(search.class_cfg(class), crashed)
+        } else {
+            Vec::new()
+        };
+        for crash in 0..=u8::MAX {
+            if crash & !live != 0 || crash.count_ones() > u32::from(avail) {
+                continue;
+            }
+            let after = crashed | crash;
+            let live_movers = movers & !after;
+            if live_movers == 0 {
+                // The injection froze every remaining mover: a single
+                // injection-only action to a terminal state. `crash`
+                // is nonzero here — an inner state has a live mover.
+                // The configuration is unchanged, so the successor is
+                // interned directly at this class with the new mask.
+                let action = CrashRound { crash, activate: 0 };
+                if !perms.is_empty() && canonical_action(action, &perms) != action {
+                    search.bump_deduped();
+                    continue;
+                }
+                search.bump_edges();
+                let (succ, new) = search.intern_variant(class, after, rounds, Some((id, action)));
+                if new && search.node_kind(succ) == NodeKind::Stuck {
+                    let mut schedule = search.path_to(id);
+                    schedule.push(action);
+                    return Some(ExploreVerdict::Refuted {
+                        schedule,
+                        outcome: Outcome::StuckFixpoint { rounds },
+                    });
+                }
+                search.push_edge(id, action, succ);
+                if search.over_budget() {
+                    return Some(ExploreVerdict::Undecided { depth: search.opts().fair_depth });
+                }
+                continue;
+            }
+            // Depends only on the injection, not the activation: one
+            // computation serves every mask below (empty and
+            // allocation-free in budget-0 instantiations).
+            let mut crash_buf = [ORIGIN; 8];
+            let crash_len = mask_coords(search.class_cfg(class), after, &mut crash_buf);
+            let crashed_coords = &crash_buf[..crash_len];
+            for mask in 1..=u8::MAX {
+                if mask & !live_movers != 0 {
+                    continue;
+                }
+                let action = CrashRound { crash, activate: mask };
+                if !perms.is_empty() && canonical_action(action, &perms) != action {
+                    search.bump_deduped();
+                    continue;
+                }
+                let mut masked = [None; PackedClass::MAX_ROBOTS];
+                for (i, slot) in masked[..n].iter_mut().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        *slot = info.moves[i];
+                    }
+                }
+                // The round semantics are the engine's `check_moves` +
+                // `apply_unchecked` — exactly `step_moves` minus the
+                // per-round `moved` report nobody reads here.
+                let cfg = search.class_cfg(class);
+                match engine::check_moves(cfg, &masked[..n]) {
+                    Err(collision) => {
+                        let mut schedule = search.path_to(id);
+                        schedule.push(action);
+                        return Some(ExploreVerdict::Refuted {
+                            schedule,
+                            outcome: Outcome::Collision { round: rounds, collision },
+                        });
+                    }
+                    Ok(()) => {
+                        let next = cfg.apply_unchecked(&masked[..n]);
+                        search.bump_edges();
+                        if !next.is_connected() {
+                            let mut schedule = search.path_to(id);
+                            schedule.push(action);
+                            return Some(ExploreVerdict::Refuted {
+                                schedule,
+                                outcome: Outcome::Disconnected { round: rounds + 1 },
+                            });
+                        }
+                        let aux = coords_mask(&next, crashed_coords);
+                        let (succ, new) =
+                            search.intern_state(&next, aux, rounds + 1, Some((id, action)));
+                        if new {
+                            if search.node_kind(succ) == NodeKind::Stuck {
+                                let mut schedule = search.path_to(id);
+                                schedule.push(action);
+                                return Some(ExploreVerdict::Refuted {
+                                    schedule,
+                                    outcome: Outcome::StuckFixpoint { rounds: rounds + 1 },
+                                });
+                            }
+                            queue.push_back(succ);
+                        }
+                        search.push_edge(id, action, succ);
+                    }
+                }
+                if search.over_budget() {
+                    return Some(ExploreVerdict::Undecided { depth: search.opts().fair_depth });
+                }
+            }
+        }
+        None
+    }
+
+    /// Concretely traverses a closed state walk once, tracking robot
+    /// roles and activation flags.
+    fn traverse<A: Algorithm + ?Sized>(
+        &self,
+        search: &Search<'_, '_, A, Self>,
+        start: usize,
+        cycle: &[(CrashRound, usize)],
+    ) -> CycleCert {
+        let (_, start_crashed, _) = search.state(start);
+        // Crashed robots are exempt from fairness: never activating
+        // them is legitimate, so their orbits are satisfied for free.
+        let seed = |flags: &mut [bool]| {
+            for (slot, flag) in flags.iter_mut().enumerate() {
+                if start_crashed & (1 << slot) != 0 {
+                    *flag = true;
+                }
+            }
+        };
+        search.traverse_roles(start, cycle, seed, |cur, action, walk| {
+            debug_assert_eq!(action.crash, 0, "cycles never cross a crash level");
+            let (cur_class, _, _) = search.state(cur);
+            let moves = search.info(cur_class).moves;
+            for (slot, &decision) in moves[..walk.role_at.len()].iter().enumerate() {
+                let role = walk.role_at[slot];
+                match decision {
+                    None => walk.flags[role] = true, // free activation
+                    Some(dir) => {
+                        if action.activate & (1 << slot) != 0 {
+                            walk.pos[role] = walk.pos[role].step(dir);
+                            walk.flags[role] = true;
+                        }
+                    }
+                }
+            }
+        })
     }
 }
 
@@ -1141,5 +1429,14 @@ mod tests {
         let action = CrashRound { crash: 0b10, activate: 0b01 };
         let canon = canonical_action(action, std::slice::from_ref(&swap));
         assert_eq!(canon, CrashRound { crash: 0b01, activate: 0b10 });
+    }
+
+    #[test]
+    fn crash_aux_permutes_as_a_slot_mask() {
+        // 3-cycle 0→1→2→0 on a 3-robot mask; the symmetry itself is
+        // irrelevant to a direction-free mask.
+        let mapped = CrashSemantics::permute_aux(0b011, 3, |i| (i + 1) % 3, PointSymmetry::Rot(2));
+        assert_eq!(mapped, 0b110);
+        assert_eq!(CrashSemantics::aux_bits(0b110), 0b110u32);
     }
 }

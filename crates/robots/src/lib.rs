@@ -20,17 +20,24 @@
 //! * [`sched`] — activation schedulers beyond FSYNC (round-robin,
 //!   random subsets, recorded-schedule replay) for the paper's
 //!   future-work question of weaker synchrony.
-//! * [`explore`] — the generic crash-adversary transition-system
-//!   explorer: BFS over `(canonical class, crash mask)` states with
+//! * [`explore`] — the semantics-generic transition-system explorer:
+//!   BFS over `(canonical class, packed auxiliary key)` states with
 //!   stabilizer-subset dedup, quotient-acyclicity proofs and orbit-fair
-//!   cycle refutations. Both checkers below are instantiations.
+//!   cycle refutations, parameterized by a pluggable
+//!   [`explore::Semantics`]. All three checkers below are
+//!   instantiations.
 //! * [`adversary`] — an exhaustive SSYNC adversary model checker
-//!   (crash budget 0) that classifies an initial class as
-//!   adversary-proof, refuted (with a minimal replayable counterexample
-//!   schedule) or undecided.
+//!   (crash semantics with budget 0) that classifies an initial class
+//!   as adversary-proof, refuted (with a minimal replayable
+//!   counterexample schedule) or undecided.
 //! * [`faults`] — the crash-fault scenario model (crash budget `f`,
 //!   relaxed gathering of the live robots) with replayable
 //!   schedule + crash assignments.
+//! * [`async_model`] — the ASYNC phase-interleaving model: the same
+//!   explorer over `(class, packed pending vector)` states with
+//!   single-robot phase-advance actions, plus scheduled walks and
+//!   replay over the shared [`async_model::advance_phase`] successor
+//!   function.
 //! * [`visited`] — shared canonical-class memoization primitives
 //!   (packed-key [`visited::ClassSet`]/[`visited::ClassMap`] and the
 //!   interning [`visited::ClassArena`]) used by the engine's livelock
@@ -53,7 +60,8 @@ pub mod visited;
 
 pub use adversary::{AdversaryReport, AdversaryVerdict, Checker};
 pub use algorithm::{Algorithm, FnAlgorithm, MoveOracle, StayAlgorithm};
-pub use config::{hexagon, Configuration, PackedClass};
+pub use async_model::{AsyncChecker, AsyncOptions, AsyncReport, AsyncVerdict};
+pub use config::{hexagon, Configuration, PackedClass, PackedPending};
 pub use engine::{run, run_traced, Execution, Limits, Move, Outcome, RoundCollision, RoundResult};
 pub use faults::{CrashChecker, CrashOptions, CrashReport, CrashVerdict};
 pub use view::View;

@@ -1,0 +1,136 @@
+//! Property-based pin of the ASYNC discretisation against the engine:
+//! advancing one robot's two ASYNC phases **back-to-back** (Look+Compute
+//! then Move, with no interleaving) is step-for-step equivalent to the
+//! sequential SSYNC singleton-activation round on the old engine path
+//! (`engine::compute_moves` + `engine::step_moves`). This is the
+//! containment half of the DESIGN.md §13 soundness argument: every
+//! SSYNC singleton schedule is an ASYNC schedule, so the ASYNC
+//! adversary is at least as strong as the sequential SSYNC one.
+
+use proptest::prelude::*;
+use robots::async_model::{advance_phase, PhaseAdvance};
+use robots::{engine, Algorithm, Configuration, PackedPending, View};
+use trigrid::Dir;
+
+/// Strategy: a connected configuration of `n` robots grown from the
+/// origin (deterministic given the choice list) — the same random
+/// connected-polyhex generator the crash-model proptests use.
+fn connected_config(n: usize) -> impl Strategy<Value = Configuration> {
+    proptest::collection::vec((0usize..64, 0usize..6), n - 1).prop_map(move |choices| {
+        let mut cells = vec![trigrid::ORIGIN];
+        for (anchor_raw, dir_raw) in choices {
+            for probe in 0..cells.len() {
+                let anchor = cells[(anchor_raw + probe) % cells.len()];
+                let mut done = false;
+                for k in 0..6 {
+                    let cand = anchor.step(Dir::from_index(dir_raw + k));
+                    if !cells.contains(&cand) {
+                        cells.push(cand);
+                        done = true;
+                        break;
+                    }
+                }
+                if done {
+                    break;
+                }
+            }
+        }
+        Configuration::new(cells)
+    })
+}
+
+/// Strategy: a random total visibility-1 algorithm as a 64-entry table.
+fn random_rule_table() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..7, 64)
+}
+
+struct VecTable(Vec<u8>);
+
+impl Algorithm for VecTable {
+    fn radius(&self) -> u32 {
+        1
+    }
+    fn compute(&self, view: &View) -> Option<Dir> {
+        let code = self.0[view.bits() as usize];
+        (code != 0).then(|| Dir::from_index((code - 1) as usize))
+    }
+}
+
+/// One SSYNC round that activates exactly slot `s`, through the
+/// engine's round semantics. `Ok(None)` = the robot stays (no round
+/// effect); `Ok(Some(cfg))` = the legal successor; `Err` = collision.
+fn ssync_singleton(
+    cfg: &Configuration,
+    s: usize,
+    algo: &impl Algorithm,
+) -> Result<Option<Configuration>, robots::RoundCollision> {
+    let decisions = engine::compute_moves(cfg, algo);
+    let mut one = vec![None; cfg.len()];
+    one[s] = decisions[s];
+    if one.iter().all(Option::is_none) {
+        return Ok(None);
+    }
+    engine::step_moves(cfg, &one).map(|r| Some(r.config))
+}
+
+/// The same robot's two ASYNC phases, advanced back-to-back from an
+/// all-idle state: Look+Compute captures the decision, then the Move
+/// executes immediately — no other robot interleaves.
+fn async_back_to_back(
+    cfg: &Configuration,
+    s: usize,
+    algo: &impl Algorithm,
+) -> Result<Option<Configuration>, robots::RoundCollision> {
+    match advance_phase(cfg, PackedPending::IDLE, s, algo)? {
+        PhaseAdvance::Stayed => Ok(None),
+        PhaseAdvance::Looked(captured) => match advance_phase(cfg, captured, s, algo)? {
+            PhaseAdvance::Moved { config, pending } => {
+                assert!(pending.is_idle(), "no other robot holds a pending move");
+                Ok(Some(config))
+            }
+            _ => unreachable!("a pending robot always moves"),
+        },
+        PhaseAdvance::Moved { .. } => unreachable!("an all-idle state has nothing to execute"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Step-for-step equivalence along a random sequence of singleton
+    /// activations: identical successors, identical stays, identical
+    /// collisions — until the walk collides or disconnects, exactly
+    /// together.
+    #[test]
+    fn back_to_back_phases_match_singleton_ssync_rounds(
+        initial in connected_config(5),
+        table in random_rule_table(),
+        picks in proptest::collection::vec(0usize..8, 24),
+    ) {
+        let algo = VecTable(table);
+        let mut ssync = initial.clone();
+        let mut lcm = initial;
+        for pick in picks {
+            prop_assert_eq!(&ssync, &lcm, "the walks must stay in lock-step");
+            let s = pick % ssync.len();
+            match (ssync_singleton(&ssync, s, &algo), async_back_to_back(&lcm, s, &algo)) {
+                (Ok(None), Ok(None)) => {}
+                (Ok(Some(a)), Ok(Some(b))) => {
+                    prop_assert_eq!(&a, &b, "successors diverged at slot {}", s);
+                    if !a.is_connected() {
+                        break; // both executions terminate here
+                    }
+                    ssync = a;
+                    lcm = b;
+                }
+                (Err(a), Err(b)) => {
+                    prop_assert_eq!(a, b, "collisions diverged at slot {}", s);
+                    break;
+                }
+                (a, b) => {
+                    prop_assert!(false, "paths diverged at slot {}: engine {:?} vs async {:?}", s, a, b);
+                }
+            }
+        }
+    }
+}

@@ -153,6 +153,64 @@ proptest! {
     }
 }
 
+/// Deterministic LCG, so the deep-collision hunt below needs no rand
+/// dependency and never shrinks away from its witnesses.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+fn lcg_connected(n: usize, rng: &mut Lcg) -> Configuration {
+    let mut cells = vec![trigrid::ORIGIN];
+    while cells.len() < n {
+        let anchor = cells[(rng.next() as usize) % cells.len()];
+        let cand = anchor.step(Dir::from_index(rng.next() as usize % 6));
+        if !cells.contains(&cand) {
+            cells.push(cand);
+        }
+    }
+    Configuration::new(cells)
+}
+
+/// Collision refutations carry concrete coordinates, making them the
+/// replay path's most frame-sensitive case: the recorded collision
+/// must be reproduced node-for-node by re-running the schedule through
+/// the engine. Hunt them over a large deterministic sample of random
+/// rule tables and check replay outcome equality on every one. (BFS
+/// minimality makes these collisions shallow — the checker refutes at
+/// the first bad terminal — so the sample asserts breadth, not depth;
+/// the `crash_refutations_replay` proptest above covers the shrunken
+/// corner cases.)
+#[test]
+fn collision_refutations_replay_node_for_node() {
+    let mut rng = Lcg(0xDEAD_BEEF);
+    let mut collisions = 0usize;
+    for _ in 0..400 {
+        let table: Vec<u8> = (0..64).map(|_| (rng.next() % 7) as u8).collect();
+        let algo = VecTable(table);
+        let cfg = lcg_connected(5, &mut rng).canonical();
+        let checker = CrashChecker::new(&algo, CrashOptions::default());
+        let report = checker.check(&cfg);
+        if let CrashVerdict::Refuted { outcome, .. } = &report.verdict {
+            if matches!(outcome, robots::Outcome::Collision { .. }) {
+                collisions += 1;
+                let run = faults::replay(&cfg, &algo, &report.verdict).expect("refutations replay");
+                assert_eq!(
+                    &run.execution.outcome,
+                    outcome,
+                    "replay diverged on a collision from {:?}",
+                    cfg.positions()
+                );
+            }
+        }
+    }
+    assert!(collisions > 50, "the seeded hunt must surface plenty of collisions: {collisions}");
+}
+
 #[test]
 fn frozen_coordinates_block_like_live_robots() {
     // A frozen robot still occupies its node: a live robot stepping

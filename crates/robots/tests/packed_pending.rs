@@ -1,0 +1,120 @@
+//! Property-based pins for the packed ASYNC pending-vector keys,
+//! mirroring `packed_class.rs`: the `Vec<Option<Dir>>` ↔ `u32`
+//! encoding is a lossless roundtrip, key equality is exactly
+//! pending-vector equality (so `(class, PackedPending)` state equality
+//! is exactly ASYNC-state equality), and slot permutation on the
+//! packed form agrees with permuting the unpacked vector.
+
+use proptest::prelude::*;
+use robots::PackedPending;
+use trigrid::Dir;
+
+/// Strategy: a pending vector of exactly 8 slots (the packed window);
+/// tests slice off a prefix for smaller robot counts.
+fn pending_slots() -> impl Strategy<Value = Vec<Option<Dir>>> {
+    proptest::collection::vec(0usize..7, 8).prop_map(|codes| {
+        codes.into_iter().map(|c| (c != 0).then(|| Dir::from_index(c - 1))).collect()
+    })
+}
+
+/// Strategy: a permutation of `0..8` (a shuffled identity via
+/// selection-by-index).
+fn permutation() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..64, 8).prop_map(|picks| {
+        let mut pool: Vec<usize> = (0..8).collect();
+        picks.into_iter().map(|p| pool.remove(p % pool.len())).collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn pack_get_roundtrips_every_slot(slots in pending_slots()) {
+        let packed = PackedPending::of_slots(&slots);
+        for (i, &p) in slots.iter().enumerate() {
+            prop_assert_eq!(packed.get(i), p, "slot {}", i);
+        }
+        prop_assert_eq!(packed.is_idle(), slots.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn key_equality_is_pending_vector_equality(
+        a in pending_slots(),
+        b in pending_slots(),
+    ) {
+        prop_assert_eq!(
+            PackedPending::of_slots(&a) == PackedPending::of_slots(&b),
+            a == b,
+            "packed keys must induce exactly the pending-vector partition"
+        );
+    }
+
+    #[test]
+    fn with_edits_exactly_one_slot(
+        slots in pending_slots(),
+        slot in 0usize..8,
+        code in 0usize..7,
+    ) {
+        let replacement = (code != 0).then(|| Dir::from_index(code - 1));
+        let edited = PackedPending::of_slots(&slots).with(slot, replacement);
+        for (i, &kept) in slots.iter().enumerate() {
+            let expect = if i == slot { replacement } else { kept };
+            prop_assert_eq!(edited.get(i), expect, "slot {}", i);
+        }
+    }
+
+    #[test]
+    fn permute_agrees_with_the_unpacked_vector(
+        slots in pending_slots(),
+        perm in permutation(),
+    ) {
+        let packed = PackedPending::of_slots(&slots).permute(8, |i| perm[i]);
+        let mut unpacked = vec![None; 8];
+        for (i, &p) in slots.iter().enumerate() {
+            unpacked[perm[i]] = p;
+        }
+        prop_assert_eq!(packed, PackedPending::of_slots(&unpacked));
+    }
+
+    #[test]
+    fn permute_map_transforms_slots_and_directions(
+        slots in pending_slots(),
+        perm in permutation(),
+        rot in 0usize..6,
+    ) {
+        // The point-symmetry action on a pending vector: slots move
+        // by the induced permutation AND the captured directions
+        // transform — the path `Semantics::permute_aux` rides.
+        let packed =
+            PackedPending::of_slots(&slots).permute_map(8, |i| perm[i], |d| d.rotate_ccw(rot));
+        for (i, &p) in slots.iter().enumerate() {
+            prop_assert_eq!(packed.get(perm[i]), p.map(|d| d.rotate_ccw(rot)), "slot {}", i);
+        }
+    }
+
+    #[test]
+    fn bits_are_injective(a in pending_slots(), b in pending_slots()) {
+        let (pa, pb) = (PackedPending::of_slots(&a), PackedPending::of_slots(&b));
+        prop_assert_eq!(pa.bits() == pb.bits(), a == b);
+    }
+}
+
+/// Exhaustive pin on a 4-slot window: all 7^4 pending vectors map to
+/// distinct keys, every one of which roundtrips.
+#[test]
+fn all_four_slot_pending_vectors_have_distinct_keys() {
+    let mut seen = std::collections::HashSet::new();
+    for code in 0..7u32.pow(4) {
+        let slots: Vec<Option<Dir>> = (0..4)
+            .map(|i| {
+                let c = (code / 7u32.pow(i)) % 7;
+                (c != 0).then(|| Dir::from_index(c as usize - 1))
+            })
+            .collect();
+        let packed = PackedPending::of_slots(&slots);
+        for (i, &p) in slots.iter().enumerate() {
+            assert_eq!(packed.get(i), p);
+        }
+        assert!(seen.insert(packed.bits()), "distinct vectors must pack distinctly: {slots:?}");
+    }
+    assert_eq!(seen.len(), 2401);
+}

@@ -14,8 +14,9 @@
 //! * checker construction (equivariance scan through the oracle),
 //! * the headline: full crash `f = 1` classification wall-time (pure
 //!   classification — every class checked in-memory, verdict tallies
-//!   asserted against the golden 11/3641/0), and the full SSYNC
-//!   adversary classification for context.
+//!   asserted against the golden 11/3641/0), the full SSYNC adversary
+//!   classification for context, and the full ASYNC phase-interleaving
+//!   classification (verdicts asserted against the golden 543/3109/0).
 //!
 //! The result is written as `BENCH_explore.json` next to
 //! `BENCH_sweep.json`; the `baseline` block pins the measurements taken
@@ -24,6 +25,7 @@
 
 use gathering::SevenGather;
 use robots::adversary::{AdversaryOptions, AdversaryVerdict, Checker};
+use robots::async_model::{AsyncChecker, AsyncOptions, AsyncVerdict};
 use robots::faults::{CrashChecker, CrashOptions, CrashVerdict};
 use robots::visited::ClassArena;
 use robots::{engine, Configuration, MoveOracle};
@@ -75,6 +77,10 @@ struct Record {
     /// Full SSYNC adversary classification, seconds (absent with
     /// `--skip-adversary`).
     adversary_secs: Option<f64>,
+    /// Full ASYNC phase-interleaving classification, seconds.
+    lcm_async_secs: f64,
+    /// ASYNC verdict tallies (proof, refuted, undecided).
+    lcm_async_verdicts: [usize; 3],
     baseline: Baseline,
     /// `baseline.crash_f1_secs / crash_f1_secs`.
     crash_f1_speedup: f64,
@@ -196,6 +202,20 @@ fn main() {
     let crash_f1_secs = started.elapsed().as_secs_f64();
     assert_eq!(crash_tallies, [11, 3641, 0], "crash f=1 tallies diverged from the golden");
 
+    // The ASYNC axis: the same packed-state core over pending vectors.
+    let async_checker = AsyncChecker::new(&algo, AsyncOptions::default());
+    let started = Instant::now();
+    let mut async_tallies = [0usize; 3];
+    for c in &classes {
+        match async_checker.check(c).verdict {
+            AsyncVerdict::Proof => async_tallies[0] += 1,
+            AsyncVerdict::Refuted { .. } => async_tallies[1] += 1,
+            AsyncVerdict::Undecided { .. } => async_tallies[2] += 1,
+        }
+    }
+    let lcm_async_secs = started.elapsed().as_secs_f64();
+    assert_eq!(async_tallies, [543, 3109, 0], "ASYNC tallies diverged from the golden");
+
     let adversary_secs = (!skip_adversary).then(|| {
         let checker = Checker::new(&algo, AdversaryOptions::default());
         let started = Instant::now();
@@ -235,6 +255,8 @@ fn main() {
         crash_f1_secs,
         crash_f1_verdicts: crash_tallies,
         adversary_secs,
+        lcm_async_secs,
+        lcm_async_verdicts: async_tallies,
         baseline,
     };
 

@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run --release -p simlab --bin sweep -- \
 //!     [--algo paper|verified|FLAGS] \
-//!     [--sched fsync|round-robin|random[:SEED:P]|adversary[:DEPTH]] \
+//!     [--sched fsync|round-robin|random[:SEED:P]|adversary[:DEPTH]|
+//!              crash:F[:DEPTH]|lcm-async[:DEPTH]] \
 //!     [--n 7] [--shards 8] [--threads N] [--stealing auto|on|off] \
 //!     [--max-rounds N] [--out-dir target/sweep] [--resume] \
 //!     [--fail-fast] [--matrix]
@@ -22,6 +23,11 @@
 //! `--sched adversary[:DEPTH]` runs the exhaustive SSYNC adversary
 //! model checker per class (see `robots::adversary`); refuted classes
 //! carry replayable counterexample schedules in the shard records.
+//! `--sched crash:F[:DEPTH]` adds up to `F` permanent crash faults
+//! (`robots::faults`), and `--sched lcm-async[:DEPTH]` runs the
+//! exhaustive ASYNC phase-interleaving checker
+//! (`robots::async_model`) — single-robot Look-Compute-Move phase
+//! advances with stale pending moves.
 //!
 //! Every non-fail-fast invocation also writes `BENCH_sweep.json` into
 //! the output directory: per-cell wall-clock, classes/sec and states
@@ -49,7 +55,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: sweep [--algo paper|verified|FLAGS]\n\
-         \x20            [--sched fsync|round-robin|random[:SEED:P]|adversary[:DEPTH]|crash:F[:DEPTH]]\n\
+         \x20            [--sched fsync|round-robin|random[:SEED:P]|adversary[:DEPTH]|crash:F[:DEPTH]|lcm-async[:DEPTH]]\n\
          \x20            [--n N] [--shards S] [--threads T] [--stealing auto|on|off]\n\
          \x20            [--max-rounds R] [--out-dir DIR] [--resume] [--fail-fast] [--matrix]\n\
          \n\

@@ -7,7 +7,10 @@
 //!
 //! * a sweep **cell** is a pair of [`AlgoSpec`] (the paper rules, the
 //!   verified rules, or a named ablation of [`RuleOptions`]) and
-//!   [`SchedSpec`] (FSYNC, round-robin, or seeded random subsets);
+//!   [`SchedSpec`] (FSYNC, round-robin, seeded random subsets, or one
+//!   of the exhaustive model checkers: the SSYNC adversary, the
+//!   crash-fault adversary, or the ASYNC phase-interleaving
+//!   adversary);
 //! * the 3652-class space is split into contiguous **shards**, each
 //!   fanned across one of the `parallel` executors (the
 //!   crossbeam-deque **work-stealing pool** by default for every
@@ -31,6 +34,7 @@
 use gathering::rules::RuleOptions;
 use gathering::SevenGather;
 use robots::adversary::{self, AdversaryOptions, AdversaryVerdict, Checker, DEFAULT_FAIR_DEPTH};
+use robots::async_model::{AsyncChecker, AsyncOptions, AsyncVerdict};
 use robots::faults::{self, CrashChecker, CrashOptions, CrashVerdict};
 use robots::sched::{RandomSubset, RoundRobin};
 use robots::{engine, sched, Algorithm, Configuration, Limits, Outcome};
@@ -160,18 +164,47 @@ pub enum SchedSpec {
         /// Fair-cycle search depth (`D` of `--sched crash:F:D`).
         depth: usize,
     },
+    /// The exhaustive ASYNC phase-interleaving model checker
+    /// ([`robots::async_model`]): the adversary advances one robot's
+    /// Look-Compute-Move phase per tick (pending moves execute from
+    /// possibly stale snapshots), and every class is classified as
+    /// async-proof, refuted (with a replayable tick schedule), or
+    /// undecided at fair-cycle search depth `depth`.
+    LcmAsync {
+        /// Fair-cycle search depth (`D` of `--sched lcm-async:D`).
+        depth: usize,
+    },
 }
 
 /// The scheduler specs `SchedSpec::parse` accepts, for CLI error
-/// messages and usage strings.
+/// messages and usage strings. Every spec listed here round-trips
+/// through [`SchedSpec::parse`] (pinned by a unit test below).
 pub const SCHED_SPECS: &str =
-    "fsync, round-robin (rr), random[:SEED:P], adversary[:DEPTH], crash:F[:DEPTH]";
+    "fsync, round-robin (rr), random[:SEED:P], adversary[:DEPTH], crash:F[:DEPTH], \
+     lcm-async[:DEPTH]";
+
+/// One concrete example per spec family of [`SCHED_SPECS`], with and
+/// without the optional parameters — the round-trip test's fixture.
+pub const SCHED_SPEC_EXAMPLES: &[&str] = &[
+    "fsync",
+    "round-robin",
+    "rr",
+    "random",
+    "random:9:0.25",
+    "adversary",
+    "adversary:5",
+    "crash:1",
+    "crash:2:6",
+    "lcm-async",
+    "lcm-async:5",
+];
 
 impl SchedSpec {
     /// Parses a scheduler spec: `fsync`, `round-robin` (or `rr`),
     /// `random` (optionally `random:SEED:P`), `adversary` (optionally
-    /// `adversary:DEPTH`), or `crash:F` (optionally `crash:F:DEPTH`)
-    /// with `F <= 7` crashed robots.
+    /// `adversary:DEPTH`), `crash:F` (optionally `crash:F:DEPTH`) with
+    /// `F <= 7` crashed robots, or `lcm-async` (optionally
+    /// `lcm-async:DEPTH`).
     #[must_use]
     pub fn parse(s: &str) -> Option<SchedSpec> {
         match s {
@@ -179,6 +212,7 @@ impl SchedSpec {
             "round-robin" | "rr" => return Some(SchedSpec::RoundRobin),
             "random" => return Some(SchedSpec::RandomSubset { seed: 1, p: 0.5 }),
             "adversary" => return Some(SchedSpec::Adversary { depth: DEFAULT_FAIR_DEPTH }),
+            "lcm-async" => return Some(SchedSpec::LcmAsync { depth: DEFAULT_FAIR_DEPTH }),
             _ => {}
         }
         let mut parts = s.split(':');
@@ -202,6 +236,10 @@ impl SchedSpec {
                 (parts.next().is_none() && f <= 7 && depth > 0)
                     .then_some(SchedSpec::Crash { f, depth })
             }
+            Some("lcm-async") => {
+                let depth: usize = parts.next()?.parse().ok()?;
+                (parts.next().is_none() && depth > 0).then_some(SchedSpec::LcmAsync { depth })
+            }
             _ => None,
         }
     }
@@ -219,6 +257,10 @@ impl SchedSpec {
             SchedSpec::Adversary { depth } => format!("adversary-d{depth}"),
             SchedSpec::Crash { f, depth } if *depth == DEFAULT_FAIR_DEPTH => format!("crash-f{f}"),
             SchedSpec::Crash { f, depth } => format!("crash-f{f}-d{depth}"),
+            SchedSpec::LcmAsync { depth } if *depth == DEFAULT_FAIR_DEPTH => {
+                "lcm-async".to_string()
+            }
+            SchedSpec::LcmAsync { depth } => format!("lcm-async-d{depth}"),
         }
     }
 }
@@ -317,6 +359,10 @@ pub struct ClassOutcome {
     /// absent in records written before the crash subsystem).
     #[serde(default)]
     pub crash: Option<CrashVerdict>,
+    /// The ASYNC model-checking verdict (lcm-async cells only; absent
+    /// in records written before the ASYNC subsystem).
+    #[serde(default)]
+    pub lcm_async: Option<AsyncVerdict>,
 }
 
 /// The persisted result of one shard of a sweep cell.
@@ -403,8 +449,9 @@ pub struct SweepSummary {
     pub mean_rounds: f64,
     /// Indices of the first non-gathering classes (capped, for triage).
     pub failure_indices: Vec<usize>,
-    /// Model-checking verdict tallies (adversary **and** crash cells;
-    /// the `sched` name says which model produced them).
+    /// Model-checking verdict tallies (adversary, crash **and**
+    /// lcm-async cells; the `sched` name says which model produced
+    /// them).
     pub adversary: Option<AdversaryCounts>,
     /// Deterministic FNV-1a digest over the per-class verdict stream
     /// ([`verdict_digest`], as 16 hex digits), present for adversary
@@ -560,6 +607,14 @@ pub fn outcome_of_crash_verdict(verdict: &CrashVerdict, limits: Limits) -> Outco
     }
 }
 
+/// [`outcome_of_verdict`] for ASYNC verdicts ([`AsyncVerdict`] and
+/// [`CrashVerdict`] share the generic explore verdict type, so this is
+/// the same mapping under the ASYNC cell's name).
+#[must_use]
+pub fn outcome_of_async_verdict(verdict: &AsyncVerdict, limits: Limits) -> Outcome {
+    outcome_of_crash_verdict(verdict, limits)
+}
+
 /// Deterministic per-class work measure for scheduled executions.
 #[must_use]
 fn rounds_of(outcome: &Outcome) -> usize {
@@ -588,6 +643,7 @@ fn run_class_checked<A: Algorithm + ?Sized>(
         expanded: report.classes,
         verdict: Some(report.verdict),
         crash: None,
+        lcm_async: None,
     }
 }
 
@@ -606,6 +662,26 @@ fn run_class_crashed<A: Algorithm + ?Sized>(
         expanded: report.states,
         verdict: None,
         crash: Some(report.verdict),
+        lcm_async: None,
+    }
+}
+
+/// Runs one class of an lcm-async cell through a shared ASYNC checker.
+#[must_use]
+fn run_class_async<A: Algorithm + ?Sized>(
+    initial: &Configuration,
+    checker: &AsyncChecker<'_, A>,
+    index: usize,
+    limits: Limits,
+) -> ClassOutcome {
+    let report = checker.check(initial);
+    ClassOutcome {
+        index,
+        outcome: outcome_of_async_verdict(&report.verdict, limits),
+        expanded: report.states,
+        verdict: None,
+        crash: None,
+        lcm_async: Some(report.verdict),
     }
 }
 
@@ -613,6 +689,7 @@ fn run_class_crashed<A: Algorithm + ?Sized>(
 enum CellChecker<'a, A: Algorithm + ?Sized> {
     Adversary(Checker<'a, A>),
     Crash(CrashChecker<'a, A>),
+    Async(AsyncChecker<'a, A>),
 }
 
 impl<'a, A: Algorithm + ?Sized> CellChecker<'a, A> {
@@ -627,6 +704,9 @@ impl<'a, A: Algorithm + ?Sized> CellChecker<'a, A> {
             SchedSpec::Crash { f, depth } => {
                 Some(CellChecker::Crash(CrashChecker::new(algo, CrashOptions::new(f, depth))))
             }
+            SchedSpec::LcmAsync { depth } => {
+                Some(CellChecker::Async(AsyncChecker::new(algo, AsyncOptions::new(depth))))
+            }
             _ => None,
         }
     }
@@ -635,6 +715,7 @@ impl<'a, A: Algorithm + ?Sized> CellChecker<'a, A> {
         match self {
             CellChecker::Adversary(c) => run_class_checked(initial, c, index, limits),
             CellChecker::Crash(c) => run_class_crashed(initial, c, index, limits),
+            CellChecker::Async(c) => run_class_async(initial, c, index, limits),
         }
     }
 }
@@ -664,7 +745,7 @@ pub fn run_class<A: Algorithm + ?Sized>(
             let mut s = RandomSubset::new(class_seed, p);
             sched::run_scheduled(initial, algo, &mut s, limits).outcome
         }
-        SchedSpec::Adversary { .. } | SchedSpec::Crash { .. } => {
+        SchedSpec::Adversary { .. } | SchedSpec::Crash { .. } | SchedSpec::LcmAsync { .. } => {
             let checker = CellChecker::for_spec(algo, spec).expect("model-checking cell");
             checker.run_class(initial, index, limits).outcome
         }
@@ -694,7 +775,14 @@ pub fn run_shard(
             None => {
                 let outcome = run_class(&initial, &algo, cfg.sched, index, limits);
                 let expanded = rounds_of(&outcome);
-                ClassOutcome { index, outcome, expanded, verdict: None, crash: None }
+                ClassOutcome {
+                    index,
+                    outcome,
+                    expanded,
+                    verdict: None,
+                    crash: None,
+                    lcm_async: None,
+                }
             }
         }
     };
@@ -828,6 +916,14 @@ pub fn merge_shards(cfg: &SweepConfig, records: &[ShardRecord]) -> Result<SweepS
                 CrashVerdict::Undecided { .. } => acc.undecided += 1,
             }
         }
+        if let Some(verdict) = &res.lcm_async {
+            acc.any_verdict = true;
+            match verdict {
+                AsyncVerdict::Proof => acc.proof += 1,
+                AsyncVerdict::Refuted { .. } => acc.refuted += 1,
+                AsyncVerdict::Undecided { .. } => acc.undecided += 1,
+            }
+        }
     }
     // The digest is computed over the class-ordered record stream, so
     // it is independent of the order the caller handed the shards in.
@@ -890,15 +986,25 @@ fn digest_class(h: &mut adversary::Fnv64, res: &ClassOutcome) {
             h.write_all(&faults::schedule_hash(schedule).to_le_bytes());
         }
     }
-    if res.verdict.is_none() && res.crash.is_none() {
+    match &res.lcm_async {
+        None => {}
+        Some(AsyncVerdict::Proof) => h.write(0x21),
+        Some(AsyncVerdict::Undecided { .. }) => h.write(0x22),
+        Some(AsyncVerdict::Refuted { schedule, .. }) => {
+            h.write(0x23);
+            h.write_all(&faults::schedule_hash(schedule).to_le_bytes());
+        }
+    }
+    if res.verdict.is_none() && res.crash.is_none() && res.lcm_async.is_none() {
         h.write(0xFF);
     }
 }
 
 /// FNV-1a digest over the merged per-class verdicts of a
-/// model-checking (adversary or crash) cell: index, verdict kind,
-/// and — for refutations — the counterexample schedule (including
-/// crash assignments). Records are digested in class order (shards
+/// model-checking (adversary, crash or lcm-async) cell: index, verdict
+/// kind, and — for refutations — the counterexample schedule
+/// (including crash assignments; ASYNC tick schedules hash through the
+/// same [`faults::schedule_hash`] under their own tag bytes). Records are digested in class order (shards
 /// sorted by their start index, exactly as [`merge_shards`] does for
 /// [`SweepSummary::digest`]), so the value depends only on the
 /// classification, never on the order the caller collected the
@@ -1000,7 +1106,8 @@ pub fn find_failure(cfg: &SweepConfig) -> Option<(usize, Outcome)> {
             Some(checker) => {
                 let result = checker.run_class(&initial, index, limits);
                 let proof = matches!(result.verdict, Some(AdversaryVerdict::Proof))
-                    || matches!(result.crash, Some(CrashVerdict::Proof));
+                    || matches!(result.crash, Some(CrashVerdict::Proof))
+                    || matches!(result.lcm_async, Some(AsyncVerdict::Proof));
                 if proof {
                     return None;
                 }
@@ -1072,6 +1179,54 @@ mod tests {
     }
 
     #[test]
+    fn sched_spec_parse_lcm_async() {
+        assert_eq!(
+            SchedSpec::parse("lcm-async"),
+            Some(SchedSpec::LcmAsync { depth: DEFAULT_FAIR_DEPTH })
+        );
+        assert_eq!(SchedSpec::parse("lcm-async:5"), Some(SchedSpec::LcmAsync { depth: 5 }));
+        assert_eq!(SchedSpec::parse("lcm-async:0"), None);
+        assert_eq!(SchedSpec::parse("lcm-async:x"), None);
+        assert_eq!(SchedSpec::parse("lcm-async:5:3"), None);
+        assert_eq!(SchedSpec::parse("lcm-async").unwrap().name(), "lcm-async");
+        assert_eq!(SchedSpec::parse("lcm-async:5").unwrap().name(), "lcm-async-d5");
+    }
+
+    #[test]
+    fn every_listed_sched_spec_round_trips_through_parse() {
+        for &example in SCHED_SPEC_EXAMPLES {
+            let spec = SchedSpec::parse(example)
+                .unwrap_or_else(|| panic!("listed spec {example:?} must parse"));
+            // The usage string advertises the example's family.
+            let family = example.split(':').next().expect("nonempty spec");
+            assert!(
+                SCHED_SPECS.contains(family),
+                "SCHED_SPECS must advertise the {family:?} family: {SCHED_SPECS}"
+            );
+            // When a spec's canonical name is itself parseable, it
+            // must round-trip to the same spec (parameterised names
+            // like `crash-f1` are file slugs, not specs).
+            if let Some(by_name) = SchedSpec::parse(&spec.name()) {
+                assert_eq!(by_name, spec, "{example}: name {} re-parses", spec.name());
+            }
+        }
+        // The default-parameter specs' canonical names ARE valid specs:
+        // summaries and CLI flags agree on them verbatim.
+        for base in ["fsync", "round-robin", "adversary", "lcm-async"] {
+            let spec = SchedSpec::parse(base).expect("base spec parses");
+            assert_eq!(spec.name(), base, "default-parameter names are canonical");
+            assert_eq!(SchedSpec::parse(&spec.name()), Some(spec), "{base} round-trips by name");
+        }
+        // Every family named in SCHED_SPECS has at least one example.
+        for family in ["fsync", "round-robin", "random", "adversary", "crash", "lcm-async"] {
+            assert!(
+                SCHED_SPEC_EXAMPLES.iter().any(|e| e.split(':').next() == Some(family)),
+                "family {family:?} lacks an example"
+            );
+        }
+    }
+
+    #[test]
     fn sched_spec_parse_crash() {
         assert_eq!(
             SchedSpec::parse("crash:1"),
@@ -1128,6 +1283,74 @@ mod tests {
         let whole = run_shard(&classes, &one, 0, 0, classes.len());
         let resharded = verdict_digest(std::slice::from_ref(&whole));
         assert_eq!(verdict_digest(&records), resharded, "digest must be sharding-invariant");
+    }
+
+    #[test]
+    fn lcm_async_cell_records_verdicts_replayable_schedules_and_digest() {
+        // The 44-class n=4 space is cheap even in debug. Every ASYNC
+        // refutation's tick schedule must replay to its recorded
+        // outcome, the summary must tally the verdicts, and the digest
+        // must be present and sharding-invariant.
+        let sched = SchedSpec::parse("lcm-async").expect("known scheduler");
+        let cfg = SweepConfig { n: 4, sched, shards: 2, ..SweepConfig::default() };
+        let classes = polyhex::enumerate_fixed(4);
+        let records: Vec<ShardRecord> = shard_ranges(classes.len(), cfg.shards)
+            .into_iter()
+            .enumerate()
+            .map(|(s, (start, end))| run_shard(&classes, &cfg, s, start, end))
+            .collect();
+        let summary = merge_shards(&cfg, &records).expect("consistent shards");
+        let counts = summary.adversary.expect("lcm-async cells tally verdicts");
+        assert_eq!(counts.proof + counts.refuted + counts.undecided, 44);
+        let digest = summary.digest.expect("lcm-async cells carry a digest");
+        assert_eq!(digest, format!("{:016x}", verdict_digest(&records)));
+
+        let algo = cfg.algo.build();
+        let mut replayed = 0;
+        for res in records.iter().flat_map(|r| r.results.iter()) {
+            assert!(res.verdict.is_none(), "lcm-async cells use the lcm_async column");
+            assert!(res.crash.is_none(), "lcm-async cells use the lcm_async column");
+            let verdict = res.lcm_async.as_ref().expect("lcm-async cells store verdicts");
+            if let robots::AsyncVerdict::Refuted { outcome, schedule } = verdict {
+                assert_eq!(outcome, &res.outcome, "witness outcome mirrors the verdict");
+                assert!(
+                    schedule.iter().all(|a| a.crash == 0 && a.activate.count_ones() == 1),
+                    "ASYNC actions are crash-free one-hot phase advances"
+                );
+                let initial = Configuration::new(classes[res.index].iter().copied());
+                let run = robots::async_model::replay(&initial, &algo, verdict)
+                    .expect("refutations replay");
+                assert_eq!(&run.execution.outcome, outcome, "class {}", res.index);
+                replayed += 1;
+            }
+        }
+        assert!(replayed > 0, "expected at least one async-refuted class in the n=4 space");
+
+        // Sharding invariance of verdicts and digest.
+        let one = SweepConfig { shards: 1, ..cfg.clone() };
+        let whole = run_shard(&classes, &one, 0, 0, classes.len());
+        let resharded = verdict_digest(std::slice::from_ref(&whole));
+        assert_eq!(verdict_digest(&records), resharded, "digest must be sharding-invariant");
+    }
+
+    #[test]
+    fn model_checking_digests_are_model_tagged() {
+        // The same class space classified under two different models
+        // must never produce the same digest, even when the verdict
+        // kinds happen to coincide — the tag bytes keep the models
+        // apart.
+        let classes = polyhex::enumerate_fixed(4);
+        let digest_of = |spec: &str| {
+            let sched = SchedSpec::parse(spec).expect("known scheduler");
+            let cfg = SweepConfig { n: 4, sched, shards: 1, ..SweepConfig::default() };
+            verdict_digest(&[run_shard(&classes, &cfg, 0, 0, classes.len())])
+        };
+        let adversary = digest_of("adversary");
+        let crash = digest_of("crash:1");
+        let lcm_async = digest_of("lcm-async");
+        assert_ne!(adversary, crash);
+        assert_ne!(adversary, lcm_async);
+        assert_ne!(crash, lcm_async);
     }
 
     #[test]

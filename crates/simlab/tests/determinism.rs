@@ -2,9 +2,10 @@
 //! record stream must be **byte-identical** regardless of worker
 //! thread count and shard count — for the seeded random-subset cells
 //! (whose per-class seed derivation must be threading/sharding
-//! invariant) and for the adversary and crash model-checking cells
-//! (whose verdicts and counterexample schedules must be reproducible
-//! no matter how the work-stealing pool interleaves the classes).
+//! invariant) and for the adversary, crash and lcm-async
+//! model-checking cells (whose verdicts and counterexample schedules
+//! must be reproducible no matter how the work-stealing pool
+//! interleaves the classes).
 
 use simlab::sweep::{
     merge_shards, run_shard, shard_ranges, ClassOutcome, SchedSpec, ShardRecord, SweepConfig,
@@ -66,6 +67,18 @@ fn crash_records_are_thread_and_shard_invariant() {
     assert_invariant_across_threads_and_shards(
         SweepConfig { n: 4, sched, ..SweepConfig::default() },
         "crash f=1 n=4",
+    );
+}
+
+#[test]
+fn lcm_async_records_are_thread_and_shard_invariant() {
+    // The ASYNC checker's verdicts (including the replayable one-hot
+    // tick schedule of every refutation) must be byte-identical
+    // between a single-thread run and any multi-thread/stealing run.
+    let sched = SchedSpec::parse("lcm-async").expect("known scheduler");
+    assert_invariant_across_threads_and_shards(
+        SweepConfig { n: 4, sched, ..SweepConfig::default() },
+        "lcm-async n=4",
     );
 }
 

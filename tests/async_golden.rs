@@ -1,0 +1,251 @@
+//! Golden-file regression for the exhaustive ASYNC model checker.
+//!
+//! * Debug tier: the verdicts (kind + schedule hash) of the fixed
+//!   65-class subset (every 57th class, the same subset the adversary
+//!   and crash goldens pin) are pinned by
+//!   `tests/golden/async-verified-subset.json`, and every refuted
+//!   verdict is replayed through the semantics-backed replayer to its
+//!   recorded outcome.
+//! * Release tier: the full 3652-class ASYNC classification is
+//!   re-derived and pinned — verdict tallies plus the FNV digest over
+//!   every per-class verdict and tick schedule — by
+//!   `tests/golden/async-verified-full.json`, and **every** refuted
+//!   class's schedule is replayed to a non-gathered outcome (the
+//!   subsystem's acceptance criterion).
+//!
+//! Regenerate both fixtures after an intentional checker change with:
+//!
+//! ```sh
+//! cargo test --release --test async_golden -- --ignored regen
+//! ```
+
+use gathering::SevenGather;
+use robots::async_model::{self, AsyncChecker, AsyncOptions, AsyncVerdict};
+use robots::{faults, Configuration, Outcome};
+use simlab::sweep::{run_shard, verdict_digest, SchedSpec, ShardRecord, SweepConfig};
+
+const SUBSET_GOLDEN: &str = include_str!("golden/async-verified-subset.json");
+const FULL_GOLDEN: &str = include_str!("golden/async-verified-full.json");
+
+/// The pinned subset: every 57th class of the enumeration (65 classes,
+/// spread across the whole space — the adversary golden's subset).
+fn subset_indices() -> Vec<usize> {
+    (0..3652).step_by(57).collect()
+}
+
+fn check_subset() -> Vec<(usize, Configuration, async_model::AsyncReport)> {
+    let classes = polyhex::enumerate_fixed(7);
+    let algo = SevenGather::verified();
+    let checker = AsyncChecker::new(&algo, AsyncOptions::default());
+    subset_indices()
+        .into_iter()
+        .map(|index| {
+            let initial = Configuration::new(classes[index].iter().copied());
+            let report = checker.check(&initial);
+            (index, initial, report)
+        })
+        .collect()
+}
+
+fn subset_fixture_entries(
+    reports: &[(usize, Configuration, async_model::AsyncReport)],
+) -> Vec<serde_json::Value> {
+    reports
+        .iter()
+        .map(|(index, _, report)| {
+            let (schedule_hash, ticks) = match &report.verdict {
+                AsyncVerdict::Refuted { schedule, .. } => {
+                    (format!("{:016x}", faults::schedule_hash(schedule)), schedule.len() as u64)
+                }
+                _ => (String::new(), 0),
+            };
+            serde_json::Value::Map(vec![
+                ("index".to_string(), serde_json::Value::UInt(*index as u64)),
+                ("verdict".to_string(), serde_json::Value::Str(report.verdict.kind().to_string())),
+                ("schedule_hash".to_string(), serde_json::Value::Str(schedule_hash)),
+                ("ticks".to_string(), serde_json::Value::UInt(ticks)),
+            ])
+        })
+        .collect()
+}
+
+/// Asserts a refuted ASYNC verdict replays through the semantics-backed
+/// replayer to its recorded outcome, with every action a crash-free
+/// one-hot phase advance.
+fn assert_replays(
+    index: usize,
+    initial: &Configuration,
+    algo: &SevenGather,
+    verdict: &AsyncVerdict,
+) {
+    let AsyncVerdict::Refuted { outcome, schedule } = verdict else {
+        return;
+    };
+    assert!(
+        schedule.iter().all(|a| a.crash == 0 && a.activate.count_ones() == 1),
+        "class {index}: ASYNC actions are crash-free one-hot phase advances"
+    );
+    let run = async_model::replay(initial, algo, verdict).expect("refuted verdicts replay");
+    assert_eq!(&run.execution.outcome, outcome, "class {index}: replay diverged");
+    assert!(!run.execution.outcome.is_gathered(), "class {index}: a refutation cannot gather");
+    // For lassos, the final state must not already be a successful
+    // terminal of the ASYNC model.
+    if matches!(outcome, Outcome::StepLimit { .. }) {
+        assert!(
+            !async_model::is_goal_state(&run.execution.final_config, run.pending, algo),
+            "class {index}: a lasso replay must not settle at a goal"
+        );
+    }
+}
+
+#[test]
+fn async_subset_matches_golden_file() {
+    let reports = check_subset();
+    let produced = subset_fixture_entries(&reports);
+    let golden: serde_json::Value = serde_json::from_str(SUBSET_GOLDEN).expect("fixture parses");
+    let golden = golden.as_seq().expect("fixture is an array");
+    assert_eq!(golden.len(), produced.len(), "fixture covers the 65-class subset");
+    for (expected, actual) in golden.iter().zip(&produced) {
+        assert_eq!(expected, actual, "subset verdict diverged from the golden file");
+    }
+}
+
+#[test]
+fn async_subset_refutations_replay_to_their_recorded_outcomes() {
+    let algo = SevenGather::verified();
+    let mut refuted = 0;
+    for (index, initial, report) in check_subset() {
+        if matches!(report.verdict, AsyncVerdict::Refuted { .. }) {
+            assert_replays(index, &initial, &algo, &report.verdict);
+            refuted += 1;
+        }
+    }
+    assert!(refuted > 0, "the pinned subset contains refuted classes");
+}
+
+#[test]
+fn async_checker_is_deterministic_on_the_subset() {
+    let a = check_subset();
+    let b = check_subset();
+    for ((ia, _, ra), (ib, _, rb)) in a.iter().zip(&b) {
+        assert_eq!(ia, ib);
+        assert_eq!(ra, rb, "class {ia}: verdicts must be reproducible");
+    }
+}
+
+fn full_classification() -> (ShardRecord, usize, usize, usize, String) {
+    let sched = SchedSpec::parse("lcm-async").expect("known scheduler");
+    let cfg = SweepConfig { sched, shards: 1, ..SweepConfig::default() };
+    let classes = polyhex::enumerate_fixed(7);
+    let record = run_shard(&classes, &cfg, 0, 0, classes.len());
+    let digest = format!("{:016x}", verdict_digest(std::slice::from_ref(&record)));
+    let mut proof = 0;
+    let mut refuted = 0;
+    let mut undecided = 0;
+    for res in &record.results {
+        match res.lcm_async.as_ref().expect("lcm-async cells store verdicts") {
+            AsyncVerdict::Proof => proof += 1,
+            AsyncVerdict::Refuted { .. } => refuted += 1,
+            AsyncVerdict::Undecided { .. } => undecided += 1,
+        }
+    }
+    (record, proof, refuted, undecided, digest)
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full 3652-class ASYNC classification is release-only; run cargo test --release"
+)]
+fn async_full_classification_matches_golden_file_and_replays() {
+    let (record, proof, refuted, undecided, digest) = full_classification();
+    let golden: serde_json::Value = serde_json::from_str(FULL_GOLDEN).expect("fixture parses");
+    let expect = |key: &str| {
+        golden.get(key).and_then(serde_json::Value::as_f64).unwrap_or_else(|| {
+            panic!("fixture lacks numeric key {key:?}");
+        }) as usize
+    };
+    assert_eq!(proof + refuted + undecided, 3652, "every class is classified");
+    assert_eq!(proof, expect("proof"), "async-proof count diverged");
+    assert_eq!(refuted, expect("refuted"), "refuted count diverged");
+    assert_eq!(undecided, expect("undecided"), "undecided count diverged");
+    let expected_digest =
+        golden.get("digest").and_then(serde_json::Value::as_str).expect("digest key");
+    assert_eq!(digest, expected_digest, "per-class verdict digest diverged");
+
+    // Acceptance criterion: every refuted class's tick schedule replays
+    // through the semantics-backed replayer to a non-gathered outcome.
+    let algo = SevenGather::verified();
+    let classes = polyhex::enumerate_fixed(7);
+    for res in &record.results {
+        let verdict = res.lcm_async.as_ref().expect("lcm-async cells store verdicts");
+        if matches!(verdict, AsyncVerdict::Refuted { .. }) {
+            let initial = Configuration::new(classes[res.index].iter().copied());
+            assert_replays(res.index, &initial, &algo, verdict);
+        }
+    }
+}
+
+/// Empirical cross-model pin for the verified rules: every async-proof
+/// class is also adversary-proof (543 ⊆ 1869). This is **not** a
+/// theorem — a simultaneous SSYNC round (a train or rotation) is not
+/// an ASYNC interleaving, so the models are formally incomparable; the
+/// proptest `async_semantics.rs` pins the sound half (singleton SSYNC
+/// rounds embed into ASYNC). What this test pins is the measured
+/// relationship on this rule set, so a checker change that flips it
+/// gets noticed rather than silently absorbed.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full-space cross-model comparison is release-only; run cargo test --release"
+)]
+fn async_proof_implies_adversary_proof() {
+    use robots::adversary::{AdversaryOptions, AdversaryVerdict, Checker};
+    let algo = SevenGather::verified();
+    let adversary = Checker::new(&algo, AdversaryOptions::default());
+    let (record, proof, _, _, _) = full_classification();
+    assert!(proof > 0, "the comparison must not be vacuous");
+    let classes = polyhex::enumerate_fixed(7);
+    for res in &record.results {
+        if matches!(res.lcm_async, Some(AsyncVerdict::Proof)) {
+            let initial = Configuration::new(classes[res.index].iter().copied());
+            assert_eq!(
+                adversary.check(&initial).verdict,
+                AdversaryVerdict::Proof,
+                "class {}: async-proof must imply adversary-proof",
+                res.index
+            );
+        }
+    }
+}
+
+/// Not a test: regenerates both fixtures. Run explicitly (release!)
+/// after an intentional checker change.
+#[test]
+#[ignore = "fixture regeneration helper; run explicitly with --ignored"]
+fn regen_async_goldens() {
+    let reports = check_subset();
+    let entries = subset_fixture_entries(&reports);
+    let subset =
+        serde_json::to_string_pretty(&serde_json::Value::Seq(entries)).expect("fixture serialises");
+    std::fs::write("tests/golden/async-verified-subset.json", subset + "\n")
+        .expect("write subset fixture");
+
+    let (_, proof, refuted, undecided, digest) = full_classification();
+    let full = serde_json::to_string_pretty(&serde_json::Value::Map(vec![
+        ("total".to_string(), serde_json::Value::UInt(3652)),
+        ("proof".to_string(), serde_json::Value::UInt(proof as u64)),
+        ("refuted".to_string(), serde_json::Value::UInt(refuted as u64)),
+        ("undecided".to_string(), serde_json::Value::UInt(undecided as u64)),
+        ("digest".to_string(), serde_json::Value::Str(digest)),
+    ]))
+    .expect("fixture serialises");
+    std::fs::write("tests/golden/async-verified-full.json", full + "\n")
+        .expect("write full fixture");
+
+    // Keep replay validity in the regen path too.
+    let algo = SevenGather::verified();
+    for (index, initial, report) in &reports {
+        assert_replays(*index, initial, &algo, &report.verdict);
+    }
+}
