@@ -6,14 +6,16 @@
 //! mirrored configurations are genuinely different inputs). These objects
 //! are known as *fixed polyhexes*; their counts are OEIS A001207:
 //!
-//! | n | 1 | 2 | 3 | 4 | 5 | 6 | 7 |
-//! |---|---|---|---|---|---|---|---|
-//! | fixed polyhexes | 1 | 3 | 11 | 44 | 186 | 814 | **3652** |
+//! | n | 1 | 2 | 3 | 4 | 5 | 6 | 7 | 8 |
+//! |---|---|---|---|---|---|---|---|---|
+//! | fixed polyhexes | 1 | 3 | 11 | 44 | 186 | 814 | **3652** | 16689 |
 //!
 //! The paper's exhaustive correctness check runs over the 3652 classes
-//! for n = 7 (§IV-B). This crate enumerates them with Redelmeier's
-//! algorithm, provides canonical forms under translation and under the
-//! full symmetry group, and a random generator for larger sizes.
+//! for n = 7 (§IV-B); the repo's parameterized sweeps extend the same
+//! enumeration to other robot counts. This crate enumerates the
+//! classes with Redelmeier's algorithm, provides canonical forms under
+//! translation and under the full symmetry group, and a random
+//! generator for larger sizes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -209,6 +211,13 @@ mod tests {
     #[test]
     fn count_zero_is_zero() {
         assert_eq!(count_fixed(0), 0);
+    }
+
+    #[test]
+    fn count_n8_matches_oeis_a001207() {
+        // The first class space past the paper's n = 7 experiment;
+        // the n = 8 sweep cells cover exactly these 16689 classes.
+        assert_eq!(count_fixed(8), 16_689);
     }
 
     #[test]

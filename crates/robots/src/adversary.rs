@@ -112,7 +112,7 @@ pub enum AdversaryVerdict {
     /// recorded lasso.
     Refuted {
         /// Per-round activation bitmasks.
-        schedule: Vec<u8>,
+        schedule: Vec<u16>,
         /// The outcome the replay must reproduce.
         outcome: Outcome,
     },
@@ -182,6 +182,21 @@ impl Fnv64 {
         }
     }
 
+    /// Mixes a 16-bit activation/crash mask as a LEB128-style varint:
+    /// a mask below `0x80` emits the single byte it has always been; a
+    /// wider mask emits a continuation byte (`low 7 bits | 0x80`)
+    /// followed by the high bits. Every mask a ≤ 7-robot schedule can
+    /// contain stays below `0x80`, so all historical digests are
+    /// byte-identical under the u8 → u16 mask widening.
+    pub fn write_mask(&mut self, mask: u16) {
+        if mask < 0x80 {
+            self.write(mask as u8);
+        } else {
+            self.write((mask & 0x7f) as u8 | 0x80);
+            self.write((mask >> 7) as u8);
+        }
+    }
+
     /// The current hash value.
     #[must_use]
     pub fn finish(&self) -> u64 {
@@ -190,10 +205,14 @@ impl Fnv64 {
 }
 
 /// FNV-1a hash of a counterexample schedule, for compact golden files.
+/// Masks are mixed through [`Fnv64::write_mask`], so hashes over
+/// ≤ 7-robot schedules equal the historical byte-per-round ones.
 #[must_use]
-pub fn schedule_hash(schedule: &[u8]) -> u64 {
+pub fn schedule_hash(schedule: &[u16]) -> u64 {
     let mut h = Fnv64::new();
-    h.write_all(schedule);
+    for &mask in schedule {
+        h.write_mask(mask);
+    }
     h.finish()
 }
 
@@ -222,7 +241,7 @@ pub fn replay<A: Algorithm + ?Sized>(
 
 /// The goal of the fault-free instantiation: the paper's gathered
 /// hexagon (Definition 1). The crash mask is statically zero here.
-fn fsync_goal(cfg: &Configuration, _crashed: u8) -> bool {
+fn fsync_goal(cfg: &Configuration, _crashed: u16) -> bool {
     cfg.is_gathered()
 }
 
@@ -238,10 +257,22 @@ pub struct Checker<'a, A: Algorithm + ?Sized> {
 }
 
 impl<'a, A: Algorithm + ?Sized> Checker<'a, A> {
-    /// Builds a checker for `algo` with the given budgets.
+    /// Builds a checker for `algo` with the given budgets. The checker
+    /// accepts configurations of up to 8 robots; use
+    /// [`for_robots`](Checker::for_robots) for larger spaces.
     #[must_use]
     pub fn new(algo: &'a A, opts: AdversaryOptions) -> Self {
         Checker { explorer: Explorer::new(algo, opts.into(), 0, fsync_goal) }
+    }
+
+    /// Builds a checker accepting configurations of up to `max_robots`
+    /// robots (at most [`crate::PackedClass::MAX_ROBOTS`]).
+    ///
+    /// # Panics
+    /// Panics if `max_robots` exceeds the packed-key capacity.
+    #[must_use]
+    pub fn for_robots(algo: &'a A, opts: AdversaryOptions, max_robots: usize) -> Self {
+        Checker { explorer: Explorer::new_for_robots(algo, opts.into(), 0, fsync_goal, max_robots) }
     }
 
     /// The algorithm's equivariance subgroup (always contains the
@@ -254,8 +285,9 @@ impl<'a, A: Algorithm + ?Sized> Checker<'a, A> {
     /// Classifies `initial` under the exhaustive SSYNC adversary.
     ///
     /// # Panics
-    /// Panics if `initial` is disconnected or holds more than 8 robots
-    /// (activation masks are bytes).
+    /// Panics if `initial` is disconnected or holds more robots than
+    /// the checker was built for (8 by default; see
+    /// [`for_robots`](Checker::for_robots)).
     #[must_use]
     pub fn check(&self, initial: &Configuration) -> AdversaryReport {
         let report = self.explorer.check(initial);
@@ -306,7 +338,11 @@ mod tests {
         let ex = replay(initial, algo, &report.verdict).expect("refutations replay");
         assert_eq!(&ex.outcome, outcome, "replay must reproduce the recorded outcome");
         if matches!(outcome, Outcome::StepLimit { .. }) {
-            assert!(!ex.final_config.is_gathered(), "a lasso replay must not end gathered");
+            let moves = crate::engine::compute_moves(&ex.final_config, algo);
+            assert!(
+                !(ex.final_config.is_gathered() && moves.iter().all(Option::is_none)),
+                "a lasso replay must not settle at a goal fixpoint"
+            );
         }
     }
 
@@ -320,7 +356,9 @@ mod tests {
 
     #[test]
     fn stuck_fixpoint_is_refuted_with_empty_schedule() {
-        let line = cfg(&[(0, 0), (2, 0), (4, 0)]);
+        // A 4-line exceeds the ball four robots gather into (a 3-line
+        // would count as gathered under the n-aware goal).
+        let line = cfg(&[(0, 0), (2, 0), (4, 0), (6, 0)]);
         let report = check(&StayAlgorithm, &line);
         assert_eq!(
             report.verdict,

@@ -117,7 +117,8 @@ pub enum PhaseAdvance {
 /// occupied node.
 ///
 /// # Panics
-/// Panics if `slot` is out of range or `cfg` holds more than 8 robots.
+/// Panics if `slot` is out of range or `cfg` holds more than
+/// [`PackedClass::MAX_ROBOTS`] robots.
 pub fn advance_phase<A: Algorithm + ?Sized>(
     cfg: &Configuration,
     pending: PackedPending,
@@ -125,7 +126,11 @@ pub fn advance_phase<A: Algorithm + ?Sized>(
     algo: &A,
 ) -> Result<PhaseAdvance, RoundCollision> {
     let n = cfg.len();
-    assert!(n <= PackedClass::MAX_ROBOTS, "pending masks hold at most 8 robots");
+    assert!(
+        n <= PackedClass::MAX_ROBOTS,
+        "pending vectors hold at most {} robots",
+        PackedClass::MAX_ROBOTS
+    );
     assert!(slot < n, "slot {slot} out of range for {n} robots");
     match pending.get(slot) {
         None => {
@@ -475,11 +480,30 @@ pub struct AsyncChecker<'a, A: Algorithm + ?Sized> {
 }
 
 impl<'a, A: Algorithm + ?Sized> AsyncChecker<'a, A> {
-    /// Builds a checker for `algo` with the given search options.
+    /// Builds a checker for `algo` with the given search options. The
+    /// checker accepts configurations of up to 8 robots; use
+    /// [`for_robots`](AsyncChecker::for_robots) for larger spaces.
     #[must_use]
     pub fn new(algo: &'a A, opts: AsyncOptions) -> Self {
         AsyncChecker {
             explorer: Explorer::with_semantics(algo, opts.explore, AsyncSemantics::gathering()),
+        }
+    }
+
+    /// Builds a checker accepting configurations of up to `max_robots`
+    /// robots (at most [`PackedClass::MAX_ROBOTS`]).
+    ///
+    /// # Panics
+    /// Panics if `max_robots` exceeds the packed-key capacity.
+    #[must_use]
+    pub fn for_robots(algo: &'a A, opts: AsyncOptions, max_robots: usize) -> Self {
+        AsyncChecker {
+            explorer: Explorer::with_semantics_for_robots(
+                algo,
+                opts.explore,
+                AsyncSemantics::gathering(),
+                max_robots,
+            ),
         }
     }
 
@@ -493,7 +517,9 @@ impl<'a, A: Algorithm + ?Sized> AsyncChecker<'a, A> {
     /// adversary.
     ///
     /// # Panics
-    /// Panics if `initial` is disconnected or holds more than 8 robots.
+    /// Panics if `initial` is disconnected or holds more robots than
+    /// the checker was built for (8 by default; see
+    /// [`for_robots`](AsyncChecker::for_robots)).
     #[must_use]
     pub fn check(&self, initial: &Configuration) -> AsyncReport {
         self.explorer.check(initial)
@@ -537,7 +563,11 @@ pub fn run_async_schedule<A: Algorithm + ?Sized>(
     schedule: &[CrashRound],
     limits: Limits,
 ) -> AsyncExecution {
-    assert!(initial.len() <= 8, "activation masks are bytes: at most 8 robots");
+    assert!(
+        initial.len() <= PackedClass::MAX_ROBOTS,
+        "pending vectors hold at most {} robots",
+        PackedClass::MAX_ROBOTS
+    );
     let mut cfg = initial.canonical();
     let mut pending = PackedPending::IDLE;
     let mut trace = vec![cfg.clone()];
@@ -682,7 +712,9 @@ mod tests {
 
     #[test]
     fn stuck_fixpoint_is_refuted_with_empty_schedule() {
-        let line = cfg(&[(0, 0), (2, 0), (4, 0)]);
+        // A 4-line exceeds the ball four robots gather into (a 3-line
+        // would count as gathered under the n-aware goal).
+        let line = cfg(&[(0, 0), (2, 0), (4, 0), (6, 0)]);
         let report = check(&StayAlgorithm, &line);
         assert_eq!(
             report.verdict,

@@ -5,6 +5,39 @@ use std::collections::HashSet;
 use std::fmt;
 use trigrid::{path, Coord, Dir, ORIGIN};
 
+/// A typed capacity violation: the input does not fit the packed
+/// representation. Returned by the `try_*` packing constructors so
+/// callers (the sweep pipeline, the checker front-ends) can reject
+/// unsupported robot counts with a real error instead of tripping an
+/// assert mid-run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CapacityError {
+    /// More robots than the packed key can hold.
+    TooManyRobots {
+        /// The offending robot count.
+        robots: usize,
+        /// The capacity ([`PackedClass::MAX_ROBOTS`]).
+        max: usize,
+    },
+    /// The configuration's diameter exceeds the packable window.
+    WindowExceeded,
+}
+
+impl fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapacityError::TooManyRobots { robots, max } => {
+                write!(f, "{robots} robots exceed the packed-key capacity of {max}")
+            }
+            CapacityError::WindowExceeded => {
+                write!(f, "configuration exceeds the packable diameter window")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
 /// Bits per packed node for the signed x offset (window `-64..=63`).
 const X_BITS: u32 = 7;
 /// Bits per packed node for the y offset (window `0..=31`).
@@ -26,7 +59,7 @@ const X_BIAS: i32 = 1 << (X_BITS - 1);
 /// node fits 12 bits and the whole class key fits a `u128`:
 ///
 /// ```text
-/// bits 0..4            robot count n (0..=8)
+/// bits 0..4            robot count n (0..=10)
 /// bits 4+12i..4+12i+7  node i: x + 64   (row-major order)
 /// bits 4+12i+7..16+12i node i: y
 /// ```
@@ -40,8 +73,10 @@ const X_BIAS: i32 = 1 << (X_BITS - 1);
 pub struct PackedClass(u128);
 
 impl PackedClass {
-    /// Largest robot count a packed key can hold.
-    pub const MAX_ROBOTS: usize = 8;
+    /// Largest robot count a packed key can hold: the count prefix and
+    /// ten 12-bit nodes take `4 + 10·12 = 124 ≤ 128` bits, and the
+    /// compile-time checks below pin both capacity inequalities.
+    pub const MAX_ROBOTS: usize = 10;
 
     /// Packs arbitrary cells (folding the translation): the packed
     /// canonical translation class of `cells`.
@@ -51,12 +86,28 @@ impl PackedClass {
     /// set exceeds the packable diameter window.
     #[must_use]
     pub fn of_cells(cells: &[Coord]) -> PackedClass {
-        assert!(cells.len() <= Self::MAX_ROBOTS, "packed keys hold at most 8 robots");
+        Self::try_of_cells(cells).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Self::of_cells`], returning a typed [`CapacityError`]
+    /// instead of panicking when the cells do not fit a packed key.
+    ///
+    /// # Errors
+    /// [`CapacityError::TooManyRobots`] beyond [`Self::MAX_ROBOTS`]
+    /// cells, [`CapacityError::WindowExceeded`] beyond the diameter
+    /// window.
+    pub fn try_of_cells(cells: &[Coord]) -> Result<PackedClass, CapacityError> {
+        if cells.len() > Self::MAX_ROBOTS {
+            return Err(CapacityError::TooManyRobots {
+                robots: cells.len(),
+                max: Self::MAX_ROBOTS,
+            });
+        }
         let mut buf = [ORIGIN; Self::MAX_ROBOTS];
         buf[..cells.len()].copy_from_slice(cells);
         let sorted = &mut buf[..cells.len()];
         sorted.sort_unstable_by_key(|c| polyhex::key(*c));
-        Self::of_sorted(sorted)
+        Self::try_of_sorted(sorted).ok_or(CapacityError::WindowExceeded)
     }
 
     /// Packs cells that are **already sorted in row-major order** (the
@@ -116,6 +167,13 @@ impl PackedClass {
     }
 }
 
+// Compile-time capacity proofs: the count prefix can represent
+// MAX_ROBOTS, and MAX_ROBOTS packed nodes plus the prefix fit a u128.
+const _: () = assert!(PackedClass::MAX_ROBOTS < (1 << LEN_BITS));
+const _: () = assert!(
+    LEN_BITS as usize + NODE_BITS as usize * PackedClass::MAX_ROBOTS <= u128::BITS as usize
+);
+
 impl fmt::Debug for PackedClass {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "PackedClass({:#x})", self.0)
@@ -138,7 +196,8 @@ const PEND_BITS: u32 = 3;
 /// interferes with nobody, so the ASYNC discretisation collapses
 /// look-then-stay into a single no-effect cycle (DESIGN.md §13).
 ///
-/// Packing is injective on the 8-slot window, so two keys are equal
+/// Packing is injective on the [`PackedClass::MAX_ROBOTS`]-slot
+/// window, so two keys are equal
 /// **iff** the pending vectors are equal — the key *is* the auxiliary
 /// state, exactly as a [`PackedClass`] key is the translation class
 /// (`tests/packed_pending.rs` pins both directions).
@@ -155,12 +214,27 @@ impl PackedPending {
     /// Panics if there are more than [`PackedClass::MAX_ROBOTS`] slots.
     #[must_use]
     pub fn of_slots(slots: &[Option<Dir>]) -> PackedPending {
-        assert!(slots.len() <= PackedClass::MAX_ROBOTS, "pending keys hold at most 8 robots");
+        Self::try_of_slots(slots).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Self::of_slots`], returning a typed [`CapacityError`]
+    /// instead of panicking on over-capacity vectors.
+    ///
+    /// # Errors
+    /// [`CapacityError::TooManyRobots`] beyond
+    /// [`PackedClass::MAX_ROBOTS`] slots.
+    pub fn try_of_slots(slots: &[Option<Dir>]) -> Result<PackedPending, CapacityError> {
+        if slots.len() > PackedClass::MAX_ROBOTS {
+            return Err(CapacityError::TooManyRobots {
+                robots: slots.len(),
+                max: PackedClass::MAX_ROBOTS,
+            });
+        }
         let mut packed = PackedPending::IDLE;
         for (i, &p) in slots.iter().enumerate() {
             packed = packed.with(i, p);
         }
-        packed
+        Ok(packed)
     }
 
     /// The pending move of slot `slot` (`None` = idle).
@@ -219,6 +293,9 @@ impl PackedPending {
         mapped
     }
 }
+
+// Compile-time capacity proof: MAX_ROBOTS pending slots fit a u32.
+const _: () = assert!(PEND_BITS as usize * PackedClass::MAX_ROBOTS <= u32::BITS as usize);
 
 impl fmt::Debug for PackedPending {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -302,11 +379,26 @@ impl Configuration {
         self.nodes.iter().copied().find(|&c| self.occupied_neighbors(c) == 6)
     }
 
-    /// Whether this is a gathering-achieved configuration for seven
-    /// robots: exactly seven robots forming a filled hexagon.
+    /// Whether this is a gathering-achieved configuration for its robot
+    /// count `n`: all robots lie within one closed ball of radius
+    /// [`min_gather_radius`]`(n)` — the smallest ball that can hold `n`
+    /// robots, so no tighter cluster exists. For `n = 7` the radius-1
+    /// ball has exactly seven nodes and this is precisely Definition 1's
+    /// filled hexagon (a robot with six robot neighbours); for other `n`
+    /// it is the natural "as close together as possible" generalisation
+    /// the paper's §V open questions ask about (DESIGN.md §14).
     #[must_use]
     pub fn is_gathered(&self) -> bool {
-        self.len() == 7 && self.gathered_center().is_some()
+        let n = self.len();
+        if n == 0 {
+            return false;
+        }
+        let r = min_gather_radius(n);
+        // Any covering ball's centre lies within `r` of every robot, in
+        // particular the first one, so scanning that disk is complete.
+        trigrid::region::disk(self.nodes[0], r)
+            .into_iter()
+            .any(|c| self.nodes.iter().all(|&p| c.distance(p) <= r))
     }
 
     /// Maximum pairwise distance between robot nodes.
@@ -335,7 +427,11 @@ impl Configuration {
     /// diameter window (see [`PackedClass`]).
     #[must_use]
     pub fn canonical_key(&self) -> PackedClass {
-        assert!(self.nodes.len() <= PackedClass::MAX_ROBOTS, "packed keys hold at most 8 robots");
+        assert!(
+            self.nodes.len() <= PackedClass::MAX_ROBOTS,
+            "packed keys hold at most {} robots",
+            PackedClass::MAX_ROBOTS
+        );
         PackedClass::of_sorted(&self.nodes)
     }
 
@@ -393,6 +489,26 @@ pub fn hexagon(center: Coord) -> Configuration {
     Configuration::new(trigrid::region::disk(center, 1))
 }
 
+/// Number of nodes in a closed radius-`r` ball of the triangular grid:
+/// `1 + 3r(r+1)` (1, 7, 19, 37, …).
+#[must_use]
+pub const fn ball_capacity(r: u32) -> usize {
+    1 + 3 * (r as usize) * (r as usize + 1)
+}
+
+/// The smallest radius `r` such that a closed radius-`r` ball holds `n`
+/// nodes — the tightest cluster `n` robots can possibly form, and hence
+/// the n-aware gathering radius (`0` for `n ≤ 1`, `1` for `n ≤ 7`, `2`
+/// for `n ≤ 19`, …). See DESIGN.md §14 for the soundness argument.
+#[must_use]
+pub fn min_gather_radius(n: usize) -> u32 {
+    let mut r = 0;
+    while ball_capacity(r) < n {
+        r += 1;
+    }
+    r
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -442,21 +558,51 @@ mod tests {
     }
 
     #[test]
-    fn six_robot_hexagon_ring_is_not_gathered() {
-        // A hollow hexagon (no centre robot) must not count as gathered:
-        // no robot has six robot neighbours, and there are only 6 robots.
+    fn six_robot_hexagon_ring_gathers_for_its_count() {
+        // A hollow hexagon is not the seven-robot goal (no robot has
+        // six robot neighbours, so there is no gathered centre), but as
+        // a 6-robot configuration it fits one closed radius-1 ball —
+        // the tightest cluster six robots can form — so the n-aware
+        // predicate accepts it.
         let ring = Configuration::new(trigrid::region::ring(ORIGIN, 1));
-        assert!(!ring.is_gathered());
+        assert_eq!(ring.gathered_center(), None);
+        assert!(ring.is_gathered());
     }
 
     #[test]
-    fn eight_robots_never_gathered_by_this_predicate() {
+    fn eight_robots_gather_within_a_radius_two_ball() {
+        // min_gather_radius(8) = 2: a full hexagon plus a pendant robot
+        // still fits one closed radius-2 ball, so it is gathered for
+        // n = 8 even though no radius-1 ball can hold eight robots.
         let mut nodes = trigrid::region::disk(ORIGIN, 1);
         nodes.push(Coord::new(4, 0));
         let c = Configuration::new(nodes);
         assert_eq!(c.len(), 8);
-        assert!(!c.is_gathered(), "is_gathered is specific to seven robots");
-        assert!(c.gathered_center().is_some());
+        assert!(c.is_gathered());
+        // A straight eight-robot line has diameter 7 > 2·2: not gathered.
+        assert!(!line(8).is_gathered());
+    }
+
+    #[test]
+    fn min_gather_radius_matches_ball_capacities() {
+        assert_eq!(ball_capacity(0), 1);
+        assert_eq!(ball_capacity(1), 7);
+        assert_eq!(ball_capacity(2), 19);
+        assert_eq!(min_gather_radius(1), 0);
+        assert_eq!(min_gather_radius(2), 1);
+        assert_eq!(min_gather_radius(7), 1);
+        assert_eq!(min_gather_radius(8), 2);
+        assert_eq!(min_gather_radius(10), 2);
+        assert_eq!(min_gather_radius(19), 2);
+        assert_eq!(min_gather_radius(20), 3);
+        // The predicate agrees with the radius: n robots packed as a
+        // ball prefix are always gathered.
+        for n in 1..=10 {
+            let r = min_gather_radius(n);
+            let ball = trigrid::region::disk(ORIGIN, r);
+            let c = Configuration::new(ball.into_iter().take(n));
+            assert!(c.is_gathered(), "{n} robots in a radius-{r} ball prefix");
+        }
     }
 
     #[test]
@@ -525,9 +671,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at most 8 robots")]
-    fn packed_key_rejects_nine_robots() {
-        let _ = Configuration::new((0..9).map(|i| Coord::new(2 * i, 0))).canonical_key();
+    #[should_panic(expected = "at most 10 robots")]
+    fn packed_key_rejects_eleven_robots() {
+        let _ = Configuration::new((0..11).map(|i| Coord::new(2 * i, 0))).canonical_key();
+    }
+
+    #[test]
+    fn packed_key_holds_nine_and_ten_robots() {
+        for n in [9, 10] {
+            let c = Configuration::new((0..n).map(|i| Coord::new(2 * i, 0)));
+            assert_eq!(c.canonical_key().robots(), n as usize);
+            assert_eq!(c.canonical_key().unpack(), c.canonical());
+        }
+    }
+
+    #[test]
+    fn try_of_cells_reports_typed_capacity_errors() {
+        let eleven: Vec<Coord> = (0..11).map(|i| Coord::new(2 * i, 0)).collect();
+        assert_eq!(
+            PackedClass::try_of_cells(&eleven),
+            Err(CapacityError::TooManyRobots { robots: 11, max: PackedClass::MAX_ROBOTS })
+        );
+        assert_eq!(
+            PackedClass::try_of_cells(&[ORIGIN, Coord::new(200, 0)]),
+            Err(CapacityError::WindowExceeded)
+        );
+        let ok = PackedClass::try_of_cells(&[ORIGIN, Coord::new(2, 0)]).expect("fits");
+        assert_eq!(ok.robots(), 2);
+        assert_eq!(
+            PackedPending::try_of_slots(&[None; 11]),
+            Err(CapacityError::TooManyRobots { robots: 11, max: PackedClass::MAX_ROBOTS })
+        );
     }
 
     #[test]
@@ -549,8 +723,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at most 8 robots")]
-    fn packed_pending_rejects_nine_slots() {
-        let _ = PackedPending::of_slots(&[None; 9]);
+    #[should_panic(expected = "exceed the packed-key capacity")]
+    fn packed_pending_rejects_eleven_slots() {
+        let _ = PackedPending::of_slots(&[None; 11]);
     }
 }

@@ -422,7 +422,10 @@ mod tests {
 
     #[test]
     fn stay_on_line_is_stuck() {
-        let line = cfg(&[(0, 0), (2, 0), (4, 0)]);
+        // Four robots spanning three edges cannot fit the radius-1
+        // ball four robots gather into: a dead fixpoint. (A 3-line
+        // would count as gathered under the n-aware goal.)
+        let line = cfg(&[(0, 0), (2, 0), (4, 0), (6, 0)]);
         let ex = run(&line, &StayAlgorithm, Limits::default());
         assert_eq!(ex.outcome, Outcome::StuckFixpoint { rounds: 0 });
     }

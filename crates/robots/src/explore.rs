@@ -117,7 +117,16 @@ impl ExploreOptions {
 /// with the given crashed-slot mask counts as a *successful* terminal.
 /// Plain function pointer so [`CrashSemantics`] needs no extra type
 /// parameter.
-pub type Goal = fn(&Configuration, u8) -> bool;
+pub type Goal = fn(&Configuration, u16) -> bool;
+
+/// Robot capacity of the 16-bit crash / activation slot masks used
+/// throughout the exploration layer. The packed class keys are the
+/// binding constraint (10 robots), and the compile-time check proves
+/// every packable configuration fits the masks — widening
+/// [`PackedClass::MAX_ROBOTS`] past 16 would fail the build here, not
+/// corrupt masks at runtime.
+pub const MASK_ROBOTS: usize = u16::BITS as usize;
+const _: () = assert!(PackedClass::MAX_ROBOTS <= MASK_ROBOTS);
 
 /// The classification of one initial class by [`Explorer::check`].
 ///
@@ -182,11 +191,28 @@ pub struct ExploreReport {
 
 /// Computes the subgroup of D6 under which `algo` is equivariant:
 /// `compute(σ·v) = σ·compute(v)` for every view `v` with at most
-/// **seven** robots — the only views that can arise in the up-to-8
-/// robot configurations [`Explorer::check`] accepts. Algorithms with
-/// radius beyond 2 are conservatively treated as asymmetric.
+/// **seven** robots — the only views that can arise in up-to-8 robot
+/// configurations. For explorers handling more robots use
+/// [`equivariance_group_for`], which widens the view scan to
+/// `max_robots - 1` other robots. Algorithms with radius beyond 2 are
+/// conservatively treated as asymmetric.
 #[must_use]
 pub fn equivariance_group<A: Algorithm + ?Sized>(algo: &A) -> Vec<PointSymmetry> {
+    equivariance_group_for(algo, 8)
+}
+
+/// Like [`equivariance_group`], scanning every view with at most
+/// `max_robots - 1` robots — the views that can arise in configurations
+/// of up to `max_robots` robots. The n = 7 checkers keep calling the
+/// historical 8-robot bound so their deduplication (and hence their
+/// golden-pinned schedules) is unchanged; wider explorers must widen
+/// the scan or the dedup would be unsound.
+#[must_use]
+pub fn equivariance_group_for<A: Algorithm + ?Sized>(
+    algo: &A,
+    max_robots: usize,
+) -> Vec<PointSymmetry> {
+    let max_others = max_robots.saturating_sub(1) as u32;
     let radius = algo.radius();
     let mut group = vec![PointSymmetry::Rot(0)];
     let labels = view::labels(radius);
@@ -199,7 +225,7 @@ pub fn equivariance_group<A: Algorithm + ?Sized>(algo: &A) -> Vec<PointSymmetry>
             .map(|&l| view::label_index(radius, s.apply(l)).expect("D6 permutes the label disk"))
             .collect();
         for bits in 0..(1u64 << labels.len()) {
-            if bits.count_ones() > 7 {
+            if bits.count_ones() > max_others {
                 continue;
             }
             let mut mapped = 0u64;
@@ -242,7 +268,7 @@ pub struct ClassInfo {
     /// Bitmask of robots whose fresh decision is a move (for the crash
     /// semantics this includes crashed robots — a crashed robot keeps
     /// "deciding", it just never acts).
-    pub(crate) movers: u8,
+    pub(crate) movers: u16,
     /// Full decision vector, aligned with the class's positions.
     pub(crate) moves: [Option<Dir>; PackedClass::MAX_ROBOTS],
 }
@@ -256,7 +282,7 @@ impl ClassInfo {
 
     /// Bitmask of robots whose fresh decision is a move.
     #[must_use]
-    pub fn movers(&self) -> u8 {
+    pub fn movers(&self) -> u16 {
         self.movers
     }
 
@@ -355,11 +381,17 @@ impl CrashSemantics {
     /// Builds the semantics for the given crash budget and goal.
     ///
     /// # Panics
-    /// Panics if `budget > 7`: crash masks are bytes and at least one
-    /// robot must stay alive for the goal to be meaningful.
+    /// Panics if `budget >= PackedClass::MAX_ROBOTS`: at least one
+    /// robot must stay alive for the goal to be meaningful (the masks
+    /// themselves hold [`MASK_ROBOTS`] slots).
     #[must_use]
     pub fn new(budget: u8, goal: Goal) -> Self {
-        assert!(budget <= 7, "crash budget above 7 is meaningless for byte masks");
+        assert!(
+            (budget as usize) < PackedClass::MAX_ROBOTS,
+            "crash budget {budget} would allow crashing every robot \
+             (capacity {})",
+            PackedClass::MAX_ROBOTS
+        );
         CrashSemantics { budget, goal }
     }
 }
@@ -464,18 +496,37 @@ pub struct Explorer<'a, A: Algorithm + ?Sized, S: Semantics = CrashSemantics> {
     opts: ExploreOptions,
     group: Vec<PointSymmetry>,
     semantics: S,
+    /// Largest robot count [`Explorer::check`] accepts; the
+    /// equivariance scan was widened to match, so the stabilizer dedup
+    /// stays sound (see [`equivariance_group_for`]).
+    max_robots: usize,
 }
 
 impl<'a, A: Algorithm + ?Sized> Explorer<'a, A, CrashSemantics> {
     /// Builds a crash-semantics explorer for `algo` with the given
-    /// budgets, crash budget and goal predicate.
+    /// budgets, crash budget and goal predicate, accepting up to 8
+    /// robots (the historical bound; use [`Self::new_for_robots`] for
+    /// wider configurations).
     ///
     /// # Panics
-    /// Panics if `budget > 7`: crash masks are bytes and at least one
+    /// Panics if `budget >= PackedClass::MAX_ROBOTS`: at least one
     /// robot must stay alive for the goal to be meaningful.
     #[must_use]
     pub fn new(algo: &'a A, opts: ExploreOptions, budget: u8, goal: Goal) -> Self {
         Self::with_semantics(algo, opts, CrashSemantics::new(budget, goal))
+    }
+
+    /// Like [`Self::new`], accepting configurations of up to
+    /// `max_robots` robots (≤ [`PackedClass::MAX_ROBOTS`]).
+    #[must_use]
+    pub fn new_for_robots(
+        algo: &'a A,
+        opts: ExploreOptions,
+        budget: u8,
+        goal: Goal,
+        max_robots: usize,
+    ) -> Self {
+        Self::with_semantics_for_robots(algo, opts, CrashSemantics::new(budget, goal), max_robots)
     }
 
     /// The crash budget this explorer was built with.
@@ -486,16 +537,42 @@ impl<'a, A: Algorithm + ?Sized> Explorer<'a, A, CrashSemantics> {
 }
 
 impl<'a, A: Algorithm + ?Sized, S: Semantics> Explorer<'a, A, S> {
-    /// Builds an explorer for `algo` over the given semantics.
+    /// Builds an explorer for `algo` over the given semantics, accepting
+    /// up to 8 robots. This is the historical constructor: its
+    /// equivariance scan (and therefore its dedup decisions and golden
+    /// schedules) are byte-identical to the u8-mask era.
     #[must_use]
     pub fn with_semantics(algo: &'a A, opts: ExploreOptions, semantics: S) -> Self {
+        Self::with_semantics_for_robots(algo, opts, semantics, 8)
+    }
+
+    /// Builds an explorer accepting configurations of up to `max_robots`
+    /// robots. The equivariance subgroup is computed over every view
+    /// with up to `max_robots - 1` robots (never fewer than the
+    /// historical 7), so widening can only shrink the group — dedup
+    /// stays sound at every supported count.
+    ///
+    /// # Panics
+    /// Panics if `max_robots` exceeds [`PackedClass::MAX_ROBOTS`].
+    #[must_use]
+    pub fn with_semantics_for_robots(
+        algo: &'a A,
+        opts: ExploreOptions,
+        semantics: S,
+        max_robots: usize,
+    ) -> Self {
+        assert!(
+            max_robots <= PackedClass::MAX_ROBOTS,
+            "explorers support at most {} robots",
+            PackedClass::MAX_ROBOTS
+        );
         let oracle = MoveOracle::new(algo);
         // Scanning the view space for the equivariance subgroup goes
         // through the oracle too: it both dedups the scan's repeated
         // evaluations and pre-warms the memo table with every view the
         // exploration can encounter.
-        let group = equivariance_group(&oracle);
-        Explorer { oracle, opts, group, semantics }
+        let group = equivariance_group_for(&oracle, max_robots.max(8));
+        Explorer { oracle, opts, group, semantics, max_robots: max_robots.max(8) }
     }
 
     /// The algorithm's equivariance subgroup (always contains the
@@ -503,6 +580,12 @@ impl<'a, A: Algorithm + ?Sized, S: Semantics> Explorer<'a, A, S> {
     #[must_use]
     pub fn group(&self) -> &[PointSymmetry] {
         &self.group
+    }
+
+    /// The largest robot count this explorer accepts.
+    #[must_use]
+    pub fn max_robots(&self) -> usize {
+        self.max_robots
     }
 
     /// The semantics this explorer instantiates.
@@ -519,11 +602,18 @@ impl<'a, A: Algorithm + ?Sized, S: Semantics> Explorer<'a, A, S> {
     /// instantiation.
     ///
     /// # Panics
-    /// Panics if `initial` is disconnected or holds more than 8 robots
-    /// (activation and aux masks are bytes / byte-indexed).
+    /// Panics if `initial` is disconnected or holds more robots than
+    /// this explorer was built for (see
+    /// [`Self::with_semantics_for_robots`]).
     #[must_use]
     pub fn check(&self, initial: &Configuration) -> ExploreReport {
-        assert!(initial.len() <= 8, "activation masks are bytes: at most 8 robots");
+        assert!(
+            initial.len() <= self.max_robots,
+            "this explorer was built for at most {} robots (got {}); \
+             construct it with new_for_robots / with_semantics_for_robots",
+            self.max_robots,
+            initial.len()
+        );
         assert!(initial.is_connected(), "the paper's model starts connected");
         let mut search = Search {
             explorer: self,
@@ -588,8 +678,8 @@ impl<'a, A: Algorithm + ?Sized, S: Semantics> Explorer<'a, A, S> {
 }
 
 /// Image of a slot bitmask under an index permutation.
-fn apply_perm_mask(mask: u8, perm: &[usize]) -> u8 {
-    let mut mapped = 0u8;
+fn apply_perm_mask(mask: u16, perm: &[usize]) -> u16 {
+    let mut mapped = 0u16;
     for (i, &j) in perm.iter().enumerate() {
         if mask & (1 << i) != 0 {
             mapped |= 1 << j;
@@ -703,7 +793,7 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
             let decisions = engine::compute_moves(cfg, &self.explorer.oracle);
             let mut moves = [None; PackedClass::MAX_ROBOTS];
             moves[..decisions.len()].copy_from_slice(&decisions);
-            let movers = decisions.iter().enumerate().fold(0u8, |acc, (i, m)| {
+            let movers = decisions.iter().enumerate().fold(0u16, |acc, (i, m)| {
                 if m.is_some() {
                     acc | (1 << i)
                 } else {
@@ -889,7 +979,7 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
                     // Sort slot indices by the row-major order of the
                     // images: slot `k` of the transformed canonical
                     // form holds the robot from original slot `idx[k]`.
-                    let mut idx = [0usize, 1, 2, 3, 4, 5, 6, 7];
+                    let mut idx: [usize; PackedClass::MAX_ROBOTS] = std::array::from_fn(|i| i);
                     idx[..n].sort_unstable_by_key(|&i| polyhex::key(mapped[i]));
                     let delta = mapped[idx[0]];
                     let mut cells = [ORIGIN; PackedClass::MAX_ROBOTS];
@@ -1124,8 +1214,8 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
 }
 
 /// Slot bitmask of the `coords` within `raw` (row-major slot indexing).
-fn coords_mask(raw: &Configuration, coords: &[Coord]) -> u8 {
-    let mut mask = 0u8;
+fn coords_mask(raw: &Configuration, coords: &[Coord]) -> u16 {
+    let mut mask = 0u16;
     for &p in coords {
         let slot = raw
             .positions()
@@ -1139,7 +1229,11 @@ fn coords_mask(raw: &Configuration, coords: &[Coord]) -> u8 {
 
 /// Coordinates of the slots in `mask` within `cfg`, written into a
 /// stack buffer (returned as the filled prefix length).
-fn mask_coords(cfg: &Configuration, mask: u8, buf: &mut [Coord; 8]) -> usize {
+fn mask_coords(
+    cfg: &Configuration,
+    mask: u16,
+    buf: &mut [Coord; PackedClass::MAX_ROBOTS],
+) -> usize {
     let mut len = 0;
     for (i, &p) in cfg.positions().iter().enumerate() {
         if mask & (1 << i) != 0 {
@@ -1150,20 +1244,32 @@ fn mask_coords(cfg: &Configuration, mask: u8, buf: &mut [Coord; 8]) -> usize {
     len
 }
 
-impl Semantics for CrashSemantics {
-    type Aux = u8;
+/// The next submask of `set` after `cur` in ascending numeric order
+/// (`(cur - set) & set` with wrapping arithmetic). Starting from `0`
+/// and advancing until `cur == set` enumerates every submask of `set`
+/// ascending — exactly the masks the historical `0..=u8::MAX` scans
+/// visited after their `mask & !set != 0` filter, so BFS discovery
+/// order (and with it every golden-pinned counterexample schedule) is
+/// preserved while the widened 16-bit masks avoid a 65536-iteration
+/// sweep per state.
+fn next_submask(cur: u16, set: u16) -> u16 {
+    cur.wrapping_sub(set) & set
+}
 
-    fn root_aux(&self) -> u8 {
+impl Semantics for CrashSemantics {
+    type Aux = u16;
+
+    fn root_aux(&self) -> u16 {
         0
     }
 
-    fn aux_bits(aux: u8) -> u32 {
+    fn aux_bits(aux: u16) -> u32 {
         u32::from(aux)
     }
 
-    fn permute_aux(aux: u8, _n: usize, map: impl Fn(usize) -> usize, _sym: PointSymmetry) -> u8 {
-        let mut mapped = 0u8;
-        for i in 0..8 {
+    fn permute_aux(aux: u16, _n: usize, map: impl Fn(usize) -> usize, _sym: PointSymmetry) -> u16 {
+        let mut mapped = 0u16;
+        for i in 0..MASK_ROBOTS {
             if aux & (1 << i) != 0 {
                 mapped |= 1 << map(i);
             }
@@ -1171,7 +1277,7 @@ impl Semantics for CrashSemantics {
         mapped
     }
 
-    fn classify(&self, cfg: &Configuration, info: &ClassInfo, crashed: u8) -> NodeKind {
+    fn classify(&self, cfg: &Configuration, info: &ClassInfo, crashed: u16) -> NodeKind {
         if info.movers & !crashed == 0 {
             if (self.goal)(cfg, crashed) {
                 NodeKind::Goal
@@ -1203,7 +1309,7 @@ impl Semantics for CrashSemantics {
         let info = search.info(class);
         let n = info.n as usize;
         let movers = info.movers;
-        let live = if n >= 8 { u8::MAX } else { (1u8 << n) - 1 } & !crashed;
+        let live = ((1u16 << n) - 1) & !crashed;
         let avail = self.budget.saturating_sub(crashed.count_ones() as u8);
         let explorer = search.explorer();
         let perms = if explorer.group().len() > 1 {
@@ -1211,105 +1317,117 @@ impl Semantics for CrashSemantics {
         } else {
             Vec::new()
         };
-        for crash in 0..=u8::MAX {
-            if crash & !live != 0 || crash.count_ones() > u32::from(avail) {
-                continue;
-            }
-            let after = crashed | crash;
-            let live_movers = movers & !after;
-            if live_movers == 0 {
-                // The injection froze every remaining mover: a single
-                // injection-only action to a terminal state. `crash`
-                // is nonzero here — an inner state has a live mover.
-                // The configuration is unchanged, so the successor is
-                // interned directly at this class with the new mask.
-                let action = CrashRound { crash, activate: 0 };
-                if !perms.is_empty() && canonical_action(action, &perms) != action {
-                    search.bump_deduped();
-                    continue;
+        // Submasks of `live` in ascending numeric order — the same
+        // sequence the historical filtered `0..=u8::MAX` scan visited,
+        // so BFS discovery order (and every pinned schedule) survives
+        // the u8 → u16 widening.
+        let mut crash: u16 = 0;
+        'crash: loop {
+            'one_crash: {
+                if crash.count_ones() > u32::from(avail) {
+                    break 'one_crash;
                 }
-                search.bump_edges();
-                let (succ, new) = search.intern_variant(class, after, rounds, Some((id, action)));
-                if new && search.node_kind(succ) == NodeKind::Stuck {
-                    let mut schedule = search.path_to(id);
-                    schedule.push(action);
-                    return Some(ExploreVerdict::Refuted {
-                        schedule,
-                        outcome: Outcome::StuckFixpoint { rounds },
-                    });
-                }
-                search.push_edge(id, action, succ);
-                if search.over_budget() {
-                    return Some(ExploreVerdict::Undecided { depth: search.opts().fair_depth });
-                }
-                continue;
-            }
-            // Depends only on the injection, not the activation: one
-            // computation serves every mask below (empty and
-            // allocation-free in budget-0 instantiations).
-            let mut crash_buf = [ORIGIN; 8];
-            let crash_len = mask_coords(search.class_cfg(class), after, &mut crash_buf);
-            let crashed_coords = &crash_buf[..crash_len];
-            for mask in 1..=u8::MAX {
-                if mask & !live_movers != 0 {
-                    continue;
-                }
-                let action = CrashRound { crash, activate: mask };
-                if !perms.is_empty() && canonical_action(action, &perms) != action {
-                    search.bump_deduped();
-                    continue;
-                }
-                let mut masked = [None; PackedClass::MAX_ROBOTS];
-                for (i, slot) in masked[..n].iter_mut().enumerate() {
-                    if mask & (1 << i) != 0 {
-                        *slot = info.moves[i];
+                let after = crashed | crash;
+                let live_movers = movers & !after;
+                if live_movers == 0 {
+                    // The injection froze every remaining mover: a single
+                    // injection-only action to a terminal state. `crash`
+                    // is nonzero here — an inner state has a live mover.
+                    // The configuration is unchanged, so the successor is
+                    // interned directly at this class with the new mask.
+                    let action = CrashRound { crash, activate: 0 };
+                    if !perms.is_empty() && canonical_action(action, &perms) != action {
+                        search.bump_deduped();
+                        break 'one_crash;
                     }
-                }
-                // The round semantics are the engine's `check_moves` +
-                // `apply_unchecked` — exactly `step_moves` minus the
-                // per-round `moved` report nobody reads here.
-                let cfg = search.class_cfg(class);
-                match engine::check_moves(cfg, &masked[..n]) {
-                    Err(collision) => {
+                    search.bump_edges();
+                    let (succ, new) =
+                        search.intern_variant(class, after, rounds, Some((id, action)));
+                    if new && search.node_kind(succ) == NodeKind::Stuck {
                         let mut schedule = search.path_to(id);
                         schedule.push(action);
                         return Some(ExploreVerdict::Refuted {
                             schedule,
-                            outcome: Outcome::Collision { round: rounds, collision },
+                            outcome: Outcome::StuckFixpoint { rounds },
                         });
                     }
-                    Ok(()) => {
-                        let next = cfg.apply_unchecked(&masked[..n]);
-                        search.bump_edges();
-                        if !next.is_connected() {
+                    search.push_edge(id, action, succ);
+                    if search.over_budget() {
+                        return Some(ExploreVerdict::Undecided { depth: search.opts().fair_depth });
+                    }
+                    break 'one_crash;
+                }
+                // Depends only on the injection, not the activation: one
+                // computation serves every mask below (empty and
+                // allocation-free in budget-0 instantiations).
+                let mut crash_buf = [ORIGIN; PackedClass::MAX_ROBOTS];
+                let crash_len = mask_coords(search.class_cfg(class), after, &mut crash_buf);
+                let crashed_coords = &crash_buf[..crash_len];
+                // Nonzero submasks of `live_movers`, ascending.
+                let mut mask: u16 = 0;
+                while mask != live_movers {
+                    mask = next_submask(mask, live_movers);
+                    let action = CrashRound { crash, activate: mask };
+                    if !perms.is_empty() && canonical_action(action, &perms) != action {
+                        search.bump_deduped();
+                        continue;
+                    }
+                    let mut masked = [None; PackedClass::MAX_ROBOTS];
+                    for (i, slot) in masked[..n].iter_mut().enumerate() {
+                        if mask & (1 << i) != 0 {
+                            *slot = info.moves[i];
+                        }
+                    }
+                    // The round semantics are the engine's `check_moves` +
+                    // `apply_unchecked` — exactly `step_moves` minus the
+                    // per-round `moved` report nobody reads here.
+                    let cfg = search.class_cfg(class);
+                    match engine::check_moves(cfg, &masked[..n]) {
+                        Err(collision) => {
                             let mut schedule = search.path_to(id);
                             schedule.push(action);
                             return Some(ExploreVerdict::Refuted {
                                 schedule,
-                                outcome: Outcome::Disconnected { round: rounds + 1 },
+                                outcome: Outcome::Collision { round: rounds, collision },
                             });
                         }
-                        let aux = coords_mask(&next, crashed_coords);
-                        let (succ, new) =
-                            search.intern_state(&next, aux, rounds + 1, Some((id, action)));
-                        if new {
-                            if search.node_kind(succ) == NodeKind::Stuck {
+                        Ok(()) => {
+                            let next = cfg.apply_unchecked(&masked[..n]);
+                            search.bump_edges();
+                            if !next.is_connected() {
                                 let mut schedule = search.path_to(id);
                                 schedule.push(action);
                                 return Some(ExploreVerdict::Refuted {
                                     schedule,
-                                    outcome: Outcome::StuckFixpoint { rounds: rounds + 1 },
+                                    outcome: Outcome::Disconnected { round: rounds + 1 },
                                 });
                             }
-                            queue.push_back(succ);
+                            let aux = coords_mask(&next, crashed_coords);
+                            let (succ, new) =
+                                search.intern_state(&next, aux, rounds + 1, Some((id, action)));
+                            if new {
+                                if search.node_kind(succ) == NodeKind::Stuck {
+                                    let mut schedule = search.path_to(id);
+                                    schedule.push(action);
+                                    return Some(ExploreVerdict::Refuted {
+                                        schedule,
+                                        outcome: Outcome::StuckFixpoint { rounds: rounds + 1 },
+                                    });
+                                }
+                                queue.push_back(succ);
+                            }
+                            search.push_edge(id, action, succ);
                         }
-                        search.push_edge(id, action, succ);
+                    }
+                    if search.over_budget() {
+                        return Some(ExploreVerdict::Undecided { depth: search.opts().fair_depth });
                     }
                 }
-                if search.over_budget() {
-                    return Some(ExploreVerdict::Undecided { depth: search.opts().fair_depth });
-                }
             }
+            if crash == live {
+                break 'crash;
+            }
+            crash = next_submask(crash, live);
         }
         None
     }
@@ -1358,7 +1476,7 @@ mod tests {
     use crate::{FnAlgorithm, StayAlgorithm};
     use trigrid::ORIGIN;
 
-    fn fsync_goal(cfg: &Configuration, _crashed: u8) -> bool {
+    fn fsync_goal(cfg: &Configuration, _crashed: u16) -> bool {
         cfg.is_gathered()
     }
 

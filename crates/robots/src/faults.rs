@@ -13,10 +13,14 @@
 //! Because the crashed robots cannot join any gathering point, the goal
 //! is relaxed (the standard relaxation for crash-fault gathering): the
 //! execution succeeds when it reaches a fixpoint of the *live* robots
-//! in which all live robots fit inside one closed radius-1 ball — see
-//! [`relaxed_gathered`]. For seven robots and `f = 0` this coincides
-//! exactly with the paper's hexagon (Definition 1), which is why the
-//! fault-free checker is this model's `f = 0` instantiation.
+//! in which all live robots fit inside one closed ball of the smallest
+//! radius that could hold the full `n`-robot swarm
+//! ([`crate::min_gather_radius`]) — see [`relaxed_gathered`]. The
+//! radius depends on the *total* robot count, never on how many are
+//! still live, so the goal is closed under further crash injections
+//! (DESIGN.md §10 and §14). For seven robots and `f = 0` this
+//! coincides exactly with the paper's hexagon (Definition 1), which is
+//! why the fault-free checker is this model's `f = 0` instantiation.
 //!
 //! [`CrashChecker`] classifies an initial class as
 //! **f-crash-proof** (every fair schedule with at most `f` crashes
@@ -34,7 +38,7 @@ use crate::adversary::Fnv64;
 use crate::engine::{self, Execution, Limits, Outcome};
 use crate::explore::{ExploreOptions, Explorer};
 use crate::sched::{CrashRound, CrashSchedule};
-use crate::{Algorithm, Configuration};
+use crate::{Algorithm, CapacityError, Configuration};
 use trigrid::transform::PointSymmetry;
 use trigrid::Coord;
 
@@ -65,12 +69,19 @@ impl CrashOptions {
 
 /// Whether the configuration counts as *relaxed-gathered* for the given
 /// crashed-slot mask: every non-crashed robot lies within one closed
-/// radius-1 ball of the grid. One or zero live robots are vacuously
-/// gathered. With no crashes and seven robots this is exactly the
-/// paper's gathered hexagon — a radius-1 ball holds seven nodes, so all
-/// seven robots fill it.
+/// ball of radius [`crate::min_gather_radius`]`(cfg.len())` — the
+/// smallest ball that could hold the *total* robot count. One or zero
+/// live robots are vacuously gathered.
+///
+/// The radius is a function of the total count, **not** the live
+/// count: crashing robots only shrinks the live set, so a goal state
+/// stays a goal under every further injection — the closure property
+/// the explorer's terminal classification relies on (DESIGN.md §10,
+/// §14). With no crashes and seven robots this is exactly the paper's
+/// gathered hexagon — a radius-1 ball holds seven nodes, so all seven
+/// robots fill it.
 #[must_use]
-pub fn relaxed_gathered(cfg: &Configuration, crashed: u8) -> bool {
+pub fn relaxed_gathered(cfg: &Configuration, crashed: u16) -> bool {
     let live: Vec<Coord> = cfg
         .positions()
         .iter()
@@ -84,9 +95,12 @@ pub fn relaxed_gathered(cfg: &Configuration, crashed: u8) -> bool {
     if live.len() == 1 {
         return true;
     }
-    trigrid::region::disk(first, 1)
+    let r = crate::config::min_gather_radius(cfg.len());
+    // Any center covering every live robot is within `r` of `first`,
+    // so scanning the disk around `first` is complete.
+    trigrid::region::disk(first, r)
         .into_iter()
-        .any(|center| live.iter().all(|&p| center.distance(p) <= 1))
+        .any(|center| live.iter().all(|&p| center.distance(p) <= r))
 }
 
 /// Slot bitmask of the `crashed` coordinates within `cfg` (row-major
@@ -94,11 +108,15 @@ pub fn relaxed_gathered(cfg: &Configuration, crashed: u8) -> bool {
 ///
 /// # Panics
 /// Panics if a coordinate is not a robot node of `cfg`, or if `cfg`
-/// holds more than 8 robots.
+/// holds more than [`crate::explore::MASK_ROBOTS`] robots.
 #[must_use]
-pub fn crash_mask(cfg: &Configuration, crashed: &[Coord]) -> u8 {
-    assert!(cfg.len() <= 8, "crash masks are bytes: at most 8 robots");
-    let mut mask = 0u8;
+pub fn crash_mask(cfg: &Configuration, crashed: &[Coord]) -> u16 {
+    assert!(
+        cfg.len() <= crate::explore::MASK_ROBOTS,
+        "crash masks are 16-bit: at most {} robots",
+        crate::explore::MASK_ROBOTS
+    );
+    let mut mask = 0u16;
     for &p in crashed {
         let slot = cfg
             .positions()
@@ -125,15 +143,17 @@ pub fn is_goal_fixpoint<A: Algorithm + ?Sized>(
     !live_mover && relaxed_gathered(cfg, mask)
 }
 
-/// FNV-1a hash of a crash-fault schedule (crash byte then activation
-/// byte per round), for compact golden files — the crash-model
-/// counterpart of [`crate::adversary::schedule_hash`].
+/// FNV-1a hash of a crash-fault schedule (crash mask then activation
+/// mask per round, each through [`Fnv64::write_mask`] so ≤ 7-robot
+/// schedules hash exactly as in the byte-mask era), for compact golden
+/// files — the crash-model counterpart of
+/// [`crate::adversary::schedule_hash`].
 #[must_use]
 pub fn schedule_hash(schedule: &[CrashRound]) -> u64 {
     let mut h = Fnv64::new();
     for action in schedule {
-        h.write(action.crash);
-        h.write(action.activate);
+        h.write_mask(action.crash);
+        h.write_mask(action.activate);
     }
     h.finish()
 }
@@ -150,13 +170,33 @@ pub struct CrashChecker<'a, A: Algorithm + ?Sized> {
 
 impl<'a, A: Algorithm + ?Sized> CrashChecker<'a, A> {
     /// Builds a checker for `algo` with the given crash budget and
-    /// search options.
+    /// search options. The checker accepts configurations of up to 8
+    /// robots; use [`for_robots`](CrashChecker::for_robots) for larger
+    /// spaces.
     ///
     /// # Panics
-    /// Panics if `opts.crashes > 7`.
+    /// Panics if `opts.crashes >= PackedClass::MAX_ROBOTS`.
     #[must_use]
     pub fn new(algo: &'a A, opts: CrashOptions) -> Self {
         CrashChecker { explorer: Explorer::new(algo, opts.explore, opts.crashes, relaxed_gathered) }
+    }
+
+    /// Builds a checker accepting configurations of up to `max_robots`
+    /// robots (at most [`crate::PackedClass::MAX_ROBOTS`]).
+    ///
+    /// # Panics
+    /// Panics if `max_robots` exceeds the packed-key capacity.
+    #[must_use]
+    pub fn for_robots(algo: &'a A, opts: CrashOptions, max_robots: usize) -> Self {
+        CrashChecker {
+            explorer: Explorer::new_for_robots(
+                algo,
+                opts.explore,
+                opts.crashes,
+                relaxed_gathered,
+                max_robots,
+            ),
+        }
     }
 
     /// The algorithm's equivariance subgroup.
@@ -175,10 +215,27 @@ impl<'a, A: Algorithm + ?Sized> CrashChecker<'a, A> {
     /// adversary.
     ///
     /// # Panics
-    /// Panics if `initial` is disconnected or holds more than 8 robots.
+    /// Panics if `initial` is disconnected or holds more robots than
+    /// the checker was built for (8 by default; see
+    /// [`for_robots`](CrashChecker::for_robots)).
     #[must_use]
     pub fn check(&self, initial: &Configuration) -> CrashReport {
         self.explorer.check(initial)
+    }
+
+    /// Like [`check`](CrashChecker::check), but returns a typed
+    /// [`CapacityError`] instead of panicking when `initial` holds
+    /// more robots than the checker was built for.
+    ///
+    /// # Errors
+    /// [`CapacityError::TooManyRobots`] when `initial.len()` exceeds
+    /// the checker's robot capacity.
+    pub fn try_check(&self, initial: &Configuration) -> Result<CrashReport, CapacityError> {
+        let max = self.explorer.max_robots();
+        if initial.len() > max {
+            return Err(CapacityError::TooManyRobots { robots: initial.len(), max });
+        }
+        Ok(self.explorer.check(initial))
     }
 }
 
@@ -218,7 +275,11 @@ pub fn run_crash_schedule<A: Algorithm + ?Sized>(
     schedule: &CrashSchedule,
     limits: Limits,
 ) -> CrashExecution {
-    assert!(initial.len() <= 8, "crash masks are bytes: at most 8 robots");
+    assert!(
+        initial.len() <= crate::explore::MASK_ROBOTS,
+        "crash masks are 16-bit: at most {} robots",
+        crate::explore::MASK_ROBOTS
+    );
     let mut cfg = initial.clone();
     let mut trace = vec![cfg.clone()];
     let mut frozen: Vec<Coord> = Vec::new();
@@ -244,7 +305,7 @@ pub fn run_crash_schedule<A: Algorithm + ?Sized>(
         let (crash, activate) = match entry {
             Some(action) => (action.crash, action.activate),
             // Beyond the schedule: no more crashes, everyone live acts.
-            None => (0, u8::MAX),
+            None => (0, u16::MAX),
         };
         for (i, &p) in cfg.positions().iter().enumerate() {
             if crash & (1 << i) != 0 && !frozen.contains(&p) {

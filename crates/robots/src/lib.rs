@@ -61,7 +61,10 @@ pub mod visited;
 pub use adversary::{AdversaryReport, AdversaryVerdict, Checker};
 pub use algorithm::{Algorithm, FnAlgorithm, MoveOracle, StayAlgorithm};
 pub use async_model::{AsyncChecker, AsyncOptions, AsyncReport, AsyncVerdict};
-pub use config::{hexagon, Configuration, PackedClass, PackedPending};
+pub use config::{
+    ball_capacity, hexagon, min_gather_radius, CapacityError, Configuration, PackedClass,
+    PackedPending,
+};
 pub use engine::{run, run_traced, Execution, Limits, Move, Outcome, RoundCollision, RoundResult};
 pub use faults::{CrashChecker, CrashOptions, CrashReport, CrashVerdict};
 pub use view::View;

@@ -117,13 +117,13 @@ impl Scheduler for RandomSubset {
 /// This is how the adversary model checker's counterexample schedules
 /// are replayed through [`run_scheduled`].
 pub struct ScheduleReplay {
-    masks: Vec<u8>,
+    masks: Vec<u16>,
 }
 
 impl ScheduleReplay {
     /// Wraps a recorded mask sequence.
     #[must_use]
-    pub fn new(masks: Vec<u8>) -> Self {
+    pub fn new(masks: Vec<u16>) -> Self {
         ScheduleReplay { masks }
     }
 
@@ -165,9 +165,9 @@ impl Scheduler for ScheduleReplay {
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct CrashRound {
     /// Robots permanently crashed at the start of this round.
-    pub crash: u8,
+    pub crash: u16,
     /// Robots activated this round (crashed robots are ignored).
-    pub activate: u8,
+    pub activate: u16,
 }
 
 /// A replayable crash-fault schedule: the per-round crash injections

@@ -219,21 +219,22 @@ mod tests {
 
     #[test]
     fn class_map_and_set_handle_unpackable_configurations() {
-        // Nine robots exceed the packed window; the shared utilities
-        // must fall back to unpacked keys, not panic — the engine's
-        // livelock detector runs on arbitrary robot counts.
-        let nine = Configuration::new((0..9).map(|i| Coord::new(2 * i, 0)));
-        assert_eq!(nine.try_canonical_key(), None);
+        // Eleven robots exceed the packed-key capacity (ten); the
+        // shared utilities must fall back to unpacked keys, not panic —
+        // the engine's livelock detector runs on arbitrary robot
+        // counts.
+        let eleven = Configuration::new((0..11).map(|i| Coord::new(2 * i, 0)));
+        assert_eq!(eleven.try_canonical_key(), None);
         let mut map: ClassMap<u32> = ClassMap::new();
-        assert_eq!(map.insert(&nine, 1), None);
-        assert_eq!(map.insert(&nine.translate(Coord::new(4, 2)), 2), Some(1));
-        assert_eq!(map.get(&nine), Some(&2));
+        assert_eq!(map.insert(&eleven, 1), None);
+        assert_eq!(map.insert(&eleven.translate(Coord::new(4, 2)), 2), Some(1));
+        assert_eq!(map.get(&eleven), Some(&2));
         assert_eq!(map.insert(&two(), 7), None);
         assert_eq!(map.len(), 2);
         let mut set = ClassSet::new();
-        assert!(set.insert(&nine));
-        assert!(!set.insert(&nine.translate(Coord::new(-2, 0))));
-        assert!(set.contains(&nine));
+        assert!(set.insert(&eleven));
+        assert!(!set.insert(&eleven.translate(Coord::new(-2, 0))));
+        assert!(set.contains(&eleven));
         assert_eq!(set.len(), 1);
     }
 

@@ -57,13 +57,7 @@ impl Algorithm for VecTable {
 fn crash_schedule() -> impl Strategy<Value = CrashSchedule> {
     proptest::collection::vec((0u16..256, 0u16..256), 16).prop_map(|rounds| {
         CrashSchedule::new(
-            rounds
-                .into_iter()
-                .map(|(crash, activate)| CrashRound {
-                    crash: crash as u8,
-                    activate: activate as u8,
-                })
-                .collect(),
+            rounds.into_iter().map(|(crash, activate)| CrashRound { crash, activate }).collect(),
         )
     })
 }

@@ -11,31 +11,47 @@ use robots::visited::{ClassArena, ClassMap, ClassSet};
 use robots::{Configuration, PackedClass};
 use trigrid::{Coord, Dir};
 
-/// Strategy: a connected configuration of `n` robots grown from the
-/// origin (deterministic given the choice list) — the same random
+/// Grows a connected configuration from the origin, one robot per
+/// choice (deterministic given the choice list) — the same random
 /// connected-polyhex generator the crash-model proptests use.
-fn connected_config(n: usize) -> impl Strategy<Value = Configuration> {
-    proptest::collection::vec((0usize..64, 0usize..6), n - 1).prop_map(move |choices| {
-        let mut cells = vec![trigrid::ORIGIN];
-        for (anchor_raw, dir_raw) in choices {
-            for probe in 0..cells.len() {
-                let anchor = cells[(anchor_raw + probe) % cells.len()];
-                let mut done = false;
-                for k in 0..6 {
-                    let cand = anchor.step(Dir::from_index(dir_raw + k));
-                    if !cells.contains(&cand) {
-                        cells.push(cand);
-                        done = true;
-                        break;
-                    }
-                }
-                if done {
+fn grow_connected(choices: &[(usize, usize)]) -> Configuration {
+    let mut cells = vec![trigrid::ORIGIN];
+    for &(anchor_raw, dir_raw) in choices {
+        for probe in 0..cells.len() {
+            let anchor = cells[(anchor_raw + probe) % cells.len()];
+            let mut done = false;
+            for k in 0..6 {
+                let cand = anchor.step(Dir::from_index(dir_raw + k));
+                if !cells.contains(&cand) {
+                    cells.push(cand);
+                    done = true;
                     break;
                 }
             }
+            if done {
+                break;
+            }
         }
-        Configuration::new(cells)
-    })
+    }
+    Configuration::new(cells)
+}
+
+/// Strategy: a connected configuration of exactly `n` robots.
+fn connected_config(n: usize) -> impl Strategy<Value = Configuration> {
+    proptest::collection::vec((0usize..64, 0usize..6), n - 1)
+        .prop_map(move |choices| grow_connected(&choices))
+}
+
+/// Strategy: a connected configuration of any supported robot count
+/// (2..=[`PackedClass::MAX_ROBOTS`]). The shim's vectors are
+/// fixed-length, so a maximal choice list is generated and the first
+/// `n - 1` choices used.
+fn any_supported_config() -> impl Strategy<Value = Configuration> {
+    (
+        2usize..PackedClass::MAX_ROBOTS + 1,
+        proptest::collection::vec((0usize..64, 0usize..6), PackedClass::MAX_ROBOTS - 1),
+    )
+        .prop_map(|(n, choices)| grow_connected(&choices[..n - 1]))
 }
 
 /// Strategy: a lattice translation vector (x + y even).
@@ -70,6 +86,31 @@ proptest! {
         a in connected_config(6),
         b in connected_config(6),
     ) {
+        prop_assert_eq!(
+            a.canonical_key() == b.canonical_key(),
+            a.canonical() == b.canonical(),
+            "packed keys must induce exactly the translation-class partition"
+        );
+    }
+
+    #[test]
+    fn pack_unpack_roundtrips_at_every_supported_count(
+        cfg in any_supported_config(),
+        d in delta(),
+    ) {
+        let canonical = cfg.translate(d).canonical();
+        prop_assert_eq!(canonical.pack().unpack(), canonical.clone());
+        prop_assert_eq!(canonical.pack().robots(), canonical.len());
+        prop_assert_eq!(cfg.translate(d).canonical_key(), canonical.pack());
+    }
+
+    #[test]
+    fn key_partition_is_class_partition_at_every_supported_count(
+        a in any_supported_config(),
+        b in any_supported_config(),
+    ) {
+        // Covers mixed robot counts too: keys of different-size
+        // classes must never collide (the packed length prefix).
         prop_assert_eq!(
             a.canonical_key() == b.canonical_key(),
             a.canonical() == b.canonical(),
@@ -125,4 +166,22 @@ fn all_seven_robot_classes_have_distinct_roundtripping_keys() {
         assert!(new, "distinct classes must intern to distinct keys: {cfg:?}");
     }
     assert_eq!(arena.len(), 3652);
+}
+
+/// The same exhaustive pin across every class space the sweeps cover
+/// up to n = 8 (OEIS A001207): per-n key counts equal class counts,
+/// so the key partition is exactly the class partition on each space.
+#[test]
+fn enumerated_classes_have_distinct_keys_per_count() {
+    for (n, expected) in [(2, 3usize), (3, 11), (4, 44), (5, 186), (6, 814), (8, 16_689)] {
+        let mut arena = ClassArena::new();
+        for cells in polyhex::enumerate_fixed(n) {
+            let cfg = Configuration::new(cells);
+            let key = cfg.canonical_key();
+            assert_eq!(key.unpack(), cfg, "n={n}: enumerated classes are canonical already");
+            let (_, new) = arena.intern_key(key);
+            assert!(new, "n={n}: distinct classes must intern to distinct keys: {cfg:?}");
+        }
+        assert_eq!(arena.len(), expected, "n={n}");
+    }
 }

@@ -6,22 +6,26 @@
 //! packed form agrees with permuting the unpacked vector.
 
 use proptest::prelude::*;
-use robots::PackedPending;
+use robots::{PackedClass, PackedPending};
 use trigrid::Dir;
 
-/// Strategy: a pending vector of exactly 8 slots (the packed window);
-/// tests slice off a prefix for smaller robot counts.
+/// Full packed window: one slot per supported robot.
+const SLOTS: usize = PackedClass::MAX_ROBOTS;
+
+/// Strategy: a pending vector filling the full packed window
+/// ([`PackedPending`] holds [`robots::PackedClass::MAX_ROBOTS`] = 10
+/// slots); tests slice off a prefix for smaller robot counts.
 fn pending_slots() -> impl Strategy<Value = Vec<Option<Dir>>> {
-    proptest::collection::vec(0usize..7, 8).prop_map(|codes| {
+    proptest::collection::vec(0usize..7, SLOTS).prop_map(|codes| {
         codes.into_iter().map(|c| (c != 0).then(|| Dir::from_index(c - 1))).collect()
     })
 }
 
-/// Strategy: a permutation of `0..8` (a shuffled identity via
+/// Strategy: a permutation of `0..SLOTS` (a shuffled identity via
 /// selection-by-index).
 fn permutation() -> impl Strategy<Value = Vec<usize>> {
-    proptest::collection::vec(0usize..64, 8).prop_map(|picks| {
-        let mut pool: Vec<usize> = (0..8).collect();
+    proptest::collection::vec(0usize..64, SLOTS).prop_map(|picks| {
+        let mut pool: Vec<usize> = (0..SLOTS).collect();
         picks.into_iter().map(|p| pool.remove(p % pool.len())).collect()
     })
 }
@@ -51,7 +55,7 @@ proptest! {
     #[test]
     fn with_edits_exactly_one_slot(
         slots in pending_slots(),
-        slot in 0usize..8,
+        slot in 0usize..SLOTS,
         code in 0usize..7,
     ) {
         let replacement = (code != 0).then(|| Dir::from_index(code - 1));
@@ -67,8 +71,8 @@ proptest! {
         slots in pending_slots(),
         perm in permutation(),
     ) {
-        let packed = PackedPending::of_slots(&slots).permute(8, |i| perm[i]);
-        let mut unpacked = vec![None; 8];
+        let packed = PackedPending::of_slots(&slots).permute(SLOTS, |i| perm[i]);
+        let mut unpacked = vec![None; SLOTS];
         for (i, &p) in slots.iter().enumerate() {
             unpacked[perm[i]] = p;
         }
@@ -85,7 +89,7 @@ proptest! {
         // by the induced permutation AND the captured directions
         // transform — the path `Semantics::permute_aux` rides.
         let packed =
-            PackedPending::of_slots(&slots).permute_map(8, |i| perm[i], |d| d.rotate_ccw(rot));
+            PackedPending::of_slots(&slots).permute_map(SLOTS, |i| perm[i], |d| d.rotate_ccw(rot));
         for (i, &p) in slots.iter().enumerate() {
             prop_assert_eq!(packed.get(perm[i]), p.map(|d| d.rotate_ccw(rot)), "slot {}", i);
         }

@@ -64,6 +64,22 @@ struct MicroBench {
     checker_build_ms: f64,
 }
 
+/// Per-robot-count scaling row: the same verified rules over the
+/// parameterized class spaces (DESIGN §14).
+#[derive(Clone, Debug, Serialize)]
+struct PerN {
+    /// Robot count.
+    n: usize,
+    /// Classes in the space (OEIS A001207).
+    classes: usize,
+    /// Full FSYNC run over the space, seconds.
+    fsync_secs: f64,
+    /// Full crash f=1 classification over the space, seconds.
+    crash_f1_secs: f64,
+    /// Crash f=1 verdict tallies (proof, refuted, undecided).
+    crash_f1_verdicts: [usize; 3],
+}
+
 #[derive(Clone, Debug, Serialize)]
 struct Record {
     /// Classes in the space (3652 for n = 7).
@@ -81,6 +97,8 @@ struct Record {
     lcm_async_secs: f64,
     /// ASYNC verdict tallies (proof, refuted, undecided).
     lcm_async_verdicts: [usize; 3],
+    /// Scaling over the other robot counts the sweeps support.
+    per_n: Vec<PerN>,
     baseline: Baseline,
     /// `baseline.crash_f1_secs / crash_f1_secs`.
     crash_f1_speedup: f64,
@@ -232,6 +250,43 @@ fn main() {
         secs
     });
 
+    // Per-n scaling: the parameterized class spaces (DESIGN §14) —
+    // one FSYNC pass and one crash f=1 classification per count. The
+    // n=8 tallies are pinned by `tests/golden/nsweep-verified.json`;
+    // here only totality is asserted so the bench never goes stale on
+    // an intentional reclassification.
+    let mut per_n = Vec::new();
+    for count in [5usize, 6, 8] {
+        let space: Vec<Configuration> =
+            polyhex::enumerate_fixed(count).into_iter().map(Configuration::new).collect();
+        let started = Instant::now();
+        for c in &space {
+            guard = guard.wrapping_add(usize::from(
+                engine::run(c, &algo, robots::Limits::default()).outcome.is_gathered(),
+            ));
+        }
+        let fsync_secs = started.elapsed().as_secs_f64();
+        let checker = CrashChecker::for_robots(&algo, CrashOptions::default(), count.max(8));
+        let started = Instant::now();
+        let mut tallies = [0usize; 3];
+        for c in &space {
+            match checker.check(c).verdict {
+                CrashVerdict::Proof => tallies[0] += 1,
+                CrashVerdict::Refuted { .. } => tallies[1] += 1,
+                CrashVerdict::Undecided { .. } => tallies[2] += 1,
+            }
+        }
+        let crash_f1_secs = started.elapsed().as_secs_f64();
+        assert_eq!(tallies.iter().sum::<usize>(), space.len(), "n={count}: every class classified");
+        per_n.push(PerN {
+            n: count,
+            classes: space.len(),
+            fsync_secs,
+            crash_f1_secs,
+            crash_f1_verdicts: tallies,
+        });
+    }
+
     let baseline = Baseline {
         host: "pre-refactor tree at 5873ec6, same single-core host".to_string(),
         crash_f1_secs: BASELINE_CRASH_F1_SECS,
@@ -257,6 +312,7 @@ fn main() {
         adversary_secs,
         lcm_async_secs,
         lcm_async_verdicts: async_tallies,
+        per_n,
         baseline,
     };
 

@@ -5,7 +5,7 @@
 //!     [--algo paper|verified|FLAGS] \
 //!     [--sched fsync|round-robin|random[:SEED:P]|adversary[:DEPTH]|
 //!              crash:F[:DEPTH]|lcm-async[:DEPTH]] \
-//!     [--n 7] [--shards 8] [--threads N] [--stealing auto|on|off] \
+//!     [--n 2..=10] [--shards 8] [--threads N] [--stealing auto|on|off] \
 //!     [--max-rounds N] [--out-dir target/sweep] [--resume] \
 //!     [--fail-fast] [--matrix]
 //! ```
@@ -56,7 +56,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: sweep [--algo paper|verified|FLAGS]\n\
          \x20            [--sched fsync|round-robin|random[:SEED:P]|adversary[:DEPTH]|crash:F[:DEPTH]|lcm-async[:DEPTH]]\n\
-         \x20            [--n N] [--shards S] [--threads T] [--stealing auto|on|off]\n\
+         \x20            [--n N (2..=10)] [--shards S] [--threads T] [--stealing auto|on|off]\n\
          \x20            [--max-rounds R] [--out-dir DIR] [--resume] [--fail-fast] [--matrix]\n\
          \n\
          FLAGS is a '+'-separated ablation list from fix25, conn, prio, compl, mirror (or 'none').\n\
@@ -151,6 +151,10 @@ fn parse_args() -> Args {
     }
     if args.matrix && args.cell_chosen {
         eprintln!("--matrix supplies both axes itself; drop --algo/--sched");
+        usage();
+    }
+    if let Err(reason) = args.cfg.validate() {
+        eprintln!("unsupported sweep cell: {reason}");
         usage();
     }
     args
@@ -288,9 +292,12 @@ fn main() {
     write_benches(std::slice::from_ref(&bench));
     if args.cfg.sched == SchedSpec::Fsync
         && args.cfg.algo == AlgoSpec::Verified
+        && args.cfg.n == 7
         && !summary.all_gathered()
     {
-        // The Theorem 2 cell regressed; make pipelines notice.
+        // The Theorem 2 cell regressed; make pipelines notice. The
+        // theorem is seven-robot-specific: at other n the verified
+        // rules legitimately fail on some classes.
         std::process::exit(1);
     }
 }

@@ -233,7 +233,10 @@ impl SchedSpec {
                     Some(d) => d.parse().ok()?,
                     None => DEFAULT_FAIR_DEPTH,
                 };
-                (parts.next().is_none() && f <= 7 && depth > 0)
+                // At most n - 1 robots can crash and n <= MAX_SWEEP_N;
+                // the per-cell f < n check lives in
+                // [`SweepConfig::validate`].
+                (parts.next().is_none() && usize::from(f) < MAX_SWEEP_N && depth > 0)
                     .then_some(SchedSpec::Crash { f, depth })
             }
             Some("lcm-async") => {
@@ -265,6 +268,14 @@ impl SchedSpec {
     }
 }
 
+/// Smallest robot count a sweep cell supports (a single robot is
+/// trivially gathered; the class spaces of interest start at two).
+pub const MIN_SWEEP_N: usize = 2;
+
+/// Largest robot count a sweep cell supports, bounded by the packed
+/// class key's capacity ([`robots::PackedClass::MAX_ROBOTS`]).
+pub const MAX_SWEEP_N: usize = robots::PackedClass::MAX_ROBOTS;
+
 /// Full description of one sweep cell plus its execution knobs.
 #[derive(Clone, Debug)]
 pub struct SweepConfig {
@@ -272,7 +283,8 @@ pub struct SweepConfig {
     pub algo: AlgoSpec,
     /// The scheduler axis.
     pub sched: SchedSpec,
-    /// Number of robots (7 for the paper's experiment).
+    /// Number of robots (7 for the paper's experiment; any
+    /// [`MIN_SWEEP_N`]`..=`[`MAX_SWEEP_N`] sweeps soundly).
     pub n: usize,
     /// Number of contiguous shards the class space is split into.
     pub shards: usize,
@@ -318,10 +330,46 @@ impl SweepConfig {
         }
     }
 
-    /// `algo-sched` slug for filenames.
+    /// Checks that the cell is one the pipeline can sweep soundly:
+    /// `n` within the packed-key capacity and, for crash cells, a
+    /// crash budget below the robot count (crashing every robot leaves
+    /// nothing to gather). Call before running: an invalid cell must
+    /// fail fast, never panic mid-shard or write bogus records.
+    ///
+    /// # Errors
+    /// A human-readable description of the unsupported combination.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(MIN_SWEEP_N..=MAX_SWEEP_N).contains(&self.n) {
+            return Err(format!(
+                "unsupported robot count n={}: packed class keys support n in \
+                 {MIN_SWEEP_N}..={MAX_SWEEP_N}",
+                self.n
+            ));
+        }
+        if let SchedSpec::Crash { f, .. } = self.sched {
+            if usize::from(f) >= self.n {
+                return Err(format!(
+                    "unsupported crash budget f={f} for n={}: at most n - 1 = {} robots \
+                     may crash (use --sched crash:F with F < N)",
+                    self.n,
+                    self.n - 1
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// `algo-sched` slug for filenames, suffixed with `-nN` for robot
+    /// counts other than the paper's seven (whose artifact names
+    /// predate the `n` axis and stay stable).
     #[must_use]
     pub fn slug(&self) -> String {
-        format!("{}-{}", self.algo.name(), self.sched.name())
+        let base = format!("{}-{}", self.algo.name(), self.sched.name());
+        if self.n == 7 {
+            base
+        } else {
+            format!("{base}-n{}", self.n)
+        }
     }
 
     /// Path of the record file for `shard`.
@@ -695,18 +743,28 @@ enum CellChecker<'a, A: Algorithm + ?Sized> {
 impl<'a, A: Algorithm + ?Sized> CellChecker<'a, A> {
     /// Builds the shared checker for model-checking cells (`None` for
     /// scheduled cells). Shared per shard so the algorithm's
-    /// equivariance group is computed once, not per class.
-    fn for_spec(algo: &'a A, spec: SchedSpec) -> Option<Self> {
+    /// equivariance group is computed once, not per class. `robots` is
+    /// the cell's robot count; the checkers keep their historical
+    /// 8-robot floor so n <= 7 cells stay byte-identical to the
+    /// pre-parameterised pipeline.
+    fn for_spec(algo: &'a A, spec: SchedSpec, robots: usize) -> Option<Self> {
+        let capacity = robots.max(8);
         match spec {
-            SchedSpec::Adversary { depth } => {
-                Some(CellChecker::Adversary(Checker::new(algo, adversary_options(depth))))
-            }
-            SchedSpec::Crash { f, depth } => {
-                Some(CellChecker::Crash(CrashChecker::new(algo, CrashOptions::new(f, depth))))
-            }
-            SchedSpec::LcmAsync { depth } => {
-                Some(CellChecker::Async(AsyncChecker::new(algo, AsyncOptions::new(depth))))
-            }
+            SchedSpec::Adversary { depth } => Some(CellChecker::Adversary(Checker::for_robots(
+                algo,
+                adversary_options(depth),
+                capacity,
+            ))),
+            SchedSpec::Crash { f, depth } => Some(CellChecker::Crash(CrashChecker::for_robots(
+                algo,
+                CrashOptions::new(f, depth),
+                capacity,
+            ))),
+            SchedSpec::LcmAsync { depth } => Some(CellChecker::Async(AsyncChecker::for_robots(
+                algo,
+                AsyncOptions::new(depth),
+                capacity,
+            ))),
             _ => None,
         }
     }
@@ -746,7 +804,8 @@ pub fn run_class<A: Algorithm + ?Sized>(
             sched::run_scheduled(initial, algo, &mut s, limits).outcome
         }
         SchedSpec::Adversary { .. } | SchedSpec::Crash { .. } | SchedSpec::LcmAsync { .. } => {
-            let checker = CellChecker::for_spec(algo, spec).expect("model-checking cell");
+            let checker =
+                CellChecker::for_spec(algo, spec, initial.len()).expect("model-checking cell");
             checker.run_class(initial, index, limits).outcome
         }
     }
@@ -766,7 +825,7 @@ pub fn run_shard(
     let slice = &classes[start..end];
     // Model-checking cells share one checker across the shard, so the
     // algorithm's equivariance group is computed once, not per class.
-    let checker = CellChecker::for_spec(&algo, cfg.sched);
+    let checker = CellChecker::for_spec(&algo, cfg.sched, cfg.n);
     let run_one = |offset: usize, cells: &Vec<Coord>| {
         let index = start + offset;
         let initial = Configuration::new(cells.iter().copied());
@@ -929,6 +988,7 @@ pub fn merge_shards(cfg: &SweepConfig, records: &[ShardRecord]) -> Result<SweepS
     // it is independent of the order the caller handed the shards in.
     let digest = acc.any_verdict.then(|| {
         let mut h = adversary::Fnv64::new();
+        digest_cell_header(&mut h, cfg.n);
         for res in sorted.iter().flat_map(|r| r.results.iter()) {
             digest_class(&mut h, res);
         }
@@ -961,6 +1021,17 @@ pub fn merge_shards(cfg: &SweepConfig, records: &[ShardRecord]) -> Result<SweepS
         }),
         digest,
     })
+}
+
+/// Prefixes a cell digest with its robot count. The n=7 digests
+/// predate the `n` axis and stay byte-identical (no prefix); every
+/// other count contributes a `0x4E` ('N') tag byte plus the count, so
+/// cells over different class spaces can never collide by accident.
+fn digest_cell_header(h: &mut adversary::Fnv64, robots: usize) {
+    if robots != 7 {
+        h.write(0x4E);
+        h.write(robots as u8);
+    }
 }
 
 /// Mixes one class's verdicts into the running digest. Adversary and
@@ -1010,12 +1081,15 @@ fn digest_class(h: &mut adversary::Fnv64, res: &ClassOutcome) {
 /// classification, never on the order the caller collected the
 /// shards in. Two runs agree on this digest iff they classified every
 /// class identically; the release golden tests pin it for the full
-/// 3652-class space.
+/// 3652-class space. Cells at robot counts other than seven prefix
+/// the stream with their count ([`digest_cell_header`]), so n=7
+/// digests are byte-identical to their pre-parameterised values.
 #[must_use]
 pub fn verdict_digest(records: &[ShardRecord]) -> u64 {
     let mut sorted: Vec<&ShardRecord> = records.iter().collect();
     sorted.sort_by_key(|r| r.start);
     let mut h = adversary::Fnv64::new();
+    digest_cell_header(&mut h, sorted.first().map_or(7, |r| r.robots));
     for res in sorted.iter().flat_map(|r| r.results.iter()) {
         digest_class(&mut h, res);
     }
@@ -1098,7 +1172,7 @@ pub fn find_failure(cfg: &SweepConfig) -> Option<(usize, Outcome)> {
     let classes = polyhex::enumerate_fixed(cfg.n);
     let algo = cfg.algo.build();
     let limits = cfg.effective_limits();
-    let checker = CellChecker::for_spec(&algo, cfg.sched);
+    let checker = CellChecker::for_spec(&algo, cfg.sched, cfg.n);
     let indexed: Vec<(usize, &Vec<Coord>)> = classes.iter().enumerate().collect();
     parallel::par_find_min(&indexed, cfg.threads, |&(index, cells)| {
         let initial = Configuration::new(cells.iter().copied());
@@ -1234,11 +1308,82 @@ mod tests {
         );
         assert_eq!(SchedSpec::parse("crash:2:6"), Some(SchedSpec::Crash { f: 2, depth: 6 }));
         assert_eq!(SchedSpec::parse("crash"), None, "the crash budget is mandatory");
-        assert_eq!(SchedSpec::parse("crash:8"), None, "masks are bytes: at most 7 crashes");
+        assert_eq!(
+            SchedSpec::parse("crash:9"),
+            Some(SchedSpec::Crash { f: 9, depth: DEFAULT_FAIR_DEPTH }),
+            "f up to MAX_SWEEP_N - 1 parses; validate() enforces f < n per cell"
+        );
+        assert_eq!(SchedSpec::parse("crash:10"), None, "f >= MAX_SWEEP_N can never satisfy f < n");
         assert_eq!(SchedSpec::parse("crash:1:0"), None);
         assert_eq!(SchedSpec::parse("crash:1:2:3"), None);
         assert_eq!(SchedSpec::parse("crash:1").unwrap().name(), "crash-f1");
         assert_eq!(SchedSpec::parse("crash:2:6").unwrap().name(), "crash-f2-d6");
+    }
+
+    #[test]
+    fn validate_accepts_supported_cells_and_rejects_the_rest() {
+        for n in MIN_SWEEP_N..=MAX_SWEEP_N {
+            let cfg = SweepConfig { n, ..SweepConfig::default() };
+            assert!(cfg.validate().is_ok(), "n={n} FSYNC must validate");
+            let crash = SchedSpec::Crash { f: (n - 1) as u8, depth: DEFAULT_FAIR_DEPTH };
+            let cfg = SweepConfig { n, sched: crash, ..SweepConfig::default() };
+            assert!(cfg.validate().is_ok(), "n={n} crash f=n-1 must validate");
+        }
+        for n in [0, 1, MAX_SWEEP_N + 1] {
+            let cfg = SweepConfig { n, ..SweepConfig::default() };
+            let err = cfg.validate().expect_err("out-of-range n must be rejected");
+            assert!(err.contains(&format!("n={n}")), "error names the bad count: {err}");
+        }
+        let crash = SchedSpec::Crash { f: 4, depth: DEFAULT_FAIR_DEPTH };
+        let cfg = SweepConfig { n: 4, sched: crash, ..SweepConfig::default() };
+        let err = cfg.validate().expect_err("f >= n must be rejected");
+        assert!(err.contains("f=4"), "error names the bad budget: {err}");
+    }
+
+    #[test]
+    fn slug_tags_non_default_robot_counts() {
+        let seven = SweepConfig::default();
+        assert_eq!(seven.slug(), "verified-fsync", "n=7 slugs stay stable");
+        let eight = SweepConfig { n: 8, ..SweepConfig::default() };
+        assert_eq!(eight.slug(), "verified-fsync-n8");
+        let crash = SchedSpec::Crash { f: 1, depth: DEFAULT_FAIR_DEPTH };
+        let five = SweepConfig { n: 5, sched: crash, ..SweepConfig::default() };
+        assert_eq!(five.slug(), "verified-crash-f1-n5");
+    }
+
+    #[test]
+    fn verdict_digests_are_robot_count_tagged() {
+        // Identical verdict streams over different class spaces must
+        // not collide: the n prefix keeps per-n cells apart even when
+        // every class is (say) refuted in both.
+        let mut record = ShardRecord {
+            algo: "verified".into(),
+            sched: "adversary".into(),
+            robots: 7,
+            max_rounds: Limits::default().max_rounds,
+            shard: 0,
+            shards: 1,
+            start: 0,
+            end: 1,
+            results: vec![ClassOutcome {
+                index: 0,
+                outcome: Outcome::Gathered { rounds: 0 },
+                expanded: 1,
+                verdict: Some(AdversaryVerdict::Proof),
+                crash: None,
+                lcm_async: None,
+            }],
+        };
+        let at_seven = verdict_digest(std::slice::from_ref(&record));
+        record.robots = 8;
+        let at_eight = verdict_digest(std::slice::from_ref(&record));
+        assert_ne!(at_seven, at_eight);
+        // And the n=7 stream hashes exactly as the untagged original:
+        // no prefix bytes at all.
+        let mut h = adversary::Fnv64::new();
+        h.write_all(&0u64.to_le_bytes());
+        h.write(1);
+        assert_eq!(at_seven, h.finish());
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! interleaves the classes).
 
 use simlab::sweep::{
-    merge_shards, run_shard, shard_ranges, ClassOutcome, SchedSpec, ShardRecord, SweepConfig,
+    merge_shards, run_shard, shard_ranges, verdict_digest, ClassOutcome, SchedSpec, ShardRecord,
+    SweepConfig,
 };
 
 /// Runs a full cell with the given thread and shard counts and returns
@@ -80,6 +81,33 @@ fn lcm_async_records_are_thread_and_shard_invariant() {
         SweepConfig { n: 4, sched, ..SweepConfig::default() },
         "lcm-async n=4",
     );
+}
+
+#[test]
+fn per_n_digests_are_thread_and_shard_invariant() {
+    // The n axis must not cost any determinism: for every small robot
+    // count the cell digest is a pure function of the classification,
+    // independent of threading and sharding — and distinct across
+    // counts (the n tag byte).
+    let sched = SchedSpec::parse("crash:1").expect("known scheduler");
+    let digest_of = |n: usize, threads: usize, shards: usize| {
+        let cfg = SweepConfig { n, sched, threads, shards, ..SweepConfig::default() };
+        cfg.validate().expect("supported cell");
+        let classes = polyhex::enumerate_fixed(n);
+        let records: Vec<ShardRecord> = shard_ranges(classes.len(), cfg.shards)
+            .into_iter()
+            .enumerate()
+            .map(|(s, (start, end))| run_shard(&classes, &cfg, s, start, end))
+            .collect();
+        verdict_digest(&records)
+    };
+    let mut seen = std::collections::HashSet::new();
+    for n in [2, 3, 4, 5] {
+        let reference = digest_of(n, 1, 1);
+        assert_eq!(reference, digest_of(n, 4, 1), "n={n}: thread count changed the digest");
+        assert_eq!(reference, digest_of(n, 2, 3), "n={n}: shard count changed the digest");
+        assert!(seen.insert(reference), "n={n}: digests must differ across robot counts");
+    }
 }
 
 #[test]

@@ -56,7 +56,7 @@ fn crash_budget_zero_matches_the_adversary_checker() {
             ) => {
                 assert_eq!(outcome, co, "class {index}: refutation outcomes diverge");
                 assert!(cs.iter().all(|a| a.crash == 0), "class {index}: budget 0 injected");
-                let activations: Vec<u8> = cs.iter().map(|a| a.activate).collect();
+                let activations: Vec<u16> = cs.iter().map(|a| a.activate).collect();
                 assert_eq!(schedule, &activations, "class {index}: schedules diverge");
             }
             (a, c) => panic!("class {index}: verdicts diverge: {a:?} vs {c:?}"),

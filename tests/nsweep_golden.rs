@@ -1,0 +1,211 @@
+//! Golden-file regression for the parameterized (n ≠ 7) sweep cells —
+//! the first classification tables beyond the paper's 3652-class
+//! seven-robot experiment.
+//!
+//! * Debug tier: the full n ∈ {4, 5} FSYNC and crash f=1 cells (44 and
+//!   186 classes — cheap even unoptimized) plus outcome-kind subset
+//!   rows over every 257th n = 8 class.
+//! * Release tier: the full 16689-class n = 8 cells — FSYNC, crash
+//!   f=1, SSYNC adversary and lcm-async — with verdict tallies and the
+//!   n-tagged FNV verdict digest pinned. No silent truncation: a
+//!   budget-capped class would land in `undecided`/`step_limit`, and
+//!   the pinned rows record those columns exactly.
+//!
+//! All rows live in `tests/golden/nsweep-verified.json`. Regenerate
+//! after an intentional checker change with:
+//!
+//! ```sh
+//! cargo test --release --test nsweep_golden -- --ignored regen
+//! ```
+
+use gathering::SevenGather;
+use simlab::sweep::{merge_shards, run_class, run_shard, SchedSpec, SweepConfig};
+
+const GOLDEN: &str = include_str!("golden/nsweep-verified.json");
+
+/// The pinned full cells: (n, scheduler spec, release_only).
+const ROWS: &[(usize, &str, bool)] = &[
+    (4, "fsync", false),
+    (5, "fsync", false),
+    (8, "fsync", true),
+    (4, "crash:1", false),
+    (5, "crash:1", false),
+    (8, "crash:1", true),
+    (8, "adversary", true),
+    (8, "lcm-async", true),
+];
+
+/// The pinned debug subsets: every `stride`-th class of the n = 8
+/// space (66 classes), outcome kinds only — the release rows pin the
+/// verdict digests.
+const SUBSET_ROWS: &[(usize, &str, usize)] = &[(8, "fsync", 257), (8, "crash:1", 257)];
+
+/// Runs one full cell and renders its pinned row: verdict tallies and
+/// digest for model-checking cells, the outcome breakdown for FSYNC.
+fn full_row(n: usize, spec: &str) -> serde_json::Value {
+    let sched = SchedSpec::parse(spec).expect("known scheduler");
+    let cfg = SweepConfig { n, sched, shards: 1, ..SweepConfig::default() };
+    cfg.validate().expect("supported cell");
+    let classes = polyhex::enumerate_fixed(n);
+    let record = run_shard(&classes, &cfg, 0, 0, classes.len());
+    let summary = merge_shards(&cfg, std::slice::from_ref(&record)).expect("consistent shard");
+    let mut entry = vec![
+        ("n".to_string(), serde_json::Value::UInt(n as u64)),
+        ("sched".to_string(), serde_json::Value::Str(sched.name())),
+        ("total".to_string(), serde_json::Value::UInt(summary.total as u64)),
+    ];
+    match summary.adversary {
+        Some(counts) => {
+            entry.push(("proof".to_string(), serde_json::Value::UInt(counts.proof as u64)));
+            entry.push(("refuted".to_string(), serde_json::Value::UInt(counts.refuted as u64)));
+            entry.push(("undecided".to_string(), serde_json::Value::UInt(counts.undecided as u64)));
+            let digest = summary.digest.expect("model-checking cells carry digests");
+            entry.push(("digest".to_string(), serde_json::Value::Str(digest)));
+        }
+        None => {
+            for (key, count) in [
+                ("gathered", summary.gathered),
+                ("stuck", summary.stuck),
+                ("livelock", summary.livelock),
+                ("collision", summary.collision),
+                ("disconnected", summary.disconnected),
+                ("step_limit", summary.step_limit),
+                ("max_rounds", summary.max_rounds),
+            ] {
+                entry.push((key.to_string(), serde_json::Value::UInt(count as u64)));
+            }
+        }
+    }
+    serde_json::Value::Map(entry)
+}
+
+/// Runs every `stride`-th class of a cell and renders the subset row:
+/// outcome-kind counts over the subset (crash proofs surface as
+/// `gathered`, undecided classes as `step_limit` — the
+/// `outcome_of_*_verdict` mapping).
+fn subset_row(n: usize, spec: &str, stride: usize) -> serde_json::Value {
+    let sched = SchedSpec::parse(spec).expect("known scheduler");
+    let cfg = SweepConfig { n, sched, ..SweepConfig::default() };
+    cfg.validate().expect("supported cell");
+    let algo = SevenGather::verified();
+    let limits = cfg.effective_limits();
+    let classes = polyhex::enumerate_fixed(n);
+    let (mut gathered, mut stuck, mut livelock, mut collision, mut disconnected, mut step_limit) =
+        (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut covered = 0u64;
+    for index in (0..classes.len()).step_by(stride) {
+        let initial = robots::Configuration::new(classes[index].iter().copied());
+        match run_class(&initial, &algo, sched, index, limits) {
+            robots::Outcome::Gathered { .. } => gathered += 1,
+            robots::Outcome::StuckFixpoint { .. } => stuck += 1,
+            robots::Outcome::Livelock { .. } => livelock += 1,
+            robots::Outcome::Collision { .. } => collision += 1,
+            robots::Outcome::Disconnected { .. } => disconnected += 1,
+            robots::Outcome::StepLimit { .. } => step_limit += 1,
+        }
+        covered += 1;
+    }
+    serde_json::Value::Map(vec![
+        ("n".to_string(), serde_json::Value::UInt(n as u64)),
+        ("sched".to_string(), serde_json::Value::Str(sched.name())),
+        ("stride".to_string(), serde_json::Value::UInt(stride as u64)),
+        ("classes".to_string(), serde_json::Value::UInt(covered)),
+        ("gathered".to_string(), serde_json::Value::UInt(gathered)),
+        ("stuck".to_string(), serde_json::Value::UInt(stuck)),
+        ("livelock".to_string(), serde_json::Value::UInt(livelock)),
+        ("collision".to_string(), serde_json::Value::UInt(collision)),
+        ("disconnected".to_string(), serde_json::Value::UInt(disconnected)),
+        ("step_limit".to_string(), serde_json::Value::UInt(step_limit)),
+    ])
+}
+
+/// Finds the fixture row with the given `n`/`sched` name, requiring
+/// the presence (or absence) of the `stride` marker to keep full and
+/// subset rows apart.
+fn fixture_row<'a>(
+    golden: &'a [serde_json::Value],
+    n: usize,
+    name: &str,
+    subset: bool,
+) -> &'a serde_json::Value {
+    golden
+        .iter()
+        .find(|e| {
+            e.get("n").and_then(serde_json::Value::as_f64) == Some(n as f64)
+                && e.get("sched").and_then(serde_json::Value::as_str) == Some(name)
+                && e.get("stride").is_some() == subset
+        })
+        .unwrap_or_else(|| panic!("fixture lacks {} row n={n} sched={name:?}", kind(subset)))
+}
+
+fn kind(subset: bool) -> &'static str {
+    if subset {
+        "subset"
+    } else {
+        "full"
+    }
+}
+
+fn parse_golden() -> Vec<serde_json::Value> {
+    let golden: serde_json::Value = serde_json::from_str(GOLDEN).expect("fixture parses");
+    golden.as_seq().expect("fixture is an array").to_vec()
+}
+
+#[test]
+fn small_n_cells_match_golden_rows() {
+    let golden = parse_golden();
+    for &(n, spec, release_only) in ROWS {
+        if release_only {
+            continue;
+        }
+        let name = SchedSpec::parse(spec).expect("known scheduler").name();
+        let expected = fixture_row(&golden, n, &name, false);
+        assert_eq!(expected, &full_row(n, spec), "full row n={n} sched={name} diverged");
+    }
+}
+
+#[test]
+fn n8_subset_outcomes_match_golden_rows() {
+    let golden = parse_golden();
+    for &(n, spec, stride) in SUBSET_ROWS {
+        let name = SchedSpec::parse(spec).expect("known scheduler").name();
+        let expected = fixture_row(&golden, n, &name, true);
+        assert_eq!(
+            expected,
+            &subset_row(n, spec, stride),
+            "subset row n={n} sched={name} diverged"
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full 16689-class n=8 cells are release-only; run cargo test --release"
+)]
+fn n8_full_cells_match_golden_rows() {
+    let golden = parse_golden();
+    for &(n, spec, release_only) in ROWS {
+        if !release_only {
+            continue;
+        }
+        let name = SchedSpec::parse(spec).expect("known scheduler").name();
+        let expected = fixture_row(&golden, n, &name, false);
+        assert_eq!(expected, &full_row(n, spec), "full row n={n} sched={name} diverged");
+    }
+}
+
+/// Not a test: regenerates the fixture. Run explicitly (release — the
+/// n = 8 rows are part of the file!) after an intentional change.
+#[test]
+#[ignore = "fixture regeneration helper; run explicitly with --ignored"]
+#[allow(clippy::assertions_on_constants)]
+fn regen_nsweep_golden() {
+    assert!(!cfg!(debug_assertions), "regen must run in release: the n=8 rows are expensive");
+    let mut rows: Vec<serde_json::Value> =
+        ROWS.iter().map(|&(n, spec, _)| full_row(n, spec)).collect();
+    rows.extend(SUBSET_ROWS.iter().map(|&(n, spec, stride)| subset_row(n, spec, stride)));
+    let text =
+        serde_json::to_string_pretty(&serde_json::Value::Seq(rows)).expect("fixture serialises");
+    std::fs::write("tests/golden/nsweep-verified.json", text + "\n").expect("write fixture");
+}
