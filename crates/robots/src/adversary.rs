@@ -57,7 +57,7 @@
 //! with the algorithm.
 
 use crate::engine::{Limits, Outcome};
-use crate::explore::{ExploreOptions, ExploreVerdict, Explorer};
+use crate::explore::{ExploreOptions, ExploreVerdict, Explorer, UndecidedReason};
 use crate::sched::{self, CrashRound, ScheduleReplay};
 use crate::{Algorithm, Configuration, Execution};
 use serde::{Deserialize, Serialize};
@@ -88,12 +88,42 @@ impl Default for AdversaryOptions {
     }
 }
 
+impl AdversaryOptions {
+    /// Budgets sized for an `n`-robot space. For n ≤ 7 these are
+    /// exactly [`AdversaryOptions::default`] — the historical budgets
+    /// the golden digests were pinned under. Wider spaces raise the
+    /// state and edge caps so they cover the whole connected class
+    /// space: the budget-0 adversary never leaves it (collisions and
+    /// disconnections refute immediately; moves preserve the robot
+    /// count), so a cap at least the connected-class count can never
+    /// trip. n = 8 has 16689 connected classes with at most `2^8 - 1`
+    /// activation edges each, hence 32768 classes / 16M edges.
+    ///
+    /// The fair-cycle depth stays at the historical 12 for every `n`:
+    /// it only bounds the Phase C *heuristic* (raising it to 48 was
+    /// measured to decide zero additional n = 8 classes), and the
+    /// complete product-automaton decision (Phase D, DESIGN.md §15)
+    /// settles whatever the heuristic leaves behind regardless of this
+    /// knob.
+    #[must_use]
+    pub fn for_robots(n: usize) -> Self {
+        let defaults = Self::default();
+        match n {
+            0..=7 => defaults,
+            8 => AdversaryOptions { max_classes: 1 << 15, max_edges: 16_000_000, ..defaults },
+            9 => AdversaryOptions { max_classes: 1 << 18, max_edges: 128_000_000, ..defaults },
+            _ => AdversaryOptions { max_classes: 1 << 21, max_edges: 1_000_000_000, ..defaults },
+        }
+    }
+}
+
 impl From<AdversaryOptions> for ExploreOptions {
     fn from(opts: AdversaryOptions) -> Self {
         ExploreOptions {
             max_states: opts.max_classes,
             max_edges: opts.max_edges,
             fair_depth: opts.fair_depth,
+            ..ExploreOptions::default()
         }
     }
 }
@@ -116,12 +146,15 @@ pub enum AdversaryVerdict {
         /// The outcome the replay must reproduce.
         outcome: Outcome,
     },
-    /// The class graph contains cycles, but no fair counterexample
-    /// cycle was found within depth `depth` — neither verdict is
-    /// certified.
+    /// Neither verdict was certified within the search budgets.
     Undecided {
-        /// The fair-cycle search depth that was exhausted.
+        /// The fair-cycle search depth that was exhausted (or would
+        /// have applied, for BFS-budget trips).
         depth: usize,
+        /// Which budget tripped: the class cap, the edge cap, or the
+        /// fair-cycle depth.
+        #[serde(default)]
+        reason: UndecidedReason,
     },
 }
 
@@ -282,6 +315,13 @@ impl<'a, A: Algorithm + ?Sized> Checker<'a, A> {
         self.explorer.group()
     }
 
+    /// Sets the within-class BFS fan-out width (`1` = serial, `0` = all
+    /// cores). Verdicts are identical at every setting (see
+    /// [`Explorer::set_threads`]).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.explorer.set_threads(threads);
+    }
+
     /// Classifies `initial` under the exhaustive SSYNC adversary.
     ///
     /// # Panics
@@ -293,7 +333,9 @@ impl<'a, A: Algorithm + ?Sized> Checker<'a, A> {
         let report = self.explorer.check(initial);
         let verdict = match report.verdict {
             ExploreVerdict::Proof => AdversaryVerdict::Proof,
-            ExploreVerdict::Undecided { depth } => AdversaryVerdict::Undecided { depth },
+            ExploreVerdict::Undecided { depth, reason } => {
+                AdversaryVerdict::Undecided { depth, reason }
+            }
             ExploreVerdict::Refuted { schedule, outcome } => AdversaryVerdict::Refuted {
                 schedule: schedule
                     .iter()
@@ -493,6 +535,11 @@ mod tests {
     fn replay_returns_none_for_proof_and_undecided() {
         let h = crate::config::hexagon(ORIGIN);
         assert!(replay(&h, &StayAlgorithm, &AdversaryVerdict::Proof).is_none());
-        assert!(replay(&h, &StayAlgorithm, &AdversaryVerdict::Undecided { depth: 3 }).is_none());
+        assert!(replay(
+            &h,
+            &StayAlgorithm,
+            &AdversaryVerdict::Undecided { depth: 3, reason: UndecidedReason::FairDepth }
+        )
+        .is_none());
     }
 }

@@ -40,7 +40,7 @@ use crate::sched::CrashRound;
 use crate::{Algorithm, Configuration, View};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::VecDeque;
+
 use trigrid::transform::PointSymmetry;
 use trigrid::Coord;
 
@@ -313,7 +313,7 @@ impl Semantics for AsyncSemantics {
         &self,
         search: &mut Search<'_, '_, A, Self>,
         id: usize,
-        queue: &mut VecDeque<usize>,
+        queue: &mut Vec<u32>,
     ) -> Option<AsyncVerdict> {
         let (class, pending, rounds) = search.state(id);
         let info = search.info(class);
@@ -346,7 +346,7 @@ impl Semantics for AsyncSemantics {
                         "a pending state always has an action"
                     );
                     if new {
-                        queue.push_back(succ);
+                        queue.push(succ as u32);
                     }
                     search.push_edge(id, action, succ);
                 }
@@ -390,7 +390,7 @@ impl Semantics for AsyncSemantics {
                                         outcome: Outcome::StuckFixpoint { rounds: rounds + 1 },
                                     });
                                 }
-                                queue.push_back(succ);
+                                queue.push(succ as u32);
                             }
                             search.push_edge(id, action, succ);
                         }
@@ -399,7 +399,7 @@ impl Semantics for AsyncSemantics {
                 }
             }
             if search.over_budget() {
-                return Some(AsyncVerdict::Undecided { depth: search.opts().fair_depth });
+                return Some(search.budget_undecided());
             }
         }
         None
@@ -511,6 +511,15 @@ impl<'a, A: Algorithm + ?Sized> AsyncChecker<'a, A> {
     #[must_use]
     pub fn group(&self) -> &[PointSymmetry] {
         self.explorer.group()
+    }
+
+    /// Sets the within-class BFS fan-out width. Accepted for interface
+    /// parity with the synchronous checkers; the ASYNC semantics
+    /// expands serially regardless (its phase-interleaving successor
+    /// generation is not yet side-effect-free), so this is a no-op
+    /// beyond recording the preference.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.explorer.set_threads(threads);
     }
 
     /// Classifies `initial` under the exhaustive ASYNC phase-interleaving
@@ -870,6 +879,11 @@ mod tests {
     fn replay_returns_none_for_proof_and_undecided() {
         let h = crate::config::hexagon(ORIGIN);
         assert!(replay(&h, &StayAlgorithm, &AsyncVerdict::Proof).is_none());
-        assert!(replay(&h, &StayAlgorithm, &AsyncVerdict::Undecided { depth: 4 }).is_none());
+        assert!(replay(
+            &h,
+            &StayAlgorithm,
+            &AsyncVerdict::Undecided { depth: 4, reason: Default::default() }
+        )
+        .is_none());
     }
 }

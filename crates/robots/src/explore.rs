@@ -65,7 +65,7 @@
 use crate::config::PackedClass;
 use crate::engine::{self, Outcome};
 use crate::sched::CrashRound;
-use crate::visited::ClassArena;
+use crate::visited::{ClassArena, PackedKeyMap};
 use crate::{view, Algorithm, Configuration, MoveOracle, View};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -83,7 +83,20 @@ pub struct ExploreOptions {
     /// Depth bound for the fair-cycle search: maximal simple-cycle
     /// length and maximal number of cycle compositions tried.
     pub fair_depth: usize,
+    /// Worker threads for the within-class BFS frontier fan-out
+    /// (1 = serial). Verdicts, statistics and schedules are
+    /// byte-identical at every thread count: workers only run the
+    /// *pure* expansion ([`Semantics::expand_pure`]); interning and
+    /// counters replay in frontier order on the calling thread.
+    pub threads: usize,
+    /// Minimum BFS level size before a level is fanned out — small
+    /// levels are cheaper to expand serially than to ship to a pool.
+    pub par_frontier: usize,
 }
+
+/// Default [`ExploreOptions::par_frontier`]: below this the per-level
+/// scoped-pool setup costs more than the expansion itself.
+pub const DEFAULT_PAR_FRONTIER: usize = 256;
 
 impl Default for ExploreOptions {
     fn default() -> Self {
@@ -91,7 +104,13 @@ impl Default for ExploreOptions {
         // holds 3652 translation classes, so 4096 states never bind
         // there. Crash instantiations multiply the space by the crash
         // placements and should use [`ExploreOptions::crash`].
-        ExploreOptions { max_states: 4096, max_edges: 2_000_000, fair_depth: 12 }
+        ExploreOptions {
+            max_states: 4096,
+            max_edges: 2_000_000,
+            fair_depth: 12,
+            threads: 1,
+            par_frontier: DEFAULT_PAR_FRONTIER,
+        }
     }
 }
 
@@ -101,7 +120,7 @@ impl ExploreOptions {
     /// caps are an order of magnitude above the fault-free defaults.
     #[must_use]
     pub fn crash() -> Self {
-        ExploreOptions { max_states: 65_536, max_edges: 16_000_000, fair_depth: 12 }
+        ExploreOptions { max_states: 65_536, max_edges: 16_000_000, ..ExploreOptions::default() }
     }
 
     /// Budgets sized for the ASYNC semantics: every class fans out into
@@ -109,7 +128,7 @@ impl ExploreOptions {
     /// orders of magnitude above the fault-free class count.
     #[must_use]
     pub fn lcm_async() -> Self {
-        ExploreOptions { max_states: 524_288, max_edges: 16_000_000, fair_depth: 12 }
+        ExploreOptions { max_states: 524_288, max_edges: 16_000_000, ..ExploreOptions::default() }
     }
 }
 
@@ -127,6 +146,36 @@ pub type Goal = fn(&Configuration, u16) -> bool;
 /// corrupt masks at runtime.
 pub const MASK_ROBOTS: usize = u16::BITS as usize;
 const _: () = assert!(PackedClass::MAX_ROBOTS <= MASK_ROBOTS);
+
+/// Which budget exhausted when a check ends [`ExploreVerdict::Undecided`]
+/// — the diagnosis that tells an operator which knob to raise. Recorded
+/// in verdicts and surfaced through the sweep shard JSON.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum UndecidedReason {
+    /// [`ExploreOptions::max_states`] tripped during the BFS.
+    States,
+    /// [`ExploreOptions::max_edges`] tripped during the BFS.
+    Edges,
+    /// The BFS closed, but the fair-cycle search exhausted
+    /// [`ExploreOptions::fair_depth`] without a certificate either way.
+    /// The default: verdicts serialized before the reason field existed
+    /// could only arise here at the historical budgets.
+    #[default]
+    FairDepth,
+}
+
+impl UndecidedReason {
+    /// Short tag used by reports and shard JSON summaries.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            UndecidedReason::States => "states",
+            UndecidedReason::Edges => "edges",
+            UndecidedReason::FairDepth => "fair_depth",
+        }
+    }
+}
 
 /// The classification of one initial class by [`Explorer::check`].
 ///
@@ -155,11 +204,14 @@ pub enum ExploreVerdict {
         /// tick.
         outcome: Outcome,
     },
-    /// The state graph contains cycles, but no fair counterexample
-    /// cycle was found within depth `depth`.
+    /// Neither verdict was certified within the search budgets.
     Undecided {
-        /// The fair-cycle search depth that was exhausted.
+        /// The fair-cycle search depth that was exhausted (or would
+        /// have applied, for BFS-budget trips).
         depth: usize,
+        /// Which budget tripped.
+        #[serde(default)]
+        reason: UndecidedReason,
     },
 }
 
@@ -293,6 +345,37 @@ impl ClassInfo {
     }
 }
 
+/// One expansion step of an inner state, produced without touching the
+/// search — the *pure* half of [`Semantics::expand`]. Splitting
+/// expansion into a pure enumeration plus an ordered application
+/// ([`Search::apply_step`]) is what makes the within-class frontier
+/// fan-out deterministic: worker threads enumerate a whole BFS level
+/// speculatively against the frozen level-start arena, and the
+/// single-threaded merge replays the exact serial interning, counter
+/// and refutation sequence.
+///
+/// Public because it appears in the [`Semantics`] trait surface; like
+/// the rest of that surface it is an internal extension point —
+/// [`Search`]'s mutation methods are crate-private, so foreign code
+/// cannot apply steps.
+pub enum PureStep<Aux> {
+    /// The action is not the minimal representative of its stabilizer
+    /// orbit: skipped, counted as deduped.
+    Dedup,
+    /// The activation collides; the scalar engine's exact collision
+    /// report rides along for the refutation outcome.
+    Collide(engine::RoundCollision),
+    /// The successor configuration disconnects: refutation (after the
+    /// edge is counted, matching the serial order).
+    Disconnect,
+    /// An aux-only successor at the *same* class and round count — a
+    /// crash injection that froze every remaining mover.
+    Variant(Aux),
+    /// A movement successor: the packed canonical class key plus the
+    /// aux re-expressed over the successor's row-major slots.
+    Succ(PackedClass, Aux),
+}
+
 /// A **semantics** of the exploration layer: what a state's auxiliary
 /// key is (packed alongside the interned translation class), which
 /// adversary actions a state offers, what their successors are, and how
@@ -341,6 +424,10 @@ pub trait Semantics: Sync + Sized {
     /// goal or stuck.
     fn classify(&self, cfg: &Configuration, info: &ClassInfo, aux: Self::Aux) -> NodeKind;
 
+    /// Whether this semantics implements [`Semantics::expand_pure`] and
+    /// may therefore have its BFS levels fanned out across threads.
+    const PARALLEL: bool = false;
+
     /// Expands every adversary action of inner state `id`, interning
     /// successors and pushing newly discovered inner states onto
     /// `queue`. Returns a verdict as soon as a bad terminal is reached
@@ -349,8 +436,24 @@ pub trait Semantics: Sync + Sized {
         &self,
         search: &mut Search<'_, '_, A, Self>,
         id: usize,
-        queue: &mut VecDeque<usize>,
+        queue: &mut Vec<u32>,
     ) -> Option<ExploreVerdict>;
+
+    /// Pure expansion: enumerates inner state `id`'s actions in the
+    /// exact order [`Semantics::expand`] applies them and pushes each
+    /// action's [`PureStep`] classification into `out`, without
+    /// mutating the search. Enumeration stops after an unconditionally
+    /// terminal step ([`PureStep::Collide`] / [`PureStep::Disconnect`])
+    /// — the applier never looks past it. Only called when
+    /// [`Semantics::PARALLEL`] is true.
+    fn expand_pure<A: Algorithm + ?Sized>(
+        &self,
+        _search: &Search<'_, '_, A, Self>,
+        _id: usize,
+        _out: &mut Vec<(CrashRound, PureStep<Self::Aux>)>,
+    ) {
+        unreachable!("expand_pure requires Semantics::PARALLEL");
+    }
 
     /// Concretely traverses the closed state walk `cycle` (starting and
     /// ending at `start`) once, tracking robot roles and fairness
@@ -407,13 +510,47 @@ struct StateNode<Aux> {
     /// Rounds from the initial state, in the semantics' own bookkeeping
     /// (movement rounds for crash — injection-only actions do not
     /// count; phase-advance ticks for ASYNC). This is what replay
-    /// outcomes report.
-    rounds: usize,
-    /// Discovery edge, for schedule reconstruction.
-    parent: Option<(usize, CrashRound)>,
-    /// Expanded edges `(action, successor id)`.
-    edges: Vec<(CrashRound, usize)>,
+    /// outcomes report. `u32`: BFS depth is bounded by the state count,
+    /// which the arena caps far below `2^32`.
+    rounds: u32,
+    /// Discovery parent id ([`NO_PARENT`] for the root), for schedule
+    /// reconstruction.
+    parent: u32,
+    /// The discovery edge's action, packed (meaningless on the root).
+    parent_action: u32,
+    /// This node's slice of the search's shared edge pool: offset and
+    /// count. A state's edges are recorded contiguously — serial
+    /// expansion finishes a state before starting the next, and the
+    /// parallel fan-out's merge applies pure steps in the same frontier
+    /// order — so the whole graph lives in one flat `Vec` instead of
+    /// one heap allocation per expanded state.
+    edge_start: u32,
+    edge_len: u32,
     kind: NodeKind,
+}
+
+/// Sentinel parent id of the root state.
+const NO_PARENT: u32 = u32::MAX;
+
+/// One expanded edge in 8 bytes: the action packed as
+/// `crash << 16 | activate` plus the successor's dense state id. The
+/// graph phases (quotient acyclicity, Tarjan, cycle DFS, the product
+/// decision) walk millions of these, so halving the former
+/// `(CrashRound, usize)` layout directly halves the resident graph.
+#[derive(Clone, Copy)]
+struct PackedEdge {
+    action: u32,
+    to: u32,
+}
+
+/// Packs a [`CrashRound`] into the edge/parent action word.
+fn pack_action(action: CrashRound) -> u32 {
+    (u32::from(action.crash) << 16) | u32::from(action.activate)
+}
+
+/// Inverse of [`pack_action`].
+fn unpack_action(bits: u32) -> CrashRound {
+    CrashRound { crash: (bits >> 16) as u16, activate: bits as u16 }
 }
 
 /// The mutable role-tracking state of a certificate traversal
@@ -500,6 +637,19 @@ pub struct Explorer<'a, A: Algorithm + ?Sized, S: Semantics = CrashSemantics> {
     /// equivariance scan was widened to match, so the stabilizer dedup
     /// stays sound (see [`equivariance_group_for`]).
     max_robots: usize,
+    /// Cell-global decision-vector cache: `ClassInfo` is a pure
+    /// function of the packed class key (the decision of each robot
+    /// from a fresh Look), so one checker reused across a sweep cell
+    /// computes it once per *distinct* class instead of once per class
+    /// per per-class search — the dominant Phase A cost before this
+    /// cache was the repeated radius-2 view extraction behind
+    /// [`engine::compute_moves`].
+    info_memo: std::sync::Mutex<PackedKeyMap<(ClassInfo, std::sync::Arc<Configuration>)>>,
+    /// Cell-global [`engine::RoundTable`] cache, keyed like
+    /// [`Self::info_memo`]: the table depends only on the canonical
+    /// positions and the decision vector, never on crash marks (those
+    /// only filter which activation submasks are enumerated).
+    table_memo: std::sync::Mutex<PackedKeyMap<std::sync::Arc<engine::RoundTable>>>,
 }
 
 impl<'a, A: Algorithm + ?Sized> Explorer<'a, A, CrashSemantics> {
@@ -572,7 +722,15 @@ impl<'a, A: Algorithm + ?Sized, S: Semantics> Explorer<'a, A, S> {
         // evaluations and pre-warms the memo table with every view the
         // exploration can encounter.
         let group = equivariance_group_for(&oracle, max_robots.max(8));
-        Explorer { oracle, opts, group, semantics, max_robots: max_robots.max(8) }
+        Explorer {
+            oracle,
+            opts,
+            group,
+            semantics,
+            max_robots: max_robots.max(8),
+            info_memo: std::sync::Mutex::new(PackedKeyMap::default()),
+            table_memo: std::sync::Mutex::new(PackedKeyMap::default()),
+        }
     }
 
     /// The algorithm's equivariance subgroup (always contains the
@@ -588,6 +746,14 @@ impl<'a, A: Algorithm + ?Sized, S: Semantics> Explorer<'a, A, S> {
         self.max_robots
     }
 
+    /// Sets the within-class BFS fan-out width (`1` = serial, `0` = all
+    /// cores). Purely a wall-clock knob: the level-synchronized merge
+    /// replays the serial interning order, so verdicts, statistics and
+    /// digests are identical at every setting.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.opts.threads = parallel::resolve_threads(threads);
+    }
+
     /// The semantics this explorer instantiates.
     pub(crate) fn semantics(&self) -> &S {
         &self.semantics
@@ -596,6 +762,53 @@ impl<'a, A: Algorithm + ?Sized, S: Semantics> Explorer<'a, A, S> {
     /// The memoized decision oracle.
     pub(crate) fn oracle(&self) -> &MoveOracle<'a, A> {
         &self.oracle
+    }
+
+    /// The decision data and shared canonical representative of the
+    /// class `key` packs, through the cell-global cache. Successive
+    /// per-class searches of one checker revisit heavily overlapping
+    /// class sets (for the full n = 7 adversary cell, all 318k interned
+    /// states name only 3652 distinct classes), so both the decoded
+    /// configuration and its decision vector are materialized once per
+    /// class per cell, not once per search. A racing miss recomputes
+    /// the same pure value, so the lock is never held across the
+    /// computation.
+    pub(crate) fn class_entry(
+        &self,
+        key: PackedClass,
+    ) -> (ClassInfo, std::sync::Arc<Configuration>) {
+        if let Some((info, cfg)) = self.info_memo.lock().unwrap().get(&key.bits()) {
+            return (*info, std::sync::Arc::clone(cfg));
+        }
+        let cfg = std::sync::Arc::new(key.unpack());
+        let decisions = engine::compute_moves(&cfg, &self.oracle);
+        let mut moves = [None; PackedClass::MAX_ROBOTS];
+        moves[..decisions.len()].copy_from_slice(&decisions);
+        let movers =
+            decisions
+                .iter()
+                .enumerate()
+                .fold(0u16, |acc, (i, m)| if m.is_some() { acc | (1 << i) } else { acc });
+        let info = ClassInfo { n: cfg.len() as u8, movers, moves };
+        self.info_memo.lock().unwrap().insert(key.bits(), (info, std::sync::Arc::clone(&cfg)));
+        (info, cfg)
+    }
+
+    /// The bit-parallel round table of the class `cfg` canonically
+    /// represents, through the cell-global cache (see
+    /// [`Self::class_info`] for the keying and race discipline).
+    pub(crate) fn round_table(
+        &self,
+        key: PackedClass,
+        cfg: &Configuration,
+        moves: &[Option<Dir>],
+    ) -> std::sync::Arc<engine::RoundTable> {
+        if let Some(table) = self.table_memo.lock().unwrap().get(&key.bits()) {
+            return std::sync::Arc::clone(table);
+        }
+        let table = std::sync::Arc::new(engine::RoundTable::new(cfg, moves));
+        self.table_memo.lock().unwrap().insert(key.bits(), std::sync::Arc::clone(&table));
+        table
     }
 
     /// Classifies `initial` under the exhaustive adversary of this
@@ -621,6 +834,7 @@ impl<'a, A: Algorithm + ?Sized, S: Semantics> Explorer<'a, A, S> {
             arena: ClassArena::new(),
             info: Vec::new(),
             variants: Vec::new(),
+            edge_pool: Vec::new(),
             edges: 0,
             deduped: 0,
         };
@@ -725,6 +939,8 @@ pub struct Search<'c, 'a, A: Algorithm + ?Sized, S: Semantics> {
     /// Per-class state ids, one per aux variant, parallel to the arena
     /// ids.
     variants: Vec<Vec<(S::Aux, usize)>>,
+    /// Flat edge storage; each [`StateNode`] owns a contiguous slice.
+    edge_pool: Vec<PackedEdge>,
     edges: usize,
     deduped: usize,
 }
@@ -735,15 +951,10 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
         self.explorer
     }
 
-    /// The search budgets.
-    pub(crate) fn opts(&self) -> ExploreOptions {
-        self.explorer.opts
-    }
-
     /// `(class id, aux, rounds)` of state `id`.
     pub(crate) fn state(&self, id: usize) -> (u32, S::Aux, usize) {
         let s = &self.states[id];
-        (s.class, s.aux, s.rounds)
+        (s.class, s.aux, s.rounds as usize)
     }
 
     /// The terminal classification of state `id`.
@@ -777,9 +988,37 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
             || self.edges > self.explorer.opts.max_edges
     }
 
-    /// Records the expanded edge `(action, succ)` on state `id`.
+    /// The undecided verdict for a tripped BFS budget, recording which
+    /// counter exhausted (states before edges when both did — the state
+    /// cap is the one that names the blown arena).
+    pub(crate) fn budget_undecided(&self) -> ExploreVerdict {
+        let reason = if self.states.len() > self.explorer.opts.max_states {
+            UndecidedReason::States
+        } else {
+            UndecidedReason::Edges
+        };
+        ExploreVerdict::Undecided { depth: self.explorer.opts.fair_depth, reason }
+    }
+
+    /// Records the expanded edge `(action, succ)` on state `id`. Edges
+    /// of a state are recorded back-to-back (expansion finishes one
+    /// state before the next starts), which is what lets the pool stay
+    /// flat.
     pub(crate) fn push_edge(&mut self, id: usize, action: CrashRound, succ: usize) {
-        self.states[id].edges.push((action, succ));
+        let offset = u32::try_from(self.edge_pool.len()).expect("fewer than 2^32 edges");
+        let node = &mut self.states[id];
+        if node.edge_len == 0 {
+            node.edge_start = offset;
+        }
+        debug_assert_eq!(node.edge_start + node.edge_len, offset, "interleaved expansion");
+        node.edge_len += 1;
+        self.edge_pool.push(PackedEdge { action: pack_action(action), to: succ as u32 });
+    }
+
+    /// The expanded edges of state `id`.
+    fn edges_of(&self, id: usize) -> &[PackedEdge] {
+        let s = &self.states[id];
+        &self.edge_pool[s.edge_start as usize..(s.edge_start + s.edge_len) as usize]
     }
 
     /// Interns `raw`'s translation class, computing its decision
@@ -787,22 +1026,21 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
     /// packed key folds the canonical translation without allocating,
     /// so a revisited class costs one `u128` hash lookup.
     fn intern_class(&mut self, raw: &Configuration) -> u32 {
-        let (class, new) = self.arena.intern_key(raw.canonical_key());
-        if new {
-            let cfg = self.arena.get(class);
-            let decisions = engine::compute_moves(cfg, &self.explorer.oracle);
-            let mut moves = [None; PackedClass::MAX_ROBOTS];
-            moves[..decisions.len()].copy_from_slice(&decisions);
-            let movers = decisions.iter().enumerate().fold(0u16, |acc, (i, m)| {
-                if m.is_some() {
-                    acc | (1 << i)
-                } else {
-                    acc
-                }
-            });
-            self.info.push(ClassInfo { n: cfg.len() as u8, movers, moves });
-            self.variants.push(Vec::new());
+        self.intern_class_key(raw.canonical_key())
+    }
+
+    /// Interns an already-packed canonical class key — the merge-side
+    /// twin of [`Search::intern_class`] for successors whose key a
+    /// pure expansion computed without materializing a
+    /// [`Configuration`].
+    fn intern_class_key(&mut self, key: PackedClass) -> u32 {
+        if let Some(class) = self.arena.lookup_key(key) {
+            return class;
         }
+        let (info, cfg) = self.explorer.class_entry(key);
+        let class = self.arena.insert_shared(key, cfg);
+        self.info.push(info);
+        self.variants.push(Vec::new());
         class
     }
 
@@ -839,9 +1077,101 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
         let info = &self.info[class as usize];
         let kind = self.explorer.semantics.classify(self.arena.get(class), info, aux);
         let id = self.states.len();
+        let (parent, parent_action) = match parent {
+            Some((p, a)) => (p as u32, pack_action(a)),
+            None => (NO_PARENT, 0),
+        };
         self.variants[class as usize].push((aux, id));
-        self.states.push(StateNode { class, aux, rounds, parent, edges: Vec::new(), kind });
+        self.states.push(StateNode {
+            class,
+            aux,
+            rounds: rounds as u32,
+            parent,
+            parent_action,
+            edge_start: 0,
+            edge_len: 0,
+            kind,
+        });
         (id, true)
+    }
+
+    /// Applies one [`PureStep`] of state `id` under `action`, replaying
+    /// the exact serial expansion semantics: the same counter bumps in
+    /// the same order, the same refutation outcomes, the same queue
+    /// pushes and the same per-action budget checks. The parallel
+    /// fan-out funnels every speculatively enumerated step through this
+    /// method in frontier order, which is why its verdicts, statistics
+    /// and schedules are byte-identical to the serial search.
+    pub(crate) fn apply_step(
+        &mut self,
+        id: usize,
+        action: CrashRound,
+        step: PureStep<S::Aux>,
+        queue: &mut Vec<u32>,
+    ) -> Option<ExploreVerdict> {
+        let rounds = self.states[id].rounds as usize;
+        match step {
+            PureStep::Dedup => {
+                self.bump_deduped();
+                None
+            }
+            PureStep::Collide(collision) => {
+                let mut schedule = self.path_to(id);
+                schedule.push(action);
+                Some(ExploreVerdict::Refuted {
+                    schedule,
+                    outcome: Outcome::Collision { round: rounds, collision },
+                })
+            }
+            PureStep::Disconnect => {
+                self.bump_edges();
+                let mut schedule = self.path_to(id);
+                schedule.push(action);
+                Some(ExploreVerdict::Refuted {
+                    schedule,
+                    outcome: Outcome::Disconnected { round: rounds + 1 },
+                })
+            }
+            PureStep::Variant(aux) => {
+                self.bump_edges();
+                let (succ, new) =
+                    self.intern_variant(self.states[id].class, aux, rounds, Some((id, action)));
+                if new && self.node_kind(succ) == NodeKind::Stuck {
+                    let mut schedule = self.path_to(id);
+                    schedule.push(action);
+                    return Some(ExploreVerdict::Refuted {
+                        schedule,
+                        outcome: Outcome::StuckFixpoint { rounds },
+                    });
+                }
+                self.push_edge(id, action, succ);
+                if self.over_budget() {
+                    return Some(self.budget_undecided());
+                }
+                None
+            }
+            PureStep::Succ(key, aux) => {
+                self.bump_edges();
+                let class = self.intern_class_key(key);
+                let (succ, new) = self.intern_variant(class, aux, rounds + 1, Some((id, action)));
+                if new {
+                    if self.node_kind(succ) == NodeKind::Stuck {
+                        let mut schedule = self.path_to(id);
+                        schedule.push(action);
+                        return Some(ExploreVerdict::Refuted {
+                            schedule,
+                            outcome: Outcome::StuckFixpoint { rounds: rounds + 1 },
+                        });
+                    }
+                    queue.push(succ as u32);
+                }
+                self.push_edge(id, action, succ);
+                if self.over_budget() {
+                    return Some(self.budget_undecided());
+                }
+                None
+            }
+        }
     }
 
     /// Shared scaffolding of a certificate traversal
@@ -899,9 +1229,13 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
     pub(crate) fn path_to(&self, id: usize) -> Vec<CrashRound> {
         let mut actions = Vec::new();
         let mut cur = id;
-        while let Some((parent, action)) = self.states[cur].parent {
-            actions.push(action);
-            cur = parent;
+        loop {
+            let s = &self.states[cur];
+            if s.parent == NO_PARENT {
+                break;
+            }
+            actions.push(unpack_action(s.parent_action));
+            cur = s.parent as usize;
         }
         actions.reverse();
         actions
@@ -917,20 +1251,37 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
             };
         }
 
-        // Phase A: BFS over the reachable state graph; the first bad
-        // terminal yields a minimal counterexample schedule.
-        let mut queue: VecDeque<usize> = VecDeque::from([root]);
-        while let Some(id) = queue.pop_front() {
-            if self.states[id].kind != NodeKind::Inner {
-                continue;
+        // Phase A: BFS over the reachable state graph, one level at a
+        // time; the first bad terminal yields a minimal counterexample
+        // schedule. Children always join the *next* level, so walking
+        // each level in order reproduces the historical single-queue
+        // FIFO order exactly — discovery order, statistics and
+        // schedules are byte-identical with or without the parallel
+        // fan-out.
+        let mut frontier: Vec<u32> = vec![root as u32];
+        while !frontier.is_empty() {
+            let mut next: Vec<u32> = Vec::new();
+            let threads = self.explorer.opts.threads;
+            if S::PARALLEL && threads > 1 && frontier.len() >= self.explorer.opts.par_frontier {
+                if let Some(verdict) = self.expand_level_parallel(&frontier, threads, &mut next) {
+                    return verdict;
+                }
+            } else {
+                for &id in &frontier {
+                    let id = id as usize;
+                    if self.states[id].kind != NodeKind::Inner {
+                        continue;
+                    }
+                    let explorer = self.explorer;
+                    if let Some(verdict) = explorer.semantics().expand(self, id, &mut next) {
+                        return verdict;
+                    }
+                    if self.over_budget() {
+                        return self.budget_undecided();
+                    }
+                }
             }
-            let semantics = self.explorer.semantics();
-            if let Some(verdict) = semantics.expand(self, id, &mut queue) {
-                return verdict;
-            }
-            if self.over_budget() {
-                return ExploreVerdict::Undecided { depth: self.explorer.opts.fair_depth };
-            }
+            frontier = next;
         }
 
         // Phase B: no bad terminal is reachable. If the graph —
@@ -940,11 +1291,60 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
             return ExploreVerdict::Proof;
         }
 
-        // Phase C: hunt for a fairly-pumpable cycle.
+        // Phase C: hunt for a fairly-pumpable cycle with the bounded
+        // certificate-composition heuristic. This runs first because
+        // its refutation schedules are the golden-pinned ones.
         if let Some(verdict) = self.find_fair_cycle() {
             return verdict;
         }
-        ExploreVerdict::Undecided { depth: self.explorer.opts.fair_depth }
+
+        // Phase D: the heuristic is incomplete (bounded simple cycles
+        // through one start node, bounded compositions), so decide
+        // exactly on the role-tracking product automaton — a proof or a
+        // stitched refutation lasso, undecided only if the product
+        // itself overflows its cap (DESIGN.md §15).
+        self.decide_fair_product()
+    }
+
+    /// Expands one BFS level with a parallel pure-enumeration pass and
+    /// a deterministic in-order merge. Workers compute each inner
+    /// state's [`PureStep`] list against the frozen level-start search
+    /// (shared immutably — no locks, no interleaving); the merge then
+    /// replays every list through [`Search::apply_step`] in frontier
+    /// order. A verdict discovered at frontier position `i` discards
+    /// the speculative work of positions `> i`, exactly as the serial
+    /// loop never would have expanded them.
+    fn expand_level_parallel(
+        &mut self,
+        frontier: &[u32],
+        threads: usize,
+        next: &mut Vec<u32>,
+    ) -> Option<ExploreVerdict> {
+        let inner: Vec<u32> = frontier
+            .iter()
+            .copied()
+            .filter(|&id| self.states[id as usize].kind == NodeKind::Inner)
+            .collect();
+        let explorer = self.explorer;
+        let step_lists: Vec<Vec<(CrashRound, PureStep<S::Aux>)>> = {
+            let shared: &Self = self;
+            parallel::stealing::par_map_stealing(&inner, threads, |&id| {
+                let mut out = Vec::new();
+                explorer.semantics().expand_pure(shared, id as usize, &mut out);
+                out
+            })
+        };
+        for (&id, steps) in inner.iter().zip(step_lists) {
+            for (action, step) in steps {
+                if let Some(verdict) = self.apply_step(id as usize, action, step, next) {
+                    return Some(verdict);
+                }
+            }
+            if self.over_budget() {
+                return Some(self.budget_undecided());
+            }
+        }
+        None
     }
 
     /// Whether the state graph, with nodes identified up to the
@@ -962,6 +1362,13 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
     /// of representative changed, which cannot affect whether the
     /// quotient graph has a cycle.
     fn quotient_is_acyclic(&self) -> bool {
+        if self.explorer.group.len() == 1 {
+            // Identity-only group: the orbit key of a state is the
+            // state itself, so the quotient *is* the explored graph —
+            // run the cycle DFS directly on it, skipping the per-state
+            // orbit packing and the quotient interning entirely.
+            return self.state_graph_acyclic();
+        }
         let mut qid_of_key: HashMap<(u128, u32), usize> = HashMap::new();
         let mut qid: Vec<usize> = Vec::with_capacity(self.states.len());
         for s in &self.states {
@@ -998,9 +1405,9 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
         }
         let nq = qid_of_key.len();
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nq];
-        for (i, s) in self.states.iter().enumerate() {
-            for &(_, to) in &s.edges {
-                adj[qid[i]].push(qid[to]);
+        for i in 0..self.states.len() {
+            for e in self.edges_of(i) {
+                adj[qid[i]].push(qid[e.to as usize]);
             }
         }
         // Iterative three-colour DFS.
@@ -1032,6 +1439,39 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
         true
     }
 
+    /// Three-colour cycle DFS straight over the explored state graph —
+    /// the identity-group specialization of [`Self::quotient_is_acyclic`].
+    fn state_graph_acyclic(&self) -> bool {
+        let n = self.states.len();
+        let mut colour = vec![0u8; n]; // 0 white, 1 grey, 2 black
+        for start in 0..n {
+            if colour[start] != 0 {
+                continue;
+            }
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            colour[start] = 1;
+            while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+                let es = self.edges_of(node);
+                if *next < es.len() {
+                    let to = es[*next].to as usize;
+                    *next += 1;
+                    match colour[to] {
+                        0 => {
+                            colour[to] = 1;
+                            stack.push((to, 0));
+                        }
+                        1 => return false, // back edge: cycle
+                        _ => {}
+                    }
+                } else {
+                    colour[node] = 2;
+                    stack.pop();
+                }
+            }
+        }
+        true
+    }
+
     /// Searches strongly connected components of the explored graph for
     /// a cycle whose pumped execution is fair; returns the refutation
     /// lasso if one is found.
@@ -1039,7 +1479,7 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
         let sccs = self.tarjan_sccs();
         for scc in sccs {
             let has_cycle =
-                scc.len() > 1 || self.states[scc[0]].edges.iter().any(|&(_, to)| to == scc[0]);
+                scc.len() > 1 || self.edges_of(scc[0]).iter().any(|e| e.to as usize == scc[0]);
             if !has_cycle {
                 continue;
             }
@@ -1118,7 +1558,8 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
         }
         *budget -= 1;
         on_path[node] = true;
-        for &(action, to) in &self.states[node].edges {
+        for &PackedEdge { action, to } in self.edges_of(node) {
+            let (action, to) = (unpack_action(action), to as usize);
             if to == start {
                 let mut cycle = path.clone();
                 cycle.push((action, to));
@@ -1181,8 +1622,9 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
                     stack.push(v);
                     on_stack[v] = true;
                 }
-                if *ei < self.states[v].edges.len() {
-                    let w = self.states[v].edges[*ei].1;
+                let es = self.edges_of(v);
+                if *ei < es.len() {
+                    let w = es[*ei].to as usize;
                     *ei += 1;
                     if index[w] == usize::MAX {
                         call.push((w, 0));
@@ -1211,37 +1653,342 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
         }
         sccs
     }
-}
 
-/// Slot bitmask of the `coords` within `raw` (row-major slot indexing).
-fn coords_mask(raw: &Configuration, coords: &[Coord]) -> u16 {
-    let mut mask = 0u16;
-    for &p in coords {
-        let slot = raw
-            .positions()
-            .iter()
-            .position(|&q| q == p)
-            .expect("crashed robots occupy nodes of the configuration");
-        mask |= 1 << slot;
+    /// Phase D: the *complete* fair-cycle decision. Phase C's heuristic
+    /// (bounded simple cycles through one start node, bounded
+    /// compositions) can miss fair pumps whose witness needs a longer
+    /// or non-simple closed walk; this phase decides each cyclic SCC
+    /// exactly on the role-tracking product automaton (DESIGN.md §15):
+    ///
+    /// * a reachable product structure covering every role yields a
+    ///   stitched refutation lasso;
+    /// * no coverage — even with stabilizer relabelings folded in —
+    ///   proves no fair schedule can stay in the SCC forever, and once
+    ///   every SCC is ruled out, every fair schedule reaches a (good)
+    ///   terminal: proof;
+    /// * only a product overflow (or the symmetric corner case noted in
+    ///   [`Search::product_fair_cycle`]) stays undecided.
+    fn decide_fair_product(&self) -> ExploreVerdict {
+        for scc in self.tarjan_sccs() {
+            let has_cycle =
+                scc.len() > 1 || self.edges_of(scc[0]).iter().any(|e| e.to as usize == scc[0]);
+            if !has_cycle {
+                continue;
+            }
+            match self.product_fair_cycle(&scc) {
+                ProductOutcome::Refuted(verdict) => return verdict,
+                ProductOutcome::NoFairCycle => {}
+                ProductOutcome::Undecided => {
+                    return ExploreVerdict::Undecided {
+                        depth: self.explorer.opts.fair_depth,
+                        reason: UndecidedReason::FairDepth,
+                    }
+                }
+            }
+        }
+        ExploreVerdict::Proof
     }
-    mask
+
+    /// Decides one cyclic SCC on the product automaton over
+    /// `(state, slot → role assignment)` pairs.
+    ///
+    /// Every SCC-internal edge gets a one-traversal certificate (a pure
+    /// function of the edge): the induced slot permutation plus the
+    /// slots whose occupant satisfies fairness on that edge. The
+    /// reachable product from `(scc[0], identity)` is strongly
+    /// connected — closed walks at a state induce a sub*group* of slot
+    /// permutations, so every reachable assignment can be walked back —
+    /// which reduces generalized-Büchi acceptance to one reachability
+    /// sweep: a fair pump exists iff the union of reachable product
+    /// edges' covered-role masks is complete.
+    ///
+    /// A second sweep folds in the stabilizer permutations as
+    /// flag-free ε-edges: executions of the *full* (un-deduped) system
+    /// map onto explored walks only up to stabilizer relabeling, so a
+    /// proof must also rule out coverage under those relabelings. The
+    /// asymmetric corner — coverage complete only *with* ε-edges —
+    /// would need deduped actions to stitch a concrete schedule and is
+    /// reported undecided instead of guessed.
+    fn product_fair_cycle(&self, scc: &[usize]) -> ProductOutcome {
+        let n = self.info(self.states[scc[0]].class).robots();
+        let all_roles: u16 = (1u16 << n) - 1;
+        let semantics = self.explorer.semantics();
+        let mut edges_of: Vec<Vec<ProductEdge>> = Vec::with_capacity(scc.len());
+        for &u in scc {
+            let mut list = Vec::new();
+            for e in self.edges_of(u) {
+                let to = e.to as usize;
+                let Ok(tidx) = scc.binary_search(&to) else { continue };
+                let action = unpack_action(e.action);
+                let cert = semantics.traverse(self, u, &[(action, to)]);
+                let mut perm = [0u8; PackedClass::MAX_ROBOTS];
+                let mut flags = 0u16;
+                for (r, p) in perm.iter_mut().enumerate().take(n) {
+                    *p = cert.perm[r] as u8;
+                    if cert.flags[r] {
+                        flags |= 1 << r;
+                    }
+                }
+                list.push(ProductEdge {
+                    action: pack_action(action),
+                    to: tidx as u32,
+                    perm,
+                    flags,
+                });
+            }
+            edges_of.push(list);
+        }
+
+        // Pass 1: edge permutations only — coverage here stitches into
+        // a concrete (deduped-action-free) refutation schedule.
+        let Some((padj, covered)) = self.product_reach(&edges_of, None, n) else {
+            return ProductOutcome::Undecided;
+        };
+        if covered == all_roles {
+            match self.stitch_product_cycle(scc[0], &padj, all_roles) {
+                Some(verdict) => return ProductOutcome::Refuted(verdict),
+                None => {
+                    debug_assert!(false, "full product coverage must stitch a lasso");
+                    return ProductOutcome::Undecided;
+                }
+            }
+        }
+
+        // Pass 2: widen with stabilizer ε-edges before claiming a
+        // proof. When no SCC state has a nontrivial stabilizer the
+        // products coincide and the sweep is skipped.
+        let eps_of: Vec<Vec<[u8; PackedClass::MAX_ROBOTS]>> = scc
+            .iter()
+            .map(|&u| {
+                let (class, aux, _) = self.state(u);
+                self.explorer
+                    .stabilizer_perms(self.class_cfg(class), aux)
+                    .into_iter()
+                    .map(|perm| {
+                        let mut p = [0u8; PackedClass::MAX_ROBOTS];
+                        for (i, &j) in perm.iter().enumerate() {
+                            p[i] = j as u8;
+                        }
+                        p
+                    })
+                    .collect()
+            })
+            .collect();
+        if eps_of.iter().all(Vec::is_empty) {
+            return ProductOutcome::NoFairCycle;
+        }
+        let Some((_, covered_ext)) = self.product_reach(&edges_of, Some(&eps_of), n) else {
+            return ProductOutcome::Undecided;
+        };
+        if covered_ext == all_roles {
+            // A fair pump exists up to symmetry, but its concrete
+            // schedule would use actions the dedup skipped: honest
+            // undecided rather than an unreplayable refutation.
+            return ProductOutcome::Undecided;
+        }
+        ProductOutcome::NoFairCycle
+    }
+
+    /// BFS over the product automaton from `(scc index 0, identity)`.
+    /// Returns the product adjacency (indexed by discovery order) and
+    /// the union of covered-role masks over all reachable product
+    /// edges, or `None` when the product outgrows its caps. `eps_of`
+    /// adds the flag-free stabilizer relabelings of the second sweep.
+    #[allow(clippy::type_complexity)]
+    fn product_reach(
+        &self,
+        edges_of: &[Vec<ProductEdge>],
+        eps_of: Option<&[Vec<[u8; PackedClass::MAX_ROBOTS]>]>,
+        n: usize,
+    ) -> Option<(Vec<Vec<(u32, u32, u16)>>, u16)> {
+        // Caps sized as a backstop, not a working budget: the searches
+        // that reach Phase D hold a few hundred states, and reachable
+        // assignment groups are tiny in practice.
+        const NODE_CAP: usize = 1 << 18;
+        const EDGE_CAP: usize = 1 << 22;
+        let ident = identity_assign(n);
+        let mut pid_of: HashMap<(u32, u64), u32> = HashMap::new();
+        let mut pnodes: Vec<(u32, u64)> = vec![(0, ident)];
+        pid_of.insert((0, ident), 0);
+        let mut padj: Vec<Vec<(u32, u32, u16)>> = Vec::new();
+        let mut covered: u16 = 0;
+        let mut edge_count = 0usize;
+        let mut head = 0usize;
+        while head < pnodes.len() {
+            let (sidx, assign) = pnodes[head];
+            let mut out = Vec::new();
+            let mut visit = |to_sidx: u32,
+                             nassign: u64,
+                             action: u32,
+                             roles: u16,
+                             pnodes: &mut Vec<(u32, u64)>|
+             -> Option<(u32, u32, u16)> {
+                let next_id = pnodes.len() as u32;
+                let pid = *pid_of.entry((to_sidx, nassign)).or_insert(next_id);
+                if pid == next_id {
+                    if pnodes.len() >= NODE_CAP {
+                        return None;
+                    }
+                    pnodes.push((to_sidx, nassign));
+                }
+                Some((pid, action, roles))
+            };
+            for e in &edges_of[sidx as usize] {
+                let nassign = permute_assign(assign, &e.perm[..n]);
+                let roles = flagged_roles(assign, e.flags, n);
+                let edge = visit(e.to, nassign, e.action, roles, &mut pnodes)?;
+                covered |= roles;
+                out.push(edge);
+            }
+            if let Some(eps) = eps_of {
+                for tau in &eps[sidx as usize] {
+                    let nassign = permute_assign(assign, &tau[..n]);
+                    let edge = visit(sidx, nassign, 0, 0, &mut pnodes)?;
+                    out.push(edge);
+                }
+            }
+            edge_count += out.len();
+            if edge_count > EDGE_CAP {
+                return None;
+            }
+            padj.push(out);
+            head += 1;
+        }
+        Some((padj, covered))
+    }
+
+    /// Stitches an accepting product structure into a refutation lasso:
+    /// BFS prefix to the SCC entry state, then a closed product walk
+    /// from `(entry, identity)` that traverses, for every role, some
+    /// edge covering it. Segments are shortest product paths (BFS in
+    /// deterministic discovery order), so the schedule is a pure
+    /// function of the explored graph.
+    fn stitch_product_cycle(
+        &self,
+        entry: usize,
+        padj: &[Vec<(u32, u32, u16)>],
+        all_roles: u16,
+    ) -> Option<ExploreVerdict> {
+        let mut schedule = self.path_to(entry);
+        let mut need = all_roles;
+        let mut cur: u32 = 0;
+        while need != 0 {
+            let leg = product_path(padj, cur, |&(_, _, fm)| fm & need != 0)?;
+            for (to, action, fm) in leg {
+                schedule.push(unpack_action(action));
+                need &= !fm;
+                cur = to;
+            }
+        }
+        if cur != 0 {
+            let leg = product_path(padj, cur, |&(to, _, _)| to == 0)?;
+            for (_, action, _) in leg {
+                schedule.push(unpack_action(action));
+            }
+        }
+        let rounds = movement_rounds(&schedule);
+        Some(ExploreVerdict::Refuted { schedule, outcome: Outcome::StepLimit { rounds } })
+    }
 }
 
-/// Coordinates of the slots in `mask` within `cfg`, written into a
-/// stack buffer (returned as the filled prefix length).
-fn mask_coords(
-    cfg: &Configuration,
-    mask: u16,
-    buf: &mut [Coord; PackedClass::MAX_ROBOTS],
-) -> usize {
-    let mut len = 0;
-    for (i, &p) in cfg.positions().iter().enumerate() {
-        if mask & (1 << i) != 0 {
-            buf[len] = p;
-            len += 1;
+/// Outcome of the per-SCC product decision of Phase D.
+enum ProductOutcome {
+    /// A covering product structure was stitched into a lasso.
+    Refuted(ExploreVerdict),
+    /// No fair schedule can stay inside this SCC forever.
+    NoFairCycle,
+    /// The product overflowed its caps, or coverage held only under
+    /// stabilizer relabelings (no concrete schedule available).
+    Undecided,
+}
+
+/// One SCC-internal edge of the base graph, annotated with its
+/// single-traversal certificate (slot-indexed at the source state).
+struct ProductEdge {
+    /// The action, packed like [`PackedEdge::action`].
+    action: u32,
+    /// Successor, as an index into the sorted SCC member list.
+    to: u32,
+    /// Induced slot permutation: source slot `s` lands in slot
+    /// `perm[s]` of the successor.
+    perm: [u8; PackedClass::MAX_ROBOTS],
+    /// Source slots whose occupant satisfies fairness on this edge
+    /// (it moves, is seen deciding to stay, or is crashed and exempt).
+    flags: u16,
+}
+
+/// Identity slot → role assignment, nibble-packed (role `s` at slot
+/// `s`; [`PackedClass::MAX_ROBOTS`] ≤ 16 keeps every assignment in one
+/// `u64`).
+fn identity_assign(n: usize) -> u64 {
+    let mut assign = 0u64;
+    for s in 0..n {
+        assign |= (s as u64) << (4 * s);
+    }
+    assign
+}
+
+/// Pushes a nibble-packed assignment through a slot permutation: the
+/// role at source slot `s` lands at slot `perm[s]`.
+fn permute_assign(assign: u64, perm: &[u8]) -> u64 {
+    let mut out = 0u64;
+    for (s, &p) in perm.iter().enumerate() {
+        let role = (assign >> (4 * s)) & 0xF;
+        out |= role << (4 * u64::from(p));
+    }
+    out
+}
+
+/// The roles currently occupying the flagged slots.
+fn flagged_roles(assign: u64, flags: u16, n: usize) -> u16 {
+    let mut roles = 0u16;
+    for s in 0..n {
+        if flags & (1 << s) != 0 {
+            roles |= 1 << ((assign >> (4 * s)) & 0xF);
         }
     }
-    len
+    roles
+}
+
+/// A reachable product arc: `(target product node, packed action,
+/// covered-role mask)` — the adjacency element of
+/// [`Search::product_reach`].
+type ProductArc = (u32, u32, u16);
+
+/// Deterministic BFS from product node `from` to the first edge
+/// satisfying `pred` (checked in discovery order); returns the edge
+/// sequence ending with that edge.
+fn product_path(
+    padj: &[Vec<ProductArc>],
+    from: u32,
+    pred: impl Fn(&ProductArc) -> bool,
+) -> Option<Vec<ProductArc>> {
+    let mut parent: Vec<Option<(u32, ProductArc)>> = vec![None; padj.len()];
+    let mut seen = vec![false; padj.len()];
+    seen[from as usize] = true;
+    let mut queue: VecDeque<u32> = VecDeque::from([from]);
+    while let Some(p) = queue.pop_front() {
+        for e in &padj[p as usize] {
+            if pred(e) {
+                let mut path = vec![*e];
+                let mut cur = p;
+                while cur != from {
+                    let (prev, pe) = parent[cur as usize].expect("BFS parent chain is rooted");
+                    path.push(pe);
+                    cur = prev;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            let (to, _, _) = *e;
+            if !seen[to as usize] {
+                seen[to as usize] = true;
+                parent[to as usize] = Some((p, *e));
+                queue.push_back(to);
+            }
+        }
+    }
+    None
 }
 
 /// The next submask of `set` after `cur` in ascending numeric order
@@ -1254,6 +2001,229 @@ fn mask_coords(
 /// sweep per state.
 fn next_submask(cur: u16, set: u16) -> u16 {
     cur.wrapping_sub(set) & set
+}
+
+impl CrashSemantics {
+    /// Builds the per-state expansion context: everything the action
+    /// enumeration needs, copied out of the search so the enumeration
+    /// is a pure function — runnable from worker threads against a
+    /// shared `&Search` as well as inline under `&mut Search`.
+    fn prepare<A: Algorithm + ?Sized>(
+        &self,
+        search: &Search<'_, '_, A, Self>,
+        id: usize,
+    ) -> CrashExpand {
+        let (class, crashed, _) = search.state(id);
+        let info = search.info(class);
+        let n = info.n as usize;
+        let cfg = search.class_cfg(class);
+        let mut positions = [ORIGIN; PackedClass::MAX_ROBOTS];
+        positions[..n].copy_from_slice(cfg.positions());
+        let explorer = search.explorer();
+        let perms = if explorer.group().len() > 1 {
+            explorer.stabilizer_perms(cfg, crashed)
+        } else {
+            Vec::new()
+        };
+        let table = explorer.round_table(cfg.canonical_key(), cfg, &info.moves[..n]);
+        CrashExpand {
+            crashed,
+            budget: self.budget,
+            movers: info.movers,
+            n,
+            moves: info.moves,
+            positions,
+            perms,
+            table,
+        }
+    }
+}
+
+/// The pure expansion context of one crash-semantics state: the crash
+/// mask, decision vector, stabilizer permutations and the bit-parallel
+/// [`engine::RoundTable`] whose packed occupancy masks replace the
+/// scalar per-action collision / connectivity checks on the hot path.
+struct CrashExpand {
+    crashed: u16,
+    budget: u8,
+    movers: u16,
+    n: usize,
+    moves: [Option<Dir>; PackedClass::MAX_ROBOTS],
+    positions: [Coord; PackedClass::MAX_ROBOTS],
+    perms: Vec<Vec<usize>>,
+    table: std::sync::Arc<engine::RoundTable>,
+}
+
+impl CrashExpand {
+    /// Enumerates every adversary action in the exact historical order
+    /// — crash submasks of the live robots ascending, and within each
+    /// injection the nonzero activation submasks of the surviving
+    /// movers ascending — feeding each `(action, step)` to `sink`.
+    /// Stops when `sink` returns `false` or after an unconditionally
+    /// terminal step (collision / disconnection), which ends the
+    /// expansion in the serial path too.
+    fn for_each(&self, mut sink: impl FnMut(CrashRound, PureStep<u16>) -> bool) {
+        let live = ((1u16 << self.n) - 1) & !self.crashed;
+        let avail = self.budget.saturating_sub(self.crashed.count_ones() as u8);
+        let mut crash: u16 = 0;
+        'crash: loop {
+            'one_crash: {
+                if crash.count_ones() > u32::from(avail) {
+                    break 'one_crash;
+                }
+                let after = self.crashed | crash;
+                let live_movers = self.movers & !after;
+                if live_movers == 0 {
+                    // The injection froze every remaining mover: a single
+                    // injection-only action to a terminal state. `crash`
+                    // is nonzero here — an inner state has a live mover.
+                    let action = CrashRound { crash, activate: 0 };
+                    let step = if !self.perms.is_empty()
+                        && canonical_action(action, &self.perms) != action
+                    {
+                        PureStep::Dedup
+                    } else {
+                        PureStep::Variant(after)
+                    };
+                    if !sink(action, step) {
+                        return;
+                    }
+                    break 'one_crash;
+                }
+                // Destination occupancy over the round table's node
+                // universe, maintained incrementally: each transition of
+                // the ascending submask enumeration flips only the
+                // activation deltas of the slots whose membership
+                // changed — amortized two single-word XORs per action,
+                // the Gray-code view of the ascending order.
+                let mut occ = self.table.base_occupancy();
+                let mut prev: u16 = 0;
+                // Nonzero submasks of `live_movers`, ascending.
+                let mut mask: u16 = 0;
+                while mask != live_movers {
+                    mask = next_submask(mask, live_movers);
+                    let mut changed = prev ^ mask;
+                    while changed != 0 {
+                        let slot = changed.trailing_zeros() as usize;
+                        changed &= changed - 1;
+                        occ ^= self.table.delta(slot);
+                    }
+                    prev = mask;
+                    let action = CrashRound { crash, activate: mask };
+                    if !self.perms.is_empty() && canonical_action(action, &self.perms) != action {
+                        if !sink(action, PureStep::Dedup) {
+                            return;
+                        }
+                        continue;
+                    }
+                    let step = self.step_of(after, mask, occ);
+                    let terminal = matches!(step, PureStep::Collide(_) | PureStep::Disconnect);
+                    if !sink(action, step) || terminal {
+                        return;
+                    }
+                }
+            }
+            if crash == live || avail == 0 {
+                // No remaining crash budget: every further submask of
+                // `live` would be skipped as overweight anyway (the
+                // historical loop spun through all of them to the same
+                // effect), so ending the enumeration here is
+                // observationally identical — and for the budget-0
+                // adversary it is the entire crash loop.
+                break 'crash;
+            }
+            crash = next_submask(crash, live);
+        }
+    }
+
+    /// Classifies one non-deduped activation. The table answers the
+    /// collision and connectivity questions in a handful of word ops;
+    /// the scalar engine is consulted only to materialize the exact
+    /// collision report of a refutation (at most once per expansion).
+    fn step_of(&self, after: u16, mask: u16, occ: u32) -> PureStep<u16> {
+        let n = self.n;
+        #[cfg(debug_assertions)]
+        self.assert_scalar_agreement(mask, occ);
+        if self.table.collides(mask) {
+            let mut masked = [None; PackedClass::MAX_ROBOTS];
+            for (i, slot) in masked[..n].iter_mut().enumerate() {
+                if mask & (1 << i) != 0 {
+                    *slot = self.moves[i];
+                }
+            }
+            let cfg = Configuration::new(self.positions[..n].iter().copied());
+            match engine::check_moves(&cfg, &masked[..n]) {
+                Err(collision) => return PureStep::Collide(collision),
+                Ok(()) => unreachable!("round table over-reported a collision"),
+            }
+        }
+        if !self.table.connected(occ) {
+            return PureStep::Disconnect;
+        }
+        // Legal, connected: fold the successor directly into its packed
+        // canonical key. Destinations are distinct (no collision), so
+        // the index sort by row-major key is the exact slot relabeling
+        // `Configuration::new` would apply — no materialisation needed.
+        let mut ends = [ORIGIN; PackedClass::MAX_ROBOTS];
+        for (i, end) in ends[..n].iter_mut().enumerate() {
+            let p = self.positions[i];
+            *end = if mask & (1 << i) != 0 {
+                p.step(self.moves[i].expect("activated slots are movers"))
+            } else {
+                p
+            };
+        }
+        let mut idx: [usize; PackedClass::MAX_ROBOTS] = std::array::from_fn(|i| i);
+        idx[..n].sort_unstable_by_key(|&i| polyhex::key(ends[i]));
+        let mut cells = [ORIGIN; PackedClass::MAX_ROBOTS];
+        let mut aux = 0u16;
+        for k in 0..n {
+            cells[k] = ends[idx[k]];
+            if after & (1 << idx[k]) != 0 {
+                // Crashed robots never move, so carrying their slot
+                // bits through the re-sort equals re-locating their
+                // (unchanged) coordinates in the successor.
+                aux |= 1 << k;
+            }
+        }
+        let key = PackedClass::of_sorted(&cells[..n]);
+        #[cfg(debug_assertions)]
+        {
+            let next = Configuration::new(ends[..n].iter().copied());
+            debug_assert_eq!(key, next.canonical_key(), "packed successor key diverged");
+            debug_assert!(next.is_connected(), "table missed a disconnection");
+        }
+        PureStep::Succ(key, aux)
+    }
+
+    /// Debug-only cross-check: the round table's collision and
+    /// connectivity answers must agree with the scalar engine on every
+    /// enumerated action, not just the ones that refute.
+    #[cfg(debug_assertions)]
+    fn assert_scalar_agreement(&self, mask: u16, occ: u32) {
+        let n = self.n;
+        let mut masked = [None; PackedClass::MAX_ROBOTS];
+        for (i, slot) in masked[..n].iter_mut().enumerate() {
+            if mask & (1 << i) != 0 {
+                *slot = self.moves[i];
+            }
+        }
+        let cfg = Configuration::new(self.positions[..n].iter().copied());
+        let scalar = engine::check_moves(&cfg, &masked[..n]);
+        debug_assert_eq!(
+            self.table.collides(mask),
+            scalar.is_err(),
+            "round table collision disagrees with check_moves for mask {mask:#b}"
+        );
+        if scalar.is_ok() {
+            let next = cfg.apply_unchecked(&masked[..n]);
+            debug_assert_eq!(
+                self.table.connected(occ),
+                next.is_connected(),
+                "round table connectivity disagrees for mask {mask:#b}"
+            );
+        }
+    }
 }
 
 impl Semantics for CrashSemantics {
@@ -1289,147 +2259,44 @@ impl Semantics for CrashSemantics {
         }
     }
 
+    const PARALLEL: bool = true;
+
     /// Expands every adversary action of inner state `id`: first the
     /// pure-activation actions (crash budget untouched), then every
     /// crash injection combined with each activation of the surviving
     /// movers — or alone, when it leaves no live mover. Returns a
     /// refutation as soon as a bad terminal is reached.
     ///
-    /// The state's configuration and decision vector are borrowed
-    /// through the arena per iteration (the class data is `Copy` and
-    /// the representative is re-indexed where needed), so nothing is
-    /// cloned up front.
+    /// The enumeration itself is [`CrashExpand::for_each`] — shared
+    /// verbatim with [`Semantics::expand_pure`] — and every step is
+    /// applied through [`Search::apply_step`], so the serial path and
+    /// the parallel fan-out execute literally the same code.
     fn expand<A: Algorithm + ?Sized>(
         &self,
         search: &mut Search<'_, '_, A, Self>,
         id: usize,
-        queue: &mut VecDeque<usize>,
+        queue: &mut Vec<u32>,
     ) -> Option<ExploreVerdict> {
-        let (class, crashed, rounds) = search.state(id);
-        let info = search.info(class);
-        let n = info.n as usize;
-        let movers = info.movers;
-        let live = ((1u16 << n) - 1) & !crashed;
-        let avail = self.budget.saturating_sub(crashed.count_ones() as u8);
-        let explorer = search.explorer();
-        let perms = if explorer.group().len() > 1 {
-            explorer.stabilizer_perms(search.class_cfg(class), crashed)
-        } else {
-            Vec::new()
-        };
-        // Submasks of `live` in ascending numeric order — the same
-        // sequence the historical filtered `0..=u8::MAX` scan visited,
-        // so BFS discovery order (and every pinned schedule) survives
-        // the u8 → u16 widening.
-        let mut crash: u16 = 0;
-        'crash: loop {
-            'one_crash: {
-                if crash.count_ones() > u32::from(avail) {
-                    break 'one_crash;
-                }
-                let after = crashed | crash;
-                let live_movers = movers & !after;
-                if live_movers == 0 {
-                    // The injection froze every remaining mover: a single
-                    // injection-only action to a terminal state. `crash`
-                    // is nonzero here — an inner state has a live mover.
-                    // The configuration is unchanged, so the successor is
-                    // interned directly at this class with the new mask.
-                    let action = CrashRound { crash, activate: 0 };
-                    if !perms.is_empty() && canonical_action(action, &perms) != action {
-                        search.bump_deduped();
-                        break 'one_crash;
-                    }
-                    search.bump_edges();
-                    let (succ, new) =
-                        search.intern_variant(class, after, rounds, Some((id, action)));
-                    if new && search.node_kind(succ) == NodeKind::Stuck {
-                        let mut schedule = search.path_to(id);
-                        schedule.push(action);
-                        return Some(ExploreVerdict::Refuted {
-                            schedule,
-                            outcome: Outcome::StuckFixpoint { rounds },
-                        });
-                    }
-                    search.push_edge(id, action, succ);
-                    if search.over_budget() {
-                        return Some(ExploreVerdict::Undecided { depth: search.opts().fair_depth });
-                    }
-                    break 'one_crash;
-                }
-                // Depends only on the injection, not the activation: one
-                // computation serves every mask below (empty and
-                // allocation-free in budget-0 instantiations).
-                let mut crash_buf = [ORIGIN; PackedClass::MAX_ROBOTS];
-                let crash_len = mask_coords(search.class_cfg(class), after, &mut crash_buf);
-                let crashed_coords = &crash_buf[..crash_len];
-                // Nonzero submasks of `live_movers`, ascending.
-                let mut mask: u16 = 0;
-                while mask != live_movers {
-                    mask = next_submask(mask, live_movers);
-                    let action = CrashRound { crash, activate: mask };
-                    if !perms.is_empty() && canonical_action(action, &perms) != action {
-                        search.bump_deduped();
-                        continue;
-                    }
-                    let mut masked = [None; PackedClass::MAX_ROBOTS];
-                    for (i, slot) in masked[..n].iter_mut().enumerate() {
-                        if mask & (1 << i) != 0 {
-                            *slot = info.moves[i];
-                        }
-                    }
-                    // The round semantics are the engine's `check_moves` +
-                    // `apply_unchecked` — exactly `step_moves` minus the
-                    // per-round `moved` report nobody reads here.
-                    let cfg = search.class_cfg(class);
-                    match engine::check_moves(cfg, &masked[..n]) {
-                        Err(collision) => {
-                            let mut schedule = search.path_to(id);
-                            schedule.push(action);
-                            return Some(ExploreVerdict::Refuted {
-                                schedule,
-                                outcome: Outcome::Collision { round: rounds, collision },
-                            });
-                        }
-                        Ok(()) => {
-                            let next = cfg.apply_unchecked(&masked[..n]);
-                            search.bump_edges();
-                            if !next.is_connected() {
-                                let mut schedule = search.path_to(id);
-                                schedule.push(action);
-                                return Some(ExploreVerdict::Refuted {
-                                    schedule,
-                                    outcome: Outcome::Disconnected { round: rounds + 1 },
-                                });
-                            }
-                            let aux = coords_mask(&next, crashed_coords);
-                            let (succ, new) =
-                                search.intern_state(&next, aux, rounds + 1, Some((id, action)));
-                            if new {
-                                if search.node_kind(succ) == NodeKind::Stuck {
-                                    let mut schedule = search.path_to(id);
-                                    schedule.push(action);
-                                    return Some(ExploreVerdict::Refuted {
-                                        schedule,
-                                        outcome: Outcome::StuckFixpoint { rounds: rounds + 1 },
-                                    });
-                                }
-                                queue.push_back(succ);
-                            }
-                            search.push_edge(id, action, succ);
-                        }
-                    }
-                    if search.over_budget() {
-                        return Some(ExploreVerdict::Undecided { depth: search.opts().fair_depth });
-                    }
-                }
-            }
-            if crash == live {
-                break 'crash;
-            }
-            crash = next_submask(crash, live);
-        }
-        None
+        let ctx = self.prepare(search, id);
+        let mut verdict = None;
+        ctx.for_each(|action, step| {
+            verdict = search.apply_step(id, action, step, queue);
+            verdict.is_none()
+        });
+        verdict
+    }
+
+    fn expand_pure<A: Algorithm + ?Sized>(
+        &self,
+        search: &Search<'_, '_, A, Self>,
+        id: usize,
+        out: &mut Vec<(CrashRound, PureStep<u16>)>,
+    ) {
+        let ctx = self.prepare(search, id);
+        ctx.for_each(|action, step| {
+            out.push((action, step));
+            true
+        });
     }
 
     /// Concretely traverses a closed state walk once, tracking robot

@@ -211,6 +211,13 @@ impl<'a, A: Algorithm + ?Sized> CrashChecker<'a, A> {
         self.explorer.budget()
     }
 
+    /// Sets the within-class BFS fan-out width (`1` = serial, `0` = all
+    /// cores). Verdicts are identical at every setting (see
+    /// [`Explorer::set_threads`]).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.explorer.set_threads(threads);
+    }
+
     /// Classifies `initial` under the exhaustive `f`-crash SSYNC
     /// adversary.
     ///
@@ -494,7 +501,12 @@ mod tests {
     fn replay_returns_none_for_proof_and_undecided() {
         let h = crate::config::hexagon(ORIGIN);
         assert!(replay(&h, &StayAlgorithm, &CrashVerdict::Proof).is_none());
-        assert!(replay(&h, &StayAlgorithm, &CrashVerdict::Undecided { depth: 4 }).is_none());
+        assert!(replay(
+            &h,
+            &StayAlgorithm,
+            &CrashVerdict::Undecided { depth: 4, reason: Default::default() }
+        )
+        .is_none());
     }
 
     #[test]

@@ -14,6 +14,47 @@ use crate::config::PackedClass;
 use crate::Configuration;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A two-multiply finalizer over packed `u128` class keys. The packed
+/// representation already spreads occupancy bits across the whole
+/// word, so SipHash's collision-resistance buys nothing here — these
+/// maps are keyed by data the checker itself canonicalised, not by
+/// untrusted input — while its per-lookup cost is very visible: the
+/// explorer interns one key per edge of every per-class search. Map
+/// iteration order is never observed (ids are assigned in insertion
+/// order), so the hash function cannot affect any digest.
+#[derive(Default)]
+pub struct PackedKeyHasher(u64);
+
+/// `BuildHasher` for [`PackedKeyHasher`]-keyed maps.
+pub type PackedKeyHash = BuildHasherDefault<PackedKeyHasher>;
+
+/// A `HashMap` keyed by packed class keys with the cheap finalizer.
+pub type PackedKeyMap<V> = HashMap<u128, V, PackedKeyHash>;
+
+impl Hasher for PackedKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Cold fallback for non-u128 keys (never hit by the class
+        // maps): FNV-1a, correct if slow.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u128(&mut self, key: u128) {
+        // splitmix64-style avalanche of the folded halves; two
+        // multiplies instead of SipHash's full permutation rounds.
+        let mut h = (key as u64) ^ ((key >> 64) as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = h ^ (h >> 31);
+    }
+}
 
 /// A set of translation classes of configurations.
 #[derive(Default, Debug)]
@@ -60,7 +101,7 @@ impl ClassSet {
 /// window.
 #[derive(Debug)]
 pub struct ClassMap<V> {
-    map: HashMap<u128, V>,
+    map: PackedKeyMap<V>,
     /// Fallback for classes that do not fit a packed key; empty in
     /// every checker workload.
     wide: HashMap<Configuration, V>,
@@ -68,7 +109,7 @@ pub struct ClassMap<V> {
 
 impl<V> Default for ClassMap<V> {
     fn default() -> Self {
-        ClassMap { map: HashMap::new(), wide: HashMap::new() }
+        ClassMap { map: PackedKeyMap::default(), wide: HashMap::new() }
     }
 }
 
@@ -128,8 +169,11 @@ impl<V> ClassMap<V> {
 /// canonicalises a configuration that was seen before.
 #[derive(Default, Debug)]
 pub struct ClassArena {
-    ids: HashMap<u128, u32>,
-    cfgs: Vec<Configuration>,
+    ids: PackedKeyMap<u32>,
+    /// `Arc`: callers interning the same class across many arenas (the
+    /// explorer's per-class searches) share one decoded representative
+    /// instead of re-materializing it per arena.
+    cfgs: Vec<std::sync::Arc<Configuration>>,
 }
 
 impl ClassArena {
@@ -153,10 +197,30 @@ impl ClassArena {
             Entry::Vacant(e) => {
                 let id = u32::try_from(self.cfgs.len()).expect("fewer than 2^32 classes");
                 e.insert(id);
-                self.cfgs.push(key.unpack());
+                self.cfgs.push(std::sync::Arc::new(key.unpack()));
                 (id, true)
             }
         }
+    }
+
+    /// The dense id of `key`'s class, if already interned.
+    #[must_use]
+    pub fn lookup_key(&self, key: PackedClass) -> Option<u32> {
+        self.ids.get(&key.bits()).copied()
+    }
+
+    /// Interns a class the caller knows is absent (see
+    /// [`Self::lookup_key`]), adopting an already-decoded shared
+    /// representative instead of unpacking a fresh one.
+    ///
+    /// # Panics
+    /// Panics if the class is already interned.
+    pub fn insert_shared(&mut self, key: PackedClass, cfg: std::sync::Arc<Configuration>) -> u32 {
+        let id = u32::try_from(self.cfgs.len()).expect("fewer than 2^32 classes");
+        let prev = self.ids.insert(key.bits(), id);
+        assert!(prev.is_none(), "class already interned");
+        self.cfgs.push(cfg);
+        id
     }
 
     /// The canonical representative of class `id`.
@@ -165,7 +229,7 @@ impl ClassArena {
     /// Panics if `id` was not returned by this arena.
     #[must_use]
     pub fn get(&self, id: u32) -> &Configuration {
-        &self.cfgs[id as usize]
+        self.cfgs[id as usize].as_ref()
     }
 
     /// Number of distinct classes interned.

@@ -1,0 +1,134 @@
+//! Property tests of the bit-parallel round table against the scalar
+//! engine, across the whole parameterized robot range n ∈ 2..=10.
+//!
+//! The packed-state explorer answers every per-activation collision
+//! and connectivity question through [`engine::RoundTable`] word ops
+//! (the scalar engine is only consulted to materialize refutation
+//! reports), so the table's agreement with `engine::check_moves` and
+//! `Configuration::is_connected` is load-bearing for every verdict
+//! and digest the sweeps pin. The explorer cross-checks this per
+//! action in debug builds; these tests pin the same contract over
+//! random configurations and random move assignments, exhaustively
+//! over all activation subsets of each instance.
+
+use proptest::prelude::*;
+use robots::{engine, Configuration};
+use trigrid::Dir;
+
+/// A connected configuration of `choices.len() + 1` robots grown from
+/// the origin (deterministic given the choice list).
+fn connected_config(choices: &[(usize, usize)]) -> Configuration {
+    let mut cells = vec![trigrid::ORIGIN];
+    for &(anchor_raw, dir_raw) in choices {
+        for probe in 0..cells.len() {
+            let anchor = cells[(anchor_raw + probe) % cells.len()];
+            let mut done = false;
+            for k in 0..6 {
+                let cand = anchor.step(Dir::from_index(dir_raw + k));
+                if !cells.contains(&cand) {
+                    cells.push(cand);
+                    done = true;
+                    break;
+                }
+            }
+            if done {
+                break;
+            }
+        }
+    }
+    Configuration::new(cells)
+}
+
+/// Strategy: an instance of n ∈ 2..=10 robots with a random per-slot
+/// move assignment (0 = stay, 1..=6 = the six grid directions).
+fn instance() -> impl Strategy<Value = (Configuration, Vec<Option<Dir>>)> {
+    (
+        2usize..11,
+        proptest::collection::vec((0usize..64, 0usize..6), 9),
+        proptest::collection::vec(0usize..7, 10),
+    )
+        .prop_map(|(n, choices, codes)| {
+            let cfg = connected_config(&choices[..n - 1]);
+            let moves: Vec<Option<Dir>> =
+                codes[..n].iter().map(|&c| (c != 0).then(|| Dir::from_index(c - 1))).collect();
+            (cfg, moves)
+        })
+}
+
+/// All activation subsets of the mover mask, ascending.
+fn submasks(movers: u16) -> impl Iterator<Item = u16> {
+    (0..=movers).filter(move |m| m & !movers == 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn table_collision_matches_scalar_check_moves((cfg, moves) in instance()) {
+        let n = cfg.len();
+        let table = engine::RoundTable::new(&cfg, &moves);
+        for act in submasks(table.movers()) {
+            let masked: Vec<Option<Dir>> = (0..n)
+                .map(|i| if act & (1 << i) != 0 { moves[i] } else { None })
+                .collect();
+            let scalar = engine::check_moves(&cfg, &masked);
+            prop_assert_eq!(
+                table.collides(act),
+                scalar.is_err(),
+                "n={} act={:#b}: collision answers diverged",
+                n,
+                act
+            );
+        }
+    }
+
+    #[test]
+    fn table_connectivity_matches_materialized_successor((cfg, moves) in instance()) {
+        let n = cfg.len();
+        let table = engine::RoundTable::new(&cfg, &moves);
+        for act in submasks(table.movers()) {
+            if table.collides(act) {
+                continue; // connectivity is only defined on legal rounds
+            }
+            let masked: Vec<Option<Dir>> = (0..n)
+                .map(|i| if act & (1 << i) != 0 { moves[i] } else { None })
+                .collect();
+            prop_assert!(engine::check_moves(&cfg, &masked).is_ok());
+            let next = Configuration::new(
+                cfg.positions()
+                    .iter()
+                    .zip(&masked)
+                    .map(|(&p, m)| m.map_or(p, |d| p.step(d))),
+            );
+            prop_assert_eq!(
+                table.connected(table.occupancy(act)),
+                next.is_connected(),
+                "n={} act={:#b}: connectivity answers diverged",
+                n,
+                act
+            );
+        }
+    }
+
+    #[test]
+    fn gray_code_occupancy_matches_direct((cfg, moves) in instance()) {
+        // The engine walks activation subsets in ascending order,
+        // updating occupancy by XOR deltas of the changed slots (the
+        // Gray-code view of the enumeration). The incremental word
+        // must equal the directly computed one at every subset.
+        let table = engine::RoundTable::new(&cfg, &moves);
+        let movers = table.movers();
+        let mut occ = table.base_occupancy();
+        let mut prev: u16 = 0;
+        for act in submasks(movers) {
+            let mut changed = prev ^ act;
+            while changed != 0 {
+                let slot = changed.trailing_zeros() as usize;
+                changed &= changed - 1;
+                occ ^= table.delta(slot);
+            }
+            prev = act;
+            prop_assert_eq!(occ, table.occupancy(act), "act={:#b}: incremental occupancy drifted", act);
+        }
+    }
+}

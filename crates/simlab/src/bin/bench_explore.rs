@@ -78,6 +78,16 @@ struct PerN {
     crash_f1_secs: f64,
     /// Crash f=1 verdict tallies (proof, refuted, undecided).
     crash_f1_verdicts: [usize; 3],
+    /// Full SSYNC adversary classification over the space, seconds.
+    adversary_secs: f64,
+    /// Adversary verdict tallies (proof, refuted, undecided). The
+    /// undecided slot is the budget-honesty headline: zero on every
+    /// count the sweeps pin.
+    adversary_verdicts: [usize; 3],
+    /// Full ASYNC phase-interleaving classification, seconds.
+    lcm_async_secs: f64,
+    /// ASYNC verdict tallies (proof, refuted, undecided).
+    lcm_async_verdicts: [usize; 3],
 }
 
 #[derive(Clone, Debug, Serialize)]
@@ -278,12 +288,45 @@ fn main() {
         }
         let crash_f1_secs = started.elapsed().as_secs_f64();
         assert_eq!(tallies.iter().sum::<usize>(), space.len(), "n={count}: every class classified");
+        let crash_f1_verdicts = tallies;
+
+        let checker = Checker::for_robots(&algo, AdversaryOptions::for_robots(count), count.max(8));
+        let started = Instant::now();
+        let mut tallies = [0usize; 3];
+        for c in &space {
+            match checker.check(c).verdict {
+                AdversaryVerdict::Proof => tallies[0] += 1,
+                AdversaryVerdict::Refuted { .. } => tallies[1] += 1,
+                AdversaryVerdict::Undecided { .. } => tallies[2] += 1,
+            }
+        }
+        let adversary_secs = started.elapsed().as_secs_f64();
+        assert_eq!(tallies.iter().sum::<usize>(), space.len(), "n={count}: adversary totality");
+        let adversary_verdicts = tallies;
+
+        let checker = AsyncChecker::for_robots(&algo, AsyncOptions::default(), count.max(8));
+        let started = Instant::now();
+        let mut tallies = [0usize; 3];
+        for c in &space {
+            match checker.check(c).verdict {
+                AsyncVerdict::Proof => tallies[0] += 1,
+                AsyncVerdict::Refuted { .. } => tallies[1] += 1,
+                AsyncVerdict::Undecided { .. } => tallies[2] += 1,
+            }
+        }
+        let lcm_async_secs = started.elapsed().as_secs_f64();
+        assert_eq!(tallies.iter().sum::<usize>(), space.len(), "n={count}: ASYNC totality");
+
         per_n.push(PerN {
             n: count,
             classes: space.len(),
             fsync_secs,
             crash_f1_secs,
-            crash_f1_verdicts: tallies,
+            crash_f1_verdicts,
+            adversary_secs,
+            adversary_verdicts,
+            lcm_async_secs,
+            lcm_async_verdicts: tallies,
         });
     }
 

@@ -51,6 +51,9 @@ fn main() {
             Outcome::Collision { .. } => "collision",
             Outcome::Disconnected { .. } => "disconnected",
             Outcome::StepLimit { .. } => "step-limit",
+            // `engine::run` never emits it (checker-only outcome), but
+            // the match must stay total.
+            Outcome::Undecided { .. } => "undecided",
         };
         *outcome_kinds.entry(kind).or_default() += 1;
         let key = ex.final_config.canonical();

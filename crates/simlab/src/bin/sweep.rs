@@ -7,7 +7,7 @@
 //!              crash:F[:DEPTH]|lcm-async[:DEPTH]] \
 //!     [--n 2..=10] [--shards 8] [--threads N] [--stealing auto|on|off] \
 //!     [--max-rounds N] [--out-dir target/sweep] [--resume] \
-//!     [--fail-fast] [--matrix]
+//!     [--fail-fast] [--matrix] [--strict]
 //! ```
 //!
 //! One invocation runs one cell of the {algorithm} × {scheduler}
@@ -32,6 +32,11 @@
 //! Every non-fail-fast invocation also writes `BENCH_sweep.json` into
 //! the output directory: per-cell wall-clock, classes/sec and states
 //! expanded, so the performance trajectory has a tracked baseline.
+//!
+//! `--strict` makes honest budget accounting enforceable: any class
+//! left `Undecided` (a tripped exploration budget rather than a real
+//! verdict) fails the invocation with a non-zero exit, so pipelines
+//! can pin "every class decided" as a hard property of a cell.
 
 use robots::Limits;
 use simlab::sweep::{
@@ -47,6 +52,7 @@ struct Args {
     resume: bool,
     fail_fast: bool,
     matrix: bool,
+    strict: bool,
     /// Whether --algo / --sched were given explicitly (conflicts with
     /// --matrix, which supplies both axes itself).
     cell_chosen: bool,
@@ -57,7 +63,7 @@ fn usage() -> ! {
         "usage: sweep [--algo paper|verified|FLAGS]\n\
          \x20            [--sched fsync|round-robin|random[:SEED:P]|adversary[:DEPTH]|crash:F[:DEPTH]|lcm-async[:DEPTH]]\n\
          \x20            [--n N (2..=10)] [--shards S] [--threads T] [--stealing auto|on|off]\n\
-         \x20            [--max-rounds R] [--out-dir DIR] [--resume] [--fail-fast] [--matrix]\n\
+         \x20            [--max-rounds R] [--out-dir DIR] [--resume] [--fail-fast] [--matrix] [--strict]\n\
          \n\
          FLAGS is a '+'-separated ablation list from fix25, conn, prio, compl, mirror (or 'none').\n\
          Scheduler specs: {SCHED_SPECS}.\n\
@@ -74,6 +80,7 @@ fn parse_args() -> Args {
         resume: false,
         fail_fast: false,
         matrix: false,
+        strict: false,
         cell_chosen: false,
     };
     let mut it = std::env::args().skip(1);
@@ -139,6 +146,7 @@ fn parse_args() -> Args {
             "--resume" => args.resume = true,
             "--fail-fast" => args.fail_fast = true,
             "--matrix" => args.matrix = true,
+            "--strict" => args.strict = true,
             _ => {
                 eprintln!("unknown argument {arg:?}");
                 usage();
@@ -147,6 +155,10 @@ fn parse_args() -> Args {
     }
     if args.matrix && args.fail_fast {
         eprintln!("--matrix and --fail-fast are mutually exclusive");
+        usage();
+    }
+    if args.strict && args.fail_fast {
+        eprintln!("--strict audits the summary pipeline; it is meaningless with --fail-fast");
         usage();
     }
     if args.matrix && args.cell_chosen {
@@ -220,6 +232,23 @@ fn run_cell(
     (outcome.summary, bench)
 }
 
+/// `--strict` enforcement: a budget-capped class is an accounting
+/// failure, not a verdict. Prints the offending cells and exits
+/// non-zero if any summary admits undecided classes.
+fn enforce_strict(summaries: &[SweepSummary]) {
+    let undecided: Vec<&SweepSummary> = summaries.iter().filter(|s| s.undecided > 0).collect();
+    if undecided.is_empty() {
+        return;
+    }
+    for summary in undecided {
+        eprintln!(
+            "strict: {}/{} left {} of {} classes undecided",
+            summary.algo, summary.sched, summary.undecided, summary.total,
+        );
+    }
+    std::process::exit(1);
+}
+
 fn main() {
     let args = parse_args();
 
@@ -270,26 +299,32 @@ fn main() {
         ];
         let scheds =
             [SchedSpec::Fsync, SchedSpec::RoundRobin, SchedSpec::RandomSubset { seed: 1, p: 0.5 }];
-        let mut lines = Vec::new();
+        let mut summaries = Vec::new();
         let mut benches = Vec::new();
         for algo in algos {
             for sched in scheds {
                 let cfg = SweepConfig { algo, sched, ..args.cfg.clone() };
                 let (summary, bench) = run_cell(&cfg, &args.out_dir, args.resume);
-                lines.push(summary.line());
+                summaries.push(summary);
                 benches.push(bench);
             }
         }
         write_benches(&benches);
         println!("\n=== matrix verdicts ===");
-        for line in lines {
-            println!("{line}");
+        for summary in &summaries {
+            println!("{}", summary.line());
+        }
+        if args.strict {
+            enforce_strict(&summaries);
         }
         return;
     }
 
     let (summary, bench) = run_cell(&args.cfg, &args.out_dir, args.resume);
     write_benches(std::slice::from_ref(&bench));
+    if args.strict {
+        enforce_strict(std::slice::from_ref(&summary));
+    }
     if args.cfg.sched == SchedSpec::Fsync
         && args.cfg.algo == AlgoSpec::Verified
         && args.cfg.n == 7

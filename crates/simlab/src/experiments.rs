@@ -166,6 +166,7 @@ fn scheduler_mix<S: Scheduler, F: Fn() -> S + Sync>(
             Outcome::Disconnected { .. } => "disconnected",
             Outcome::Livelock { .. } => "livelock",
             Outcome::StepLimit { .. } => "step-limit",
+            Outcome::Undecided { .. } => unreachable!("executions never return Undecided"),
         }
     });
     let mut counts = BTreeMap::new();
@@ -213,6 +214,7 @@ pub fn e11_other_robot_counts(threads: usize) -> ExperimentResult {
                 Outcome::Disconnected { .. } => "disconnected",
                 Outcome::Livelock { .. } => "livelock",
                 Outcome::StepLimit { .. } => "step-limit",
+                Outcome::Undecided { .. } => unreachable!("executions never return Undecided"),
             }
         });
         let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
@@ -265,6 +267,9 @@ pub fn e12_relaxed_connectivity(threads: usize) -> ExperimentResult {
                 (false, Outcome::Disconnected { .. }) => "visibility-only: disconnected",
                 (false, Outcome::Livelock { .. }) => "visibility-only: livelock",
                 (false, Outcome::StepLimit { .. }) => "visibility-only: step-limit",
+                (false, Outcome::Undecided { .. }) => {
+                    unreachable!("executions never return Undecided")
+                }
             };
             *acc.entry(key).or_insert(0) += 1;
         },
@@ -326,6 +331,7 @@ pub fn e13_async(threads: usize) -> ExperimentResult {
                 Outcome::Disconnected { .. } => "disconnected",
                 Outcome::Livelock { .. } => "livelock",
                 Outcome::StepLimit { .. } => "tick-limit",
+                Outcome::Undecided { .. } => unreachable!("executions never return Undecided"),
             }
         });
         let mut counts: BTreeMap<&str, usize> = BTreeMap::new();

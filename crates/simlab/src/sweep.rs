@@ -491,6 +491,11 @@ pub struct SweepSummary {
     pub disconnected: usize,
     /// Classes that hit the round cap.
     pub step_limit: usize,
+    /// Classes whose witness outcome is an undecided checker verdict
+    /// (a search budget exhausted). Zero for scheduled cells; for
+    /// model-checking cells it equals the verdict tally's `undecided`.
+    #[serde(default)]
+    pub undecided: usize,
     /// Maximum rounds-to-gather over gathered classes.
     pub max_rounds: usize,
     /// Mean rounds-to-gather over gathered classes.
@@ -516,13 +521,22 @@ impl SweepSummary {
         self.gathered == self.total
     }
 
-    /// One-line human summary.
+    /// One-line human summary. Cells with undecided classes carry a
+    /// trailing `UNDECIDED > 0` flag so pipelines (and `--strict`
+    /// sweeps) can spot incomplete tables at a glance.
     #[must_use]
     pub fn line(&self) -> String {
         if let Some(counts) = &self.adversary {
+            let flag = if counts.undecided > 0 { " [UNDECIDED > 0]" } else { "" };
             return format!(
-                "{}/{}: {} proof, {} refuted, {} undecided of {} classes",
-                self.algo, self.sched, counts.proof, counts.refuted, counts.undecided, self.total,
+                "{}/{}: {} proof, {} refuted, {} undecided of {} classes{}",
+                self.algo,
+                self.sched,
+                counts.proof,
+                counts.refuted,
+                counts.undecided,
+                self.total,
+                flag,
             );
         }
         format!(
@@ -627,31 +641,34 @@ pub fn shard_ranges(total: usize, shards: usize) -> Vec<(usize, usize)> {
     ranges
 }
 
-/// The adversary checker options for a given search depth (other
-/// budgets stay at their defaults).
+/// The adversary checker options for a given search depth and robot
+/// count: the state/edge budgets scale with `n` so wide cells cover
+/// their whole connected class space ([`AdversaryOptions::for_robots`];
+/// exactly the historical defaults for n <= 7), while the fair-cycle
+/// depth follows the scheduler spec.
 #[must_use]
-fn adversary_options(depth: usize) -> AdversaryOptions {
-    AdversaryOptions { fair_depth: depth, ..AdversaryOptions::default() }
+fn adversary_options(depth: usize, robots: usize) -> AdversaryOptions {
+    AdversaryOptions { fair_depth: depth, ..AdversaryOptions::for_robots(robots) }
 }
 
 /// Maps a model-checking verdict onto the witness [`Outcome`] stored in
 /// the record's `outcome` column (see [`ClassOutcome::outcome`]).
 #[must_use]
-pub fn outcome_of_verdict(verdict: &AdversaryVerdict, limits: Limits) -> Outcome {
+pub fn outcome_of_verdict(verdict: &AdversaryVerdict, _limits: Limits) -> Outcome {
     match verdict {
         AdversaryVerdict::Proof => Outcome::Gathered { rounds: 0 },
         AdversaryVerdict::Refuted { outcome, .. } => outcome.clone(),
-        AdversaryVerdict::Undecided { .. } => Outcome::StepLimit { rounds: limits.max_rounds },
+        AdversaryVerdict::Undecided { reason, .. } => Outcome::Undecided { reason: *reason },
     }
 }
 
 /// [`outcome_of_verdict`] for crash-fault verdicts.
 #[must_use]
-pub fn outcome_of_crash_verdict(verdict: &CrashVerdict, limits: Limits) -> Outcome {
+pub fn outcome_of_crash_verdict(verdict: &CrashVerdict, _limits: Limits) -> Outcome {
     match verdict {
         CrashVerdict::Proof => Outcome::Gathered { rounds: 0 },
         CrashVerdict::Refuted { outcome, .. } => outcome.clone(),
-        CrashVerdict::Undecided { .. } => Outcome::StepLimit { rounds: limits.max_rounds },
+        CrashVerdict::Undecided { reason, .. } => Outcome::Undecided { reason: *reason },
     }
 }
 
@@ -673,6 +690,7 @@ fn rounds_of(outcome: &Outcome) -> usize {
         Outcome::Livelock { entry, period } => entry + period,
         Outcome::Collision { round, .. } => round + 1,
         Outcome::Disconnected { round } => *round,
+        Outcome::Undecided { .. } => 0,
     }
 }
 
@@ -746,25 +764,33 @@ impl<'a, A: Algorithm + ?Sized> CellChecker<'a, A> {
     /// equivariance group is computed once, not per class. `robots` is
     /// the cell's robot count; the checkers keep their historical
     /// 8-robot floor so n <= 7 cells stay byte-identical to the
-    /// pre-parameterised pipeline.
-    fn for_spec(algo: &'a A, spec: SchedSpec, robots: usize) -> Option<Self> {
+    /// pre-parameterised pipeline. `threads` is the within-class BFS
+    /// fan-out width: frontiers past the explorer's spill threshold fan
+    /// across the work-stealing pool, so one giant class no longer
+    /// serializes a shard's tail. Verdicts are identical at every
+    /// width, so the across-class and within-class parallelism compose
+    /// without affecting digests.
+    fn for_spec(algo: &'a A, spec: SchedSpec, robots: usize, threads: usize) -> Option<Self> {
         let capacity = robots.max(8);
         match spec {
-            SchedSpec::Adversary { depth } => Some(CellChecker::Adversary(Checker::for_robots(
-                algo,
-                adversary_options(depth),
-                capacity,
-            ))),
-            SchedSpec::Crash { f, depth } => Some(CellChecker::Crash(CrashChecker::for_robots(
-                algo,
-                CrashOptions::new(f, depth),
-                capacity,
-            ))),
-            SchedSpec::LcmAsync { depth } => Some(CellChecker::Async(AsyncChecker::for_robots(
-                algo,
-                AsyncOptions::new(depth),
-                capacity,
-            ))),
+            SchedSpec::Adversary { depth } => {
+                let mut checker =
+                    Checker::for_robots(algo, adversary_options(depth, robots), capacity);
+                checker.set_threads(threads);
+                Some(CellChecker::Adversary(checker))
+            }
+            SchedSpec::Crash { f, depth } => {
+                let mut checker =
+                    CrashChecker::for_robots(algo, CrashOptions::new(f, depth), capacity);
+                checker.set_threads(threads);
+                Some(CellChecker::Crash(checker))
+            }
+            SchedSpec::LcmAsync { depth } => {
+                let mut checker =
+                    AsyncChecker::for_robots(algo, AsyncOptions::new(depth), capacity);
+                checker.set_threads(threads);
+                Some(CellChecker::Async(checker))
+            }
             _ => None,
         }
     }
@@ -805,7 +831,7 @@ pub fn run_class<A: Algorithm + ?Sized>(
         }
         SchedSpec::Adversary { .. } | SchedSpec::Crash { .. } | SchedSpec::LcmAsync { .. } => {
             let checker =
-                CellChecker::for_spec(algo, spec, initial.len()).expect("model-checking cell");
+                CellChecker::for_spec(algo, spec, initial.len(), 1).expect("model-checking cell");
             checker.run_class(initial, index, limits).outcome
         }
     }
@@ -825,7 +851,7 @@ pub fn run_shard(
     let slice = &classes[start..end];
     // Model-checking cells share one checker across the shard, so the
     // algorithm's equivariance group is computed once, not per class.
-    let checker = CellChecker::for_spec(&algo, cfg.sched, cfg.n);
+    let checker = CellChecker::for_spec(&algo, cfg.sched, cfg.n, cfg.threads);
     let run_one = |offset: usize, cells: &Vec<Coord>| {
         let index = start + offset;
         let initial = Configuration::new(cells.iter().copied());
@@ -934,6 +960,7 @@ pub fn merge_shards(cfg: &SweepConfig, records: &[ShardRecord]) -> Result<SweepS
         collision: usize,
         disconnected: usize,
         step_limit: usize,
+        undecided_outcomes: usize,
         max_rounds: usize,
         total_rounds: usize,
         failures: Vec<usize>,
@@ -955,6 +982,7 @@ pub fn merge_shards(cfg: &SweepConfig, records: &[ShardRecord]) -> Result<SweepS
             Outcome::Collision { .. } => acc.collision += 1,
             Outcome::Disconnected { .. } => acc.disconnected += 1,
             Outcome::StepLimit { .. } => acc.step_limit += 1,
+            Outcome::Undecided { .. } => acc.undecided_outcomes += 1,
         }
         if !res.outcome.is_gathered() && acc.failures.len() < FAILURE_INDEX_CAP {
             acc.failures.push(res.index);
@@ -1007,6 +1035,7 @@ pub fn merge_shards(cfg: &SweepConfig, records: &[ShardRecord]) -> Result<SweepS
         collision: acc.collision,
         disconnected: acc.disconnected,
         step_limit: acc.step_limit,
+        undecided: acc.undecided_outcomes,
         max_rounds: acc.max_rounds,
         mean_rounds: if acc.gathered == 0 {
             0.0
@@ -1172,7 +1201,7 @@ pub fn find_failure(cfg: &SweepConfig) -> Option<(usize, Outcome)> {
     let classes = polyhex::enumerate_fixed(cfg.n);
     let algo = cfg.algo.build();
     let limits = cfg.effective_limits();
-    let checker = CellChecker::for_spec(&algo, cfg.sched, cfg.n);
+    let checker = CellChecker::for_spec(&algo, cfg.sched, cfg.n, cfg.threads);
     let indexed: Vec<(usize, &Vec<Coord>)> = classes.iter().enumerate().collect();
     parallel::par_find_min(&indexed, cfg.threads, |&(index, cells)| {
         let initial = Configuration::new(cells.iter().copied());

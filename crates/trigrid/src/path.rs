@@ -57,7 +57,7 @@ pub fn is_connected(nodes: &[Coord]) -> bool {
 /// semantics of the general path.
 fn small_is_connected(nodes: &[Coord]) -> bool {
     let n = nodes.len();
-    let mut adj = [0u16; 16];
+    let mut adj = [0u32; 16];
     for i in 0..n {
         for j in i + 1..n {
             if nodes[i].distance(nodes[j]) <= 1 {
@@ -66,17 +66,39 @@ fn small_is_connected(nodes: &[Coord]) -> bool {
             }
         }
     }
-    let all: u16 = if n == 16 { u16::MAX } else { (1 << n) - 1 };
-    let mut seen: u16 = 1;
-    let mut frontier: u16 = 1;
+    let all: u32 = (1u32 << n) - 1;
+    mask_connected(&adj[..n], all)
+}
+
+/// Whether the nodes selected by `occ` form a connected subgraph of the
+/// ≤ 32-node graph whose adjacency rows are `adj` (`adj[i]` = bitmask
+/// of `i`'s neighbours). The whole check is word operations: one
+/// bitmask flood fill from the lowest occupied node, each step folding
+/// an entire adjacency row into the frontier. Empty and singleton
+/// selections count as connected.
+///
+/// This is the shared bit-parallel connectivity kernel: the per-set
+/// path above builds its rows from pairwise grid distances, and the
+/// exploration engine's round tables precompute rows over a
+/// positions ∪ targets node universe so every activation subset's
+/// successor connectivity is a handful of `u32` ops (no coordinate
+/// materialisation per subset).
+#[must_use]
+pub fn mask_connected(adj: &[u32], occ: u32) -> bool {
+    if occ & occ.wrapping_sub(1) == 0 {
+        return true; // zero or one node
+    }
+    let start = occ.trailing_zeros() as usize;
+    let mut seen: u32 = 1 << start;
+    let mut frontier: u32 = seen;
     while frontier != 0 {
         let i = frontier.trailing_zeros() as usize;
         frontier &= frontier - 1;
-        let fresh = adj[i] & !seen;
+        let fresh = adj[i] & occ & !seen;
         seen |= fresh;
         frontier |= fresh;
     }
-    seen == all
+    seen == occ
 }
 
 /// The connected components of the subgraph induced by `nodes`, each
@@ -172,6 +194,18 @@ mod tests {
     fn hexagon_is_connected() {
         let hexagon = crate::region::disk(ORIGIN, 1);
         assert!(is_connected(&hexagon));
+    }
+
+    #[test]
+    fn mask_connected_respects_occupancy() {
+        // Path 0-1-2-3: full and prefix selections are connected,
+        // dropping the middle node splits the ends.
+        let adj = [0b0010u32, 0b0101, 0b1010, 0b0100];
+        assert!(mask_connected(&adj, 0b1111));
+        assert!(mask_connected(&adj, 0b0011));
+        assert!(!mask_connected(&adj, 0b1011));
+        assert!(mask_connected(&adj, 0b0000));
+        assert!(mask_connected(&adj, 0b1000));
     }
 
     #[test]

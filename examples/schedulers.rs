@@ -31,6 +31,7 @@ fn sweep<S: Scheduler, F: Fn() -> S + Sync>(name: &str, make: F) {
             Outcome::Disconnected { .. } => "disconnected",
             Outcome::Livelock { .. } => "livelock",
             Outcome::StepLimit { .. } => "step-limit",
+            Outcome::Undecided { .. } => unreachable!("executions never return Undecided"),
         }
     });
     let mut counts: BTreeMap<&str, usize> = BTreeMap::new();

@@ -47,8 +47,12 @@ fn crash_budget_zero_matches_the_adversary_checker() {
         assert_eq!(a.deduped, c.deduped, "class {index}: dedup counts diverge");
         match (&a.verdict, &c.verdict) {
             (AdversaryVerdict::Proof, CrashVerdict::Proof) => {}
-            (AdversaryVerdict::Undecided { depth: da }, CrashVerdict::Undecided { depth: dc }) => {
-                assert_eq!(da, dc, "class {index}")
+            (
+                AdversaryVerdict::Undecided { depth: da, reason: ra },
+                CrashVerdict::Undecided { depth: dc, reason: rc },
+            ) => {
+                assert_eq!(da, dc, "class {index}");
+                assert_eq!(ra, rc, "class {index}: undecided reasons diverge");
             }
             (
                 AdversaryVerdict::Refuted { schedule, outcome },

@@ -38,7 +38,8 @@ const ROWS: &[(usize, &str, bool)] = &[
 /// The pinned debug subsets: every `stride`-th class of the n = 8
 /// space (66 classes), outcome kinds only — the release rows pin the
 /// verdict digests.
-const SUBSET_ROWS: &[(usize, &str, usize)] = &[(8, "fsync", 257), (8, "crash:1", 257)];
+const SUBSET_ROWS: &[(usize, &str, usize)] =
+    &[(8, "fsync", 257), (8, "crash:1", 257), (8, "adversary", 257)];
 
 /// Runs one full cell and renders its pinned row: verdict tallies and
 /// digest for model-checking cells, the outcome breakdown for FSYNC.
@@ -92,6 +93,7 @@ fn subset_row(n: usize, spec: &str, stride: usize) -> serde_json::Value {
     let classes = polyhex::enumerate_fixed(n);
     let (mut gathered, mut stuck, mut livelock, mut collision, mut disconnected, mut step_limit) =
         (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut undecided = 0u64;
     let mut covered = 0u64;
     for index in (0..classes.len()).step_by(stride) {
         let initial = robots::Configuration::new(classes[index].iter().copied());
@@ -102,6 +104,7 @@ fn subset_row(n: usize, spec: &str, stride: usize) -> serde_json::Value {
             robots::Outcome::Collision { .. } => collision += 1,
             robots::Outcome::Disconnected { .. } => disconnected += 1,
             robots::Outcome::StepLimit { .. } => step_limit += 1,
+            robots::Outcome::Undecided { .. } => undecided += 1,
         }
         covered += 1;
     }
@@ -116,6 +119,7 @@ fn subset_row(n: usize, spec: &str, stride: usize) -> serde_json::Value {
         ("collision".to_string(), serde_json::Value::UInt(collision)),
         ("disconnected".to_string(), serde_json::Value::UInt(disconnected)),
         ("step_limit".to_string(), serde_json::Value::UInt(step_limit)),
+        ("undecided".to_string(), serde_json::Value::UInt(undecided)),
     ])
 }
 

@@ -1,0 +1,72 @@
+//! Determinism pins for the within-class BFS frontier fan-out: one
+//! class's search must produce the byte-identical report — verdict,
+//! counterexample schedule, and every statistic — at any thread
+//! count. `par_frontier: 1` forces even the smallest level through
+//! [`robots::explore::Explorer`]'s parallel expansion path, so these
+//! tests exercise the pure-enumeration + in-order-merge machinery
+//! itself rather than relying on a frontier happening to grow past
+//! the production threshold.
+
+use gathering::SevenGather;
+use robots::explore::{ExploreOptions, Explorer};
+use robots::Configuration;
+
+fn gathered_goal(cfg: &Configuration, _crashed: u16) -> bool {
+    cfg.is_gathered()
+}
+
+/// Reports of `initial` under crash budget `budget` at the given
+/// thread counts, with every BFS level fanned out.
+fn reports_across_threads(
+    initial: &Configuration,
+    budget: u8,
+    base: ExploreOptions,
+) -> Vec<robots::explore::ExploreReport> {
+    let algo = SevenGather::verified();
+    [1usize, 2, 8]
+        .into_iter()
+        .map(|threads| {
+            let opts = ExploreOptions { threads, par_frontier: 1, ..base };
+            let explorer = Explorer::new_for_robots(&algo, opts, budget, gathered_goal, 8);
+            explorer.check(initial)
+        })
+        .collect()
+}
+
+#[test]
+fn adversary_search_is_thread_invariant_on_the_largest_n8_class() {
+    // Class 2898 drives the deepest n = 8 SSYNC adversary search
+    // (727 states) — big enough for multi-level fan-outs, small
+    // enough for the debug tier.
+    let classes = polyhex::enumerate_fixed(8);
+    let initial = Configuration::new(classes[2898].iter().copied());
+    let reports = reports_across_threads(&initial, 0, ExploreOptions::default());
+    assert_eq!(reports[0], reports[1], "2 threads changed the adversary report");
+    assert_eq!(reports[0], reports[2], "8 threads changed the adversary report");
+    assert!(reports[0].states >= 500, "expected a deep search to exercise the fan-out");
+}
+
+#[test]
+fn crash_search_is_thread_invariant_on_a_deep_n7_class() {
+    // Class 1704 drives the deepest crash f = 1 search of the n = 7
+    // space (252 states across the crash placements).
+    let classes = polyhex::enumerate_fixed(7);
+    let initial = Configuration::new(classes[1704].iter().copied());
+    let reports = reports_across_threads(&initial, 1, ExploreOptions::crash());
+    assert_eq!(reports[0], reports[1], "2 threads changed the crash report");
+    assert_eq!(reports[0], reports[2], "8 threads changed the crash report");
+}
+
+#[test]
+fn refutation_schedules_are_thread_invariant_across_a_class_sample() {
+    // Every 97th n = 7 class under the budget-0 adversary: the
+    // refuted ones must reproduce the exact same counterexample
+    // schedule (the golden digests hash these) at every width.
+    let classes = polyhex::enumerate_fixed(7);
+    for index in (0..classes.len()).step_by(97) {
+        let initial = Configuration::new(classes[index].iter().copied());
+        let reports = reports_across_threads(&initial, 0, ExploreOptions::default());
+        assert_eq!(reports[0], reports[1], "class {index}: 2 threads changed the report");
+        assert_eq!(reports[0], reports[2], "class {index}: 8 threads changed the report");
+    }
+}

@@ -53,6 +53,9 @@ proptest! {
             | Outcome::Disconnected { .. }
             | Outcome::StepLimit { .. }
             | Outcome::Livelock { .. } => {}
+            Outcome::Undecided { .. } => {
+                prop_assert!(false, "executions never return Undecided")
+            }
         }
         // Robot count is conserved no matter what.
         prop_assert_eq!(ex.final_config.len(), 7);

@@ -1,0 +1,41 @@
+//! Budget-honesty regression: every full n = 7 cell decides every
+//! class. PR 7 closed the last undecided classes (Phase D's complete
+//! product-automaton decision), so an `Undecided` verdict reappearing
+//! in any full cell — a tripped budget, a product overflow, or the
+//! symmetric stitching corner — is a regression, not noise. The
+//! golden digests alone would catch it too, but opaquely; this test
+//! names the class index and the reason.
+
+use simlab::sweep::{merge_shards, run_shard, SchedSpec, SweepConfig};
+
+/// The four full n = 7 cells: the paper's FSYNC table plus the three
+/// model-checking semantics.
+const CELLS: &[&str] = &["fsync", "adversary", "crash:1", "lcm-async"];
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full 3652-class n=7 cells are release-only; run cargo test --release"
+)]
+fn n7_full_cells_decide_every_class() {
+    let classes = polyhex::enumerate_fixed(7);
+    for spec in CELLS {
+        let sched = SchedSpec::parse(spec).expect("known scheduler");
+        let cfg = SweepConfig { n: 7, sched, shards: 1, ..SweepConfig::default() };
+        cfg.validate().expect("supported cell");
+        let record = run_shard(&classes, &cfg, 0, 0, classes.len());
+        for result in &record.results {
+            assert!(
+                !matches!(result.outcome, robots::Outcome::Undecided { .. }),
+                "{spec}: class {} is undecided ({:?})",
+                result.index,
+                result.outcome
+            );
+        }
+        let summary = merge_shards(&cfg, std::slice::from_ref(&record)).expect("consistent shard");
+        assert_eq!(summary.undecided, 0, "{spec}: summary reports undecided classes");
+        if let Some(counts) = summary.adversary {
+            assert_eq!(counts.undecided, 0, "{spec}: verdict tally reports undecided classes");
+        }
+    }
+}
