@@ -9,6 +9,59 @@
 
 use crossbeam::deque::{Steal, Stealer, Worker};
 use parking_lot::Mutex;
+use telemetry::Counter;
+
+/// Process-lifetime totals for the stealing executor. Workers tally
+/// into plain locals and flush here once when they retire, so the hot
+/// pop/steal loop never touches shared cache lines (per-worker
+/// sharding — see DESIGN.md §16).
+static POOL_TASKS: Counter = Counter::new();
+static POOL_STEAL_BATCHES: Counter = Counter::new();
+static POOL_STEAL_RETRIES: Counter = Counter::new();
+static POOL_IDLE_PROBES: Counter = Counter::new();
+static POOL_SERIAL_CALLS: Counter = Counter::new();
+
+/// A point-in-time reading of the executor totals; subtract two
+/// readings (["delta_since"](PoolStats::delta_since)) to attribute pool
+/// activity to one sweep shard or one exploration phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Items executed inside stealing workers.
+    pub tasks: u64,
+    /// Successful `steal_batch` transfers between workers.
+    pub steal_batches: u64,
+    /// `Steal::Retry` collisions while stealing.
+    pub steal_retries: u64,
+    /// Probes of a peer deque that found it empty.
+    pub idle_probes: u64,
+    /// Calls that fell back to the serial path (`threads <= 1`).
+    pub serial_calls: u64,
+}
+
+impl PoolStats {
+    /// Component-wise difference against an earlier reading
+    /// (saturating, so a stale `earlier` cannot underflow).
+    pub fn delta_since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            tasks: self.tasks.saturating_sub(earlier.tasks),
+            steal_batches: self.steal_batches.saturating_sub(earlier.steal_batches),
+            steal_retries: self.steal_retries.saturating_sub(earlier.steal_retries),
+            idle_probes: self.idle_probes.saturating_sub(earlier.idle_probes),
+            serial_calls: self.serial_calls.saturating_sub(earlier.serial_calls),
+        }
+    }
+}
+
+/// Current process-lifetime executor totals.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        tasks: POOL_TASKS.get(),
+        steal_batches: POOL_STEAL_BATCHES.get(),
+        steal_retries: POOL_STEAL_RETRIES.get(),
+        idle_probes: POOL_IDLE_PROBES.get(),
+        serial_calls: POOL_SERIAL_CALLS.get(),
+    }
+}
 
 /// Like [`crate::par_map`], but with work stealing instead of chunked
 /// self-scheduling. Results are returned in input order.
@@ -20,6 +73,8 @@ where
 {
     let threads = crate::resolve_threads(threads).min(items.len().max(1));
     if threads <= 1 {
+        POOL_SERIAL_CALLS.inc();
+        POOL_TASKS.add(items.len() as u64);
         return items.iter().map(f).collect();
     }
 
@@ -38,6 +93,9 @@ where
             let f = &f;
             scope.spawn(move || {
                 let mut local: Vec<(usize, R)> = Vec::new();
+                // Worker-local tallies, flushed to the pool counters once
+                // at retirement so the hot loop stays contention-free.
+                let (mut batches, mut retries, mut probes) = (0u64, 0u64, 0u64);
                 'work: loop {
                     // Drain our own deque first.
                     while let Some(i) = worker.pop() {
@@ -50,14 +108,27 @@ where
                         }
                         loop {
                             match stealer.steal_batch(&worker) {
-                                Steal::Success(()) => continue 'work,
-                                Steal::Retry => continue,
-                                Steal::Empty => break,
+                                Steal::Success(()) => {
+                                    batches += 1;
+                                    continue 'work;
+                                }
+                                Steal::Retry => {
+                                    retries += 1;
+                                    continue;
+                                }
+                                Steal::Empty => {
+                                    probes += 1;
+                                    break;
+                                }
                             }
                         }
                     }
                     break; // everyone is empty
                 }
+                POOL_TASKS.add(local.len() as u64);
+                POOL_STEAL_BATCHES.add(batches);
+                POOL_STEAL_RETRIES.add(retries);
+                POOL_IDLE_PROBES.add(probes);
                 if !local.is_empty() {
                     collected.lock().append(&mut local);
                 }

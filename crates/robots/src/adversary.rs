@@ -322,6 +322,15 @@ impl<'a, A: Algorithm + ?Sized> Checker<'a, A> {
         self.explorer.set_threads(threads);
     }
 
+    /// A point-in-time telemetry snapshot of the underlying explorer:
+    /// phase wall times, memo hit rates, verdict tallies and BFS shape
+    /// histograms (see [`Explorer::metrics_snapshot`]). Strictly
+    /// out-of-band — verdicts and digests never depend on it.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> telemetry::Snapshot {
+        self.explorer.metrics_snapshot()
+    }
+
     /// Classifies `initial` under the exhaustive SSYNC adversary.
     ///
     /// # Panics

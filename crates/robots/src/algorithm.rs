@@ -95,6 +95,11 @@ pub struct MoveOracle<'a, A: Algorithm + ?Sized> {
     /// (`UNKNOWN` = not yet computed, `0` = stay, `1 + d` = move in
     /// direction index `d`); `None` when the radius is too large.
     table: Option<Box<[AtomicU8]>>,
+    /// Decisions answered from the table (relaxed, write-only
+    /// telemetry; unmemoized oracles count every call as a miss).
+    hits: telemetry::Counter,
+    /// Decisions that had to run the wrapped algorithm.
+    misses: telemetry::Counter,
 }
 
 impl<'a, A: Algorithm + ?Sized> MoveOracle<'a, A> {
@@ -105,7 +110,20 @@ impl<'a, A: Algorithm + ?Sized> MoveOracle<'a, A> {
         let labels = view::label_count(radius);
         let table = (labels <= MEMO_MAX_LABELS)
             .then(|| (0..1usize << labels).map(|_| AtomicU8::new(UNKNOWN)).collect());
-        MoveOracle { algo, radius, table }
+        MoveOracle {
+            algo,
+            radius,
+            table,
+            hits: telemetry::Counter::new(),
+            misses: telemetry::Counter::new(),
+        }
+    }
+
+    /// `(hits, misses)` of the decision table so far — pure telemetry,
+    /// never part of any checker verdict.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.get(), self.misses.get())
     }
 
     /// The wrapped algorithm.
@@ -126,19 +144,27 @@ impl<'a, A: Algorithm + ?Sized> MoveOracle<'a, A> {
     #[must_use]
     pub fn decide(&self, view: &View) -> Option<Dir> {
         let Some(table) = &self.table else {
+            self.misses.inc();
             return self.algo.compute(view);
         };
         debug_assert_eq!(view.radius(), self.radius, "oracle radius mismatch");
         let slot = &table[view.bits() as usize];
         match slot.load(Ordering::Relaxed) {
             UNKNOWN => {
+                self.misses.inc();
                 let decision = self.algo.compute(view);
                 let code = decision.map_or(0, |d| 1 + d.index() as u8);
                 slot.store(code, Ordering::Relaxed);
                 decision
             }
-            0 => None,
-            code => Some(Dir::from_index((code - 1) as usize)),
+            0 => {
+                self.hits.inc();
+                None
+            }
+            code => {
+                self.hits.inc();
+                Some(Dir::from_index((code - 1) as usize))
+            }
         }
     }
 }

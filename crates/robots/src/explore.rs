@@ -619,6 +619,101 @@ impl CycleCert {
     }
 }
 
+/// Lock-free observability tallies for one [`Explorer`], accumulated
+/// across every [`check`](Explorer::check) it runs. All fields are
+/// relaxed atomics from the `telemetry` crate: bumping them from the
+/// sweep pipeline's worker threads never serializes the workers, and
+/// nothing here ever feeds back into exploration decisions — verdicts,
+/// statistics and digests are byte-identical with telemetry enabled,
+/// disabled, or absent (see DESIGN.md §16).
+#[derive(Default)]
+pub(crate) struct ExploreMetrics {
+    /// `check` calls completed.
+    pub(crate) checks: telemetry::Counter,
+    /// Interned states, summed over checks.
+    pub(crate) states: telemetry::Counter,
+    /// Expanded transitions, summed over checks.
+    pub(crate) edges: telemetry::Counter,
+    /// Actions skipped by the stabilizer reduction, summed over checks.
+    pub(crate) deduped: telemetry::Counter,
+    /// BFS levels expanded (Phase A iterations).
+    pub(crate) levels: telemetry::Counter,
+    /// BFS levels expanded through the parallel fan-out path.
+    pub(crate) levels_parallel: telemetry::Counter,
+    /// Frontier width at the start of each BFS level.
+    pub(crate) frontier_width: telemetry::Histogram,
+    /// Distinct translation classes per check (arena size at verdict).
+    pub(crate) arena_classes: telemetry::Histogram,
+    /// Interned states per check.
+    pub(crate) states_per_check: telemetry::Histogram,
+    /// States consumed at verdict time, in percent of `max_states`.
+    pub(crate) budget_states_pct: telemetry::Histogram,
+    /// Edges consumed at verdict time, in percent of `max_edges`.
+    pub(crate) budget_edges_pct: telemetry::Histogram,
+    /// Wall time in Phase A (BFS expansion), nanoseconds.
+    pub(crate) phase_a_ns: telemetry::Counter,
+    /// Wall time in Phase B (quotient acyclicity), nanoseconds.
+    pub(crate) phase_b_ns: telemetry::Counter,
+    /// Wall time in Phase C (fair-cycle heuristic), nanoseconds.
+    pub(crate) phase_c_ns: telemetry::Counter,
+    /// Wall time in Phase D (fair-product decision), nanoseconds.
+    pub(crate) phase_d_ns: telemetry::Counter,
+    /// Checks that ended in [`ExploreVerdict::Proof`].
+    pub(crate) verdict_proof: telemetry::Counter,
+    /// Checks that ended in [`ExploreVerdict::Refuted`].
+    pub(crate) verdict_refuted: telemetry::Counter,
+    /// Checks that ended in [`ExploreVerdict::Undecided`].
+    pub(crate) verdict_undecided: telemetry::Counter,
+    /// Undecided verdicts attributed to the state cap.
+    pub(crate) undecided_states: telemetry::Counter,
+    /// Undecided verdicts attributed to the edge cap.
+    pub(crate) undecided_edges: telemetry::Counter,
+    /// Undecided verdicts attributed to the fair-depth cap.
+    pub(crate) undecided_fair_depth: telemetry::Counter,
+    /// Cell-global `(ClassInfo, Configuration)` cache hits.
+    pub(crate) info_hit: telemetry::Counter,
+    /// Cell-global `(ClassInfo, Configuration)` cache misses.
+    pub(crate) info_miss: telemetry::Counter,
+    /// Cell-global [`engine::RoundTable`] cache hits.
+    pub(crate) table_hit: telemetry::Counter,
+    /// Cell-global [`engine::RoundTable`] cache misses.
+    pub(crate) table_miss: telemetry::Counter,
+}
+
+impl ExploreMetrics {
+    /// Reads every tally into a named snapshot. Zero readings are
+    /// included, so a snapshot always names the full metric surface.
+    fn snapshot(&self) -> telemetry::Snapshot {
+        let mut s = telemetry::Snapshot::new();
+        s.add_counter("explore.checks", self.checks.get());
+        s.add_counter("explore.states", self.states.get());
+        s.add_counter("explore.edges", self.edges.get());
+        s.add_counter("explore.deduped", self.deduped.get());
+        s.add_counter("explore.levels", self.levels.get());
+        s.add_counter("explore.levels_parallel", self.levels_parallel.get());
+        s.add_counter("explore.phase_a_ns", self.phase_a_ns.get());
+        s.add_counter("explore.phase_b_ns", self.phase_b_ns.get());
+        s.add_counter("explore.phase_c_ns", self.phase_c_ns.get());
+        s.add_counter("explore.phase_d_ns", self.phase_d_ns.get());
+        s.add_counter("explore.verdict.proof", self.verdict_proof.get());
+        s.add_counter("explore.verdict.refuted", self.verdict_refuted.get());
+        s.add_counter("explore.verdict.undecided", self.verdict_undecided.get());
+        s.add_counter("explore.undecided.states", self.undecided_states.get());
+        s.add_counter("explore.undecided.edges", self.undecided_edges.get());
+        s.add_counter("explore.undecided.fair_depth", self.undecided_fair_depth.get());
+        s.add_counter("memo.info.hit", self.info_hit.get());
+        s.add_counter("memo.info.miss", self.info_miss.get());
+        s.add_counter("memo.table.hit", self.table_hit.get());
+        s.add_counter("memo.table.miss", self.table_miss.get());
+        s.add_histogram(self.frontier_width.read("explore.frontier_width"));
+        s.add_histogram(self.arena_classes.read("explore.arena_classes"));
+        s.add_histogram(self.states_per_check.read("explore.states_per_check"));
+        s.add_histogram(self.budget_states_pct.read("explore.budget_states_pct"));
+        s.add_histogram(self.budget_edges_pct.read("explore.budget_edges_pct"));
+        s
+    }
+}
+
 /// An exhaustive adversary explorer for one algorithm and one
 /// [`Semantics`] instantiation.
 ///
@@ -650,6 +745,8 @@ pub struct Explorer<'a, A: Algorithm + ?Sized, S: Semantics = CrashSemantics> {
     /// positions and the decision vector, never on crash marks (those
     /// only filter which activation submasks are enumerated).
     table_memo: std::sync::Mutex<PackedKeyMap<std::sync::Arc<engine::RoundTable>>>,
+    /// Out-of-band observability tallies (see [`ExploreMetrics`]).
+    metrics: ExploreMetrics,
 }
 
 impl<'a, A: Algorithm + ?Sized> Explorer<'a, A, CrashSemantics> {
@@ -730,7 +827,22 @@ impl<'a, A: Algorithm + ?Sized, S: Semantics> Explorer<'a, A, S> {
             max_robots: max_robots.max(8),
             info_memo: std::sync::Mutex::new(PackedKeyMap::default()),
             table_memo: std::sync::Mutex::new(PackedKeyMap::default()),
+            metrics: ExploreMetrics::default(),
         }
+    }
+
+    /// A point-in-time telemetry snapshot: accumulated phase wall
+    /// times, memo hit/miss tallies (including the [`MoveOracle`]
+    /// decision table), verdict breakdowns, and BFS shape histograms
+    /// over every [`check`](Self::check) this explorer has run.
+    /// Strictly observational — reading it never changes behavior.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> telemetry::Snapshot {
+        let mut s = self.metrics.snapshot();
+        let (hits, misses) = self.oracle.stats();
+        s.add_counter("oracle.hit", hits);
+        s.add_counter("oracle.miss", misses);
+        s
     }
 
     /// The algorithm's equivariance subgroup (always contains the
@@ -764,6 +876,11 @@ impl<'a, A: Algorithm + ?Sized, S: Semantics> Explorer<'a, A, S> {
         &self.oracle
     }
 
+    /// The out-of-band observability tallies.
+    pub(crate) fn metrics(&self) -> &ExploreMetrics {
+        &self.metrics
+    }
+
     /// The decision data and shared canonical representative of the
     /// class `key` packs, through the cell-global cache. Successive
     /// per-class searches of one checker revisit heavily overlapping
@@ -778,8 +895,10 @@ impl<'a, A: Algorithm + ?Sized, S: Semantics> Explorer<'a, A, S> {
         key: PackedClass,
     ) -> (ClassInfo, std::sync::Arc<Configuration>) {
         if let Some((info, cfg)) = self.info_memo.lock().unwrap().get(&key.bits()) {
+            self.metrics.info_hit.inc();
             return (*info, std::sync::Arc::clone(cfg));
         }
+        self.metrics.info_miss.inc();
         let cfg = std::sync::Arc::new(key.unpack());
         let decisions = engine::compute_moves(&cfg, &self.oracle);
         let mut moves = [None; PackedClass::MAX_ROBOTS];
@@ -804,8 +923,10 @@ impl<'a, A: Algorithm + ?Sized, S: Semantics> Explorer<'a, A, S> {
         moves: &[Option<Dir>],
     ) -> std::sync::Arc<engine::RoundTable> {
         if let Some(table) = self.table_memo.lock().unwrap().get(&key.bits()) {
+            self.metrics.table_hit.inc();
             return std::sync::Arc::clone(table);
         }
+        self.metrics.table_miss.inc();
         let table = std::sync::Arc::new(engine::RoundTable::new(cfg, moves));
         self.table_memo.lock().unwrap().insert(key.bits(), std::sync::Arc::clone(&table));
         table
@@ -839,6 +960,35 @@ impl<'a, A: Algorithm + ?Sized, S: Semantics> Explorer<'a, A, S> {
             deduped: 0,
         };
         let verdict = search.run(initial);
+
+        // Out-of-band bookkeeping on the finished search; none of it
+        // can reach the report or any digest.
+        let m = &self.metrics;
+        m.checks.inc();
+        m.states.add(search.states.len() as u64);
+        m.edges.add(search.edges as u64);
+        m.deduped.add(search.deduped as u64);
+        m.arena_classes.record(search.arena.len() as u64);
+        m.states_per_check.record(search.states.len() as u64);
+        let pct = |used: usize, cap: usize| -> u64 {
+            let cap = cap.max(1) as u128;
+            ((used as u128 * 100) / cap).min(u64::MAX as u128) as u64
+        };
+        m.budget_states_pct.record(pct(search.states.len(), self.opts.max_states));
+        m.budget_edges_pct.record(pct(search.edges, self.opts.max_edges));
+        match &verdict {
+            ExploreVerdict::Proof => m.verdict_proof.inc(),
+            ExploreVerdict::Refuted { .. } => m.verdict_refuted.inc(),
+            ExploreVerdict::Undecided { reason, .. } => {
+                m.verdict_undecided.inc();
+                match reason {
+                    UndecidedReason::States => m.undecided_states.inc(),
+                    UndecidedReason::Edges => m.undecided_edges.inc(),
+                    UndecidedReason::FairDepth => m.undecided_fair_depth.inc(),
+                }
+            }
+        }
+
         ExploreReport {
             verdict,
             states: search.states.len(),
@@ -1257,14 +1407,22 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
         // each level in order reproduces the historical single-queue
         // FIFO order exactly — discovery order, statistics and
         // schedules are byte-identical with or without the parallel
-        // fan-out.
+        // fan-out. The phase timers and level tallies around the loop
+        // are write-only telemetry; they never influence the walk.
+        let metrics = self.explorer.metrics();
+        let watch = telemetry::Stopwatch::started();
+        let mut found: Option<ExploreVerdict> = None;
         let mut frontier: Vec<u32> = vec![root as u32];
-        while !frontier.is_empty() {
+        'levels: while !frontier.is_empty() {
+            metrics.levels.inc();
+            metrics.frontier_width.record(frontier.len() as u64);
             let mut next: Vec<u32> = Vec::new();
             let threads = self.explorer.opts.threads;
             if S::PARALLEL && threads > 1 && frontier.len() >= self.explorer.opts.par_frontier {
+                metrics.levels_parallel.inc();
                 if let Some(verdict) = self.expand_level_parallel(&frontier, threads, &mut next) {
-                    return verdict;
+                    found = Some(verdict);
+                    break 'levels;
                 }
             } else {
                 for &id in &frontier {
@@ -1274,27 +1432,39 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
                     }
                     let explorer = self.explorer;
                     if let Some(verdict) = explorer.semantics().expand(self, id, &mut next) {
-                        return verdict;
+                        found = Some(verdict);
+                        break 'levels;
                     }
                     if self.over_budget() {
-                        return self.budget_undecided();
+                        found = Some(self.budget_undecided());
+                        break 'levels;
                     }
                 }
             }
             frontier = next;
         }
+        watch.flush(&metrics.phase_a_ns);
+        if let Some(verdict) = found {
+            return verdict;
+        }
 
         // Phase B: no bad terminal is reachable. If the graph —
         // quotiented by the equivariance subgroup — is acyclic, every
         // fair schedule terminates, and all terminals are goals: proof.
-        if self.quotient_is_acyclic() {
+        let watch = telemetry::Stopwatch::started();
+        let acyclic = self.quotient_is_acyclic();
+        watch.flush(&metrics.phase_b_ns);
+        if acyclic {
             return ExploreVerdict::Proof;
         }
 
         // Phase C: hunt for a fairly-pumpable cycle with the bounded
         // certificate-composition heuristic. This runs first because
         // its refutation schedules are the golden-pinned ones.
-        if let Some(verdict) = self.find_fair_cycle() {
+        let watch = telemetry::Stopwatch::started();
+        let cycle = self.find_fair_cycle();
+        watch.flush(&metrics.phase_c_ns);
+        if let Some(verdict) = cycle {
             return verdict;
         }
 
@@ -1303,7 +1473,10 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
         // exactly on the role-tracking product automaton — a proof or a
         // stitched refutation lasso, undecided only if the product
         // itself overflows its cap (DESIGN.md §15).
-        self.decide_fair_product()
+        let watch = telemetry::Stopwatch::started();
+        let verdict = self.decide_fair_product();
+        watch.flush(&metrics.phase_d_ns);
+        verdict
     }
 
     /// Expands one BFS level with a parallel pure-enumeration pass and

@@ -64,6 +64,46 @@ struct MicroBench {
     checker_build_ms: f64,
 }
 
+/// Telemetry-derived attribution for one classification loop: where
+/// the wall time went (Phase A–D) and how well the memo layers paid
+/// (hit rates). Read from the checker's metrics snapshot after the
+/// loop, so future perf PRs can see *which* phase or cache moved, not
+/// just the total seconds. The oracle rate includes the construction
+/// equivariance scan (deliberately: that scan is the warmup that makes
+/// the in-loop rate high).
+#[derive(Clone, Debug, Serialize)]
+struct PhaseStats {
+    /// Phase A (BFS expansion) wall time, seconds.
+    phase_a_secs: f64,
+    /// Phase B (quotient acyclicity) wall time, seconds.
+    phase_b_secs: f64,
+    /// Phase C (fair-cycle heuristic) wall time, seconds.
+    phase_c_secs: f64,
+    /// Phase D (fair-product decision) wall time, seconds.
+    phase_d_secs: f64,
+    /// MoveOracle decision-table hit rate, 0..=1.
+    oracle_hit_rate: f64,
+    /// Cell-global `(ClassInfo, Configuration)` cache hit rate, 0..=1.
+    info_memo_hit_rate: f64,
+    /// Cell-global `RoundTable` cache hit rate, 0..=1.
+    table_memo_hit_rate: f64,
+}
+
+impl PhaseStats {
+    fn from_snapshot(s: &telemetry::Snapshot) -> Self {
+        let secs = |name: &str| s.counter(name) as f64 / 1e9;
+        PhaseStats {
+            phase_a_secs: secs("explore.phase_a_ns"),
+            phase_b_secs: secs("explore.phase_b_ns"),
+            phase_c_secs: secs("explore.phase_c_ns"),
+            phase_d_secs: secs("explore.phase_d_ns"),
+            oracle_hit_rate: s.rate("oracle.hit", "oracle.miss"),
+            info_memo_hit_rate: s.rate("memo.info.hit", "memo.info.miss"),
+            table_memo_hit_rate: s.rate("memo.table.hit", "memo.table.miss"),
+        }
+    }
+}
+
 /// Per-robot-count scaling row: the same verified rules over the
 /// parameterized class spaces (DESIGN §14).
 #[derive(Clone, Debug, Serialize)]
@@ -88,6 +128,10 @@ struct PerN {
     lcm_async_secs: f64,
     /// ASYNC verdict tallies (proof, refuted, undecided).
     lcm_async_verdicts: [usize; 3],
+    /// Phase/memo attribution for the crash f=1 loop.
+    crash_f1_stats: PhaseStats,
+    /// Phase/memo attribution for the adversary loop.
+    adversary_stats: PhaseStats,
 }
 
 #[derive(Clone, Debug, Serialize)]
@@ -100,13 +144,20 @@ struct Record {
     crash_f1_secs: f64,
     /// Crash f=1 verdict tallies (proof, refuted, undecided).
     crash_f1_verdicts: [usize; 3],
+    /// Phase/memo attribution for the crash f=1 loop.
+    crash_f1_stats: PhaseStats,
     /// Full SSYNC adversary classification, seconds (absent with
     /// `--skip-adversary`).
     adversary_secs: Option<f64>,
+    /// Phase/memo attribution for the adversary loop (absent with
+    /// `--skip-adversary`).
+    adversary_stats: Option<PhaseStats>,
     /// Full ASYNC phase-interleaving classification, seconds.
     lcm_async_secs: f64,
     /// ASYNC verdict tallies (proof, refuted, undecided).
     lcm_async_verdicts: [usize; 3],
+    /// Phase/memo attribution for the ASYNC loop.
+    lcm_async_stats: PhaseStats,
     /// Scaling over the other robot counts the sweeps support.
     per_n: Vec<PerN>,
     baseline: Baseline,
@@ -229,6 +280,7 @@ fn main() {
     }
     let crash_f1_secs = started.elapsed().as_secs_f64();
     assert_eq!(crash_tallies, [11, 3641, 0], "crash f=1 tallies diverged from the golden");
+    let crash_f1_stats = PhaseStats::from_snapshot(&crash_checker.metrics_snapshot());
 
     // The ASYNC axis: the same packed-state core over pending vectors.
     let async_checker = AsyncChecker::new(&algo, AsyncOptions::default());
@@ -243,8 +295,9 @@ fn main() {
     }
     let lcm_async_secs = started.elapsed().as_secs_f64();
     assert_eq!(async_tallies, [543, 3109, 0], "ASYNC tallies diverged from the golden");
+    let lcm_async_stats = PhaseStats::from_snapshot(&async_checker.metrics_snapshot());
 
-    let adversary_secs = (!skip_adversary).then(|| {
+    let adversary = (!skip_adversary).then(|| {
         let checker = Checker::new(&algo, AdversaryOptions::default());
         let started = Instant::now();
         let mut tallies = [0usize; 3];
@@ -257,8 +310,10 @@ fn main() {
         }
         let secs = started.elapsed().as_secs_f64();
         assert_eq!(tallies, [1869, 1783, 0], "adversary tallies diverged from the golden");
-        secs
+        (secs, PhaseStats::from_snapshot(&checker.metrics_snapshot()))
     });
+    let adversary_secs = adversary.as_ref().map(|(secs, _)| *secs);
+    let adversary_stats = adversary.map(|(_, stats)| stats);
 
     // Per-n scaling: the parameterized class spaces (DESIGN §14) —
     // one FSYNC pass and one crash f=1 classification per count. The
@@ -289,6 +344,7 @@ fn main() {
         let crash_f1_secs = started.elapsed().as_secs_f64();
         assert_eq!(tallies.iter().sum::<usize>(), space.len(), "n={count}: every class classified");
         let crash_f1_verdicts = tallies;
+        let crash_f1_stats = PhaseStats::from_snapshot(&checker.metrics_snapshot());
 
         let checker = Checker::for_robots(&algo, AdversaryOptions::for_robots(count), count.max(8));
         let started = Instant::now();
@@ -303,6 +359,7 @@ fn main() {
         let adversary_secs = started.elapsed().as_secs_f64();
         assert_eq!(tallies.iter().sum::<usize>(), space.len(), "n={count}: adversary totality");
         let adversary_verdicts = tallies;
+        let adversary_stats = PhaseStats::from_snapshot(&checker.metrics_snapshot());
 
         let checker = AsyncChecker::for_robots(&algo, AsyncOptions::default(), count.max(8));
         let started = Instant::now();
@@ -327,6 +384,8 @@ fn main() {
             adversary_verdicts,
             lcm_async_secs,
             lcm_async_verdicts: tallies,
+            crash_f1_stats,
+            adversary_stats,
         });
     }
 
@@ -352,9 +411,12 @@ fn main() {
         },
         crash_f1_secs,
         crash_f1_verdicts: crash_tallies,
+        crash_f1_stats,
         adversary_secs,
+        adversary_stats,
         lcm_async_secs,
         lcm_async_verdicts: async_tallies,
+        lcm_async_stats,
         per_n,
         baseline,
     };

@@ -7,23 +7,82 @@
 //!
 //! ```text
 //! cargo run --release -p simlab --bin diagnose [-- paper|verified] [--top N]
+//! cargo run --release -p simlab --bin diagnose -- --stats [--class I] [--n N] [paper|verified]
 //! ```
+//!
+//! `--stats` switches to single-class telemetry mode: it runs the
+//! exhaustive SSYNC adversary checker on one class (`--class`, default
+//! 0, of the `--n`-robot enumeration, default 7) and dumps the
+//! checker's telemetry snapshot — per-phase wall times, memo hit
+//! rates, frontier peaks — as pretty JSON plus a short human summary.
 
 use gathering::base::{determine, BaseDecision};
 use gathering::SevenGather;
+use robots::adversary::{AdversaryOptions, Checker};
 use robots::{engine, Algorithm, Configuration, Limits, Outcome, View};
 use simlab::render;
 use std::collections::HashMap;
 
+/// Parses the value following `flag`, if present.
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).and_then(|s| s.parse().ok())
+}
+
+/// `--stats` mode: one class, one check, full telemetry dump.
+fn run_stats(args: &[String]) {
+    let which = if args.iter().any(|a| a == "paper") { "paper" } else { "verified" };
+    let n: usize = flag_value(args, "--n").unwrap_or(7);
+    let class: usize = flag_value(args, "--class").unwrap_or(0);
+    let algo = match which {
+        "paper" => SevenGather::paper(),
+        _ => SevenGather::verified(),
+    };
+    let classes = polyhex::enumerate_fixed(n);
+    let Some(cells) = classes.get(class) else {
+        eprintln!("class {class} out of range: the n={n} space holds {} classes", classes.len());
+        std::process::exit(2);
+    };
+    let initial = Configuration::new(cells.iter().copied());
+    let checker = Checker::for_robots(&algo, AdversaryOptions::for_robots(n), n.max(8));
+    let report = checker.check(&initial);
+    let snapshot = checker.metrics_snapshot();
+
+    println!("class {class}/{} (n={n}, {which}): verdict {:?}", classes.len(), report.verdict);
+    println!("classes {} · edges {} · deduped {}", report.classes, report.edges, report.deduped);
+    let ms = |name: &str| snapshot.counter(name) as f64 / 1e6;
+    println!(
+        "phases: A {:.2} ms · B {:.2} ms · C {:.2} ms · D {:.2} ms",
+        ms("explore.phase_a_ns"),
+        ms("explore.phase_b_ns"),
+        ms("explore.phase_c_ns"),
+        ms("explore.phase_d_ns"),
+    );
+    println!(
+        "memo hit rates: oracle {:.1}% · class-info {:.1}% · round-table {:.1}%",
+        snapshot.rate("oracle.hit", "oracle.miss") * 100.0,
+        snapshot.rate("memo.info.hit", "memo.info.miss") * 100.0,
+        snapshot.rate("memo.table.hit", "memo.table.miss") * 100.0,
+    );
+    if let Some(width) = snapshot.histogram("explore.frontier_width") {
+        println!(
+            "frontier: peak {} · mean {:.1} over {} levels",
+            width.max,
+            width.mean(),
+            width.count
+        );
+    }
+    println!("\nsnapshot:");
+    println!("{}", serde_json::to_string_pretty(&snapshot).expect("snapshot serializes"));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--stats") {
+        run_stats(&args);
+        return;
+    }
     let which = args.first().map(String::as_str).unwrap_or("verified");
-    let top: usize = args
-        .iter()
-        .position(|a| a == "--top")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
+    let top: usize = flag_value(&args, "--top").unwrap_or(8);
     let algo = match which {
         "paper" => SevenGather::paper(),
         _ => SevenGather::verified(),

@@ -7,7 +7,7 @@
 //!              crash:F[:DEPTH]|lcm-async[:DEPTH]] \
 //!     [--n 2..=10] [--shards 8] [--threads N] [--stealing auto|on|off] \
 //!     [--max-rounds N] [--out-dir target/sweep] [--resume] \
-//!     [--fail-fast] [--matrix] [--strict]
+//!     [--fail-fast] [--matrix] [--strict] [--events PATH] [--progress]
 //! ```
 //!
 //! One invocation runs one cell of the {algorithm} × {scheduler}
@@ -37,15 +37,26 @@
 //! left `Undecided` (a tripped exploration budget rather than a real
 //! verdict) fails the invocation with a non-zero exit, so pipelines
 //! can pin "every class decided" as a hard property of a cell.
+//!
+//! `--events PATH` appends a structured JSONL event stream (cell
+//! start/finish, one heartbeat per shard, budget trips) for machine
+//! consumption, and `--progress` prints a human heartbeat with
+//! classes/sec and an ETA to stderr. Both are strictly out-of-band:
+//! records, summaries and digests are byte-identical with or without
+//! them.
 
-use robots::Limits;
+use robots::{Limits, Outcome};
 use simlab::sweep::{
-    run_sweep, write_bench, AlgoSpec, BenchRecord, SchedSpec, ShardStatus, SweepConfig,
-    SweepSummary, SCHED_SPECS,
+    run_sweep, write_bench, AlgoSpec, BenchRecord, SchedSpec, ShardRecord, ShardStatus,
+    SweepConfig, SweepSummary, SCHED_SPECS,
 };
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
+use serde_json::Value;
+
+#[derive(Debug)]
 struct Args {
     cfg: SweepConfig,
     out_dir: PathBuf,
@@ -56,24 +67,38 @@ struct Args {
     /// Whether --algo / --sched were given explicitly (conflicts with
     /// --matrix, which supplies both axes itself).
     cell_chosen: bool,
+    /// Structured JSONL event log destination, if requested.
+    events: Option<PathBuf>,
+    /// Whether to print the stderr progress heartbeat.
+    progress: bool,
 }
 
-fn usage() -> ! {
+/// The single exit point for command-line mistakes: every usage error
+/// prints its reason, the full usage text (including the valid
+/// scheduler specs), and exits with the conventional usage code 2.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
     eprintln!(
         "usage: sweep [--algo paper|verified|FLAGS]\n\
          \x20            [--sched fsync|round-robin|random[:SEED:P]|adversary[:DEPTH]|crash:F[:DEPTH]|lcm-async[:DEPTH]]\n\
          \x20            [--n N (2..=10)] [--shards S] [--threads T] [--stealing auto|on|off]\n\
          \x20            [--max-rounds R] [--out-dir DIR] [--resume] [--fail-fast] [--matrix] [--strict]\n\
+         \x20            [--events PATH] [--progress]\n\
          \n\
          FLAGS is a '+'-separated ablation list from fix25, conn, prio, compl, mirror (or 'none').\n\
          Scheduler specs: {SCHED_SPECS}.\n\
          --threads takes the worker count of the per-shard pool (>= 1); the default\n\
-         is all available cores."
+         is all available cores.\n\
+         --events appends machine-readable JSONL sweep events; --progress prints a\n\
+         classes/sec + ETA heartbeat to stderr. Neither affects records or digests."
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> Args {
+/// Parses a raw argument vector. Pure (no I/O, no exit), so the usage
+/// surface is unit-testable; `main` routes any `Err` through
+/// [`usage_error`].
+fn parse_cli(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         cfg: SweepConfig::default(),
         out_dir: PathBuf::from("target/sweep"),
@@ -82,100 +107,145 @@ fn parse_args() -> Args {
         matrix: false,
         strict: false,
         cell_chosen: false,
+        events: None,
+        progress: false,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = argv.iter();
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| -> String {
-            it.next().unwrap_or_else(|| {
-                eprintln!("missing value for {name}");
-                usage();
-            })
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("missing value for {name}"))
         };
         match arg.as_str() {
             "--algo" => {
-                let v = value("--algo");
-                args.cfg.algo = AlgoSpec::parse(&v).unwrap_or_else(|| {
-                    eprintln!("unknown algorithm spec {v:?}");
-                    usage();
-                });
+                let v = value("--algo")?;
+                args.cfg.algo =
+                    AlgoSpec::parse(v).ok_or_else(|| format!("unknown algorithm spec {v:?}"))?;
                 args.cell_chosen = true;
             }
             "--sched" => {
-                let v = value("--sched");
-                args.cfg.sched = SchedSpec::parse(&v).unwrap_or_else(|| {
-                    eprintln!("unknown scheduler spec {v:?}; valid specs: {SCHED_SPECS}");
-                    usage();
-                });
+                let v = value("--sched")?;
+                args.cfg.sched = SchedSpec::parse(v).ok_or_else(|| {
+                    format!("unknown scheduler spec {v:?}; valid specs: {SCHED_SPECS}")
+                })?;
                 args.cell_chosen = true;
             }
-            "--n" => args.cfg.n = value("--n").parse().unwrap_or_else(|_| usage()),
+            "--n" => {
+                let v = value("--n")?;
+                args.cfg.n =
+                    v.parse().map_err(|_| format!("invalid robot count for --n: {v:?}"))?;
+            }
             "--shards" => {
-                args.cfg.shards = value("--shards").parse().unwrap_or_else(|_| usage());
+                let v = value("--shards")?;
+                args.cfg.shards =
+                    v.parse().map_err(|_| format!("invalid shard count for --shards: {v:?}"))?;
                 if args.cfg.shards == 0 {
-                    eprintln!("--shards must be at least 1");
-                    usage();
+                    return Err("--shards must be at least 1".into());
                 }
             }
             "--threads" => {
-                let threads: usize = value("--threads").parse().unwrap_or_else(|_| usage());
+                let v = value("--threads")?;
+                let threads: usize =
+                    v.parse().map_err(|_| format!("invalid worker count for --threads: {v:?}"))?;
                 if threads == 0 {
-                    eprintln!(
+                    return Err(format!(
                         "--threads must be at least 1; omit the flag to use all \
                          available cores ({})",
                         parallel::resolve_threads(0)
-                    );
-                    usage();
+                    ));
                 }
                 args.cfg.threads = threads;
             }
             "--stealing" => {
-                args.cfg.stealing = match value("--stealing").as_str() {
+                args.cfg.stealing = match value("--stealing")?.as_str() {
                     "auto" => None,
                     "on" => Some(true),
                     "off" => Some(false),
-                    _ => usage(),
+                    v => return Err(format!("invalid executor mode for --stealing: {v:?}")),
                 }
             }
             "--max-rounds" => {
+                let v = value("--max-rounds")?;
                 args.cfg.limits = Limits {
-                    max_rounds: value("--max-rounds").parse().unwrap_or_else(|_| usage()),
+                    max_rounds: v
+                        .parse()
+                        .map_err(|_| format!("invalid round cap for --max-rounds: {v:?}"))?,
                     ..args.cfg.limits
                 }
             }
-            "--out-dir" => args.out_dir = PathBuf::from(value("--out-dir")),
+            "--out-dir" => args.out_dir = PathBuf::from(value("--out-dir")?),
+            "--events" => args.events = Some(PathBuf::from(value("--events")?)),
+            "--progress" => args.progress = true,
             "--resume" => args.resume = true,
             "--fail-fast" => args.fail_fast = true,
             "--matrix" => args.matrix = true,
             "--strict" => args.strict = true,
-            _ => {
-                eprintln!("unknown argument {arg:?}");
-                usage();
-            }
+            _ => return Err(format!("unknown argument {arg:?}")),
         }
     }
     if args.matrix && args.fail_fast {
-        eprintln!("--matrix and --fail-fast are mutually exclusive");
-        usage();
+        return Err("--matrix and --fail-fast are mutually exclusive".into());
     }
     if args.strict && args.fail_fast {
-        eprintln!("--strict audits the summary pipeline; it is meaningless with --fail-fast");
-        usage();
+        return Err(
+            "--strict audits the summary pipeline; it is meaningless with --fail-fast".into()
+        );
     }
     if args.matrix && args.cell_chosen {
-        eprintln!("--matrix supplies both axes itself; drop --algo/--sched");
-        usage();
+        return Err("--matrix supplies both axes itself; drop --algo/--sched".into());
     }
-    if let Err(reason) = args.cfg.validate() {
-        eprintln!("unsupported sweep cell: {reason}");
-        usage();
+    args.cfg.validate().map_err(|reason| format!("unsupported sweep cell: {reason}"))?;
+    Ok(args)
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    parse_cli(&argv).unwrap_or_else(|msg| usage_error(&msg))
+}
+
+/// Append-only JSONL sink for `--events`: one self-describing object
+/// per line, flushed per event so tail-following works mid-sweep.
+struct EventLog {
+    file: std::fs::File,
+}
+
+impl EventLog {
+    fn open(path: &std::path::Path) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(EventLog { file })
     }
-    args
+
+    fn emit(&mut self, event: &str, fields: Vec<(String, Value)>) {
+        let mut map = vec![("event".to_string(), Value::Str(event.to_string()))];
+        let stamp = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0);
+        map.push(("unix_time".to_string(), Value::Float(stamp)));
+        map.extend(fields);
+        let line = serde_json::to_string(&Value::Map(map)).expect("events serialize");
+        // Event loss must never fail a sweep; report and carry on.
+        if let Err(e) = writeln!(self.file, "{line}") {
+            eprintln!("warning: could not append sweep event: {e}");
+        }
+    }
+}
+
+/// Count of budget-capped classes in one shard record.
+fn shard_undecided(record: &ShardRecord) -> usize {
+    record.results.iter().filter(|r| matches!(r.outcome, Outcome::Undecided { .. })).count()
 }
 
 fn run_cell(
     cfg: &SweepConfig,
     out_dir: &std::path::Path,
     resume: bool,
+    events: &mut Option<EventLog>,
+    progress: bool,
 ) -> (SweepSummary, BenchRecord) {
     let started = Instant::now();
     eprintln!(
@@ -187,6 +257,19 @@ fn run_cell(
         if cfg.use_stealing() { "stealing" } else { "chunked" },
         resume,
     );
+    if let Some(log) = events.as_mut() {
+        log.emit(
+            "cell_start",
+            vec![
+                ("cell".into(), Value::Str(cfg.slug())),
+                ("robots".into(), Value::UInt(cfg.n as u64)),
+                ("shards".into(), Value::UInt(cfg.shards as u64)),
+                ("threads".into(), Value::UInt(cfg.threads as u64)),
+                ("resume".into(), Value::Bool(resume)),
+            ],
+        );
+    }
+    let total_shards = cfg.shards.max(1);
     let outcome = run_sweep(cfg, out_dir, resume, |shard, status, record| {
         let verb = match status {
             ShardStatus::Computed => "computed",
@@ -198,6 +281,56 @@ fn run_cell(
             record.end,
             record.results.len()
         );
+        // Shards arrive in index order, so `record.end` is the number
+        // of classes finished so far; the remainder is extrapolated
+        // from the mean shard width for the heartbeat's ETA.
+        let elapsed = started.elapsed().as_secs_f64();
+        let done = record.end as f64;
+        let rate = if elapsed > 0.0 { done / elapsed } else { 0.0 };
+        let remaining_shards = (total_shards - shard - 1) as f64;
+        let eta = if rate > 0.0 && shard + 1 < total_shards {
+            (done / (shard + 1) as f64) * remaining_shards / rate
+        } else {
+            0.0
+        };
+        let undecided = shard_undecided(record);
+        if progress {
+            eprintln!(
+                "  progress: {} {}/{} shards · {} classes · {:.1} classes/s · ETA {:.0}s",
+                cfg.slug(),
+                shard + 1,
+                total_shards,
+                record.end,
+                rate,
+                eta,
+            );
+        }
+        if let Some(log) = events.as_mut() {
+            log.emit(
+                "shard",
+                vec![
+                    ("cell".into(), Value::Str(cfg.slug())),
+                    ("shard".into(), Value::UInt(shard as u64)),
+                    ("status".into(), Value::Str(verb.to_string())),
+                    ("start".into(), Value::UInt(record.start as u64)),
+                    ("end".into(), Value::UInt(record.end as u64)),
+                    ("elapsed_secs".into(), Value::Float(elapsed)),
+                    ("classes_per_sec".into(), Value::Float(rate)),
+                    ("eta_secs".into(), Value::Float(eta)),
+                    ("undecided".into(), Value::UInt(undecided as u64)),
+                ],
+            );
+            if undecided > 0 {
+                log.emit(
+                    "budget_trip",
+                    vec![
+                        ("cell".into(), Value::Str(cfg.slug())),
+                        ("shard".into(), Value::UInt(shard as u64)),
+                        ("undecided".into(), Value::UInt(undecided as u64)),
+                    ],
+                );
+            }
+        }
     })
     .unwrap_or_else(|e| {
         eprintln!("sweep failed: {e}");
@@ -212,6 +345,18 @@ fn run_cell(
         cfg.summary_path(out_dir).display(),
     );
     println!("{}", outcome.summary.line());
+    if let Some(log) = events.as_mut() {
+        log.emit(
+            "cell_finish",
+            vec![
+                ("cell".into(), Value::Str(cfg.slug())),
+                ("total".into(), Value::UInt(outcome.summary.total as u64)),
+                ("undecided".into(), Value::UInt(outcome.summary.undecided as u64)),
+                ("elapsed_secs".into(), Value::Float(elapsed.as_secs_f64())),
+                ("digest".into(), outcome.summary.digest.clone().map_or(Value::Null, Value::Str)),
+            ],
+        );
+    }
     let elapsed_secs = elapsed.as_secs_f64();
     let bench = BenchRecord {
         cell: cfg.slug(),
@@ -251,6 +396,12 @@ fn enforce_strict(summaries: &[SweepSummary]) {
 
 fn main() {
     let args = parse_args();
+    let mut events = args.events.as_ref().map(|path| {
+        EventLog::open(path).unwrap_or_else(|e| {
+            eprintln!("could not open events log {}: {e}", path.display());
+            std::process::exit(1);
+        })
+    });
 
     if args.fail_fast {
         match simlab::sweep::find_failure(&args.cfg) {
@@ -304,7 +455,8 @@ fn main() {
         for algo in algos {
             for sched in scheds {
                 let cfg = SweepConfig { algo, sched, ..args.cfg.clone() };
-                let (summary, bench) = run_cell(&cfg, &args.out_dir, args.resume);
+                let (summary, bench) =
+                    run_cell(&cfg, &args.out_dir, args.resume, &mut events, args.progress);
                 summaries.push(summary);
                 benches.push(bench);
             }
@@ -320,7 +472,8 @@ fn main() {
         return;
     }
 
-    let (summary, bench) = run_cell(&args.cfg, &args.out_dir, args.resume);
+    let (summary, bench) =
+        run_cell(&args.cfg, &args.out_dir, args.resume, &mut events, args.progress);
     write_benches(std::slice::from_ref(&bench));
     if args.strict {
         enforce_strict(std::slice::from_ref(&summary));
@@ -334,5 +487,74 @@ fn main() {
         // theorem is seven-robot-specific: at other n the verified
         // rules legitimately fail on some classes.
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_a_full_cell_spec() {
+        let args = parse_cli(&argv(&[
+            "--algo",
+            "verified",
+            "--sched",
+            "adversary",
+            "--n",
+            "8",
+            "--shards",
+            "4",
+            "--threads",
+            "2",
+            "--events",
+            "/tmp/ev.jsonl",
+            "--progress",
+            "--strict",
+        ]))
+        .expect("valid invocation");
+        assert_eq!(args.cfg.n, 8);
+        assert_eq!(args.cfg.shards, 4);
+        assert_eq!(args.cfg.threads, 2);
+        assert!(args.cell_chosen && args.strict && args.progress);
+        assert_eq!(args.events.as_deref(), Some(std::path::Path::new("/tmp/ev.jsonl")));
+    }
+
+    #[test]
+    fn rejects_unknown_scheduler_listing_valid_specs() {
+        let err = parse_cli(&argv(&["--sched", "bogus"])).unwrap_err();
+        assert!(err.contains("unknown scheduler spec"), "{err}");
+        assert!(err.contains("valid specs"), "usage errors must list valid specs: {err}");
+        assert!(err.contains("adversary"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_values_and_bad_numbers() {
+        assert!(parse_cli(&argv(&["--sched"])).unwrap_err().contains("missing value"));
+        assert!(parse_cli(&argv(&["--n", "many"])).unwrap_err().contains("--n"));
+        assert!(parse_cli(&argv(&["--shards", "0"])).unwrap_err().contains("at least 1"));
+        assert!(parse_cli(&argv(&["--threads", "0"])).unwrap_err().contains("at least 1"));
+        assert!(parse_cli(&argv(&["--stealing", "sometimes"])).unwrap_err().contains("--stealing"));
+        assert!(parse_cli(&argv(&["--frobnicate"])).unwrap_err().contains("unknown argument"));
+    }
+
+    #[test]
+    fn rejects_conflicting_modes() {
+        let err = parse_cli(&argv(&["--matrix", "--fail-fast"])).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = parse_cli(&argv(&["--strict", "--fail-fast"])).unwrap_err();
+        assert!(err.contains("--strict"), "{err}");
+        let err = parse_cli(&argv(&["--matrix", "--algo", "paper"])).unwrap_err();
+        assert!(err.contains("--matrix"), "{err}");
+    }
+
+    #[test]
+    fn rejects_invalid_cells_through_validate() {
+        let err = parse_cli(&argv(&["--n", "1"])).unwrap_err();
+        assert!(err.contains("unsupported sweep cell"), "{err}");
     }
 }

@@ -413,6 +413,29 @@ pub struct ClassOutcome {
     pub lcm_async: Option<AsyncVerdict>,
 }
 
+/// An out-of-band telemetry reading riding along a shard record or a
+/// merged summary: phase wall times, memo hit/miss tallies, BFS shape
+/// histograms and work-stealing pool activity (see DESIGN.md §16).
+///
+/// Wall times and pool activity are inherently nondeterministic, so
+/// this wrapper's `PartialEq` deliberately ignores the reading:
+/// metrics are observability, never part of result equality. Every
+/// invariance the pipeline asserts (thread-count invariance, resume
+/// equality, digest pinning) is about *classifications*, and those
+/// comparisons must keep passing whether telemetry readings differ,
+/// are disabled, or are absent.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MetricsBlock {
+    /// The merged telemetry snapshot.
+    pub snapshot: telemetry::Snapshot,
+}
+
+impl PartialEq for MetricsBlock {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
 /// The persisted result of one shard of a sweep cell.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ShardRecord {
@@ -435,6 +458,11 @@ pub struct ShardRecord {
     pub end: usize,
     /// Per-class outcomes, in enumeration order.
     pub results: Vec<ClassOutcome>,
+    /// Telemetry reading for this shard's work (absent in records
+    /// written before the observability layer; never affects resume
+    /// matching, merging or digests).
+    #[serde(default)]
+    pub metrics: Option<MetricsBlock>,
 }
 
 impl ShardRecord {
@@ -512,6 +540,11 @@ pub struct SweepSummary {
     /// classified every class identically.
     #[serde(default)]
     pub digest: Option<String>,
+    /// Merged telemetry reading over all shards (absent for summaries
+    /// merged from pre-observability records). Compares equal
+    /// regardless of content — see [`MetricsBlock`].
+    #[serde(default)]
+    pub metrics: Option<MetricsBlock>,
 }
 
 impl SweepSummary {
@@ -802,6 +835,16 @@ impl<'a, A: Algorithm + ?Sized> CellChecker<'a, A> {
             CellChecker::Async(c) => run_class_async(initial, c, index, limits),
         }
     }
+
+    /// Telemetry snapshot of the underlying explorer (phase times,
+    /// memo hit rates, verdict tallies, BFS shape).
+    fn metrics_snapshot(&self) -> telemetry::Snapshot {
+        match self {
+            CellChecker::Adversary(c) => c.metrics_snapshot(),
+            CellChecker::Crash(c) => c.metrics_snapshot(),
+            CellChecker::Async(c) => c.metrics_snapshot(),
+        }
+    }
 }
 
 /// Runs one class under the cell's scheduler and returns its outcome.
@@ -874,11 +917,26 @@ pub fn run_shard(
     // Work items carry their offset so both executors yield identical,
     // order-preserved records.
     let indexed: Vec<(usize, &Vec<Coord>)> = slice.iter().enumerate().collect();
+    // Telemetry bracketing: the pool totals are process-global, so the
+    // before/after delta attributes stealing activity to this shard
+    // (approximately, if other executors run concurrently — metrics
+    // are observability, not accounting).
+    let pool_before = parallel::stealing::pool_stats();
+    let watch = telemetry::Stopwatch::started();
     let results = if cfg.use_stealing() {
         parallel::stealing::par_map_stealing(&indexed, cfg.threads, |&(o, c)| run_one(o, c))
     } else {
         parallel::par_map(&indexed, cfg.threads, |&(o, c)| run_one(o, c))
     };
+    let mut snapshot = checker.as_ref().map(CellChecker::metrics_snapshot).unwrap_or_default();
+    let pool = parallel::stealing::pool_stats().delta_since(&pool_before);
+    snapshot.add_counter("parallel.tasks", pool.tasks);
+    snapshot.add_counter("parallel.steal_batches", pool.steal_batches);
+    snapshot.add_counter("parallel.steal_retries", pool.steal_retries);
+    snapshot.add_counter("parallel.idle_probes", pool.idle_probes);
+    snapshot.add_counter("parallel.serial_calls", pool.serial_calls);
+    snapshot.add_counter("sweep.classes", results.len() as u64);
+    snapshot.add_counter("sweep.shard_wall_ns", watch.elapsed_ns());
     ShardRecord {
         algo: cfg.algo.name(),
         sched: cfg.sched.name(),
@@ -889,6 +947,7 @@ pub fn run_shard(
         start,
         end,
         results,
+        metrics: Some(MetricsBlock { snapshot }),
     }
 }
 
@@ -1023,6 +1082,17 @@ pub fn merge_shards(cfg: &SweepConfig, records: &[ShardRecord]) -> Result<SweepS
         format!("{:016x}", h.finish())
     });
 
+    // Fold the shard telemetry readings (if any) into one cell-level
+    // snapshot; merge is associative and commutative, so shard order
+    // cannot matter. This stays strictly after the digest computation
+    // and never feeds it.
+    let metrics =
+        sorted.iter().filter_map(|r| r.metrics.as_ref()).fold(None::<MetricsBlock>, |acc, m| {
+            let mut block = acc.unwrap_or_default();
+            block.snapshot.merge(&m.snapshot);
+            Some(block)
+        });
+
     Ok(SweepSummary {
         algo: cfg.algo.name(),
         sched: cfg.sched.name(),
@@ -1049,6 +1119,7 @@ pub fn merge_shards(cfg: &SweepConfig, records: &[ShardRecord]) -> Result<SweepS
             undecided: acc.undecided,
         }),
         digest,
+        metrics,
     })
 }
 
@@ -1402,6 +1473,7 @@ mod tests {
                 crash: None,
                 lcm_async: None,
             }],
+            metrics: None,
         };
         let at_seven = verdict_digest(std::slice::from_ref(&record));
         record.robots = 8;

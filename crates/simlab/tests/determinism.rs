@@ -110,6 +110,72 @@ fn per_n_digests_are_thread_and_shard_invariant() {
     }
 }
 
+/// Runs one full cell and returns `(digest, merged results JSON)`.
+fn cell_digest_and_json(cfg: &SweepConfig) -> (u64, String) {
+    cfg.validate().expect("supported cell");
+    let classes = polyhex::enumerate_fixed(cfg.n);
+    let records: Vec<ShardRecord> = shard_ranges(classes.len(), cfg.shards)
+        .into_iter()
+        .enumerate()
+        .map(|(s, (start, end))| run_shard(&classes, cfg, s, start, end))
+        .collect();
+    let merged: Vec<&ClassOutcome> = records.iter().flat_map(|r| r.results.iter()).collect();
+    (verdict_digest(&records), serde_json::to_string(&merged).expect("results serialise"))
+}
+
+#[test]
+fn metrics_toggle_never_perturbs_records_or_digests() {
+    // The whole point of the telemetry layer: flipping metrics off must
+    // leave every record and digest byte-identical, at every thread
+    // count, in every semantics cell. (The toggle gates only the
+    // timestamp reads — this pins that no observable output ever
+    // depends on a telemetry value.)
+    for spec in ["fsync", "adversary", "crash:1", "lcm-async"] {
+        let sched = SchedSpec::parse(spec).expect("known scheduler");
+        for threads in [1, 2, 8] {
+            let cfg = SweepConfig { n: 4, sched, threads, ..SweepConfig::default() };
+            telemetry::set_enabled(true);
+            let on = cell_digest_and_json(&cfg);
+            telemetry::set_enabled(false);
+            let off = cell_digest_and_json(&cfg);
+            telemetry::set_enabled(true);
+            assert_eq!(on, off, "{spec} n=4 threads={threads}: metrics toggle changed output");
+        }
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full n=7/n=8 cells are release-only; run cargo test --release"
+)]
+fn full_cells_match_pinned_digests_with_metrics_on_and_off() {
+    // The four pinned verification digests (the acceptance bar for the
+    // instrumented stack): metrics on or off, 1/2/8 worker threads —
+    // the cell digest is always the committed constant.
+    let cells: [(&str, usize, u64); 4] = [
+        ("adversary", 7, 0xd622cfe7b20dd7bb),
+        ("crash:1", 7, 0x6696e3381f7fbd4f),
+        ("lcm-async", 7, 0xbbf7a6b89fc5c8f0),
+        ("adversary", 8, 0x48732f073bd06fc4),
+    ];
+    for (spec, n, expected) in cells {
+        let sched = SchedSpec::parse(spec).expect("known scheduler");
+        for threads in [1, 2, 8] {
+            for enabled in [true, false] {
+                telemetry::set_enabled(enabled);
+                let cfg = SweepConfig { n, sched, threads, ..SweepConfig::default() };
+                let (digest, _) = cell_digest_and_json(&cfg);
+                telemetry::set_enabled(true);
+                assert_eq!(
+                    digest, expected,
+                    "{spec} n={n} threads={threads} metrics={enabled}: digest drifted"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn summaries_are_thread_invariant_for_fixed_sharding() {
     // The merged summary (including the adversary verdict tallies) must

@@ -1,0 +1,96 @@
+//! Property coverage for the metrics core: histogram record/merge
+//! associativity and snapshot serde round-trips. These are the
+//! guarantees the sweep layer leans on when it folds per-shard
+//! snapshots into a cell summary in nondeterministic completion order.
+
+use proptest::prelude::*;
+use telemetry::{Histogram, Snapshot};
+
+/// Record a batch of samples into a fresh histogram, read it out under
+/// a fixed name.
+fn hist_of(samples: &[u64], name: &str) -> telemetry::HistogramEntry {
+    let h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h.read(name)
+}
+
+/// Build a snapshot with a few counters and one histogram from raw parts.
+fn snapshot_of(counters: &[(u8, u64)], samples: &[u64]) -> Snapshot {
+    let mut s = Snapshot::new();
+    for &(name_id, v) in counters {
+        s.add_counter(&format!("c{}", name_id % 4), v % (1 << 40));
+    }
+    s.add_histogram(hist_of(samples, "h"));
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging (A + B) + C and A + (B + C) must agree, and both must
+    /// equal the histogram built from all samples at once — merge is a
+    /// faithful, associative fold.
+    fn histogram_merge_is_associative(
+        xs in proptest::collection::vec(0u64..1 << 48, 5),
+        ys in proptest::collection::vec(0u64..1 << 48, 4),
+        zs in proptest::collection::vec(0u64..1 << 48, 3),
+    ) {
+        let (a, b, c) = (hist_of(&xs, "h"), hist_of(&ys, "h"), hist_of(&zs, "h"));
+
+        let mut left = Snapshot::new();
+        left.add_histogram(a.clone());
+        left.add_histogram(b.clone());
+        let mut left_outer = Snapshot::new();
+        left_outer.merge(&left);
+        let mut c_snap = Snapshot::new();
+        c_snap.add_histogram(c.clone());
+        left_outer.merge(&c_snap);
+
+        let mut right_inner = Snapshot::new();
+        right_inner.add_histogram(b);
+        right_inner.add_histogram(c);
+        let mut right = Snapshot::new();
+        right.add_histogram(a);
+        right.merge(&right_inner);
+
+        prop_assert_eq!(&left_outer, &right);
+
+        let all: Vec<u64> = xs.iter().chain(&ys).chain(&zs).copied().collect();
+        let mut direct = Snapshot::new();
+        direct.add_histogram(hist_of(&all, "h"));
+        prop_assert_eq!(&left_outer, &direct);
+    }
+
+    /// Counter merge is commutative and order-independent.
+    fn counter_merge_is_commutative(
+        a in proptest::collection::vec((0u8..8, 0u64..1 << 40), 6),
+        b in proptest::collection::vec((0u8..8, 0u64..1 << 40), 6),
+    ) {
+        let build = |pairs: &[(u8, u64)]| {
+            let mut s = Snapshot::new();
+            for &(id, v) in pairs {
+                s.add_counter(&format!("c{id}"), v);
+            }
+            s
+        };
+        let mut ab = build(&a);
+        ab.merge(&build(&b));
+        let mut ba = build(&b);
+        ba.merge(&build(&a));
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// A snapshot survives a JSON round-trip byte-exactly (u64 readings
+    /// included — the serde shim keeps integers lossless).
+    fn snapshot_roundtrips_through_json(
+        counters in proptest::collection::vec((0u8..4, 0u64..u64::MAX / 2), 5),
+        samples in proptest::collection::vec(0u64..1 << 52, 6),
+    ) {
+        let snap = snapshot_of(&counters, &samples);
+        let text = serde_json::to_string(&snap).expect("serializes");
+        let back: Snapshot = serde_json::from_str(&text).expect("parses");
+        prop_assert_eq!(snap, back);
+    }
+}
