@@ -1,0 +1,338 @@
+//! # failpoints — deterministic fault injection for the sweep stack
+//!
+//! Production model checkers need their *failure* paths tested as
+//! rigorously as their happy paths: a torn shard write or a panicking
+//! class must be reproducible on demand, or the recovery code in
+//! `simlab::sweep` is dead weight. This crate provides named fault
+//! *sites* that library code hits via [`fire`], and that tests (or the
+//! `FAILPOINTS` environment variable) arm with a fault *spec*.
+//!
+//! ## Zero cost when disarmed
+//!
+//! The entire disarmed fast path is a single relaxed atomic load: when
+//! nothing is armed (the production configuration), [`fire`] returns
+//! immediately without taking any lock, reading any environment
+//! variable after the first call, or allocating. This is what lets the
+//! sweep pipeline keep fault sites compiled in permanently while
+//! staying inside the perf envelope of the committed baselines.
+//!
+//! ## Spec grammar
+//!
+//! ```text
+//! FAILPOINTS = spec (";" spec)*
+//! spec       = site "=" action ["@" nth]
+//! action     = "abort" | "panic" [":" msg] | "sleep" ":" millis | "torn" ":" bytes
+//! ```
+//!
+//! * `abort` — `std::process::abort()`: the moral equivalent of
+//!   `kill -9` (no destructors, no atexit, no flushing).
+//! * `panic[:msg]` — panic with the given payload (default `"failpoint"`).
+//! * `sleep:ms` — block the calling thread for `ms` milliseconds
+//!   (injected slow class, for deadline-watchdog tests).
+//! * `torn:bytes` — does nothing itself; [`fire`] returns
+//!   `Some(Fault::Torn(bytes))` and the *call site* is responsible for
+//!   truncating its write. Only I/O sites honour it.
+//! * `@nth` — fire only on the `nth` hit of the site (1-based); without
+//!   it, every hit fires. Hits are counted per site from arming.
+//!
+//! Example: `FAILPOINTS="sweep.class=panic:boom@3;shard.journal=abort@2"`
+//! panics while checking the 3rd class and aborts the process at the
+//! 2nd journal append.
+//!
+//! Tests in-process use [`arm`] / [`disarm_all`] instead of the
+//! environment. Sites are plain strings; firing an unknown site is a
+//! no-op, so library code never needs to feature-gate its sites.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Tri-state arming flag. `UNKNOWN` until the `FAILPOINTS` environment
+/// variable has been consulted once; then `DISARMED` (steady-state fast
+/// path: one relaxed load) or `ARMED`.
+static STATE: AtomicU8 = AtomicU8::new(UNKNOWN);
+const UNKNOWN: u8 = 0;
+const DISARMED: u8 = 1;
+const ARMED: u8 = 2;
+
+static REGISTRY: OnceLock<Mutex<HashMap<String, SiteState>>> = OnceLock::new();
+
+/// A fault that [`fire`] cannot execute itself and hands back to the
+/// call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Truncate the current write to this many bytes, then stop (and in
+    /// particular skip any atomic-rename step). Simulates a torn write.
+    Torn(usize),
+}
+
+#[derive(Debug, Clone)]
+enum Action {
+    Abort,
+    Panic(String),
+    SleepMs(u64),
+    Torn(usize),
+}
+
+#[derive(Debug, Clone)]
+struct SiteState {
+    action: Action,
+    /// Fire only on this 1-based hit, or on every hit when `None`.
+    nth: Option<u64>,
+    hits: u64,
+}
+
+fn registry() -> &'static Mutex<HashMap<String, SiteState>> {
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Parses one `site=action[@nth]` spec. Returns `(site, state)`.
+fn parse_spec(spec: &str) -> Result<(String, SiteState), String> {
+    let (site, rhs) =
+        spec.split_once('=').ok_or_else(|| format!("failpoint spec `{spec}`: missing `=`"))?;
+    let site = site.trim();
+    if site.is_empty() {
+        return Err(format!("failpoint spec `{spec}`: empty site"));
+    }
+    let (action_str, nth) = match rhs.rsplit_once('@') {
+        Some((a, n)) => {
+            let n: u64 = n
+                .trim()
+                .parse()
+                .map_err(|_| format!("failpoint spec `{spec}`: bad hit count `{n}`"))?;
+            if n == 0 {
+                return Err(format!("failpoint spec `{spec}`: hit count is 1-based"));
+            }
+            (a, Some(n))
+        }
+        None => (rhs, None),
+    };
+    let (verb, arg) = match action_str.split_once(':') {
+        Some((v, a)) => (v.trim(), Some(a.trim())),
+        None => (action_str.trim(), None),
+    };
+    let action = match verb {
+        "abort" => Action::Abort,
+        "panic" => Action::Panic(arg.unwrap_or("failpoint").to_string()),
+        "sleep" => {
+            let ms = arg
+                .and_then(|a| a.parse().ok())
+                .ok_or_else(|| format!("failpoint spec `{spec}`: sleep needs `:millis`"))?;
+            Action::SleepMs(ms)
+        }
+        "torn" => {
+            let bytes = arg
+                .and_then(|a| a.parse().ok())
+                .ok_or_else(|| format!("failpoint spec `{spec}`: torn needs `:bytes`"))?;
+            Action::Torn(bytes)
+        }
+        other => return Err(format!("failpoint spec `{spec}`: unknown action `{other}`")),
+    };
+    Ok((site.to_string(), SiteState { action, nth, hits: 0 }))
+}
+
+/// Consults `FAILPOINTS` exactly once and transitions `STATE` out of
+/// `UNKNOWN`. Malformed env specs are reported on stderr and skipped —
+/// a typo in an operator's environment must not change checker
+/// behaviour silently, but must not abort it either.
+fn init_from_env() {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    // Re-check under the lock so two racing first calls don't both parse.
+    if STATE.load(Ordering::Relaxed) != UNKNOWN {
+        return;
+    }
+    let mut any = false;
+    if let Ok(raw) = std::env::var("FAILPOINTS") {
+        for spec in raw.split(';').map(str::trim).filter(|s| !s.is_empty()) {
+            match parse_spec(spec) {
+                Ok((site, state)) => {
+                    reg.insert(site, state);
+                    any = true;
+                }
+                Err(msg) => eprintln!("warning: ignoring {msg}"),
+            }
+        }
+    }
+    STATE.store(if any { ARMED } else { DISARMED }, Ordering::Release);
+}
+
+/// Returns `true` if any fault site is currently armed. One relaxed
+/// load in the steady state.
+#[must_use]
+pub fn armed() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        UNKNOWN => {
+            init_from_env();
+            STATE.load(Ordering::Relaxed) == ARMED
+        }
+        DISARMED => false,
+        _ => true,
+    }
+}
+
+/// Hits the named fault site. Disarmed (the production default) this is
+/// a single relaxed atomic load. Armed, it executes `abort` / `panic` /
+/// `sleep` actions itself and returns `torn` faults for the caller to
+/// honour; sites with no matching spec, or whose `@nth` hit has not
+/// been reached, return `None`.
+pub fn fire(site: &str) -> Option<Fault> {
+    if !armed() {
+        return None;
+    }
+    let action = {
+        let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        let state = reg.get_mut(site)?;
+        state.hits += 1;
+        match state.nth {
+            Some(n) if state.hits != n => return None,
+            _ => state.action.clone(),
+        }
+    };
+    match action {
+        Action::Abort => {
+            eprintln!("failpoint `{site}`: aborting process");
+            std::process::abort();
+        }
+        Action::Panic(msg) => panic!("failpoint `{site}`: {msg}"),
+        Action::SleepMs(ms) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            None
+        }
+        Action::Torn(bytes) => Some(Fault::Torn(bytes)),
+    }
+}
+
+/// Arms one fault site programmatically from a `site=action[@nth]`
+/// spec, for in-process tests. Returns an error string on a malformed
+/// spec. Overwrites any previous spec for the same site and resets its
+/// hit counter.
+pub fn arm(spec: &str) -> Result<(), String> {
+    // Make sure env parsing has happened first so it cannot later
+    // clobber STATE back to DISARMED.
+    let _ = armed();
+    let (site, state) = parse_spec(spec)?;
+    registry().lock().unwrap_or_else(|e| e.into_inner()).insert(site, state);
+    STATE.store(ARMED, Ordering::Release);
+    Ok(())
+}
+
+/// Disarms every fault site and restores the zero-cost fast path.
+pub fn disarm_all() {
+    let _ = armed();
+    registry().lock().unwrap_or_else(|e| e.into_inner()).clear();
+    STATE.store(DISARMED, Ordering::Release);
+}
+
+/// Number of times the named site has been hit since it was armed (the
+/// count includes hits that did not fire because of `@nth`). Returns 0
+/// for unknown sites. Intended for test assertions.
+#[must_use]
+pub fn hits(site: &str) -> u64 {
+    if !armed() {
+        return 0;
+    }
+    registry().lock().unwrap_or_else(|e| e.into_inner()).get(site).map_or(0, |s| s.hits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global, so tests that arm sites must not
+    // assume exclusive ownership of STATE; each uses unique site names
+    // and disarms only what it armed is not possible (disarm_all is
+    // global), so the suite serializes via a lock.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disarmed_fire_is_none() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        disarm_all();
+        assert!(!armed());
+        assert_eq!(fire("nonexistent.site"), None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(parse_spec("no-equals").is_err());
+        assert!(parse_spec("=abort").is_err());
+        assert!(parse_spec("s=frobnicate").is_err());
+        assert!(parse_spec("s=sleep").is_err());
+        assert!(parse_spec("s=torn:xyz").is_err());
+        assert!(parse_spec("s=abort@0").is_err());
+        assert!(parse_spec("s=abort@x").is_err());
+    }
+
+    #[test]
+    fn parse_accepts_full_grammar() {
+        let (site, st) = parse_spec("shard.write=torn:17@2").unwrap();
+        assert_eq!(site, "shard.write");
+        assert_eq!(st.nth, Some(2));
+        assert!(matches!(st.action, Action::Torn(17)));
+        let (_, st) = parse_spec("sweep.class=panic:boom").unwrap();
+        assert!(matches!(st.action, Action::Panic(ref m) if m == "boom"));
+        let (_, st) = parse_spec("sweep.class=panic").unwrap();
+        assert!(matches!(st.action, Action::Panic(ref m) if m == "failpoint"));
+        let (_, st) = parse_spec("s=sleep:40").unwrap();
+        assert!(matches!(st.action, Action::SleepMs(40)));
+    }
+
+    #[test]
+    fn torn_fires_only_on_nth_hit() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        disarm_all();
+        arm("t.site=torn:9@3").unwrap();
+        assert_eq!(fire("t.site"), None);
+        assert_eq!(fire("t.site"), None);
+        assert_eq!(fire("t.site"), Some(Fault::Torn(9)));
+        assert_eq!(fire("t.site"), None, "nth fires exactly once");
+        assert_eq!(hits("t.site"), 4);
+        disarm_all();
+    }
+
+    #[test]
+    fn torn_without_nth_fires_every_hit() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        disarm_all();
+        arm("e.site=torn:5").unwrap();
+        assert_eq!(fire("e.site"), Some(Fault::Torn(5)));
+        assert_eq!(fire("e.site"), Some(Fault::Torn(5)));
+        disarm_all();
+        assert_eq!(fire("e.site"), None);
+    }
+
+    #[test]
+    fn panic_action_panics_with_payload() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        disarm_all();
+        arm("p.site=panic:kaboom").unwrap();
+        let err = std::panic::catch_unwind(|| fire("p.site")).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("kaboom"), "payload was: {msg}");
+        disarm_all();
+    }
+
+    #[test]
+    fn sleep_action_delays() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        disarm_all();
+        arm("slow.site=sleep:30").unwrap();
+        let t0 = std::time::Instant::now();
+        assert_eq!(fire("slow.site"), None);
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(25));
+        disarm_all();
+    }
+
+    #[test]
+    fn unknown_site_is_noop_even_when_armed() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        disarm_all();
+        arm("known.site=torn:1").unwrap();
+        assert_eq!(fire("some.other.site"), None);
+        assert_eq!(hits("some.other.site"), 0);
+        disarm_all();
+    }
+}

@@ -65,6 +65,14 @@ pub fn pool_stats() -> PoolStats {
 
 /// Like [`crate::par_map`], but with work stealing instead of chunked
 /// self-scheduling. Results are returned in input order.
+///
+/// The pool is unwind-safe: a panic inside `f` does not tear down the
+/// scope mid-drain. The panicking item's worker catches the payload,
+/// every worker finishes the remaining items, and the *first* payload
+/// is re-raised on the calling thread after the pool drains — so a
+/// caller that isolates panics per item (e.g. the sweep's per-class
+/// `catch_unwind`) never loses the work of innocent items to a
+/// poisoned sibling.
 pub fn par_map_stealing<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -86,10 +94,15 @@ where
     }
 
     let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    // First panic payload caught in any worker; re-raised after the
+    // drain so the caller sees the same panic it would have seen
+    // serially, just without losing the rest of the batch.
+    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for (me, worker) in workers.into_iter().enumerate() {
             let stealers = &stealers;
             let collected = &collected;
+            let panic_payload = &panic_payload;
             let f = &f;
             scope.spawn(move || {
                 let mut local: Vec<(usize, R)> = Vec::new();
@@ -99,7 +112,17 @@ where
                 'work: loop {
                     // Drain our own deque first.
                     while let Some(i) = worker.pop() {
-                        local.push((i, f(&items[i])));
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || f(&items[i]),
+                        )) {
+                            Ok(r) => local.push((i, r)),
+                            Err(payload) => {
+                                let mut slot = panic_payload.lock();
+                                if slot.is_none() {
+                                    *slot = Some(payload);
+                                }
+                            }
+                        }
                     }
                     // Then try to steal a batch from any other worker.
                     for (other, stealer) in stealers.iter().enumerate() {
@@ -136,6 +159,9 @@ where
         }
     });
 
+    if let Some(payload) = panic_payload.into_inner() {
+        std::panic::resume_unwind(payload);
+    }
     let mut pairs = collected.into_inner();
     pairs.sort_by_key(|(i, _)| *i);
     debug_assert_eq!(pairs.len(), items.len());
@@ -182,5 +208,29 @@ mod tests {
     fn more_threads_than_items() {
         let items = [1u32, 2, 3];
         assert_eq!(par_map_stealing(&items, 16, |&x| x * 10), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn panic_drains_remaining_items_then_reraises() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let items: Vec<u64> = (0..200).collect();
+        let started = AtomicU64::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map_stealing(&items, 4, |&x| {
+                started.fetch_add(1, Ordering::Relaxed);
+                assert!(x != 13, "poisoned item");
+                x
+            })
+        }));
+        let payload = result.expect_err("the caught panic must re-raise on the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("poisoned item"), "payload was: {msg}");
+        // Every item ran despite the mid-drain panic — the pool kept
+        // draining instead of tearing down the scope.
+        assert_eq!(started.load(Ordering::Relaxed), items.len() as u64);
     }
 }

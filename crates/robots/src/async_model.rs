@@ -522,6 +522,12 @@ impl<'a, A: Algorithm + ?Sized> AsyncChecker<'a, A> {
         self.explorer.set_threads(threads);
     }
 
+    /// Arms (or clears) the cooperative per-class wall-clock deadline
+    /// (see [`Explorer::set_class_timeout`]).
+    pub fn set_class_timeout(&mut self, timeout: Option<std::time::Duration>) {
+        self.explorer.set_class_timeout(timeout);
+    }
+
     /// A point-in-time telemetry snapshot of the underlying explorer:
     /// phase wall times, memo hit rates, verdict tallies and BFS shape
     /// histograms (see [`Explorer::metrics_snapshot`]). Strictly

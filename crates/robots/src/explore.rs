@@ -92,6 +92,17 @@ pub struct ExploreOptions {
     /// Minimum BFS level size before a level is fanned out — small
     /// levels are cheaper to expand serially than to ship to a pool.
     pub par_frontier: usize,
+    /// Cooperative per-class wall-clock deadline. `None` (the default)
+    /// keeps every check purely counter-budgeted and the clock is never
+    /// consulted. When set, the search polls the clock at the same
+    /// sites that check the counter budgets (strided, so the poll cost
+    /// is amortized over thousands of transitions) and degrades to
+    /// [`ExploreVerdict::Undecided`] with [`UndecidedReason::Timeout`].
+    /// Unlike the counter budgets this makes verdicts timing-dependent,
+    /// which is exactly why it is opt-in and recorded as its own
+    /// undecided reason: a timeout row in a sweep table is honest about
+    /// being a wall-clock artifact, not a search-space fact.
+    pub class_timeout: Option<std::time::Duration>,
 }
 
 /// Default [`ExploreOptions::par_frontier`]: below this the per-level
@@ -110,6 +121,7 @@ impl Default for ExploreOptions {
             fair_depth: 12,
             threads: 1,
             par_frontier: DEFAULT_PAR_FRONTIER,
+            class_timeout: None,
         }
     }
 }
@@ -163,6 +175,15 @@ pub enum UndecidedReason {
     /// could only arise here at the historical budgets.
     #[default]
     FairDepth,
+    /// [`ExploreOptions::class_timeout`] expired before any phase
+    /// certified a verdict. Only produced when a wall-clock deadline is
+    /// armed, so counter-budgeted runs never see it.
+    Timeout,
+    /// The per-class check panicked and the sweep layer degraded the
+    /// class to a counted undecided row instead of killing the cell.
+    /// Never produced by the explorer itself — the panic payload lives
+    /// in the shard record, not here.
+    Panicked,
 }
 
 impl UndecidedReason {
@@ -173,6 +194,8 @@ impl UndecidedReason {
             UndecidedReason::States => "states",
             UndecidedReason::Edges => "edges",
             UndecidedReason::FairDepth => "fair_depth",
+            UndecidedReason::Timeout => "timeout",
+            UndecidedReason::Panicked => "panicked",
         }
     }
 }
@@ -670,6 +693,11 @@ pub(crate) struct ExploreMetrics {
     pub(crate) undecided_edges: telemetry::Counter,
     /// Undecided verdicts attributed to the fair-depth cap.
     pub(crate) undecided_fair_depth: telemetry::Counter,
+    /// Undecided verdicts attributed to the per-class deadline.
+    pub(crate) undecided_timeout: telemetry::Counter,
+    /// Undecided verdicts attributed to a caught per-class panic
+    /// (tallied by the sweep layer's degradation, never by `check`).
+    pub(crate) undecided_panicked: telemetry::Counter,
     /// Cell-global `(ClassInfo, Configuration)` cache hits.
     pub(crate) info_hit: telemetry::Counter,
     /// Cell-global `(ClassInfo, Configuration)` cache misses.
@@ -701,6 +729,8 @@ impl ExploreMetrics {
         s.add_counter("explore.undecided.states", self.undecided_states.get());
         s.add_counter("explore.undecided.edges", self.undecided_edges.get());
         s.add_counter("explore.undecided.fair_depth", self.undecided_fair_depth.get());
+        s.add_counter("explore.undecided.timeout", self.undecided_timeout.get());
+        s.add_counter("explore.undecided.panicked", self.undecided_panicked.get());
         s.add_counter("memo.info.hit", self.info_hit.get());
         s.add_counter("memo.info.miss", self.info_miss.get());
         s.add_counter("memo.table.hit", self.table_hit.get());
@@ -866,6 +896,13 @@ impl<'a, A: Algorithm + ?Sized, S: Semantics> Explorer<'a, A, S> {
         self.opts.threads = parallel::resolve_threads(threads);
     }
 
+    /// Arms (or clears) the cooperative per-class wall-clock deadline
+    /// applied to every subsequent [`check`](Self::check); see
+    /// [`ExploreOptions::class_timeout`] for the tradeoff.
+    pub fn set_class_timeout(&mut self, timeout: Option<std::time::Duration>) {
+        self.opts.class_timeout = timeout;
+    }
+
     /// The semantics this explorer instantiates.
     pub(crate) fn semantics(&self) -> &S {
         &self.semantics
@@ -894,7 +931,18 @@ impl<'a, A: Algorithm + ?Sized, S: Semantics> Explorer<'a, A, S> {
         &self,
         key: PackedClass,
     ) -> (ClassInfo, std::sync::Arc<Configuration>) {
-        if let Some((info, cfg)) = self.info_memo.lock().unwrap().get(&key.bits()) {
+        // Both memo locks recover from poisoning: the sweep layer's
+        // per-class panic isolation can leave a lock poisoned by a
+        // panicking check, but the maps only ever hold pure values
+        // keyed by class and are never mutated while the lock is held
+        // across fallible user code — the worst a poisoned lock can
+        // hide is a lost insert, never a wrong value.
+        if let Some((info, cfg)) = self
+            .info_memo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key.bits())
+        {
             self.metrics.info_hit.inc();
             return (*info, std::sync::Arc::clone(cfg));
         }
@@ -909,7 +957,10 @@ impl<'a, A: Algorithm + ?Sized, S: Semantics> Explorer<'a, A, S> {
                 .enumerate()
                 .fold(0u16, |acc, (i, m)| if m.is_some() { acc | (1 << i) } else { acc });
         let info = ClassInfo { n: cfg.len() as u8, movers, moves };
-        self.info_memo.lock().unwrap().insert(key.bits(), (info, std::sync::Arc::clone(&cfg)));
+        self.info_memo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key.bits(), (info, std::sync::Arc::clone(&cfg)));
         (info, cfg)
     }
 
@@ -922,13 +973,21 @@ impl<'a, A: Algorithm + ?Sized, S: Semantics> Explorer<'a, A, S> {
         cfg: &Configuration,
         moves: &[Option<Dir>],
     ) -> std::sync::Arc<engine::RoundTable> {
-        if let Some(table) = self.table_memo.lock().unwrap().get(&key.bits()) {
+        if let Some(table) = self
+            .table_memo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key.bits())
+        {
             self.metrics.table_hit.inc();
             return std::sync::Arc::clone(table);
         }
         self.metrics.table_miss.inc();
         let table = std::sync::Arc::new(engine::RoundTable::new(cfg, moves));
-        self.table_memo.lock().unwrap().insert(key.bits(), std::sync::Arc::clone(&table));
+        self.table_memo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key.bits(), std::sync::Arc::clone(&table));
         table
     }
 
@@ -958,6 +1017,8 @@ impl<'a, A: Algorithm + ?Sized, S: Semantics> Explorer<'a, A, S> {
             edge_pool: Vec::new(),
             edges: 0,
             deduped: 0,
+            deadline: self.opts.class_timeout.map(|t| std::time::Instant::now() + t),
+            deadline_ticks: std::sync::atomic::AtomicU32::new(0),
         };
         let verdict = search.run(initial);
 
@@ -985,6 +1046,8 @@ impl<'a, A: Algorithm + ?Sized, S: Semantics> Explorer<'a, A, S> {
                     UndecidedReason::States => m.undecided_states.inc(),
                     UndecidedReason::Edges => m.undecided_edges.inc(),
                     UndecidedReason::FairDepth => m.undecided_fair_depth.inc(),
+                    UndecidedReason::Timeout => m.undecided_timeout.inc(),
+                    UndecidedReason::Panicked => m.undecided_panicked.inc(),
                 }
             }
         }
@@ -1093,7 +1156,22 @@ pub struct Search<'c, 'a, A: Algorithm + ?Sized, S: Semantics> {
     edge_pool: Vec<PackedEdge>,
     edges: usize,
     deduped: usize,
+    /// Wall-clock deadline of this check when
+    /// [`ExploreOptions::class_timeout`] is armed; `None` keeps the
+    /// clock entirely out of the search.
+    deadline: Option<std::time::Instant>,
+    /// Strided deadline poll counter — atomic so the read-only phases
+    /// (and the parallel fan-out, which shares the search immutably)
+    /// can bump it behind `&self`. Purely a cost amortizer: it never
+    /// influences anything but how often the clock is read.
+    deadline_ticks: std::sync::atomic::AtomicU32,
 }
+
+/// How many deadline poll sites pass between actual clock reads. At
+/// the Phase A edge rate (millions/s) this bounds the overshoot well
+/// under a millisecond while keeping the per-edge cost to one
+/// relaxed `fetch_add`.
+const DEADLINE_STRIDE: u32 = 1024;
 
 impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
     /// The explorer this search runs under.
@@ -1148,6 +1226,34 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
             UndecidedReason::Edges
         };
         ExploreVerdict::Undecided { depth: self.explorer.opts.fair_depth, reason }
+    }
+
+    /// Whether the armed wall-clock deadline has passed, polling the
+    /// clock only once per [`DEADLINE_STRIDE`] calls. With no deadline
+    /// armed (the production default) this is a single `Option`
+    /// branch — the clock is never read and verdicts stay purely
+    /// counter-budgeted.
+    pub(crate) fn deadline_tripped(&self) -> bool {
+        let Some(deadline) = self.deadline else { return false };
+        let tick = self.deadline_ticks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if !tick.is_multiple_of(DEADLINE_STRIDE) {
+            return false;
+        }
+        std::time::Instant::now() >= deadline
+    }
+
+    /// Unstrided deadline poll for coarse sites (level and phase
+    /// boundaries), where one clock read per call is negligible.
+    fn deadline_passed_now(&self) -> bool {
+        self.deadline.is_some_and(|d| std::time::Instant::now() >= d)
+    }
+
+    /// The undecided verdict for an expired per-class deadline.
+    pub(crate) fn timeout_undecided(&self) -> ExploreVerdict {
+        ExploreVerdict::Undecided {
+            depth: self.explorer.opts.fair_depth,
+            reason: UndecidedReason::Timeout,
+        }
     }
 
     /// Records the expanded edge `(action, succ)` on state `id`. Edges
@@ -1298,6 +1404,9 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
                 if self.over_budget() {
                     return Some(self.budget_undecided());
                 }
+                if self.deadline_tripped() {
+                    return Some(self.timeout_undecided());
+                }
                 None
             }
             PureStep::Succ(key, aux) => {
@@ -1318,6 +1427,9 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
                 self.push_edge(id, action, succ);
                 if self.over_budget() {
                     return Some(self.budget_undecided());
+                }
+                if self.deadline_tripped() {
+                    return Some(self.timeout_undecided());
                 }
                 None
             }
@@ -1414,6 +1526,10 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
         let mut found: Option<ExploreVerdict> = None;
         let mut frontier: Vec<u32> = vec![root as u32];
         'levels: while !frontier.is_empty() {
+            if self.deadline_passed_now() {
+                found = Some(self.timeout_undecided());
+                break 'levels;
+            }
             metrics.levels.inc();
             metrics.frontier_width.record(frontier.len() as u64);
             let mut next: Vec<u32> = Vec::new();
@@ -1456,6 +1572,9 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
         watch.flush(&metrics.phase_b_ns);
         if acyclic {
             return ExploreVerdict::Proof;
+        }
+        if self.deadline_passed_now() {
+            return self.timeout_undecided();
         }
 
         // Phase C: hunt for a fairly-pumpable cycle with the bounded
@@ -1658,6 +1777,9 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
             }
             let in_scc: std::collections::HashSet<usize> = scc.iter().copied().collect();
             for &start in &scc {
+                if self.deadline_passed_now() {
+                    return Some(self.timeout_undecided());
+                }
                 let cycles = self.collect_cycles(start, &in_scc);
                 if cycles.is_empty() {
                     continue;
@@ -1843,6 +1965,9 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
     ///   [`Search::product_fair_cycle`]) stays undecided.
     fn decide_fair_product(&self) -> ExploreVerdict {
         for scc in self.tarjan_sccs() {
+            if self.deadline_passed_now() {
+                return self.timeout_undecided();
+            }
             let has_cycle =
                 scc.len() > 1 || self.edges_of(scc[0]).iter().any(|e| e.to as usize == scc[0]);
             if !has_cycle {
@@ -1852,10 +1977,16 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
                 ProductOutcome::Refuted(verdict) => return verdict,
                 ProductOutcome::NoFairCycle => {}
                 ProductOutcome::Undecided => {
+                    // An expired deadline surfaces here as an aborted
+                    // product sweep; attribute it honestly instead of
+                    // blaming the fair-depth cap.
+                    if self.deadline_passed_now() {
+                        return self.timeout_undecided();
+                    }
                     return ExploreVerdict::Undecided {
                         depth: self.explorer.opts.fair_depth,
                         reason: UndecidedReason::FairDepth,
-                    }
+                    };
                 }
             }
         }
@@ -1988,6 +2119,12 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
         let mut edge_count = 0usize;
         let mut head = 0usize;
         while head < pnodes.len() {
+            if self.deadline_tripped() {
+                // Reported as an aborted sweep; the caller re-polls the
+                // clock to attribute the undecided verdict to the
+                // deadline rather than the product caps.
+                return None;
+            }
             let (sidx, assign) = pnodes[head];
             let mut out = Vec::new();
             let mut visit = |to_sidx: u32,

@@ -39,16 +39,27 @@
 //! can pin "every class decided" as a hard property of a cell.
 //!
 //! `--events PATH` appends a structured JSONL event stream (cell
-//! start/finish, one heartbeat per shard, budget trips) for machine
-//! consumption, and `--progress` prints a human heartbeat with
-//! classes/sec and an ETA to stderr. Both are strictly out-of-band:
-//! records, summaries and digests are byte-identical with or without
-//! them.
+//! start/finish, one heartbeat per shard, budget trips, per-class
+//! panics) for machine consumption, and `--progress` prints a human
+//! heartbeat with classes/sec and an ETA to stderr. Both are strictly
+//! out-of-band: records, summaries and digests are byte-identical with
+//! or without them.
+//!
+//! Fault tolerance (DESIGN.md §17): `--class-timeout-ms MS` bounds one
+//! class's model check by wall clock (over-deadline classes degrade to
+//! counted `Undecided` timeout verdicts); `--cell-deadline-secs S`
+//! checkpoints the running shard's journal and exits with code 3 and a
+//! resume hint once the budget is spent; `--journal-chunk N` sets the
+//! classes-per-checkpoint granularity. Corrupt shard records found
+//! during `--resume` are quarantined to `<record>.corrupt` with a
+//! warning and recomputed; a class that panics is caught, recorded
+//! (payload and all) and counted as undecided instead of killing the
+//! cell.
 
 use robots::{Limits, Outcome};
 use simlab::sweep::{
-    run_sweep, write_bench, AlgoSpec, BenchRecord, SchedSpec, ShardRecord, ShardStatus,
-    SweepConfig, SweepSummary, SCHED_SPECS,
+    run_sweep_with, write_bench, AlgoSpec, BenchRecord, SchedSpec, ShardRecord, ShardStatus,
+    SweepConfig, SweepRun, SweepSummary, SCHED_SPECS,
 };
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -84,13 +95,18 @@ fn usage_error(msg: &str) -> ! {
          \x20            [--n N (2..=10)] [--shards S] [--threads T] [--stealing auto|on|off]\n\
          \x20            [--max-rounds R] [--out-dir DIR] [--resume] [--fail-fast] [--matrix] [--strict]\n\
          \x20            [--events PATH] [--progress]\n\
+         \x20            [--class-timeout-ms MS] [--cell-deadline-secs S] [--journal-chunk N]\n\
          \n\
          FLAGS is a '+'-separated ablation list from fix25, conn, prio, compl, mirror (or 'none').\n\
          Scheduler specs: {SCHED_SPECS}.\n\
          --threads takes the worker count of the per-shard pool (>= 1); the default\n\
          is all available cores.\n\
          --events appends machine-readable JSONL sweep events; --progress prints a\n\
-         classes/sec + ETA heartbeat to stderr. Neither affects records or digests."
+         classes/sec + ETA heartbeat to stderr. Neither affects records or digests.\n\
+         --class-timeout-ms degrades classes that outlive MS wall-clock milliseconds\n\
+         to counted undecided timeout verdicts; --cell-deadline-secs checkpoints the\n\
+         journal and exits with code 3 once S seconds pass (rerun with --resume);\n\
+         --journal-chunk sets classes per journal checkpoint (>= 1)."
     );
     std::process::exit(2);
 }
@@ -171,6 +187,30 @@ fn parse_cli(argv: &[String]) -> Result<Args, String> {
                         .map_err(|_| format!("invalid round cap for --max-rounds: {v:?}"))?,
                     ..args.cfg.limits
                 }
+            }
+            "--class-timeout-ms" => {
+                let v = value("--class-timeout-ms")?;
+                args.cfg.class_timeout_ms =
+                    Some(v.parse().map_err(|_| {
+                        format!("invalid milliseconds for --class-timeout-ms: {v:?}")
+                    })?);
+            }
+            "--cell-deadline-secs" => {
+                let v = value("--cell-deadline-secs")?;
+                args.cfg.cell_deadline_secs = Some(
+                    v.parse()
+                        .map_err(|_| format!("invalid seconds for --cell-deadline-secs: {v:?}"))?,
+                );
+            }
+            "--journal-chunk" => {
+                let v = value("--journal-chunk")?;
+                let chunk: usize = v
+                    .parse()
+                    .map_err(|_| format!("invalid chunk size for --journal-chunk: {v:?}"))?;
+                if chunk == 0 {
+                    return Err("--journal-chunk must be at least 1".into());
+                }
+                args.cfg.journal_chunk = Some(chunk);
             }
             "--out-dir" => args.out_dir = PathBuf::from(value("--out-dir")?),
             "--events" => args.events = Some(PathBuf::from(value("--events")?)),
@@ -270,7 +310,7 @@ fn run_cell(
         );
     }
     let total_shards = cfg.shards.max(1);
-    let outcome = run_sweep(cfg, out_dir, resume, |shard, status, record| {
+    let run = run_sweep_with(cfg, out_dir, resume, |shard, status, record| {
         let verb = match status {
             ShardStatus::Computed => "computed",
             ShardStatus::Reused => "reused",
@@ -330,12 +370,48 @@ fn run_cell(
                     ],
                 );
             }
+            // Panic isolation is only trustworthy if it is *visible*:
+            // every degraded class lands in the event stream with its
+            // payload, keyed by class index.
+            for res in record.results.iter().filter(|r| r.panic.is_some()) {
+                log.emit(
+                    "class_panic",
+                    vec![
+                        ("cell".into(), Value::Str(cfg.slug())),
+                        ("shard".into(), Value::UInt(shard as u64)),
+                        ("class".into(), Value::UInt(res.index as u64)),
+                        ("payload".into(), Value::Str(res.panic.clone().unwrap_or_default())),
+                    ],
+                );
+            }
         }
     })
     .unwrap_or_else(|e| {
         eprintln!("sweep failed: {e}");
         std::process::exit(1);
     });
+    let outcome = match run {
+        SweepRun::Complete(outcome) => outcome,
+        SweepRun::DeadlineStopped { completed_shards, journaled_classes } => {
+            eprintln!(
+                "  cell deadline reached: {completed_shards}/{total_shards} shards persisted, \
+                 {journaled_classes} classes journaled; rerun with --resume to continue"
+            );
+            if let Some(log) = events.as_mut() {
+                log.emit(
+                    "cell_deadline",
+                    vec![
+                        ("cell".into(), Value::Str(cfg.slug())),
+                        ("completed_shards".into(), Value::UInt(completed_shards as u64)),
+                        ("journaled_classes".into(), Value::UInt(journaled_classes as u64)),
+                    ],
+                );
+            }
+            // Exit 3 distinguishes "out of budget, checkpointed" from
+            // usage errors (2) and real failures (1).
+            std::process::exit(3);
+        }
+    };
     let elapsed = started.elapsed();
     let reused = outcome.shard_status.iter().filter(|s| **s == ShardStatus::Reused).count();
     eprintln!(
@@ -540,6 +616,38 @@ mod tests {
         assert!(parse_cli(&argv(&["--threads", "0"])).unwrap_err().contains("at least 1"));
         assert!(parse_cli(&argv(&["--stealing", "sometimes"])).unwrap_err().contains("--stealing"));
         assert!(parse_cli(&argv(&["--frobnicate"])).unwrap_err().contains("unknown argument"));
+    }
+
+    #[test]
+    fn parses_fault_tolerance_flags() {
+        let args = parse_cli(&argv(&[
+            "--class-timeout-ms",
+            "250",
+            "--cell-deadline-secs",
+            "3600",
+            "--journal-chunk",
+            "32",
+        ]))
+        .expect("valid invocation");
+        assert_eq!(args.cfg.class_timeout_ms, Some(250));
+        assert_eq!(args.cfg.cell_deadline_secs, Some(3600));
+        assert_eq!(args.cfg.journal_chunk, Some(32));
+        // Unset flags stay off: no watchdog, default chunking.
+        let plain = parse_cli(&argv(&[])).expect("empty invocation");
+        assert_eq!(plain.cfg.class_timeout_ms, None);
+        assert_eq!(plain.cfg.cell_deadline_secs, None);
+        assert_eq!(plain.cfg.journal_chunk, None);
+    }
+
+    #[test]
+    fn rejects_bad_fault_tolerance_values() {
+        let err = parse_cli(&argv(&["--class-timeout-ms", "soon"])).unwrap_err();
+        assert!(err.contains("--class-timeout-ms"), "{err}");
+        let err = parse_cli(&argv(&["--cell-deadline-secs", "-1"])).unwrap_err();
+        assert!(err.contains("--cell-deadline-secs"), "{err}");
+        let err = parse_cli(&argv(&["--journal-chunk", "0"])).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        assert!(parse_cli(&argv(&["--journal-chunk"])).unwrap_err().contains("missing value"));
     }
 
     #[test]

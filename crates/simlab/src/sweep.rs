@@ -30,11 +30,39 @@
 //! The `sweep` binary exposes the pipeline on the command line; the
 //! golden-file regression test pins the merged summary for the
 //! verified-rules FSYNC cell at 3652/3652 gathered.
+//!
+//! # Fault tolerance (DESIGN.md §17)
+//!
+//! Long cells survive crashes, kills and poisoned classes:
+//!
+//! * shard records are published **atomically** (tmp file + fsync +
+//!   rename) and carry a **self-digest** verified on resume; records
+//!   that fail to parse, fail their digest, or hold inconsistent
+//!   results are **quarantined** to `<record>.corrupt` with a warning
+//!   and recomputed;
+//! * each computing shard appends completed class chunks to an
+//!   intra-shard **journal** (`*.journal`, length-and-digest-framed
+//!   JSONL), so a killed process resumes mid-shard instead of
+//!   re-running the whole range; the torn tail of a journal is
+//!   detected by its framing and dropped;
+//! * a **panicking class** is caught per item, degraded to a counted
+//!   [`Outcome::Undecided`] row carrying the panic payload, and the
+//!   rest of the shard keeps draining;
+//! * wall-clock **watchdogs**: [`SweepConfig::class_timeout_ms`] bounds
+//!   one class's check (yielding a `Timeout` undecided verdict), and
+//!   [`SweepConfig::cell_deadline_secs`] checkpoints the journal and
+//!   stops the sweep cleanly ([`SweepRun::DeadlineStopped`]) for a
+//!   later resume.
+//!
+//! All of it is exercised deterministically through the `failpoints`
+//! crate (`FAILPOINTS=site=action` in tests); with failpoints disarmed
+//! every path costs one relaxed atomic load.
 
 use gathering::rules::RuleOptions;
 use gathering::SevenGather;
 use robots::adversary::{self, AdversaryOptions, AdversaryVerdict, Checker, DEFAULT_FAIR_DEPTH};
 use robots::async_model::{AsyncChecker, AsyncOptions, AsyncVerdict};
+use robots::explore::UndecidedReason;
 use robots::faults::{self, CrashChecker, CrashOptions, CrashVerdict};
 use robots::sched::{RandomSubset, RoundRobin};
 use robots::{engine, sched, Algorithm, Configuration, Limits, Outcome};
@@ -42,6 +70,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 use trigrid::Coord;
 
 /// Which algorithm variant a sweep cell runs.
@@ -297,6 +326,25 @@ pub struct SweepConfig {
     /// Per-execution limits. Livelock detection is automatically
     /// disabled for non-deterministic schedulers.
     pub limits: Limits,
+    /// Cooperative per-class wall-clock deadline in milliseconds for
+    /// model-checking cells: a class whose check outlives it is
+    /// degraded to an `Undecided` verdict with
+    /// [`UndecidedReason::Timeout`]. Timing-dependent by nature, so
+    /// the counter-budgeted default (`None`) keeps digests
+    /// reproducible; arm it for exploratory cells where one
+    /// pathological class must not wedge a sweep.
+    pub class_timeout_ms: Option<u64>,
+    /// Wall-clock deadline in seconds for the whole cell: once it
+    /// passes, the running shard checkpoints its journal at the next
+    /// chunk boundary and [`run_sweep_with`] returns
+    /// [`SweepRun::DeadlineStopped`] instead of an error — rerun with
+    /// resume to continue exactly there. `None` (the default) never
+    /// stops.
+    pub cell_deadline_secs: Option<u64>,
+    /// Classes per journal checkpoint chunk while a shard computes
+    /// (`None` = [`DEFAULT_JOURNAL_CHUNK`]). Smaller chunks lose less
+    /// work to a kill but append to the journal more often.
+    pub journal_chunk: Option<usize>,
 }
 
 impl Default for SweepConfig {
@@ -309,6 +357,9 @@ impl Default for SweepConfig {
             threads: 0,
             stealing: None,
             limits: Limits::default(),
+            class_timeout_ms: None,
+            cell_deadline_secs: None,
+            journal_chunk: None,
         }
     }
 }
@@ -378,6 +429,15 @@ impl SweepConfig {
         out_dir.join(format!("sweep-{}-shard{:04}of{:04}.json", self.slug(), shard, self.shards))
     }
 
+    /// Path of the intra-shard progress journal for `shard`: completed
+    /// class chunks land here while the shard computes, and a resumed
+    /// run continues from the journal's longest valid prefix. Deleted
+    /// once the shard's record is published.
+    #[must_use]
+    pub fn journal_path(&self, out_dir: &Path, shard: usize) -> PathBuf {
+        out_dir.join(format!("sweep-{}-shard{:04}of{:04}.journal", self.slug(), shard, self.shards))
+    }
+
     /// Path of the merged summary file.
     #[must_use]
     pub fn summary_path(&self, out_dir: &Path) -> PathBuf {
@@ -411,6 +471,11 @@ pub struct ClassOutcome {
     /// in records written before the ASYNC subsystem).
     #[serde(default)]
     pub lcm_async: Option<AsyncVerdict>,
+    /// Panic payload when this class's check panicked and the sweep
+    /// degraded it to a counted undecided row instead of killing the
+    /// cell ([`UndecidedReason::Panicked`]); absent otherwise.
+    #[serde(default)]
+    pub panic: Option<String>,
 }
 
 /// An out-of-band telemetry reading riding along a shard record or a
@@ -463,6 +528,14 @@ pub struct ShardRecord {
     /// matching, merging or digests).
     #[serde(default)]
     pub metrics: Option<MetricsBlock>,
+    /// FNV-1a self-digest (16 hex digits) over the record's canonical
+    /// compact serialization with this field blank, written at publish
+    /// time and verified on resume: silent on-disk corruption that
+    /// still parses as JSON cannot sneak back into a merged summary.
+    /// Absent in records written before the fault-tolerance layer;
+    /// those are accepted after the structural checks alone.
+    #[serde(default)]
+    pub record_digest: Option<String>,
 }
 
 impl ShardRecord {
@@ -470,6 +543,14 @@ impl ShardRecord {
     /// `shard` of the given sweep cell (used by resume).
     #[must_use]
     pub fn matches(&self, cfg: &SweepConfig, shard: usize, start: usize, end: usize) -> bool {
+        self.config_matches(cfg, shard, start, end) && self.validate_results(cfg).is_ok()
+    }
+
+    /// The cheap identity half of [`ShardRecord::matches`]: does this
+    /// record describe `shard` of this cell at all? A mismatch here is
+    /// a *stale* record (different config), not a corrupt one, so
+    /// resume silently recomputes instead of quarantining.
+    fn config_matches(&self, cfg: &SweepConfig, shard: usize, start: usize, end: usize) -> bool {
         self.algo == cfg.algo.name()
             && self.sched == cfg.sched.name()
             && self.robots == cfg.n
@@ -478,8 +559,46 @@ impl ShardRecord {
             && self.shards == cfg.shards
             && self.start == start
             && self.end == end
-            && self.results.len() == end - start
-            && self.results.iter().zip(start..end).all(|(r, i)| r.index == i)
+    }
+
+    /// Deep per-record validation of the result rows: the range must
+    /// tile exactly (right length, consecutive indices) and every row
+    /// must carry exactly the verdict column the cell's scheduler
+    /// produces. A record that fails this *while claiming to be this
+    /// shard* is corrupt and gets quarantined on resume.
+    ///
+    /// # Errors
+    /// A human-readable description of the first inconsistency.
+    fn validate_results(&self, cfg: &SweepConfig) -> Result<(), String> {
+        if self.results.len() != self.end - self.start {
+            return Err(format!(
+                "{} results for range {}..{}",
+                self.results.len(),
+                self.start,
+                self.end
+            ));
+        }
+        let (want_adv, want_crash, want_async) = match cfg.sched {
+            SchedSpec::Adversary { .. } => (true, false, false),
+            SchedSpec::Crash { .. } => (false, true, false),
+            SchedSpec::LcmAsync { .. } => (false, false, true),
+            _ => (false, false, false),
+        };
+        for (res, expected) in self.results.iter().zip(self.start..self.end) {
+            if res.index != expected {
+                return Err(format!("result index {} where {expected} was expected", res.index));
+            }
+            if res.verdict.is_some() != want_adv
+                || res.crash.is_some() != want_crash
+                || res.lcm_async.is_some() != want_async
+            {
+                return Err(format!(
+                    "class {expected} carries verdict columns foreign to a {} cell",
+                    cfg.sched.name()
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -743,6 +862,7 @@ fn run_class_checked<A: Algorithm + ?Sized>(
         verdict: Some(report.verdict),
         crash: None,
         lcm_async: None,
+        panic: None,
     }
 }
 
@@ -762,6 +882,7 @@ fn run_class_crashed<A: Algorithm + ?Sized>(
         verdict: None,
         crash: Some(report.verdict),
         lcm_async: None,
+        panic: None,
     }
 }
 
@@ -781,6 +902,7 @@ fn run_class_async<A: Algorithm + ?Sized>(
         verdict: None,
         crash: None,
         lcm_async: Some(report.verdict),
+        panic: None,
     }
 }
 
@@ -836,6 +958,16 @@ impl<'a, A: Algorithm + ?Sized> CellChecker<'a, A> {
         }
     }
 
+    /// Arms the cooperative per-class wall-clock deadline on the
+    /// underlying explorer (see [`SweepConfig::class_timeout_ms`]).
+    fn set_class_timeout(&mut self, timeout: Option<Duration>) {
+        match self {
+            CellChecker::Adversary(c) => c.set_class_timeout(timeout),
+            CellChecker::Crash(c) => c.set_class_timeout(timeout),
+            CellChecker::Async(c) => c.set_class_timeout(timeout),
+        }
+    }
+
     /// Telemetry snapshot of the underlying explorer (phase times,
     /// memo hit rates, verdict tallies, BFS shape).
     fn metrics_snapshot(&self) -> telemetry::Snapshot {
@@ -880,54 +1012,357 @@ pub fn run_class<A: Algorithm + ?Sized>(
     }
 }
 
-/// Runs one shard of a sweep cell over the given full class list.
-#[must_use]
-pub fn run_shard(
+/// Default classes-per-chunk between journal checkpoints (and cell
+/// deadline polls) while a shard computes. Small enough that a kill
+/// loses under a minute of n=8 work, large enough that journal appends
+/// are noise next to the checking itself.
+pub const DEFAULT_JOURNAL_CHUNK: usize = 64;
+
+/// FNV-1a over a byte string, via the same hasher the verdict digests
+/// use.
+fn fnv64_of(bytes: &[u8]) -> u64 {
+    let mut h = adversary::Fnv64::new();
+    h.write_all(bytes);
+    h.finish()
+}
+
+/// Renders a caught panic payload for records and warnings.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// The degraded row for a class whose check panicked: a counted
+/// undecided outcome in the cell's own verdict column, with the panic
+/// payload preserved for triage. The row participates in merges and
+/// digests like any other undecided class, so one poisoned class never
+/// kills a cell.
+fn panicked_outcome(index: usize, sched: SchedSpec, msg: String) -> ClassOutcome {
+    let reason = UndecidedReason::Panicked;
+    let (verdict, crash, lcm_async) = match sched {
+        SchedSpec::Adversary { depth } => {
+            (Some(AdversaryVerdict::Undecided { depth, reason }), None, None)
+        }
+        SchedSpec::Crash { depth, .. } => {
+            (None, Some(CrashVerdict::Undecided { depth, reason }), None)
+        }
+        SchedSpec::LcmAsync { depth } => {
+            (None, None, Some(AsyncVerdict::Undecided { depth, reason }))
+        }
+        _ => (None, None, None),
+    };
+    ClassOutcome {
+        index,
+        outcome: Outcome::Undecided { reason },
+        expanded: 0,
+        verdict,
+        crash,
+        lcm_async,
+        panic: Some(msg),
+    }
+}
+
+/// First line of a shard journal: binds the journal to its cell and
+/// range so a stale file (different config, renamed directory) can
+/// never feed results into a foreign shard.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct JournalHeader {
+    algo: String,
+    sched: String,
+    robots: usize,
+    max_rounds: usize,
+    shard: usize,
+    shards: usize,
+    start: usize,
+    end: usize,
+}
+
+impl JournalHeader {
+    fn for_cell(cfg: &SweepConfig, shard: usize, start: usize, end: usize) -> JournalHeader {
+        JournalHeader {
+            algo: cfg.algo.name(),
+            sched: cfg.sched.name(),
+            robots: cfg.n,
+            max_rounds: cfg.limits.max_rounds,
+            shard,
+            shards: cfg.shards,
+            start,
+            end,
+        }
+    }
+}
+
+/// One completed chunk of classes, appended to the journal after the
+/// chunk's results are in hand.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct JournalEntry {
+    start: usize,
+    end: usize,
+    results: Vec<ClassOutcome>,
+}
+
+/// The longest valid prefix recovered from a shard journal: the
+/// results it covers (contiguous from the shard start) and how many
+/// bytes of the file they occupy, so a resumed writer can truncate a
+/// torn tail before appending.
+#[derive(Debug, Default)]
+struct JournalPrefix {
+    results: Vec<ClassOutcome>,
+    valid_len: u64,
+}
+
+/// Frames one journal line: `<json-byte-len>:<fnv64-hex>:<json>\n`.
+/// The length and digest make a torn or bit-flipped tail detectable
+/// without trusting the JSON parser to fail.
+fn frame_line(json: &str) -> String {
+    format!("{}:{:016x}:{json}\n", json.len(), fnv64_of(json.as_bytes()))
+}
+
+/// Parses one framed journal line back to its JSON body; `None` marks
+/// the line (and everything after it) as the invalid tail.
+fn unframe_line(line: &[u8]) -> Option<String> {
+    let text = std::str::from_utf8(line).ok()?;
+    let (len_s, rest) = text.split_once(':')?;
+    let (digest_s, json) = rest.split_once(':')?;
+    let len: usize = len_s.parse().ok()?;
+    let digest = u64::from_str_radix(digest_s, 16).ok()?;
+    (digest_s.len() == 16 && json.len() == len && fnv64_of(json.as_bytes()) == digest)
+        .then(|| json.to_string())
+}
+
+/// Append-only writer for a shard journal. Appends are plain writes
+/// (no fsync): the framing digest makes an unsynced or torn tail
+/// detectable on resume, so the worst a crash costs is recomputing the
+/// classes of the lost tail — never trusting them.
+struct JournalWriter {
+    file: std::fs::File,
+}
+
+impl JournalWriter {
+    /// Starts a fresh journal (truncating any stale one) with the
+    /// binding header as its first line.
+    fn create(path: &Path, header: &JournalHeader) -> io::Result<JournalWriter> {
+        let file =
+            std::fs::OpenOptions::new().write(true).create(true).truncate(true).open(path)?;
+        let mut writer = JournalWriter { file };
+        let json = serde_json::to_string(header).map_err(io::Error::other)?;
+        writer.append_line(&json, false)?;
+        Ok(writer)
+    }
+
+    /// Reopens an existing journal whose first `valid_len` bytes were
+    /// verified, truncating the invalid tail so new entries never
+    /// concatenate onto torn bytes.
+    fn resume(path: &Path, valid_len: u64) -> io::Result<JournalWriter> {
+        let file = std::fs::OpenOptions::new().write(true).open(path)?;
+        file.set_len(valid_len)?;
+        use std::io::Seek as _;
+        let mut file = file;
+        file.seek(std::io::SeekFrom::End(0))?;
+        Ok(JournalWriter { file })
+    }
+
+    fn append_entry(&mut self, entry: &JournalEntry) -> io::Result<()> {
+        let json = serde_json::to_string(entry).map_err(io::Error::other)?;
+        self.append_line(&json, true)
+    }
+
+    fn append_line(&mut self, json: &str, failpoint: bool) -> io::Result<()> {
+        use std::io::Write as _;
+        let line = frame_line(json);
+        // `shard.journal=abort@K` dies before the K-th entry lands
+        // (the kill-resume tests' cut point); `shard.journal=torn:N`
+        // leaves N bytes of the line, which the framing check must
+        // reject on resume.
+        if failpoint {
+            if let Some(failpoints::Fault::Torn(n)) = failpoints::fire("shard.journal") {
+                return self.file.write_all(&line.as_bytes()[..n.min(line.len())]);
+            }
+        }
+        self.file.write_all(line.as_bytes())
+    }
+}
+
+/// Recovers the longest valid prefix of a shard journal: a framed
+/// header binding this exact cell and range, followed by contiguous,
+/// index-aligned entries. Scanning stops at the first torn, corrupt,
+/// foreign or non-contiguous line; everything before it is trusted
+/// (each line carries its own digest), everything after is dropped.
+fn read_journal(
+    path: &Path,
+    cfg: &SweepConfig,
+    shard: usize,
+    start: usize,
+    end: usize,
+) -> JournalPrefix {
+    let empty = JournalPrefix::default();
+    let Ok(bytes) = std::fs::read(path) else {
+        return empty;
+    };
+    let mut results: Vec<ClassOutcome> = Vec::new();
+    let mut expected = start;
+    let mut saw_header = false;
+    let mut pos = 0usize;
+    let mut consumed = 0usize;
+    while let Some(nl) = bytes[pos..].iter().position(|&b| b == b'\n') {
+        let Some(json) = unframe_line(&bytes[pos..pos + nl]) else {
+            break;
+        };
+        if !saw_header {
+            let Ok(header) = serde_json::from_str::<JournalHeader>(&json) else {
+                break;
+            };
+            if header != JournalHeader::for_cell(cfg, shard, start, end) {
+                break;
+            }
+            saw_header = true;
+        } else {
+            let Ok(entry) = serde_json::from_str::<JournalEntry>(&json) else {
+                break;
+            };
+            let contiguous = entry.start == expected
+                && entry.end > entry.start
+                && entry.end <= end
+                && entry.results.len() == entry.end - entry.start
+                && entry.results.iter().zip(entry.start..entry.end).all(|(r, i)| r.index == i);
+            if !contiguous {
+                break;
+            }
+            expected = entry.end;
+            results.extend(entry.results);
+        }
+        pos += nl + 1;
+        consumed = pos;
+    }
+    if !saw_header {
+        return empty;
+    }
+    JournalPrefix { results, valid_len: consumed as u64 }
+}
+
+/// How far [`run_shard_inner`] got.
+enum ShardProgress {
+    /// The shard completed; the record is ready to publish.
+    Done(ShardRecord),
+    /// The cell deadline passed at a chunk boundary; `journaled`
+    /// classes are checkpointed in the journal for the next resume.
+    DeadlineStopped { journaled: usize },
+}
+
+/// The full shard engine behind [`run_shard`]: chunked execution with
+/// optional journal checkpoints, per-class panic isolation, and a
+/// cooperative cell deadline polled between chunks. Without a journal
+/// and deadline the whole range runs as one chunk — byte-identical to
+/// the historical single-pass shard.
+#[allow(clippy::too_many_arguments)]
+fn run_shard_inner(
     classes: &[Vec<Coord>],
     cfg: &SweepConfig,
     shard: usize,
     start: usize,
     end: usize,
-) -> ShardRecord {
+    journal_path: Option<&Path>,
+    prior: JournalPrefix,
+    deadline: Option<Instant>,
+) -> io::Result<ShardProgress> {
     let algo = cfg.algo.build();
     let limits = cfg.effective_limits();
-    let slice = &classes[start..end];
     // Model-checking cells share one checker across the shard, so the
     // algorithm's equivariance group is computed once, not per class.
-    let checker = CellChecker::for_spec(&algo, cfg.sched, cfg.n, cfg.threads);
+    let mut checker = CellChecker::for_spec(&algo, cfg.sched, cfg.n, cfg.threads);
+    if let Some(c) = checker.as_mut() {
+        c.set_class_timeout(cfg.class_timeout_ms.map(Duration::from_millis));
+    }
+    let checker = checker;
     let run_one = |offset: usize, cells: &Vec<Coord>| {
         let index = start + offset;
-        let initial = Configuration::new(cells.iter().copied());
-        match &checker {
-            Some(checker) => checker.run_class(&initial, index, limits),
-            None => {
-                let outcome = run_class(&initial, &algo, cfg.sched, index, limits);
-                let expanded = rounds_of(&outcome);
-                ClassOutcome {
-                    index,
-                    outcome,
-                    expanded,
-                    verdict: None,
-                    crash: None,
-                    lcm_async: None,
+        // Per-class panic isolation: the unwind is caught here, before
+        // the pool ever sees it, and degraded to a counted undecided
+        // row. AssertUnwindSafe is sound because a panicking class
+        // leaves only the explorer's pure memo caches behind, and
+        // those are poison-tolerant by construction.
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // `sweep.class=panic:MSG@K` / `sleep:MS@K` inject a
+            // poisoned or pathologically slow class deterministically.
+            failpoints::fire("sweep.class");
+            let initial = Configuration::new(cells.iter().copied());
+            match &checker {
+                Some(checker) => checker.run_class(&initial, index, limits),
+                None => {
+                    let outcome = run_class(&initial, &algo, cfg.sched, index, limits);
+                    let expanded = rounds_of(&outcome);
+                    ClassOutcome {
+                        index,
+                        outcome,
+                        expanded,
+                        verdict: None,
+                        crash: None,
+                        lcm_async: None,
+                        panic: None,
+                    }
                 }
+            }
+        })) {
+            Ok(row) => row,
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                eprintln!("warning: class {index} panicked ({msg}); counted as undecided");
+                panicked_outcome(index, cfg.sched, msg)
             }
         }
     };
-    // Work items carry their offset so both executors yield identical,
-    // order-preserved records.
-    let indexed: Vec<(usize, &Vec<Coord>)> = slice.iter().enumerate().collect();
     // Telemetry bracketing: the pool totals are process-global, so the
     // before/after delta attributes stealing activity to this shard
     // (approximately, if other executors run concurrently — metrics
     // are observability, not accounting).
     let pool_before = parallel::stealing::pool_stats();
     let watch = telemetry::Stopwatch::started();
-    let results = if cfg.use_stealing() {
-        parallel::stealing::par_map_stealing(&indexed, cfg.threads, |&(o, c)| run_one(o, c))
-    } else {
-        parallel::par_map(&indexed, cfg.threads, |&(o, c)| run_one(o, c))
+    let mut results = prior.results;
+    if !results.is_empty() {
+        eprintln!("  shard {shard}: journal resumes {} of {} classes", results.len(), end - start);
+    }
+    let mut writer = match journal_path {
+        Some(path) if !results.is_empty() => Some(JournalWriter::resume(path, prior.valid_len)?),
+        Some(path) => {
+            Some(JournalWriter::create(path, &JournalHeader::for_cell(cfg, shard, start, end))?)
+        }
+        None => None,
     };
+    let chunk = if writer.is_some() || deadline.is_some() {
+        cfg.journal_chunk.unwrap_or(DEFAULT_JOURNAL_CHUNK).max(1)
+    } else {
+        (end - start).max(1)
+    };
+    let mut cursor = start + results.len();
+    while cursor < end {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Ok(ShardProgress::DeadlineStopped { journaled: results.len() });
+        }
+        let cend = (cursor + chunk).min(end);
+        // Work items carry their offset so both executors yield
+        // identical, order-preserved records.
+        let base = cursor - start;
+        let indexed: Vec<(usize, &Vec<Coord>)> = classes[cursor..cend].iter().enumerate().collect();
+        let chunk_results = if cfg.use_stealing() {
+            parallel::stealing::par_map_stealing(&indexed, cfg.threads, |&(o, c)| {
+                run_one(base + o, c)
+            })
+        } else {
+            parallel::par_map(&indexed, cfg.threads, |&(o, c)| run_one(base + o, c))
+        };
+        if let Some(w) = writer.as_mut() {
+            w.append_entry(&JournalEntry {
+                start: cursor,
+                end: cend,
+                results: chunk_results.clone(),
+            })?;
+        }
+        results.extend(chunk_results);
+        cursor = cend;
+    }
     let mut snapshot = checker.as_ref().map(CellChecker::metrics_snapshot).unwrap_or_default();
     let pool = parallel::stealing::pool_stats().delta_since(&pool_before);
     snapshot.add_counter("parallel.tasks", pool.tasks);
@@ -937,7 +1372,18 @@ pub fn run_shard(
     snapshot.add_counter("parallel.serial_calls", pool.serial_calls);
     snapshot.add_counter("sweep.classes", results.len() as u64);
     snapshot.add_counter("sweep.shard_wall_ns", watch.elapsed_ns());
-    ShardRecord {
+    let panicked = results.iter().filter(|r| r.panic.is_some()).count() as u64;
+    let timed_out = results
+        .iter()
+        .filter(|r| matches!(r.outcome, Outcome::Undecided { reason: UndecidedReason::Timeout }))
+        .count() as u64;
+    if panicked > 0 {
+        snapshot.add_counter("sweep.classes_panicked", panicked);
+    }
+    if timed_out > 0 {
+        snapshot.add_counter("sweep.classes_timed_out", timed_out);
+    }
+    let mut record = ShardRecord {
         algo: cfg.algo.name(),
         sched: cfg.sched.name(),
         robots: cfg.n,
@@ -948,6 +1394,26 @@ pub fn run_shard(
         end,
         results,
         metrics: Some(MetricsBlock { snapshot }),
+        record_digest: None,
+    };
+    record.record_digest = shard_self_digest(&record).ok();
+    Ok(ShardProgress::Done(record))
+}
+
+/// Runs one shard of a sweep cell over the given full class list.
+#[must_use]
+pub fn run_shard(
+    classes: &[Vec<Coord>],
+    cfg: &SweepConfig,
+    shard: usize,
+    start: usize,
+    end: usize,
+) -> ShardRecord {
+    match run_shard_inner(classes, cfg, shard, start, end, None, JournalPrefix::default(), None) {
+        Ok(ShardProgress::Done(record)) => record,
+        Ok(ShardProgress::DeadlineStopped { .. }) | Err(_) => {
+            unreachable!("journal-free, deadline-free shard runs always complete")
+        }
     }
 }
 
@@ -1196,17 +1662,125 @@ pub fn verdict_digest(records: &[ShardRecord]) -> u64 {
     h.finish()
 }
 
+/// Crash-safe JSON publish: serialize, write to a sibling tmp file,
+/// fsync the data, rename over the target, then fsync the directory so
+/// the rename itself is durable. A reader never observes a half-written
+/// record — it sees the old file, the new file, or no file.
 fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> io::Result<()> {
     let json = serde_json::to_string_pretty(value)
         .map_err(|e| io::Error::other(format!("serialise {}: {e}", path.display())))?;
+    // `shard.write=torn:N` models the pre-atomic writer a crash caught
+    // mid-write: N bytes land in the FINAL path and the caller carries
+    // on none the wiser. Resume must detect and quarantine the stump.
+    if let Some(failpoints::Fault::Torn(n)) = failpoints::fire("shard.write") {
+        return std::fs::write(path, &json.as_bytes()[..n.min(json.len())]);
+    }
     let tmp = path.with_extension("json.tmp");
-    std::fs::write(&tmp, json)?;
-    std::fs::rename(&tmp, path)
+    {
+        use std::io::Write as _;
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(json.as_bytes())?;
+        file.sync_all()?;
+    }
+    // `shard.rename=abort` dies with the tmp durable but the record
+    // unpublished — the cleanest possible kill point for resume tests.
+    failpoints::fire("shard.rename");
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        // Best-effort: a lost rename after a power cut only costs
+        // re-running one shard, so failure here is not fatal.
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
 }
 
-fn read_shard(path: &Path) -> Option<ShardRecord> {
-    let text = std::fs::read_to_string(path).ok()?;
-    serde_json::from_str(&text).ok()
+/// The self-digest a shard record carries ([`ShardRecord::record_digest`]):
+/// FNV-1a over the record's canonical compact serialization with the
+/// digest field blank. Verification re-serializes the *parsed* record
+/// the same way, so any corruption that changes the decoded content —
+/// truncation, bit flips, hand edits — breaks the digest even when the
+/// result still parses as JSON.
+fn shard_self_digest(record: &ShardRecord) -> io::Result<String> {
+    let mut unsigned = record.clone();
+    unsigned.record_digest = None;
+    let json = serde_json::to_string(&unsigned).map_err(io::Error::other)?;
+    Ok(format!("{:016x}", fnv64_of(json.as_bytes())))
+}
+
+/// Loads and fully validates a shard record for resume.
+///
+/// * `Ok(Some(record))` — trustworthy and reusable for this exact cell.
+/// * `Ok(None)` — missing, or *stale* (a different cell/config wrote
+///   it); recompute silently, exactly as resume always has.
+/// * `Err(why)` — present and claiming to be this shard, but corrupt:
+///   unparseable, failing its self-digest, or holding inconsistent
+///   results. The caller quarantines it and recomputes.
+fn load_shard_checked(
+    path: &Path,
+    cfg: &SweepConfig,
+    shard: usize,
+    start: usize,
+    end: usize,
+) -> Result<Option<ShardRecord>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("unreadable: {e}")),
+    };
+    let record: ShardRecord =
+        serde_json::from_str(&text).map_err(|e| format!("malformed JSON: {e}"))?;
+    if let Some(stored) = &record.record_digest {
+        let computed = shard_self_digest(&record).map_err(|e| format!("digest check: {e}"))?;
+        if *stored != computed {
+            return Err(format!("self-digest mismatch (stored {stored}, computed {computed})"));
+        }
+    }
+    if !record.config_matches(cfg, shard, start, end) {
+        return Ok(None);
+    }
+    record.validate_results(cfg).map_err(|why| format!("inconsistent results: {why}"))?;
+    Ok(Some(record))
+}
+
+/// Moves a corrupt shard record out of the way (to `<record>.corrupt`)
+/// with a stderr warning, so the sweep can recompute the shard while
+/// the evidence survives for triage (CI uploads these as artifacts).
+fn quarantine_shard(path: &Path, why: &str) {
+    let target = PathBuf::from(format!("{}.corrupt", path.display()));
+    match std::fs::rename(path, &target) {
+        Ok(()) => eprintln!(
+            "warning: quarantined corrupt shard record {} -> {} ({why}); recomputing the shard",
+            path.display(),
+            target.display()
+        ),
+        Err(e) => eprintln!(
+            "warning: corrupt shard record {} ({why}); quarantine rename failed ({e}); \
+             recomputing the shard",
+            path.display()
+        ),
+    }
+}
+
+/// How far [`run_sweep_with`] got.
+// One value exists per cell run, so the variant size gap is irrelevant.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum SweepRun {
+    /// Every shard completed and the merged summary was written.
+    Complete(SweepOutcome),
+    /// The cell deadline ([`SweepConfig::cell_deadline_secs`]) expired.
+    /// Finished shards are persisted as records and the interrupted
+    /// shard's completed chunks sit in its journal; rerun with resume
+    /// to continue from exactly here.
+    DeadlineStopped {
+        /// Shards fully persisted (records on disk) before stopping.
+        completed_shards: usize,
+        /// Classes of the interrupted shard already checkpointed in
+        /// its journal.
+        journaled_classes: usize,
+    },
 }
 
 /// Runs (or resumes) a full sweep cell: executes every shard whose
@@ -1214,39 +1788,80 @@ fn read_shard(path: &Path) -> Option<ShardRecord> {
 /// merges, writes the summary, and returns both.
 ///
 /// With `resume`, shards whose on-disk record already matches the cell
-/// are loaded instead of re-run; without it every shard is recomputed.
+/// (including its self-digest and per-record result validation) are
+/// loaded instead of re-run; corrupt records are quarantined to
+/// `<record>.corrupt` with a warning and recomputed; a partially
+/// computed shard continues from its journal's valid prefix. Without
+/// `resume` every shard is recomputed.
 ///
 /// # Errors
 /// I/O errors from the output directory, or a corrupt/foreign record
 /// set that fails [`merge_shards`] validation.
-pub fn run_sweep(
+pub fn run_sweep_with(
     cfg: &SweepConfig,
     out_dir: &Path,
     resume: bool,
     mut progress: impl FnMut(usize, ShardStatus, &ShardRecord),
-) -> io::Result<SweepOutcome> {
+) -> io::Result<SweepRun> {
     // Normalise `shards: 0` once so file names, records and the merge
     // validation all agree with shard_ranges' clamp.
     let cfg = &SweepConfig { shards: cfg.shards.max(1), ..cfg.clone() };
     std::fs::create_dir_all(out_dir)?;
     let classes = polyhex::enumerate_fixed(cfg.n);
     let ranges = shard_ranges(classes.len(), cfg.shards);
+    let deadline = cfg.cell_deadline_secs.map(|s| Instant::now() + Duration::from_secs(s));
 
     let mut records = Vec::with_capacity(ranges.len());
     let mut shard_status = Vec::with_capacity(ranges.len());
     for (shard, &(start, end)) in ranges.iter().enumerate() {
         let path = cfg.shard_path(out_dir, shard);
+        let journal_path = cfg.journal_path(out_dir, shard);
         let reused = if resume {
-            read_shard(&path).filter(|r| r.matches(cfg, shard, start, end))
+            match load_shard_checked(&path, cfg, shard, start, end) {
+                Ok(record) => record,
+                Err(why) => {
+                    quarantine_shard(&path, &why);
+                    None
+                }
+            }
         } else {
             None
         };
         let (record, status) = match reused {
-            Some(r) => (r, ShardStatus::Reused),
+            Some(r) => {
+                // A stale journal next to a complete record is noise
+                // from a kill between publish and cleanup.
+                let _ = std::fs::remove_file(&journal_path);
+                (r, ShardStatus::Reused)
+            }
             None => {
-                let r = run_shard(&classes, cfg, shard, start, end);
-                write_json_atomic(&path, &r)?;
-                (r, ShardStatus::Computed)
+                let prior = if resume {
+                    read_journal(&journal_path, cfg, shard, start, end)
+                } else {
+                    JournalPrefix::default()
+                };
+                match run_shard_inner(
+                    &classes,
+                    cfg,
+                    shard,
+                    start,
+                    end,
+                    Some(&journal_path),
+                    prior,
+                    deadline,
+                )? {
+                    ShardProgress::Done(r) => {
+                        write_json_atomic(&path, &r)?;
+                        let _ = std::fs::remove_file(&journal_path);
+                        (r, ShardStatus::Computed)
+                    }
+                    ShardProgress::DeadlineStopped { journaled } => {
+                        return Ok(SweepRun::DeadlineStopped {
+                            completed_shards: shard,
+                            journaled_classes: journaled,
+                        });
+                    }
+                }
             }
         };
         progress(shard, status, &record);
@@ -1258,7 +1873,31 @@ pub fn run_sweep(
     write_json_atomic(&cfg.summary_path(out_dir), &summary)?;
     let expanded = records.iter().flat_map(|r| r.results.iter()).map(|r| r.expanded as u64).sum();
     let digest = verdict_digest(&records);
-    Ok(SweepOutcome { summary, shard_status, expanded, digest })
+    Ok(SweepRun::Complete(SweepOutcome { summary, shard_status, expanded, digest }))
+}
+
+/// [`run_sweep_with`] for callers without a cell deadline: the
+/// historical entry point, returning the completed outcome directly.
+///
+/// # Errors
+/// Everything [`run_sweep_with`] errors on; additionally, a tripped
+/// cell deadline surfaces as an error here (use [`run_sweep_with`] to
+/// handle it as a checkpointed stop instead).
+pub fn run_sweep(
+    cfg: &SweepConfig,
+    out_dir: &Path,
+    resume: bool,
+    progress: impl FnMut(usize, ShardStatus, &ShardRecord),
+) -> io::Result<SweepOutcome> {
+    match run_sweep_with(cfg, out_dir, resume, progress)? {
+        SweepRun::Complete(outcome) => Ok(outcome),
+        SweepRun::DeadlineStopped { completed_shards, journaled_classes } => {
+            Err(io::Error::other(format!(
+                "cell deadline expired after {completed_shards} completed shards \
+                 (+{journaled_classes} journaled classes); rerun with resume to continue"
+            )))
+        }
+    }
 }
 
 /// Early-exit search for the **lowest-indexed** non-gathering class of
@@ -1272,7 +1911,11 @@ pub fn find_failure(cfg: &SweepConfig) -> Option<(usize, Outcome)> {
     let classes = polyhex::enumerate_fixed(cfg.n);
     let algo = cfg.algo.build();
     let limits = cfg.effective_limits();
-    let checker = CellChecker::for_spec(&algo, cfg.sched, cfg.n, cfg.threads);
+    let mut checker = CellChecker::for_spec(&algo, cfg.sched, cfg.n, cfg.threads);
+    if let Some(c) = checker.as_mut() {
+        c.set_class_timeout(cfg.class_timeout_ms.map(Duration::from_millis));
+    }
+    let checker = checker;
     let indexed: Vec<(usize, &Vec<Coord>)> = classes.iter().enumerate().collect();
     parallel::par_find_min(&indexed, cfg.threads, |&(index, cells)| {
         let initial = Configuration::new(cells.iter().copied());
@@ -1472,8 +2115,10 @@ mod tests {
                 verdict: Some(AdversaryVerdict::Proof),
                 crash: None,
                 lcm_async: None,
+                panic: None,
             }],
             metrics: None,
+            record_digest: None,
         };
         let at_seven = verdict_digest(std::slice::from_ref(&record));
         record.robots = 8;
@@ -1737,6 +2382,218 @@ mod tests {
         let fourth = run_sweep(&recapped, &dir, true, |_, _, _| {}).expect("recapped run");
         assert!(fourth.shard_status.iter().all(|s| *s == ShardStatus::Computed));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn temp_sweep_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("trigather-sweep-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn shard_records_carry_a_verifiable_self_digest() {
+        let cfg = SweepConfig { n: 4, shards: 1, ..SweepConfig::default() };
+        let classes = polyhex::enumerate_fixed(4);
+        let record = run_shard(&classes, &cfg, 0, 0, classes.len());
+        let stored = record.record_digest.clone().expect("records are sealed at build time");
+        assert_eq!(stored, shard_self_digest(&record).expect("digestible"));
+        // The digest survives a JSON round-trip (what resume does).
+        let json = serde_json::to_string_pretty(&record).expect("serializes");
+        let reread: ShardRecord = serde_json::from_str(&json).expect("parses");
+        assert_eq!(reread.record_digest.as_deref(), Some(stored.as_str()));
+        assert_eq!(stored, shard_self_digest(&reread).expect("digestible"));
+        // Tampering with decoded content breaks it.
+        let mut tampered = record;
+        tampered.results[0].expanded += 1;
+        assert_ne!(stored, shard_self_digest(&tampered).expect("digestible"));
+    }
+
+    #[test]
+    fn resume_quarantines_malformed_records_and_recomputes() {
+        let dir = temp_sweep_dir("quarantine");
+        let cfg = SweepConfig { n: 4, shards: 2, ..SweepConfig::default() };
+        let first = run_sweep(&cfg, &dir, false, |_, _, _| {}).expect("first run");
+        // Truncate shard 0's record mid-file: parseable prefix of a
+        // JSON document, i.e. malformed.
+        let victim = cfg.shard_path(&dir, 0);
+        let text = std::fs::read_to_string(&victim).expect("record exists");
+        std::fs::write(&victim, &text[..text.len() / 2]).expect("truncate");
+        let second = run_sweep(&cfg, &dir, true, |_, _, _| {}).expect("resume succeeds anyway");
+        assert_eq!(second.shard_status[0], ShardStatus::Computed, "corrupt shard recomputed");
+        assert_eq!(second.shard_status[1], ShardStatus::Reused, "healthy shard reused");
+        assert_eq!(first.summary, second.summary);
+        assert_eq!(first.digest, second.digest);
+        let corpse = PathBuf::from(format!("{}.corrupt", victim.display()));
+        assert!(corpse.exists(), "the corrupt record is preserved for triage");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_quarantines_digest_mismatches() {
+        let dir = temp_sweep_dir("digestcheck");
+        let cfg = SweepConfig { n: 4, shards: 1, ..SweepConfig::default() };
+        let first = run_sweep(&cfg, &dir, false, |_, _, _| {}).expect("first run");
+        // Flip decoded content while keeping the JSON well-formed and
+        // the structure valid: bump one class's `expanded` count. Only
+        // the self-digest can catch this.
+        let victim = cfg.shard_path(&dir, 0);
+        let text = std::fs::read_to_string(&victim).expect("record exists");
+        let mut record: ShardRecord = serde_json::from_str(&text).expect("parses");
+        record.results[3].expanded += 1;
+        let tampered = serde_json::to_string_pretty(&record).expect("serializes");
+        std::fs::write(&victim, tampered).expect("rewrite");
+        let second = run_sweep(&cfg, &dir, true, |_, _, _| {}).expect("resume succeeds anyway");
+        assert!(second.shard_status.iter().all(|s| *s == ShardStatus::Computed));
+        assert_eq!(first.summary, second.summary);
+        assert!(
+            PathBuf::from(format!("{}.corrupt", victim.display())).exists(),
+            "the tampered record is preserved for triage"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_round_trips_and_drops_torn_tails() {
+        let dir = temp_sweep_dir("journal");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let cfg = SweepConfig { n: 4, shards: 1, ..SweepConfig::default() };
+        let classes = polyhex::enumerate_fixed(4);
+        let full = run_shard(&classes, &cfg, 0, 0, classes.len());
+        let path = cfg.journal_path(&dir, 0);
+        let header = JournalHeader::for_cell(&cfg, 0, 0, classes.len());
+        {
+            let mut w = JournalWriter::create(&path, &header).expect("create");
+            w.append_entry(&JournalEntry {
+                start: 0,
+                end: 10,
+                results: full.results[..10].to_vec(),
+            })
+            .expect("append");
+            w.append_entry(&JournalEntry {
+                start: 10,
+                end: 20,
+                results: full.results[10..20].to_vec(),
+            })
+            .expect("append");
+        }
+        let prefix = read_journal(&path, &cfg, 0, 0, classes.len());
+        assert_eq!(prefix.results.len(), 20);
+        assert_eq!(prefix.valid_len, std::fs::metadata(&path).expect("meta").len());
+        for (a, b) in prefix.results.iter().zip(&full.results[..20]) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.outcome, b.outcome);
+        }
+        // Tear the tail: chop bytes off the last line. Only the intact
+        // first entry survives; its byte length is reported so a
+        // resumed writer can truncate the stump.
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).expect("tear");
+        let torn = read_journal(&path, &cfg, 0, 0, classes.len());
+        assert_eq!(torn.results.len(), 10, "torn tail dropped, valid prefix kept");
+        assert!(torn.valid_len < bytes.len() as u64 - 7);
+        // A journal for a different cell is rejected outright.
+        let other = SweepConfig { algo: AlgoSpec::Paper, ..cfg.clone() };
+        let foreign = read_journal(&path, &other, 0, 0, classes.len());
+        assert_eq!(foreign.results.len(), 0, "foreign headers never feed results");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_continues_mid_shard_from_the_journal() {
+        let dir = temp_sweep_dir("midshard");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let cfg = SweepConfig { n: 4, shards: 1, ..SweepConfig::default() };
+        let classes = polyhex::enumerate_fixed(4);
+        // Plant a journal covering the first 8 classes with a forged
+        // outcome for class 0: if the resumed run reuses the journal
+        // (rather than recomputing), the forgery must surface in the
+        // merged summary.
+        let full = run_shard(&classes, &cfg, 0, 0, classes.len());
+        let mut head = full.results[..8].to_vec();
+        head[0].outcome = Outcome::Gathered { rounds: 4242 };
+        let path = cfg.journal_path(&dir, 0);
+        let header = JournalHeader::for_cell(&cfg, 0, 0, classes.len());
+        {
+            let mut w = JournalWriter::create(&path, &header).expect("create");
+            w.append_entry(&JournalEntry { start: 0, end: 8, results: head }).expect("append");
+        }
+        let outcome = run_sweep(&cfg, &dir, true, |_, _, _| {}).expect("resumed run");
+        assert_eq!(
+            outcome.summary.max_rounds, 4242,
+            "journaled classes must be reused, not recomputed"
+        );
+        assert!(!path.exists(), "the journal is deleted once the record is published");
+        // A fresh (non-resume) run ignores and replaces any journal.
+        let clean = run_sweep(&cfg, &dir, false, |_, _, _| {}).expect("fresh run");
+        assert_ne!(clean.summary.max_rounds, 4242);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cell_deadline_stops_cleanly_and_resume_completes() {
+        let dir = temp_sweep_dir("deadline");
+        let stopped =
+            SweepConfig { n: 4, shards: 2, cell_deadline_secs: Some(0), ..SweepConfig::default() };
+        match run_sweep_with(&stopped, &dir, false, |_, _, _| {}).expect("stop is not an error") {
+            SweepRun::DeadlineStopped { completed_shards, journaled_classes } => {
+                assert_eq!(completed_shards, 0, "an already-expired deadline stops immediately");
+                assert_eq!(journaled_classes, 0);
+            }
+            SweepRun::Complete(_) => panic!("a zero deadline cannot complete the cell"),
+        }
+        // Resuming without the deadline finishes and matches a clean run.
+        let relaxed = SweepConfig { cell_deadline_secs: None, ..stopped.clone() };
+        let resumed = run_sweep(&relaxed, &dir, true, |_, _, _| {}).expect("resume completes");
+        let clean_dir = temp_sweep_dir("deadline-clean");
+        let clean = run_sweep(&relaxed, &clean_dir, false, |_, _, _| {}).expect("clean run");
+        assert_eq!(resumed.summary, clean.summary);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&clean_dir);
+    }
+
+    #[test]
+    fn class_timeout_degrades_to_counted_timeout_verdicts() {
+        // A zero deadline trips the explorer's first poll, so every
+        // class of the cell degrades to Undecided{Timeout} — counted,
+        // not fatal, and visible in the summary tallies.
+        let sched = SchedSpec::Adversary { depth: DEFAULT_FAIR_DEPTH };
+        let cfg = SweepConfig {
+            n: 4,
+            shards: 1,
+            sched,
+            class_timeout_ms: Some(0),
+            ..SweepConfig::default()
+        };
+        let classes = polyhex::enumerate_fixed(4);
+        let record = run_shard(&classes, &cfg, 0, 0, classes.len());
+        assert!(record
+            .results
+            .iter()
+            .all(|r| matches!(r.outcome, Outcome::Undecided { reason: UndecidedReason::Timeout })));
+        let summary = merge_shards(&cfg, std::slice::from_ref(&record)).expect("merges");
+        assert_eq!(summary.undecided, classes.len());
+        let counts = summary.adversary.expect("adversary cells tally verdicts");
+        assert_eq!(counts.undecided, classes.len());
+    }
+
+    #[test]
+    fn panicked_rows_validate_and_merge_like_any_undecided() {
+        // panicked_outcome must produce rows consistent with each
+        // cell's verdict-column contract (validate_results) and merge
+        // into the undecided tallies.
+        for spec in ["adversary", "crash:1", "lcm-async", "fsync"] {
+            let sched = SchedSpec::parse(spec).expect("known scheduler");
+            let cfg = SweepConfig { n: 4, shards: 1, sched, ..SweepConfig::default() };
+            let classes = polyhex::enumerate_fixed(4);
+            let mut record = run_shard(&classes, &cfg, 0, 0, classes.len());
+            record.results[5] = panicked_outcome(5, sched, "injected".into());
+            record.record_digest = Some(shard_self_digest(&record).expect("digestible"));
+            assert!(record.matches(&cfg, 0, 0, classes.len()), "{spec}: row stays consistent");
+            let summary =
+                merge_shards(&cfg, std::slice::from_ref(&record)).expect("poisoned row merges");
+            assert!(summary.undecided >= 1, "{spec}: the panicked class is counted");
+        }
     }
 
     #[test]
