@@ -528,6 +528,12 @@ impl<'a, A: Algorithm + ?Sized> AsyncChecker<'a, A> {
         self.explorer.set_class_timeout(timeout);
     }
 
+    /// Arms (or clears) the deterministic per-class byte budget (see
+    /// [`Explorer::set_mem_budget`]).
+    pub fn set_mem_budget(&mut self, budget: Option<usize>) {
+        self.explorer.set_mem_budget(budget);
+    }
+
     /// A point-in-time telemetry snapshot of the underlying explorer:
     /// phase wall times, memo hit rates, verdict tallies and BFS shape
     /// histograms (see [`Explorer::metrics_snapshot`]). Strictly

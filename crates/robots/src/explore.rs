@@ -103,6 +103,16 @@ pub struct ExploreOptions {
     /// undecided reason: a timeout row in a sweep table is honest about
     /// being a wall-clock artifact, not a search-space fact.
     pub class_timeout: Option<std::time::Duration>,
+    /// Byte budget for one check's live search storage. `None` (the
+    /// default) never consults the accounting. When set, the search
+    /// polls [`Search::live_bytes`] at the same sites that check the
+    /// counter budgets and degrades to [`ExploreVerdict::Undecided`]
+    /// with [`UndecidedReason::MemBudget`]. Unlike the wall-clock
+    /// deadline this stays fully deterministic: the accounting is a
+    /// pure function of the interned counts (never of allocator
+    /// capacities or scratch-pool reuse), so a budget-armed cell
+    /// produces byte-identical verdicts at every thread count.
+    pub mem_budget: Option<usize>,
 }
 
 /// Default [`ExploreOptions::par_frontier`]: below this the per-level
@@ -122,6 +132,7 @@ impl Default for ExploreOptions {
             threads: 1,
             par_frontier: DEFAULT_PAR_FRONTIER,
             class_timeout: None,
+            mem_budget: None,
         }
     }
 }
@@ -179,6 +190,12 @@ pub enum UndecidedReason {
     /// certified a verdict. Only produced when a wall-clock deadline is
     /// armed, so counter-budgeted runs never see it.
     Timeout,
+    /// [`ExploreOptions::mem_budget`] tripped: the search's live
+    /// storage accounting exceeded the byte budget before any phase
+    /// certified a verdict. Deterministic (the accounting is a pure
+    /// function of the interned counts), so a budget-armed cell is
+    /// reproducible — unlike [`UndecidedReason::Timeout`].
+    MemBudget,
     /// The per-class check panicked and the sweep layer degraded the
     /// class to a counted undecided row instead of killing the cell.
     /// Never produced by the explorer itself — the panic payload lives
@@ -195,6 +212,7 @@ impl UndecidedReason {
             UndecidedReason::Edges => "edges",
             UndecidedReason::FairDepth => "fair_depth",
             UndecidedReason::Timeout => "timeout",
+            UndecidedReason::MemBudget => "mem_budget",
             UndecidedReason::Panicked => "panicked",
         }
     }
@@ -399,6 +417,10 @@ pub enum PureStep<Aux> {
     Succ(PackedClass, Aux),
 }
 
+/// One state's pure-enumeration output for the parallel level fan-out:
+/// the per-action [`PureStep`] list, pooled across searches.
+type StepBuf<Aux> = Vec<(CrashRound, PureStep<Aux>)>;
+
 /// A **semantics** of the exploration layer: what a state's auxiliary
 /// key is (packed alongside the interned translation class), which
 /// adversary actions a state offers, what their successors are, and how
@@ -522,38 +544,208 @@ impl CrashSemantics {
     }
 }
 
-struct StateNode<Aux> {
+/// Struct-of-arrays storage for the interned states of one search.
+/// Each field is a dense column indexed by state id. The columns the
+/// graph phases walk millions of times (`edge_start`/`edge_len` for
+/// the DFS sweeps, `kind` for the frontier filter) are contiguous
+/// instead of strided through a 28-byte record, and every column
+/// survives [`StateStore::clear`] with its capacity intact, so pooled
+/// searches stop paying the allocator per class.
+struct StateStore<Aux> {
     /// The translation class, as a dense [`ClassArena`] id; the
     /// canonical representative and decision vector are stored once
     /// per class, not per aux variant.
-    class: u32,
+    class: Vec<u32>,
     /// The packed auxiliary key (crash mask / pending vector) over the
     /// class's position slots.
-    aux: Aux,
+    aux: Vec<Aux>,
     /// Rounds from the initial state, in the semantics' own bookkeeping
     /// (movement rounds for crash — injection-only actions do not
     /// count; phase-advance ticks for ASYNC). This is what replay
     /// outcomes report. `u32`: BFS depth is bounded by the state count,
     /// which the arena caps far below `2^32`.
-    rounds: u32,
+    rounds: Vec<u32>,
     /// Discovery parent id ([`NO_PARENT`] for the root), for schedule
     /// reconstruction.
-    parent: u32,
+    parent: Vec<u32>,
     /// The discovery edge's action, packed (meaningless on the root).
-    parent_action: u32,
-    /// This node's slice of the search's shared edge pool: offset and
-    /// count. A state's edges are recorded contiguously — serial
-    /// expansion finishes a state before starting the next, and the
-    /// parallel fan-out's merge applies pure steps in the same frontier
-    /// order — so the whole graph lives in one flat `Vec` instead of
-    /// one heap allocation per expanded state.
-    edge_start: u32,
-    edge_len: u32,
-    kind: NodeKind,
+    parent_action: Vec<u32>,
+    /// Start of this node's slice of the search's shared edge pool. A
+    /// state's edges are recorded contiguously — serial expansion
+    /// finishes a state before starting the next, and the parallel
+    /// fan-out's merge applies pure steps in the same frontier order —
+    /// so the whole graph lives in one flat pool instead of one heap
+    /// allocation per expanded state.
+    edge_start: Vec<u32>,
+    /// Edge count of this node's slice of the edge pool.
+    edge_len: Vec<u32>,
+    /// Terminal classification.
+    kind: Vec<NodeKind>,
+}
+
+impl<Aux> Default for StateStore<Aux> {
+    fn default() -> Self {
+        StateStore {
+            class: Vec::new(),
+            aux: Vec::new(),
+            rounds: Vec::new(),
+            parent: Vec::new(),
+            parent_action: Vec::new(),
+            edge_start: Vec::new(),
+            edge_len: Vec::new(),
+            kind: Vec::new(),
+        }
+    }
+}
+
+impl<Aux> StateStore<Aux> {
+    /// Occupied bytes per state — the struct-of-arrays sum, a compile
+    /// time constant used by the deterministic budget accounting.
+    const BYTES_PER_STATE: usize = 6 * size_of::<u32>() + size_of::<Aux>() + size_of::<NodeKind>();
+
+    fn len(&self) -> usize {
+        self.class.len()
+    }
+
+    fn push(
+        &mut self,
+        class: u32,
+        aux: Aux,
+        rounds: u32,
+        parent: u32,
+        parent_action: u32,
+        kind: NodeKind,
+    ) {
+        self.class.push(class);
+        self.aux.push(aux);
+        self.rounds.push(rounds);
+        self.parent.push(parent);
+        self.parent_action.push(parent_action);
+        self.edge_start.push(0);
+        self.edge_len.push(0);
+        self.kind.push(kind);
+    }
+
+    fn clear(&mut self) {
+        self.class.clear();
+        self.aux.clear();
+        self.rounds.clear();
+        self.parent.clear();
+        self.parent_action.clear();
+        self.edge_start.clear();
+        self.edge_len.clear();
+        self.kind.clear();
+    }
+
+    /// Heap bytes currently reserved by the columns.
+    fn heap_bytes(&self) -> usize {
+        self.class.capacity() * size_of::<u32>()
+            + self.aux.capacity() * size_of::<Aux>()
+            + self.rounds.capacity() * size_of::<u32>()
+            + self.parent.capacity() * size_of::<u32>()
+            + self.parent_action.capacity() * size_of::<u32>()
+            + self.edge_start.capacity() * size_of::<u32>()
+            + self.edge_len.capacity() * size_of::<u32>()
+            + self.kind.capacity() * size_of::<NodeKind>()
+    }
 }
 
 /// Sentinel parent id of the root state.
 const NO_PARENT: u32 = u32::MAX;
+
+/// Sentinel "end of chain" index of the aux-variant chain pool.
+const NO_VARIANT: u32 = u32::MAX;
+
+/// One link of a per-class aux-variant chain: the aux key, the state
+/// id it interned to, and the next link (newest first). Replaces the
+/// former `Vec<Vec<(Aux, usize)>>` — one flat pool instead of one heap
+/// allocation per class, with lookups walking the chain (aux keys are
+/// unique per class, so chain order is irrelevant to the result).
+struct VariantEntry<Aux> {
+    aux: Aux,
+    state: u32,
+    next: u32,
+}
+
+/// The poolable storage of one [`Search`]: every growable buffer a
+/// per-class check fills. [`Explorer::check`] leases one from the
+/// explorer's scratch pool and returns it cleared-but-capacitated, so
+/// a sweep cell's ~77k per-class searches re-allocate these buffers
+/// once per worker instead of once per class. Soundness of the reuse
+/// is structural: [`SearchScratch::clear`] empties every collection
+/// (`FlatKeyIndex::clear` resets its probe slots), and no search ever
+/// reads an index it did not itself intern, so stale capacity can
+/// never leak state between classes — and the deterministic budget
+/// accounting ([`Search::live_bytes`]) deliberately reads occupied
+/// counts, never capacities, so pooling is invisible to verdicts.
+struct SearchScratch<Aux> {
+    states: StateStore<Aux>,
+    /// Interned translation classes: packed `u128` key → dense id,
+    /// decoded canonical representative stored once.
+    arena: ClassArena,
+    /// Per-class decision data, parallel to the arena ids.
+    info: Vec<ClassInfo>,
+    /// Head link of each class's aux-variant chain ([`NO_VARIANT`]
+    /// when empty), parallel to the arena ids.
+    variant_head: Vec<u32>,
+    /// Flat chain-link pool behind `variant_head`.
+    variant_pool: Vec<VariantEntry<Aux>>,
+    /// Flat edge storage; each state owns a contiguous slice.
+    edge_pool: Vec<PackedEdge>,
+    /// Chunked BFS level storage: every discovered inner state id in
+    /// discovery order, the current level being a window of this one
+    /// buffer (children always join the next level, so the window
+    /// simply advances — no per-level allocation, 4 bytes per queued
+    /// state total).
+    levels: Vec<u32>,
+    /// Reused copy of the current level's inner states for the
+    /// parallel fan-out (workers need the frontier as a slice while
+    /// the merge appends children to `levels`).
+    frontier_buf: Vec<u32>,
+}
+
+impl<Aux> Default for SearchScratch<Aux> {
+    fn default() -> Self {
+        SearchScratch {
+            states: StateStore::default(),
+            arena: ClassArena::new(),
+            info: Vec::new(),
+            variant_head: Vec::new(),
+            variant_pool: Vec::new(),
+            edge_pool: Vec::new(),
+            levels: Vec::new(),
+            frontier_buf: Vec::new(),
+        }
+    }
+}
+
+impl<Aux> SearchScratch<Aux> {
+    /// Empties every buffer, keeping all capacities for the next lease.
+    fn clear(&mut self) {
+        self.states.clear();
+        self.arena.clear();
+        self.info.clear();
+        self.variant_head.clear();
+        self.variant_pool.clear();
+        self.edge_pool.clear();
+        self.levels.clear();
+        self.frontier_buf.clear();
+    }
+
+    /// Heap bytes currently reserved across every buffer — the real
+    /// footprint reported to the telemetry gauges (capacity-based, so
+    /// it reflects what the allocator actually holds).
+    fn heap_bytes(&self) -> usize {
+        self.states.heap_bytes()
+            + self.arena.heap_bytes()
+            + self.info.capacity() * size_of::<ClassInfo>()
+            + self.variant_head.capacity() * size_of::<u32>()
+            + self.variant_pool.capacity() * size_of::<VariantEntry<Aux>>()
+            + self.edge_pool.capacity() * size_of::<PackedEdge>()
+            + self.levels.capacity() * size_of::<u32>()
+            + self.frontier_buf.capacity() * size_of::<u32>()
+    }
+}
 
 /// One expanded edge in 8 bytes: the action packed as
 /// `crash << 16 | activate` plus the successor's dense state id. The
@@ -695,6 +887,8 @@ pub(crate) struct ExploreMetrics {
     pub(crate) undecided_fair_depth: telemetry::Counter,
     /// Undecided verdicts attributed to the per-class deadline.
     pub(crate) undecided_timeout: telemetry::Counter,
+    /// Undecided verdicts attributed to the byte budget.
+    pub(crate) undecided_mem_budget: telemetry::Counter,
     /// Undecided verdicts attributed to a caught per-class panic
     /// (tallied by the sweep layer's degradation, never by `check`).
     pub(crate) undecided_panicked: telemetry::Counter,
@@ -706,6 +900,17 @@ pub(crate) struct ExploreMetrics {
     pub(crate) table_hit: telemetry::Counter,
     /// Cell-global [`engine::RoundTable`] cache misses.
     pub(crate) table_miss: telemetry::Counter,
+    /// Peak heap bytes reserved by one check's class arena (probe
+    /// table, key column, representative pointers).
+    pub(crate) arena_bytes: telemetry::Gauge,
+    /// Peak heap bytes reserved by one check's visited-state storage
+    /// (state columns, per-class info, aux-variant chains).
+    pub(crate) visited_bytes: telemetry::Gauge,
+    /// Peak heap bytes reserved by one check's BFS level storage.
+    pub(crate) frontier_bytes: telemetry::Gauge,
+    /// Peak heap bytes reserved by one whole check (arena + visited +
+    /// frontier + edge pool).
+    pub(crate) peak_bytes: telemetry::Gauge,
 }
 
 impl ExploreMetrics {
@@ -730,6 +935,7 @@ impl ExploreMetrics {
         s.add_counter("explore.undecided.edges", self.undecided_edges.get());
         s.add_counter("explore.undecided.fair_depth", self.undecided_fair_depth.get());
         s.add_counter("explore.undecided.timeout", self.undecided_timeout.get());
+        s.add_counter("explore.undecided.mem_budget", self.undecided_mem_budget.get());
         s.add_counter("explore.undecided.panicked", self.undecided_panicked.get());
         s.add_counter("memo.info.hit", self.info_hit.get());
         s.add_counter("memo.info.miss", self.info_miss.get());
@@ -740,6 +946,10 @@ impl ExploreMetrics {
         s.add_histogram(self.states_per_check.read("explore.states_per_check"));
         s.add_histogram(self.budget_states_pct.read("explore.budget_states_pct"));
         s.add_histogram(self.budget_edges_pct.read("explore.budget_edges_pct"));
+        s.add_gauge("explore.arena_bytes", self.arena_bytes.get());
+        s.add_gauge("explore.visited_bytes", self.visited_bytes.get());
+        s.add_gauge("explore.frontier_bytes", self.frontier_bytes.get());
+        s.add_gauge("explore.peak_bytes", self.peak_bytes.get());
         s
     }
 }
@@ -775,6 +985,14 @@ pub struct Explorer<'a, A: Algorithm + ?Sized, S: Semantics = CrashSemantics> {
     /// positions and the decision vector, never on crash marks (those
     /// only filter which activation submasks are enumerated).
     table_memo: std::sync::Mutex<PackedKeyMap<std::sync::Arc<engine::RoundTable>>>,
+    /// Pool of cleared [`SearchScratch`] buffers: each `check` leases
+    /// one and returns it, so successive per-class searches reuse
+    /// their grown allocations instead of rebuilding them per class.
+    /// Depth is bounded by the number of concurrent `check` calls.
+    scratch: std::sync::Mutex<Vec<SearchScratch<S::Aux>>>,
+    /// Pool of pure-step buffers for the parallel level fan-out: each
+    /// worker item leases one, the merge returns it cleared.
+    step_bufs: std::sync::Mutex<Vec<StepBuf<S::Aux>>>,
     /// Out-of-band observability tallies (see [`ExploreMetrics`]).
     metrics: ExploreMetrics,
 }
@@ -857,6 +1075,8 @@ impl<'a, A: Algorithm + ?Sized, S: Semantics> Explorer<'a, A, S> {
             max_robots: max_robots.max(8),
             info_memo: std::sync::Mutex::new(PackedKeyMap::default()),
             table_memo: std::sync::Mutex::new(PackedKeyMap::default()),
+            scratch: std::sync::Mutex::new(Vec::new()),
+            step_bufs: std::sync::Mutex::new(Vec::new()),
             metrics: ExploreMetrics::default(),
         }
     }
@@ -901,6 +1121,13 @@ impl<'a, A: Algorithm + ?Sized, S: Semantics> Explorer<'a, A, S> {
     /// [`ExploreOptions::class_timeout`] for the tradeoff.
     pub fn set_class_timeout(&mut self, timeout: Option<std::time::Duration>) {
         self.opts.class_timeout = timeout;
+    }
+
+    /// Arms (or clears) the deterministic per-class byte budget applied
+    /// to every subsequent [`check`](Self::check); see
+    /// [`ExploreOptions::mem_budget`].
+    pub fn set_mem_budget(&mut self, budget: Option<usize>) {
+        self.opts.mem_budget = budget;
     }
 
     /// The semantics this explorer instantiates.
@@ -1008,13 +1235,20 @@ impl<'a, A: Algorithm + ?Sized, S: Semantics> Explorer<'a, A, S> {
             initial.len()
         );
         assert!(initial.is_connected(), "the paper's model starts connected");
+        // Lease a scratch from the pool (cleared on return, so a
+        // leased buffer is always empty) instead of growing a fresh
+        // one: across the ~77k classes of a sweep cell this is the
+        // difference between per-class allocator churn and steady
+        // state. See [`SearchScratch`] for why reuse is sound.
+        let scratch = self
+            .scratch
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop()
+            .unwrap_or_default();
         let mut search = Search {
             explorer: self,
-            states: Vec::new(),
-            arena: ClassArena::new(),
-            info: Vec::new(),
-            variants: Vec::new(),
-            edge_pool: Vec::new(),
+            scratch,
             edges: 0,
             deduped: 0,
             deadline: self.opts.class_timeout.map(|t| std::time::Instant::now() + t),
@@ -1026,17 +1260,27 @@ impl<'a, A: Algorithm + ?Sized, S: Semantics> Explorer<'a, A, S> {
         // can reach the report or any digest.
         let m = &self.metrics;
         m.checks.inc();
-        m.states.add(search.states.len() as u64);
+        m.states.add(search.scratch.states.len() as u64);
         m.edges.add(search.edges as u64);
         m.deduped.add(search.deduped as u64);
-        m.arena_classes.record(search.arena.len() as u64);
-        m.states_per_check.record(search.states.len() as u64);
+        m.arena_classes.record(search.scratch.arena.len() as u64);
+        m.states_per_check.record(search.scratch.states.len() as u64);
         let pct = |used: usize, cap: usize| -> u64 {
             let cap = cap.max(1) as u128;
             ((used as u128 * 100) / cap).min(u64::MAX as u128) as u64
         };
-        m.budget_states_pct.record(pct(search.states.len(), self.opts.max_states));
+        m.budget_states_pct.record(pct(search.scratch.states.len(), self.opts.max_states));
         m.budget_edges_pct.record(pct(search.edges, self.opts.max_edges));
+        m.arena_bytes.record(search.scratch.arena.heap_bytes() as u64);
+        let visited = search.scratch.states.heap_bytes()
+            + search.scratch.info.capacity() * size_of::<ClassInfo>()
+            + search.scratch.variant_head.capacity() * size_of::<u32>()
+            + search.scratch.variant_pool.capacity() * size_of::<VariantEntry<S::Aux>>();
+        m.visited_bytes.record(visited as u64);
+        let frontier = (search.scratch.levels.capacity() + search.scratch.frontier_buf.capacity())
+            * size_of::<u32>();
+        m.frontier_bytes.record(frontier as u64);
+        m.peak_bytes.record(search.scratch.heap_bytes() as u64);
         match &verdict {
             ExploreVerdict::Proof => m.verdict_proof.inc(),
             ExploreVerdict::Refuted { .. } => m.verdict_refuted.inc(),
@@ -1047,17 +1291,22 @@ impl<'a, A: Algorithm + ?Sized, S: Semantics> Explorer<'a, A, S> {
                     UndecidedReason::Edges => m.undecided_edges.inc(),
                     UndecidedReason::FairDepth => m.undecided_fair_depth.inc(),
                     UndecidedReason::Timeout => m.undecided_timeout.inc(),
+                    UndecidedReason::MemBudget => m.undecided_mem_budget.inc(),
                     UndecidedReason::Panicked => m.undecided_panicked.inc(),
                 }
             }
         }
 
-        ExploreReport {
+        let report = ExploreReport {
             verdict,
-            states: search.states.len(),
+            states: search.scratch.states.len(),
             edges: search.edges,
             deduped: search.deduped,
-        }
+        };
+        let Search { scratch: mut lease, .. } = search;
+        lease.clear();
+        self.scratch.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(lease);
+        report
     }
 
     /// Index permutations induced on `cfg` by the stabilizer of its
@@ -1143,17 +1392,9 @@ fn movement_rounds(schedule: &[CrashRound]) -> usize {
 /// through the crate-private mutation surface below.
 pub struct Search<'c, 'a, A: Algorithm + ?Sized, S: Semantics> {
     explorer: &'c Explorer<'a, A, S>,
-    states: Vec<StateNode<S::Aux>>,
-    /// Interned translation classes: packed `u128` key → dense id,
-    /// decoded canonical representative stored once.
-    arena: ClassArena,
-    /// Per-class decision data, parallel to the arena ids.
-    info: Vec<ClassInfo>,
-    /// Per-class state ids, one per aux variant, parallel to the arena
-    /// ids.
-    variants: Vec<Vec<(S::Aux, usize)>>,
-    /// Flat edge storage; each [`StateNode`] owns a contiguous slice.
-    edge_pool: Vec<PackedEdge>,
+    /// The leased storage: state columns, arena, variant chains, edge
+    /// pool and level buffers (see [`SearchScratch`]).
+    scratch: SearchScratch<S::Aux>,
     edges: usize,
     deduped: usize,
     /// Wall-clock deadline of this check when
@@ -1181,23 +1422,23 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
 
     /// `(class id, aux, rounds)` of state `id`.
     pub(crate) fn state(&self, id: usize) -> (u32, S::Aux, usize) {
-        let s = &self.states[id];
-        (s.class, s.aux, s.rounds as usize)
+        let s = &self.scratch.states;
+        (s.class[id], s.aux[id], s.rounds[id] as usize)
     }
 
     /// The terminal classification of state `id`.
     pub(crate) fn node_kind(&self, id: usize) -> NodeKind {
-        self.states[id].kind
+        self.scratch.states.kind[id]
     }
 
     /// The canonical representative of class `class`.
     pub(crate) fn class_cfg(&self, class: u32) -> &Configuration {
-        self.arena.get(class)
+        self.scratch.arena.get(class)
     }
 
     /// The per-class decision data of class `class`.
     pub(crate) fn info(&self, class: u32) -> ClassInfo {
-        self.info[class as usize]
+        self.scratch.info[class as usize]
     }
 
     /// Counts one expanded transition.
@@ -1210,20 +1451,41 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
         self.deduped += 1;
     }
 
+    /// Occupied bytes of the search's live storage, as a **pure
+    /// function of the interned counts** — never of allocator
+    /// capacities, which depend on scratch-pool history. This is what
+    /// the byte budget compares against, so budget-armed verdicts are
+    /// byte-identical across thread counts, shardings and pool reuse.
+    /// (BFS level storage is folded in as one `u32` per state — every
+    /// inner state is queued exactly once.)
+    pub(crate) fn live_bytes(&self) -> usize {
+        let s = &self.scratch;
+        s.arena.live_bytes()
+            + s.states.len() * (StateStore::<S::Aux>::BYTES_PER_STATE + size_of::<u32>())
+            + s.info.len() * size_of::<ClassInfo>()
+            + s.variant_head.len() * size_of::<u32>()
+            + s.variant_pool.len() * size_of::<VariantEntry<S::Aux>>()
+            + s.edge_pool.len() * size_of::<PackedEdge>()
+    }
+
     /// Whether a search budget is exhausted.
     pub(crate) fn over_budget(&self) -> bool {
-        self.states.len() > self.explorer.opts.max_states
-            || self.edges > self.explorer.opts.max_edges
+        let opts = &self.explorer.opts;
+        self.scratch.states.len() > opts.max_states
+            || self.edges > opts.max_edges
+            || opts.mem_budget.is_some_and(|cap| self.live_bytes() > cap)
     }
 
     /// The undecided verdict for a tripped BFS budget, recording which
-    /// counter exhausted (states before edges when both did — the state
-    /// cap is the one that names the blown arena).
+    /// counter exhausted (states before edges before bytes when several
+    /// did — the state cap is the one that names the blown arena).
     pub(crate) fn budget_undecided(&self) -> ExploreVerdict {
-        let reason = if self.states.len() > self.explorer.opts.max_states {
+        let reason = if self.scratch.states.len() > self.explorer.opts.max_states {
             UndecidedReason::States
-        } else {
+        } else if self.edges > self.explorer.opts.max_edges {
             UndecidedReason::Edges
+        } else {
+            UndecidedReason::MemBudget
         };
         ExploreVerdict::Undecided { depth: self.explorer.opts.fair_depth, reason }
     }
@@ -1261,20 +1523,25 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
     /// state before the next starts), which is what lets the pool stay
     /// flat.
     pub(crate) fn push_edge(&mut self, id: usize, action: CrashRound, succ: usize) {
-        let offset = u32::try_from(self.edge_pool.len()).expect("fewer than 2^32 edges");
-        let node = &mut self.states[id];
-        if node.edge_len == 0 {
-            node.edge_start = offset;
+        let offset = u32::try_from(self.scratch.edge_pool.len()).expect("fewer than 2^32 edges");
+        let states = &mut self.scratch.states;
+        if states.edge_len[id] == 0 {
+            states.edge_start[id] = offset;
         }
-        debug_assert_eq!(node.edge_start + node.edge_len, offset, "interleaved expansion");
-        node.edge_len += 1;
-        self.edge_pool.push(PackedEdge { action: pack_action(action), to: succ as u32 });
+        debug_assert_eq!(
+            states.edge_start[id] + states.edge_len[id],
+            offset,
+            "interleaved expansion"
+        );
+        states.edge_len[id] += 1;
+        self.scratch.edge_pool.push(PackedEdge { action: pack_action(action), to: succ as u32 });
     }
 
     /// The expanded edges of state `id`.
     fn edges_of(&self, id: usize) -> &[PackedEdge] {
-        let s = &self.states[id];
-        &self.edge_pool[s.edge_start as usize..(s.edge_start + s.edge_len) as usize]
+        let s = &self.scratch.states;
+        let start = s.edge_start[id] as usize;
+        &self.scratch.edge_pool[start..start + s.edge_len[id] as usize]
     }
 
     /// Interns `raw`'s translation class, computing its decision
@@ -1290,13 +1557,13 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
     /// pure expansion computed without materializing a
     /// [`Configuration`].
     fn intern_class_key(&mut self, key: PackedClass) -> u32 {
-        if let Some(class) = self.arena.lookup_key(key) {
+        if let Some(class) = self.scratch.arena.lookup_key(key) {
             return class;
         }
         let (info, cfg) = self.explorer.class_entry(key);
-        let class = self.arena.insert_shared(key, cfg);
-        self.info.push(info);
-        self.variants.push(Vec::new());
+        let class = self.scratch.arena.insert_shared(key, cfg);
+        self.scratch.info.push(info);
+        self.scratch.variant_head.push(NO_VARIANT);
         class
     }
 
@@ -1327,27 +1594,25 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
         rounds: usize,
         parent: Option<(usize, CrashRound)>,
     ) -> (usize, bool) {
-        if let Some(&(_, id)) = self.variants[class as usize].iter().find(|&&(a, _)| a == aux) {
-            return (id, false);
+        let mut cur = self.scratch.variant_head[class as usize];
+        while cur != NO_VARIANT {
+            let e = &self.scratch.variant_pool[cur as usize];
+            if e.aux == aux {
+                return (e.state as usize, false);
+            }
+            cur = e.next;
         }
-        let info = &self.info[class as usize];
-        let kind = self.explorer.semantics.classify(self.arena.get(class), info, aux);
-        let id = self.states.len();
+        let info = &self.scratch.info[class as usize];
+        let kind = self.explorer.semantics.classify(self.scratch.arena.get(class), info, aux);
+        let id = self.scratch.states.len();
         let (parent, parent_action) = match parent {
             Some((p, a)) => (p as u32, pack_action(a)),
             None => (NO_PARENT, 0),
         };
-        self.variants[class as usize].push((aux, id));
-        self.states.push(StateNode {
-            class,
-            aux,
-            rounds: rounds as u32,
-            parent,
-            parent_action,
-            edge_start: 0,
-            edge_len: 0,
-            kind,
-        });
+        let head = self.scratch.variant_head[class as usize];
+        self.scratch.variant_pool.push(VariantEntry { aux, state: id as u32, next: head });
+        self.scratch.variant_head[class as usize] = (self.scratch.variant_pool.len() - 1) as u32;
+        self.scratch.states.push(class, aux, rounds as u32, parent, parent_action, kind);
         (id, true)
     }
 
@@ -1365,7 +1630,7 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
         step: PureStep<S::Aux>,
         queue: &mut Vec<u32>,
     ) -> Option<ExploreVerdict> {
-        let rounds = self.states[id].rounds as usize;
+        let rounds = self.scratch.states.rounds[id] as usize;
         match step {
             PureStep::Dedup => {
                 self.bump_deduped();
@@ -1390,8 +1655,12 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
             }
             PureStep::Variant(aux) => {
                 self.bump_edges();
-                let (succ, new) =
-                    self.intern_variant(self.states[id].class, aux, rounds, Some((id, action)));
+                let (succ, new) = self.intern_variant(
+                    self.scratch.states.class[id],
+                    aux,
+                    rounds,
+                    Some((id, action)),
+                );
                 if new && self.node_kind(succ) == NodeKind::Stuck {
                     let mut schedule = self.path_to(id);
                     schedule.push(action);
@@ -1492,12 +1761,12 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
         let mut actions = Vec::new();
         let mut cur = id;
         loop {
-            let s = &self.states[cur];
-            if s.parent == NO_PARENT {
+            let parent = self.scratch.states.parent[cur];
+            if parent == NO_PARENT {
                 break;
             }
-            actions.push(unpack_action(s.parent_action));
-            cur = s.parent as usize;
+            actions.push(unpack_action(self.scratch.states.parent_action[cur]));
+            cur = parent as usize;
         }
         actions.reverse();
         actions
@@ -1506,7 +1775,7 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
     fn run(&mut self, initial: &Configuration) -> ExploreVerdict {
         let root_aux = self.explorer.semantics.root_aux();
         let (root, _) = self.intern_state(initial, root_aux, 0, None);
-        if self.states[root].kind == NodeKind::Stuck {
+        if self.scratch.states.kind[root] == NodeKind::Stuck {
             return ExploreVerdict::Refuted {
                 schedule: Vec::new(),
                 outcome: Outcome::StuckFixpoint { rounds: 0 },
@@ -1515,39 +1784,56 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
 
         // Phase A: BFS over the reachable state graph, one level at a
         // time; the first bad terminal yields a minimal counterexample
-        // schedule. Children always join the *next* level, so walking
-        // each level in order reproduces the historical single-queue
-        // FIFO order exactly — discovery order, statistics and
-        // schedules are byte-identical with or without the parallel
-        // fan-out. The phase timers and level tallies around the loop
-        // are write-only telemetry; they never influence the walk.
+        // schedule. All levels share one flat `levels` vector: the
+        // current level is the window `[lo, hi)` and children append
+        // past `hi`, so advancing `lo` to `hi` is the level barrier —
+        // no per-level `Vec` allocation. Children always join the
+        // *next* level, so walking each window in order reproduces the
+        // historical single-queue FIFO order exactly — discovery
+        // order, statistics and schedules are byte-identical with or
+        // without the parallel fan-out. The phase timers and level
+        // tallies around the loop are write-only telemetry; they never
+        // influence the walk.
         let metrics = self.explorer.metrics();
         let watch = telemetry::Stopwatch::started();
         let mut found: Option<ExploreVerdict> = None;
-        let mut frontier: Vec<u32> = vec![root as u32];
-        'levels: while !frontier.is_empty() {
+        let mut levels = std::mem::take(&mut self.scratch.levels);
+        let mut frontier_buf = std::mem::take(&mut self.scratch.frontier_buf);
+        levels.clear();
+        levels.push(root as u32);
+        let mut lo = 0usize;
+        'levels: while lo < levels.len() {
+            let hi = levels.len();
             if self.deadline_passed_now() {
                 found = Some(self.timeout_undecided());
                 break 'levels;
             }
             metrics.levels.inc();
-            metrics.frontier_width.record(frontier.len() as u64);
-            let mut next: Vec<u32> = Vec::new();
+            metrics.frontier_width.record((hi - lo) as u64);
             let threads = self.explorer.opts.threads;
-            if S::PARALLEL && threads > 1 && frontier.len() >= self.explorer.opts.par_frontier {
+            if S::PARALLEL && threads > 1 && hi - lo >= self.explorer.opts.par_frontier {
                 metrics.levels_parallel.inc();
-                if let Some(verdict) = self.expand_level_parallel(&frontier, threads, &mut next) {
+                frontier_buf.clear();
+                frontier_buf.extend(
+                    levels[lo..hi]
+                        .iter()
+                        .copied()
+                        .filter(|&id| self.scratch.states.kind[id as usize] == NodeKind::Inner),
+                );
+                if let Some(verdict) =
+                    self.expand_level_parallel(&frontier_buf, threads, &mut levels)
+                {
                     found = Some(verdict);
                     break 'levels;
                 }
             } else {
-                for &id in &frontier {
-                    let id = id as usize;
-                    if self.states[id].kind != NodeKind::Inner {
+                for i in lo..hi {
+                    let id = levels[i] as usize;
+                    if self.scratch.states.kind[id] != NodeKind::Inner {
                         continue;
                     }
                     let explorer = self.explorer;
-                    if let Some(verdict) = explorer.semantics().expand(self, id, &mut next) {
+                    if let Some(verdict) = explorer.semantics().expand(self, id, &mut levels) {
                         found = Some(verdict);
                         break 'levels;
                     }
@@ -1557,8 +1843,10 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
                     }
                 }
             }
-            frontier = next;
+            lo = hi;
         }
+        self.scratch.levels = levels;
+        self.scratch.frontier_buf = frontier_buf;
         watch.flush(&metrics.phase_a_ns);
         if let Some(verdict) = found {
             return verdict;
@@ -1608,30 +1896,35 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
     /// loop never would have expanded them.
     fn expand_level_parallel(
         &mut self,
-        frontier: &[u32],
+        inner: &[u32],
         threads: usize,
         next: &mut Vec<u32>,
     ) -> Option<ExploreVerdict> {
-        let inner: Vec<u32> = frontier
-            .iter()
-            .copied()
-            .filter(|&id| self.states[id as usize].kind == NodeKind::Inner)
-            .collect();
         let explorer = self.explorer;
-        let step_lists: Vec<Vec<(CrashRound, PureStep<S::Aux>)>> = {
+        let step_lists: Vec<StepBuf<S::Aux>> = {
             let shared: &Self = self;
-            parallel::stealing::par_map_stealing(&inner, threads, |&id| {
-                let mut out = Vec::new();
+            parallel::stealing::par_map_stealing(inner, threads, |&id| {
+                let mut out = explorer
+                    .step_bufs
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .pop()
+                    .unwrap_or_default();
                 explorer.semantics().expand_pure(shared, id as usize, &mut out);
                 out
             })
         };
-        for (&id, steps) in inner.iter().zip(step_lists) {
-            for (action, step) in steps {
+        for (&id, mut steps) in inner.iter().zip(step_lists) {
+            for (action, step) in steps.drain(..) {
                 if let Some(verdict) = self.apply_step(id as usize, action, step, next) {
                     return Some(verdict);
                 }
             }
+            explorer
+                .step_bufs
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(steps);
             if self.over_budget() {
                 return Some(self.budget_undecided());
             }
@@ -1662,9 +1955,10 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
             return self.state_graph_acyclic();
         }
         let mut qid_of_key: HashMap<(u128, u32), usize> = HashMap::new();
-        let mut qid: Vec<usize> = Vec::with_capacity(self.states.len());
-        for s in &self.states {
-            let positions = self.arena.get(s.class).positions();
+        let mut qid: Vec<usize> = Vec::with_capacity(self.scratch.states.len());
+        for i in 0..self.scratch.states.len() {
+            let (s_class, s_aux) = (self.scratch.states.class[i], self.scratch.states.aux[i]);
+            let positions = self.scratch.arena.get(s_class).positions();
             let n = positions.len();
             let key = self
                 .explorer
@@ -1687,7 +1981,7 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
                         cells[k] = mapped[idx[k]] - delta;
                         inv[idx[k]] = k;
                     }
-                    let aux = S::permute_aux(s.aux, n, |i| inv[i], *sym);
+                    let aux = S::permute_aux(s_aux, n, |i| inv[i], *sym);
                     (PackedClass::of_sorted(&cells[..n]).bits(), S::aux_bits(aux))
                 })
                 .min()
@@ -1697,7 +1991,7 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
         }
         let nq = qid_of_key.len();
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nq];
-        for i in 0..self.states.len() {
+        for i in 0..self.scratch.states.len() {
             for e in self.edges_of(i) {
                 adj[qid[i]].push(qid[e.to as usize]);
             }
@@ -1734,7 +2028,7 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
     /// Three-colour cycle DFS straight over the explored state graph —
     /// the identity-group specialization of [`Self::quotient_is_acyclic`].
     fn state_graph_acyclic(&self) -> bool {
-        let n = self.states.len();
+        let n = self.scratch.states.len();
         let mut colour = vec![0u8; n]; // 0 white, 1 grey, 2 black
         for start in 0..n {
             if colour[start] != 0 {
@@ -1819,7 +2113,7 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
         let depth_cap = self.explorer.opts.fair_depth;
         let mut cycles = Vec::new();
         let mut budget = NODE_BUDGET;
-        let mut on_path = vec![false; self.states.len()];
+        let mut on_path = vec![false; self.scratch.states.len()];
         let mut path: Vec<(CrashRound, usize)> = Vec::new();
         self.dfs_cycles(
             start,
@@ -1897,7 +2191,7 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
     /// Tarjan's SCC algorithm (iterative), components in deterministic
     /// order.
     fn tarjan_sccs(&self) -> Vec<Vec<usize>> {
-        let n = self.states.len();
+        let n = self.scratch.states.len();
         let mut index = vec![usize::MAX; n];
         let mut low = vec![0usize; n];
         let mut on_stack = vec![false; n];
@@ -2014,7 +2308,7 @@ impl<'c, 'a, A: Algorithm + ?Sized, S: Semantics> Search<'c, 'a, A, S> {
     /// would need deduped actions to stitch a concrete schedule and is
     /// reported undecided instead of guessed.
     fn product_fair_cycle(&self, scc: &[usize]) -> ProductOutcome {
-        let n = self.info(self.states[scc[0]].class).robots();
+        let n = self.info(self.scratch.states.class[scc[0]]).robots();
         let all_roles: u16 = (1u16 << n) - 1;
         let semantics = self.explorer.semantics();
         let mut edges_of: Vec<Vec<ProductEdge>> = Vec::with_capacity(scc.len());

@@ -21,7 +21,11 @@
 //! The result is written as `BENCH_explore.json` next to
 //! `BENCH_sweep.json`; the `baseline` block pins the measurements taken
 //! on the pre-refactor tree (same host, single core) so the `speedup`
-//! fields track the packed-core gain across future changes.
+//! fields track the packed-core gain across future changes. Every
+//! classification loop also records its peak heap footprint (class
+//! arena, visited-state storage, BFS frontier, whole-check total) from
+//! the explorer's high-water-mark gauges, and the per-n scaling table
+//! runs up to the full n = 9 space (77359 classes).
 
 use gathering::SevenGather;
 use robots::adversary::{AdversaryOptions, AdversaryVerdict, Checker};
@@ -38,12 +42,54 @@ use std::time::Instant;
 /// this repository's CI-equivalent host, 1 core, release profile).
 /// `crash_f1_secs` / `adversary_secs` are pure classification loops
 /// over all 3652 classes, measured with the same harness as below.
+/// The `n8_*` fields pin the committed pre-flat-interning n = 8 rows
+/// (HashMap-backed `ClassArena`, per-node `Vec` frontier storage) so
+/// the memory-lean core's gain on the biggest pinned space is tracked
+/// explicitly.
 #[derive(Clone, Debug, Serialize)]
 struct Baseline {
     host: String,
     crash_f1_secs: f64,
     adversary_secs: f64,
     canonical_ns: f64,
+    /// Pre-flat-interning full n = 8 FSYNC pass, seconds.
+    n8_fsync_secs: f64,
+    /// Pre-flat-interning full n = 8 crash f=1 classification, seconds.
+    n8_crash_f1_secs: f64,
+    /// Pre-flat-interning full n = 8 adversary classification, seconds.
+    n8_adversary_secs: f64,
+    /// Pre-flat-interning full n = 8 ASYNC classification, seconds.
+    n8_lcm_async_secs: f64,
+}
+
+/// Peak heap footprint of one classification loop, read from the
+/// checker's high-water-mark gauges after the loop. All figures are
+/// bytes of *reserved* capacity (the scratch pool reuses allocations
+/// across classes, so these are per-cell peaks, not per-class sums).
+#[derive(Clone, Debug, Serialize)]
+struct MemStats {
+    /// Peak class-arena bytes (flat probe table + key column +
+    /// representative configurations) across the loop.
+    arena_peak_bytes: u64,
+    /// Peak visited-state bytes (state columns, per-class info,
+    /// aux-variant chains) across the loop.
+    visited_peak_bytes: u64,
+    /// Peak BFS frontier bytes (chunked level storage) across the loop.
+    frontier_peak_bytes: u64,
+    /// Peak total scratch bytes for one whole check (arena + visited +
+    /// frontier + edge pool).
+    peak_bytes: u64,
+}
+
+impl MemStats {
+    fn from_snapshot(s: &telemetry::Snapshot) -> Self {
+        MemStats {
+            arena_peak_bytes: s.gauge("explore.arena_bytes"),
+            visited_peak_bytes: s.gauge("explore.visited_bytes"),
+            frontier_peak_bytes: s.gauge("explore.frontier_bytes"),
+            peak_bytes: s.gauge("explore.peak_bytes"),
+        }
+    }
 }
 
 #[derive(Clone, Debug, Serialize)]
@@ -87,6 +133,9 @@ struct PhaseStats {
     info_memo_hit_rate: f64,
     /// Cell-global `RoundTable` cache hit rate, 0..=1.
     table_memo_hit_rate: f64,
+    /// Peak heap bytes for the loop (arena / visited / frontier /
+    /// whole-check high-water marks).
+    mem: MemStats,
 }
 
 impl PhaseStats {
@@ -100,6 +149,7 @@ impl PhaseStats {
             oracle_hit_rate: s.rate("oracle.hit", "oracle.miss"),
             info_memo_hit_rate: s.rate("memo.info.hit", "memo.info.miss"),
             table_memo_hit_rate: s.rate("memo.table.hit", "memo.table.miss"),
+            mem: MemStats::from_snapshot(s),
         }
     }
 }
@@ -132,6 +182,8 @@ struct PerN {
     crash_f1_stats: PhaseStats,
     /// Phase/memo attribution for the adversary loop.
     adversary_stats: PhaseStats,
+    /// Phase/memo attribution for the ASYNC loop.
+    lcm_async_stats: PhaseStats,
 }
 
 #[derive(Clone, Debug, Serialize)]
@@ -163,6 +215,9 @@ struct Record {
     baseline: Baseline,
     /// `baseline.crash_f1_secs / crash_f1_secs`.
     crash_f1_speedup: f64,
+    /// `baseline.n8_crash_f1_secs / per_n[n = 8].crash_f1_secs` — the
+    /// memory-lean core's headline gain on the biggest pinned space.
+    n8_crash_f1_speedup: f64,
     /// `baseline.canonical_ns / micro.canonical_key_ns`.
     canonical_key_speedup: f64,
 }
@@ -317,11 +372,11 @@ fn main() {
 
     // Per-n scaling: the parameterized class spaces (DESIGN §14) —
     // one FSYNC pass and one crash f=1 classification per count. The
-    // n=8 tallies are pinned by `tests/golden/nsweep-verified.json`;
+    // n=8/n=9 tallies are pinned by `tests/golden/nsweep-verified.json`;
     // here only totality is asserted so the bench never goes stale on
     // an intentional reclassification.
     let mut per_n = Vec::new();
-    for count in [5usize, 6, 8] {
+    for count in [5usize, 6, 8, 9] {
         let space: Vec<Configuration> =
             polyhex::enumerate_fixed(count).into_iter().map(Configuration::new).collect();
         let started = Instant::now();
@@ -373,6 +428,7 @@ fn main() {
         }
         let lcm_async_secs = started.elapsed().as_secs_f64();
         assert_eq!(tallies.iter().sum::<usize>(), space.len(), "n={count}: ASYNC totality");
+        let lcm_async_stats = PhaseStats::from_snapshot(&checker.metrics_snapshot());
 
         per_n.push(PerN {
             n: count,
@@ -386,19 +442,32 @@ fn main() {
             lcm_async_verdicts: tallies,
             crash_f1_stats,
             adversary_stats,
+            lcm_async_stats,
         });
     }
 
     let baseline = Baseline {
-        host: "pre-refactor tree at 5873ec6, same single-core host".to_string(),
+        host: "pre-refactor tree at 5873ec6, same single-core host; n8_* rows \
+               from the pre-flat-interning tree (HashMap arena), same host"
+            .to_string(),
         crash_f1_secs: BASELINE_CRASH_F1_SECS,
         adversary_secs: BASELINE_ADVERSARY_SECS,
         canonical_ns: BASELINE_CANONICAL_NS,
+        n8_fsync_secs: BASELINE_N8_FSYNC_SECS,
+        n8_crash_f1_secs: BASELINE_N8_CRASH_F1_SECS,
+        n8_adversary_secs: BASELINE_N8_ADVERSARY_SECS,
+        n8_lcm_async_secs: BASELINE_N8_LCM_ASYNC_SECS,
     };
+    let n8_crash_f1 = per_n
+        .iter()
+        .find(|row| row.n == 8)
+        .map(|row| row.crash_f1_secs)
+        .expect("per-n table covers n = 8");
     let record = Record {
         classes: n,
         iters,
         crash_f1_speedup: baseline.crash_f1_secs / crash_f1_secs,
+        n8_crash_f1_speedup: baseline.n8_crash_f1_secs / n8_crash_f1,
         canonical_key_speedup: baseline.canonical_ns / canonical_key_ns,
         micro: MicroBench {
             canonical_ns,
@@ -431,9 +500,12 @@ fn main() {
     });
     eprintln!(
         "bench_explore: crash f=1 full classification {crash_f1_secs:.3}s \
-         ({:.2}x vs baseline {:.3}s) -> {}",
+         ({:.2}x vs baseline {:.3}s), n=8 crash {n8_crash_f1:.3}s \
+         ({:.2}x vs pre-flat-interning {:.3}s) -> {}",
         record.crash_f1_speedup,
         record.baseline.crash_f1_secs,
+        record.n8_crash_f1_speedup,
+        record.baseline.n8_crash_f1_secs,
         out.display()
     );
     // `guard` keeps the measured loops observable.
@@ -448,3 +520,13 @@ const BASELINE_CRASH_F1_SECS: f64 = 0.462;
 const BASELINE_ADVERSARY_SECS: f64 = 2.030;
 /// Pre-refactor `canonical()` cost per class, nanoseconds (best of 3).
 const BASELINE_CANONICAL_NS: f64 = 35.8;
+/// Pre-flat-interning full n = 8 FSYNC pass, seconds (committed
+/// `BENCH_explore.json` row before the memory-lean core landed).
+const BASELINE_N8_FSYNC_SECS: f64 = 0.310;
+/// Pre-flat-interning full n = 8 crash f=1 classification, seconds —
+/// the headline the memory-lean exploration core must beat.
+const BASELINE_N8_CRASH_F1_SECS: f64 = 5.434;
+/// Pre-flat-interning full n = 8 adversary classification, seconds.
+const BASELINE_N8_ADVERSARY_SECS: f64 = 1.958;
+/// Pre-flat-interning full n = 8 ASYNC classification, seconds.
+const BASELINE_N8_LCM_ASYNC_SECS: f64 = 1.599;

@@ -47,7 +47,10 @@
 //!
 //! Fault tolerance (DESIGN.md §17): `--class-timeout-ms MS` bounds one
 //! class's model check by wall clock (over-deadline classes degrade to
-//! counted `Undecided` timeout verdicts); `--cell-deadline-secs S`
+//! counted `Undecided` timeout verdicts); `--mem-budget-mb MB` bounds
+//! one class's live exploration footprint deterministically
+//! (over-budget classes degrade to counted `Undecided` mem_budget
+//! verdicts, DESIGN.md §18); `--cell-deadline-secs S`
 //! checkpoints the running shard's journal and exits with code 3 and a
 //! resume hint once the budget is spent; `--journal-chunk N` sets the
 //! classes-per-checkpoint granularity. Corrupt shard records found
@@ -95,7 +98,8 @@ fn usage_error(msg: &str) -> ! {
          \x20            [--n N (2..=10)] [--shards S] [--threads T] [--stealing auto|on|off]\n\
          \x20            [--max-rounds R] [--out-dir DIR] [--resume] [--fail-fast] [--matrix] [--strict]\n\
          \x20            [--events PATH] [--progress]\n\
-         \x20            [--class-timeout-ms MS] [--cell-deadline-secs S] [--journal-chunk N]\n\
+         \x20            [--class-timeout-ms MS] [--mem-budget-mb MB] [--cell-deadline-secs S]\n\
+         \x20            [--journal-chunk N]\n\
          \n\
          FLAGS is a '+'-separated ablation list from fix25, conn, prio, compl, mirror (or 'none').\n\
          Scheduler specs: {SCHED_SPECS}.\n\
@@ -104,7 +108,9 @@ fn usage_error(msg: &str) -> ! {
          --events appends machine-readable JSONL sweep events; --progress prints a\n\
          classes/sec + ETA heartbeat to stderr. Neither affects records or digests.\n\
          --class-timeout-ms degrades classes that outlive MS wall-clock milliseconds\n\
-         to counted undecided timeout verdicts; --cell-deadline-secs checkpoints the\n\
+         to counted undecided timeout verdicts; --mem-budget-mb (>= 1) degrades\n\
+         classes whose live exploration footprint exceeds MB mebibytes to counted\n\
+         undecided mem_budget verdicts (deterministic); --cell-deadline-secs checkpoints the\n\
          journal and exits with code 3 once S seconds pass (rerun with --resume);\n\
          --journal-chunk sets classes per journal checkpoint (>= 1)."
     );
@@ -195,6 +201,16 @@ fn parse_cli(argv: &[String]) -> Result<Args, String> {
                         format!("invalid milliseconds for --class-timeout-ms: {v:?}")
                     })?);
             }
+            "--mem-budget-mb" => {
+                let v = value("--mem-budget-mb")?;
+                let mb: usize = v
+                    .parse()
+                    .map_err(|_| format!("invalid mebibytes for --mem-budget-mb: {v:?}"))?;
+                if mb == 0 {
+                    return Err("--mem-budget-mb must be at least 1".into());
+                }
+                args.cfg.mem_budget_mb = Some(mb);
+            }
             "--cell-deadline-secs" => {
                 let v = value("--cell-deadline-secs")?;
                 args.cfg.cell_deadline_secs = Some(
@@ -280,6 +296,23 @@ fn shard_undecided(record: &ShardRecord) -> usize {
     record.results.iter().filter(|r| matches!(r.outcome, Outcome::Undecided { .. })).count()
 }
 
+/// Per-reason tally of the budget-capped classes in one shard record,
+/// rendered as event fields (`states`, `timeout`, `mem_budget`, …) so
+/// a `budget_trip` line says *which* budget tripped, not just how
+/// often.
+fn shard_undecided_reasons(record: &ShardRecord) -> Vec<(String, Value)> {
+    let mut tally: Vec<(&'static str, u64)> = Vec::new();
+    for res in &record.results {
+        if let Outcome::Undecided { reason } = res.outcome {
+            match tally.iter_mut().find(|(tag, _)| *tag == reason.tag()) {
+                Some((_, count)) => *count += 1,
+                None => tally.push((reason.tag(), 1)),
+            }
+        }
+    }
+    tally.into_iter().map(|(tag, count)| (tag.to_string(), Value::UInt(count))).collect()
+}
+
 fn run_cell(
     cfg: &SweepConfig,
     out_dir: &std::path::Path,
@@ -361,14 +394,13 @@ fn run_cell(
                 ],
             );
             if undecided > 0 {
-                log.emit(
-                    "budget_trip",
-                    vec![
-                        ("cell".into(), Value::Str(cfg.slug())),
-                        ("shard".into(), Value::UInt(shard as u64)),
-                        ("undecided".into(), Value::UInt(undecided as u64)),
-                    ],
-                );
+                let mut fields = vec![
+                    ("cell".into(), Value::Str(cfg.slug())),
+                    ("shard".into(), Value::UInt(shard as u64)),
+                    ("undecided".into(), Value::UInt(undecided as u64)),
+                ];
+                fields.extend(shard_undecided_reasons(record));
+                log.emit("budget_trip", fields);
             }
             // Panic isolation is only trustworthy if it is *visible*:
             // every degraded class lands in the event stream with its
@@ -623,6 +655,8 @@ mod tests {
         let args = parse_cli(&argv(&[
             "--class-timeout-ms",
             "250",
+            "--mem-budget-mb",
+            "512",
             "--cell-deadline-secs",
             "3600",
             "--journal-chunk",
@@ -630,11 +664,13 @@ mod tests {
         ]))
         .expect("valid invocation");
         assert_eq!(args.cfg.class_timeout_ms, Some(250));
+        assert_eq!(args.cfg.mem_budget_mb, Some(512));
         assert_eq!(args.cfg.cell_deadline_secs, Some(3600));
         assert_eq!(args.cfg.journal_chunk, Some(32));
         // Unset flags stay off: no watchdog, default chunking.
         let plain = parse_cli(&argv(&[])).expect("empty invocation");
         assert_eq!(plain.cfg.class_timeout_ms, None);
+        assert_eq!(plain.cfg.mem_budget_mb, None);
         assert_eq!(plain.cfg.cell_deadline_secs, None);
         assert_eq!(plain.cfg.journal_chunk, None);
     }
@@ -648,6 +684,11 @@ mod tests {
         let err = parse_cli(&argv(&["--journal-chunk", "0"])).unwrap_err();
         assert!(err.contains("at least 1"), "{err}");
         assert!(parse_cli(&argv(&["--journal-chunk"])).unwrap_err().contains("missing value"));
+        let err = parse_cli(&argv(&["--mem-budget-mb", "0"])).unwrap_err();
+        assert!(err.contains("--mem-budget-mb") && err.contains("at least 1"), "{err}");
+        let err = parse_cli(&argv(&["--mem-budget-mb", "lots"])).unwrap_err();
+        assert!(err.contains("--mem-budget-mb"), "{err}");
+        assert!(parse_cli(&argv(&["--mem-budget-mb"])).unwrap_err().contains("missing value"));
     }
 
     #[test]

@@ -334,6 +334,14 @@ pub struct SweepConfig {
     /// reproducible; arm it for exploratory cells where one
     /// pathological class must not wedge a sweep.
     pub class_timeout_ms: Option<u64>,
+    /// Deterministic per-class byte budget in mebibytes for
+    /// model-checking cells: a class whose live exploration footprint
+    /// (a pure function of interned class/state/edge counts) exceeds it
+    /// is degraded to an `Undecided` verdict with
+    /// [`UndecidedReason::MemBudget`]. Unlike the wall-clock timeout
+    /// this trips identically across thread counts, shard layouts and
+    /// scratch reuse, so budgeted sweeps stay reproducible.
+    pub mem_budget_mb: Option<usize>,
     /// Wall-clock deadline in seconds for the whole cell: once it
     /// passes, the running shard checkpoints its journal at the next
     /// chunk boundary and [`run_sweep_with`] returns
@@ -358,6 +366,7 @@ impl Default for SweepConfig {
             stealing: None,
             limits: Limits::default(),
             class_timeout_ms: None,
+            mem_budget_mb: None,
             cell_deadline_secs: None,
             journal_chunk: None,
         }
@@ -968,6 +977,16 @@ impl<'a, A: Algorithm + ?Sized> CellChecker<'a, A> {
         }
     }
 
+    /// Arms the deterministic per-class byte budget on the underlying
+    /// explorer (see [`SweepConfig::mem_budget_mb`]).
+    fn set_mem_budget(&mut self, budget: Option<usize>) {
+        match self {
+            CellChecker::Adversary(c) => c.set_mem_budget(budget),
+            CellChecker::Crash(c) => c.set_mem_budget(budget),
+            CellChecker::Async(c) => c.set_mem_budget(budget),
+        }
+    }
+
     /// Telemetry snapshot of the underlying explorer (phase times,
     /// memo hit rates, verdict tallies, BFS shape).
     fn metrics_snapshot(&self) -> telemetry::Snapshot {
@@ -1245,8 +1264,9 @@ fn read_journal(
 
 /// How far [`run_shard_inner`] got.
 enum ShardProgress {
-    /// The shard completed; the record is ready to publish.
-    Done(ShardRecord),
+    /// The shard completed; the record is ready to publish (boxed —
+    /// a full record dwarfs the other variant).
+    Done(Box<ShardRecord>),
     /// The cell deadline passed at a chunk boundary; `journaled`
     /// classes are checkpointed in the journal for the next resume.
     DeadlineStopped { journaled: usize },
@@ -1275,6 +1295,7 @@ fn run_shard_inner(
     let mut checker = CellChecker::for_spec(&algo, cfg.sched, cfg.n, cfg.threads);
     if let Some(c) = checker.as_mut() {
         c.set_class_timeout(cfg.class_timeout_ms.map(Duration::from_millis));
+        c.set_mem_budget(cfg.mem_budget_mb.map(|mb| mb * 1024 * 1024));
     }
     let checker = checker;
     let run_one = |offset: usize, cells: &Vec<Coord>| {
@@ -1383,6 +1404,13 @@ fn run_shard_inner(
     if timed_out > 0 {
         snapshot.add_counter("sweep.classes_timed_out", timed_out);
     }
+    let over_budget = results
+        .iter()
+        .filter(|r| matches!(r.outcome, Outcome::Undecided { reason: UndecidedReason::MemBudget }))
+        .count() as u64;
+    if over_budget > 0 {
+        snapshot.add_counter("sweep.classes_mem_budget", over_budget);
+    }
     let mut record = ShardRecord {
         algo: cfg.algo.name(),
         sched: cfg.sched.name(),
@@ -1397,7 +1425,7 @@ fn run_shard_inner(
         record_digest: None,
     };
     record.record_digest = shard_self_digest(&record).ok();
-    Ok(ShardProgress::Done(record))
+    Ok(ShardProgress::Done(Box::new(record)))
 }
 
 /// Runs one shard of a sweep cell over the given full class list.
@@ -1410,7 +1438,7 @@ pub fn run_shard(
     end: usize,
 ) -> ShardRecord {
     match run_shard_inner(classes, cfg, shard, start, end, None, JournalPrefix::default(), None) {
-        Ok(ShardProgress::Done(record)) => record,
+        Ok(ShardProgress::Done(record)) => *record,
         Ok(ShardProgress::DeadlineStopped { .. }) | Err(_) => {
             unreachable!("journal-free, deadline-free shard runs always complete")
         }
@@ -1851,9 +1879,9 @@ pub fn run_sweep_with(
                     deadline,
                 )? {
                     ShardProgress::Done(r) => {
-                        write_json_atomic(&path, &r)?;
+                        write_json_atomic(&path, &*r)?;
                         let _ = std::fs::remove_file(&journal_path);
-                        (r, ShardStatus::Computed)
+                        (*r, ShardStatus::Computed)
                     }
                     ShardProgress::DeadlineStopped { journaled } => {
                         return Ok(SweepRun::DeadlineStopped {
@@ -1914,6 +1942,7 @@ pub fn find_failure(cfg: &SweepConfig) -> Option<(usize, Outcome)> {
     let mut checker = CellChecker::for_spec(&algo, cfg.sched, cfg.n, cfg.threads);
     if let Some(c) = checker.as_mut() {
         c.set_class_timeout(cfg.class_timeout_ms.map(Duration::from_millis));
+        c.set_mem_budget(cfg.mem_budget_mb.map(|mb| mb * 1024 * 1024));
     }
     let checker = checker;
     let indexed: Vec<(usize, &Vec<Coord>)> = classes.iter().enumerate().collect();
@@ -2575,6 +2604,46 @@ mod tests {
         assert_eq!(summary.undecided, classes.len());
         let counts = summary.adversary.expect("adversary cells tally verdicts");
         assert_eq!(counts.undecided, classes.len());
+    }
+
+    #[test]
+    fn mem_budget_degrades_to_counted_mem_budget_verdicts() {
+        // A zero-byte budget (the degenerate config value; the CLI
+        // rejects it as useless) trips the first budget poll of every
+        // class that reaches one, so the cell degrades to counted
+        // Undecided{MemBudget} rows — deterministically, no panic —
+        // and the shard metrics carry the tally.
+        let sched = SchedSpec::Adversary { depth: DEFAULT_FAIR_DEPTH };
+        let cfg = SweepConfig {
+            n: 4,
+            shards: 1,
+            sched,
+            mem_budget_mb: Some(0),
+            ..SweepConfig::default()
+        };
+        let classes = polyhex::enumerate_fixed(4);
+        let record = run_shard(&classes, &cfg, 0, 0, classes.len());
+        let over_budget = record
+            .results
+            .iter()
+            .filter(|r| {
+                matches!(r.outcome, Outcome::Undecided { reason: UndecidedReason::MemBudget })
+            })
+            .count();
+        assert!(over_budget > 0, "a 1 MiB budget must trip on some n=4 class");
+        let metrics = record.metrics.as_ref().expect("shard metrics present");
+        assert_eq!(metrics.snapshot.counter("sweep.classes_mem_budget"), over_budget as u64);
+        let summary = merge_shards(&cfg, std::slice::from_ref(&record)).expect("merges");
+        assert!(summary.undecided >= over_budget);
+
+        // The same cell with no budget decides every class: the budget
+        // path never leaks into unbudgeted runs.
+        let unbudgeted = SweepConfig { mem_budget_mb: None, ..cfg };
+        let record = run_shard(&classes, &unbudgeted, 0, 0, classes.len());
+        assert!(record.results.iter().all(|r| !matches!(
+            r.outcome,
+            Outcome::Undecided { reason: UndecidedReason::MemBudget }
+        )));
     }
 
     #[test]

@@ -150,14 +150,18 @@ fn metrics_toggle_never_perturbs_records_or_digests() {
     ignore = "full n=7/n=8 cells are release-only; run cargo test --release"
 )]
 fn full_cells_match_pinned_digests_with_metrics_on_and_off() {
-    // The four pinned verification digests (the acceptance bar for the
+    // The pinned verification digests (the acceptance bar for the
     // instrumented stack): metrics on or off, 1/2/8 worker threads —
-    // the cell digest is always the committed constant.
-    let cells: [(&str, usize, u64); 4] = [
+    // the cell digest is always the committed constant. The full n=8
+    // matrix rides along since the flat-interning refactor: id
+    // assignment must stay a pure function of insertion order.
+    let cells: [(&str, usize, u64); 6] = [
         ("adversary", 7, 0xd622cfe7b20dd7bb),
         ("crash:1", 7, 0x6696e3381f7fbd4f),
         ("lcm-async", 7, 0xbbf7a6b89fc5c8f0),
         ("adversary", 8, 0x48732f073bd06fc4),
+        ("crash:1", 8, 0xb53d9682ec227d68),
+        ("lcm-async", 8, 0x70c5901259f6d660),
     ];
     for (spec, n, expected) in cells {
         let sched = SchedSpec::parse(spec).expect("known scheduler");

@@ -275,6 +275,11 @@ pub struct Snapshot {
     pub counters: Vec<CounterEntry>,
     /// Histogram readings, ascending by name.
     pub histograms: Vec<HistogramEntry>,
+    /// High-water-mark gauge readings, ascending by name. Defaulted on
+    /// deserialization so metrics blocks written before gauges existed
+    /// still parse.
+    #[serde(default)]
+    pub gauges: Vec<CounterEntry>,
 }
 
 impl Snapshot {
@@ -299,6 +304,24 @@ impl Snapshot {
             Ok(i) => self.histograms[i].merge_from(&entry),
             Err(i) => self.histograms.insert(i, entry),
         }
+    }
+
+    /// Fold `value` into the gauge `name` as a running maximum
+    /// (creating it if absent). Zero-valued records still create the
+    /// entry, mirroring [`Snapshot::add_counter`].
+    pub fn add_gauge(&mut self, name: &str, value: u64) {
+        match self.gauges.binary_search_by(|e| e.name.as_str().cmp(name)) {
+            Ok(i) => self.gauges[i].value = self.gauges[i].value.max(value),
+            Err(i) => self.gauges.insert(i, CounterEntry { name: name.to_string(), value }),
+        }
+    }
+
+    /// Reading of gauge `name`, 0 when absent.
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges
+            .binary_search_by(|e| e.name.as_str().cmp(name))
+            .map(|i| self.gauges[i].value)
+            .unwrap_or(0)
     }
 
     /// Reading of counter `name`, 0 when absent.
@@ -330,8 +353,9 @@ impl Snapshot {
     }
 
     /// Merge another snapshot in: counters add, histograms merge
-    /// bucket-wise. Associative and commutative, so shard snapshots can
-    /// be folded into a cell snapshot in any order.
+    /// bucket-wise, gauges take the maximum. Associative and
+    /// commutative, so shard snapshots can be folded into a cell
+    /// snapshot in any order.
     pub fn merge(&mut self, other: &Snapshot) {
         for c in &other.counters {
             self.add_counter(&c.name, c.value);
@@ -339,11 +363,16 @@ impl Snapshot {
         for h in &other.histograms {
             self.add_histogram(h.clone());
         }
+        for g in &other.gauges {
+            self.add_gauge(&g.name, g.value);
+        }
     }
 
     /// True when no entry has a nonzero reading.
     pub fn is_empty(&self) -> bool {
-        self.counters.iter().all(|c| c.value == 0) && self.histograms.iter().all(|h| h.count == 0)
+        self.counters.iter().all(|c| c.value == 0)
+            && self.histograms.iter().all(|h| h.count == 0)
+            && self.gauges.iter().all(|g| g.value == 0)
     }
 }
 
@@ -410,6 +439,25 @@ mod tests {
         // taking the flush path; just assert the flag round-trips.
         assert!(enabled());
         let _ = c2.get();
+    }
+
+    #[test]
+    fn snapshot_gauges_merge_by_maximum() {
+        let mut a = Snapshot::new();
+        a.add_gauge("peak", 100);
+        a.add_gauge("peak", 40);
+        assert_eq!(a.gauge("peak"), 100, "same-snapshot records keep the max");
+        let mut b = Snapshot::new();
+        b.add_gauge("peak", 250);
+        b.add_gauge("other", 7);
+        a.merge(&b);
+        assert_eq!(a.gauge("peak"), 250, "merge takes the max, not the sum");
+        assert_eq!(a.gauge("other"), 7);
+        assert_eq!(a.gauge("absent"), 0);
+        // Old metrics blocks have no gauges field: they must still parse.
+        let legacy: Snapshot =
+            serde_json::from_str(r#"{"counters":[],"histograms":[]}"#).expect("legacy parses");
+        assert!(legacy.gauges.is_empty());
     }
 
     #[test]

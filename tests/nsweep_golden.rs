@@ -4,12 +4,13 @@
 //!
 //! * Debug tier: the full n ∈ {4, 5} FSYNC and crash f=1 cells (44 and
 //!   186 classes — cheap even unoptimized) plus outcome-kind subset
-//!   rows over every 257th n = 8 class.
-//! * Release tier: the full 16689-class n = 8 cells — FSYNC, crash
-//!   f=1, SSYNC adversary and lcm-async — with verdict tallies and the
-//!   n-tagged FNV verdict digest pinned. No silent truncation: a
-//!   budget-capped class would land in `undecided`/`step_limit`, and
-//!   the pinned rows record those columns exactly.
+//!   rows over every 257th n = 8 class and every 1201st n = 9 class.
+//! * Release tier: the full 16689-class n = 8 and 77359-class n = 9
+//!   cells — FSYNC, crash f=1, SSYNC adversary and lcm-async — with
+//!   verdict tallies and the n-tagged FNV verdict digest pinned. No
+//!   silent truncation: a budget-capped class would land in
+//!   `undecided`/`step_limit`, and the pinned rows record those
+//!   columns exactly.
 //!
 //! All rows live in `tests/golden/nsweep-verified.json`. Regenerate
 //! after an intentional checker change with:
@@ -33,13 +34,23 @@ const ROWS: &[(usize, &str, bool)] = &[
     (8, "crash:1", true),
     (8, "adversary", true),
     (8, "lcm-async", true),
+    (9, "fsync", true),
+    (9, "crash:1", true),
+    (9, "adversary", true),
+    (9, "lcm-async", true),
 ];
 
 /// The pinned debug subsets: every `stride`-th class of the n = 8
-/// space (66 classes), outcome kinds only — the release rows pin the
-/// verdict digests.
-const SUBSET_ROWS: &[(usize, &str, usize)] =
-    &[(8, "fsync", 257), (8, "crash:1", 257), (8, "adversary", 257)];
+/// space (66 classes) and of the n = 9 space (65 classes), outcome
+/// kinds only — the release rows pin the verdict digests.
+const SUBSET_ROWS: &[(usize, &str, usize)] = &[
+    (8, "fsync", 257),
+    (8, "crash:1", 257),
+    (8, "adversary", 257),
+    (9, "fsync", 1201),
+    (9, "crash:1", 1201),
+    (9, "adversary", 1201),
+];
 
 /// Runs one full cell and renders its pinned row: verdict tallies and
 /// digest for model-checking cells, the outcome breakdown for FSYNC.
@@ -169,7 +180,7 @@ fn small_n_cells_match_golden_rows() {
 }
 
 #[test]
-fn n8_subset_outcomes_match_golden_rows() {
+fn large_n_subset_outcomes_match_golden_rows() {
     let golden = parse_golden();
     for &(n, spec, stride) in SUBSET_ROWS {
         let name = SchedSpec::parse(spec).expect("known scheduler").name();
@@ -185,9 +196,10 @@ fn n8_subset_outcomes_match_golden_rows() {
 #[test]
 #[cfg_attr(
     debug_assertions,
-    ignore = "full 16689-class n=8 cells are release-only; run cargo test --release"
+    ignore = "full n=8 (16689-class) and n=9 (77359-class) cells are release-only; \
+              run cargo test --release"
 )]
-fn n8_full_cells_match_golden_rows() {
+fn large_n_full_cells_match_golden_rows() {
     let golden = parse_golden();
     for &(n, spec, release_only) in ROWS {
         if !release_only {
@@ -205,7 +217,7 @@ fn n8_full_cells_match_golden_rows() {
 #[ignore = "fixture regeneration helper; run explicitly with --ignored"]
 #[allow(clippy::assertions_on_constants)]
 fn regen_nsweep_golden() {
-    assert!(!cfg!(debug_assertions), "regen must run in release: the n=8 rows are expensive");
+    assert!(!cfg!(debug_assertions), "regen must run in release: the n=8/n=9 rows are expensive");
     let mut rows: Vec<serde_json::Value> =
         ROWS.iter().map(|&(n, spec, _)| full_row(n, spec)).collect();
     rows.extend(SUBSET_ROWS.iter().map(|&(n, spec, stride)| subset_row(n, spec, stride)));

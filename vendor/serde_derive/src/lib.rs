@@ -32,6 +32,9 @@ struct Field {
     name: String,
     /// Module path from `#[serde(with = "path")]`, if present.
     with: Option<String>,
+    /// Whether the field carries `#[serde(default)]`: an absent (or
+    /// null) value deserializes as `Default::default()`.
+    default: bool,
 }
 
 enum VariantKind {
@@ -55,44 +58,57 @@ struct Item {
     body: Body,
 }
 
-/// Extracts the `with = "path"` argument from a `#[serde(...)]`
-/// attribute group, if this bracket group is one.
-fn serde_with_of(group: &proc_macro::Group) -> Option<String> {
+/// Field-level `#[serde(...)]` arguments recognized by the shim.
+#[derive(Default)]
+struct SerdeArgs {
+    with: Option<String>,
+    default: bool,
+}
+
+/// Extracts the recognized arguments (`with = "path"`, `default`) from
+/// a `#[serde(...)]` attribute group, if this bracket group is one.
+fn serde_args_of(group: &proc_macro::Group) -> SerdeArgs {
+    let mut out = SerdeArgs::default();
     let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
-    match tokens.as_slice() {
-        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => {
+    if let [TokenTree::Ident(name), TokenTree::Group(args)] = tokens.as_slice() {
+        if name.to_string() == "serde" {
             let inner: Vec<TokenTree> = args.stream().into_iter().collect();
             match inner.as_slice() {
                 [TokenTree::Ident(key), TokenTree::Punct(eq), TokenTree::Literal(lit)]
                     if key.to_string() == "with" && eq.as_char() == '=' =>
                 {
-                    Some(lit.to_string().trim_matches('"').to_string())
+                    out.with = Some(lit.to_string().trim_matches('"').to_string());
                 }
-                _ => None,
+                [TokenTree::Ident(key)] if key.to_string() == "default" => {
+                    out.default = true;
+                }
+                _ => {}
             }
         }
-        _ => None,
     }
+    out
 }
 
 /// Skips `#[...]` attributes starting at `i`, returning the new index
-/// and any `#[serde(with = "...")]` value found.
-fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, Option<String>) {
-    let mut with = None;
+/// and the merged `#[serde(...)]` arguments found.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, SerdeArgs) {
+    let mut args = SerdeArgs::default();
     while i + 1 < tokens.len() {
         match (&tokens[i], &tokens[i + 1]) {
             (TokenTree::Punct(p), TokenTree::Group(g))
                 if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
             {
-                if let Some(w) = serde_with_of(g) {
-                    with = Some(w);
+                let found = serde_args_of(g);
+                if found.with.is_some() {
+                    args.with = found.with;
                 }
+                args.default |= found.default;
                 i += 2;
             }
             _ => break,
         }
     }
-    (i, with)
+    (i, args)
 }
 
 /// Skips a visibility modifier (`pub`, `pub(crate)`, …) at `i`.
@@ -149,7 +165,7 @@ fn parse_named_fields(tokens: &[TokenTree]) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let (j, with) = skip_attrs(tokens, i);
+        let (j, args) = skip_attrs(tokens, i);
         i = skip_vis(tokens, j);
         let name = match &tokens[i] {
             TokenTree::Ident(id) => id.to_string(),
@@ -172,7 +188,7 @@ fn parse_named_fields(tokens: &[TokenTree]) -> Vec<Field> {
             i += 1;
         }
         i += 1; // past the comma (or the end)
-        fields.push(Field { name, with });
+        fields.push(Field { name, with: args.with, default: args.default });
     }
     fields
 }
@@ -305,11 +321,20 @@ fn gen_serialize(item: &Item) -> String {
 }
 
 fn field_from_value(field: &Field, source: &str) -> String {
-    match &field.with {
+    let from = match &field.with {
         None => format!("serde::de::Deserialize::from_value({source})?"),
         Some(path) => {
             format!("{path}::deserialize(serde::de::ValueDeserializer(({source}).clone()))?")
         }
+    };
+    if field.default {
+        // `#[serde(default)]`: a field absent from the input map (which
+        // the lookup surfaces as `Null`) falls back to `Default`.
+        format!(
+            "if matches!({source}, serde::Value::Null) {{ Default::default() }} else {{ {from} }}"
+        )
+    } else {
+        from
     }
 }
 
